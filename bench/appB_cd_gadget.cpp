@@ -1,0 +1,63 @@
+// Reproduces Appendix B: the constant-indegree (CD) gadget's cost cliff —
+// free with members+2 red pebbles, ~2h transfers with one fewer — and the
+// contrast with the classical pyramid gadget (whose cliff is only 2).
+#include <iostream>
+
+#include "src/gadgets/cd_gadget.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/support/table.hpp"
+#include "src/workloads/pyramid.hpp"
+
+int main() {
+  using namespace rbpeb;
+  std::cout << "Appendix B: the CD gadget's cost cliff (oneshot, exact "
+               "solver)\n\n";
+
+  Table cliff("Gadget over g = 2 members: optimal cost vs layers h");
+  cliff.set_header({"h", "nodes", "opt @ R = g+2", "opt @ R = g+1",
+                    "cliff (ratio)"});
+  for (std::size_t h : {2u, 4u, 6u, 8u}) {
+    DagBuilder b;
+    std::vector<NodeId> members = {b.add_node(), b.add_node()};
+    NodeId t = b.add_node();
+    CDAttachment cd = attach_cd_gadget(b, members, {t}, h);
+    GroupDagInstance inst;
+    inst.dag = b.build();
+    inst.groups = {cd.group};
+    inst.red_limit = members.size() + 2;
+
+    Engine full(inst.dag, Model::oneshot(), inst.red_limit);
+    Engine short_one(inst.dag, Model::oneshot(), inst.red_limit - 1);
+    Rational with_full = solve_exact(full, 8'000'000).cost;
+    Rational with_less = solve_exact(short_one, 8'000'000).cost;
+    cliff.add_row({std::to_string(h), std::to_string(inst.dag.node_count()),
+                   with_full.str(), with_less.str(),
+                   with_full == Rational(0)
+                       ? "inf (0 -> " + with_less.str() + ")"
+                       : format_double(with_less.to_double() /
+                                           with_full.to_double(),
+                                       2)});
+  }
+  cliff.add_note("one missing pebble costs ~2 transfers per layer: the cliff");
+  cliff.add_note("grows without bound in h — this is what lets CD gadgets");
+  cliff.add_note("emulate 'all red pebbles required' at indegree 2");
+  std::cout << cliff << '\n';
+
+  Table pyramid("Contrast: r-pyramid (paper Section 3 — its cliff is only 2)");
+  pyramid.set_header({"base r", "opt @ R = r+1", "opt @ R = r", "difference"});
+  for (std::size_t r : {3u, 4u}) {
+    PyramidDag py = make_pyramid_dag(r);
+    Engine full(py.dag, Model::oneshot(), r + 1);
+    Engine less(py.dag, Model::oneshot(), r);
+    Rational a = solve_exact(full, 8'000'000).cost;
+    Rational b = solve_exact(less, 8'000'000).cost;
+    pyramid.add_row({std::to_string(r), a.str(), b.str(), (b - a).str()});
+  }
+  pyramid.add_note("taking one pebble from a pyramid costs only ~2 — too weak");
+  pyramid.add_note("for the paper's reductions; hence the CD gadget");
+  std::cout << pyramid;
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension experiment: parallel red-blue pebbling ("shades of red",
+// Elango et al. [8] in the paper's related work). Measures the
+// communication/parallelism tradeoff of owner-computes schedules.
+#include <iostream>
+
+#include "src/parallel/par_engine.hpp"
+#include "src/support/table.hpp"
+#include "src/workloads/fft.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/stencil.hpp"
+
+int main() {
+  using namespace rbpeb;
+  std::cout << "Parallel red-blue pebbling (owner-computes, per-processor "
+               "fast memory R = 12)\n\n";
+
+  struct Workload {
+    std::string name;
+    Dag dag;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"stencil1d 64x12", make_stencil1d_dag(64, 12).dag});
+  workloads.push_back({"fft 64", make_fft_dag(64).dag});
+  workloads.push_back({"matmul 6x6", make_matmul_dag(6).dag});
+
+  for (const Workload& w : workloads) {
+    Table table(w.name + " (" + std::to_string(w.dag.node_count()) +
+                " nodes)");
+    table.set_header({"P", "communication volume", "makespan proxy",
+                      "speedup vs P=1", "comm per compute"});
+    std::int64_t serial_makespan = 0;
+    for (std::size_t procs : {1u, 2u, 4u, 8u, 16u}) {
+      ParEngine engine(w.dag, procs, 12);
+      ParVerifyResult vr = par_verify(engine, solve_par_owner_computes(engine));
+      if (!vr.ok()) {
+        std::cerr << "schedule failed: " << vr.error << '\n';
+        return 1;
+      }
+      if (procs == 1) serial_makespan = vr.makespan;
+      table.add_row(
+          {std::to_string(procs), std::to_string(vr.transfers()),
+           std::to_string(vr.makespan),
+           format_double(static_cast<double>(serial_makespan) /
+                             static_cast<double>(vr.makespan),
+                         2),
+           format_double(static_cast<double>(vr.transfers()) /
+                             static_cast<double>(w.dag.node_count()),
+                         2)});
+    }
+    table.add_note("parallelism buys makespan at the price of extra");
+    table.add_note("publish/fetch traffic across processor boundaries");
+    std::cout << table << '\n';
+  }
+  return 0;
+}

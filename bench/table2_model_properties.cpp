@@ -1,0 +1,87 @@
+// Reproduces Table 2: basic properties of the four models. The analytic
+// columns (complexity class) are stated; every measurable column is
+// measured: cost ranges on the tradeoff chain, optimal pebbling lengths
+// against the Lemma 1 bound, and greedy-vs-optimum ratios on the Theorem 4
+// constructions.
+#include <iostream>
+
+#include "src/analysis/greedy_vs_opt.hpp"
+#include "src/analysis/length_audit.hpp"
+#include "src/analysis/tradeoff.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/chain_solver.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace rbpeb;
+  const std::size_t d = 6, len = 48;
+
+  Table table("Table 2: properties of the models (measured on the Fig. 3 "
+              "chain, d=6, n=48)");
+  table.set_header({"model", "min cost seen", "max cost seen",
+                    "cost bound (2Δ+1+eps)n", "max trace len", "Δn len bound",
+                    "complexity", "greedy/opt (grid)"});
+
+  for (const Model& model : all_models()) {
+    auto series = chain_tradeoff_sweep(d, len, model);
+    Rational min_cost = series.front().measured;
+    Rational max_cost = series.front().measured;
+    for (const auto& pt : series) {
+      if (pt.measured < min_cost) min_cost = pt.measured;
+      if (max_cost < pt.measured) max_cost = pt.measured;
+    }
+
+    // Length audit: longest solver trace across the sweep vs Lemma 1.
+    std::size_t max_len = 0;
+    std::size_t len_bound = 0;
+    {
+      TradeoffChainSpec spec{.d = d, .length = len, .h2c_red_limit = {}};
+      if (model.kind() != ModelKind::Oneshot) spec.h2c_red_limit = d + 2;
+      TradeoffChain chain = make_tradeoff_chain(spec);
+      Engine engine(chain.instance.dag, model, d + 2);
+      Trace trace = solve_chain(engine, chain);
+      max_len = trace.size();
+      len_bound = optimal_length_upper_bound(chain.instance.dag, model);
+      Rational bound = universal_cost_upper_bound(chain.instance.dag, model);
+      const char* complexity = nullptr;
+      switch (model.kind()) {
+        case ModelKind::Base: complexity = "PSPACE-complete [6]"; break;
+        case ModelKind::Oneshot: complexity = "NP-complete"; break;
+        case ModelKind::Nodel: complexity = "NP-complete [6]"; break;
+        case ModelKind::Compcost: complexity = "NP-complete"; break;
+      }
+
+      // Greedy/opt separation on the Theorem 4 grid (small instance; the
+      // full sweep lives in thm4_greedy_grid).
+      auto grid = grid_ratio_sweep({4}, 48, model);
+      double ratio = grid.front().ratio();
+
+      std::string len_bound_str =
+          model.kind() == ModelKind::Base ? "unbounded"
+                                          : std::to_string(len_bound);
+      table.add_row({model.name(), min_cost.str(), max_cost.str(),
+                     bound.str(), std::to_string(max_len), len_bound_str,
+                     complexity, format_double(ratio, 2)});
+    }
+  }
+  table.add_note("cost range measured over R in [d+2, 2d+2]; oneshot reaches 0,");
+  table.add_note("nodel floors at ~n stores, compcost at ~eps*n computes (Table 2 rows)");
+  std::cout << table << '\n';
+
+  // Per-model cost floors vs the paper's lower-bound column.
+  Table floors("Lower-bound column check (Fig. 3 chain at R = 2d+2)");
+  floors.set_header({"model", "measured opt(2d+2)", "paper lower bound"});
+  for (const Model& model : all_models()) {
+    auto series = chain_tradeoff_sweep(d, len, model);
+    TradeoffChainSpec spec{.d = d, .length = len, .h2c_red_limit = {}};
+    if (model.kind() != ModelKind::Oneshot) spec.h2c_red_limit = 2 * d + 2;
+    TradeoffChain chain = make_tradeoff_chain(spec);
+    Rational lb =
+        cost_lower_bound(chain.instance.dag, model, 2 * d + 2);
+    floors.add_row({model.name(), series.back().measured.str(), lb.str()});
+  }
+  std::cout << floors;
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Theorem 4, live: how badly greedy pebbling can lose.
+//
+//   $ ./greedy_pitfalls [ell] [k_common]
+//
+// Builds the misguidance grid of Figure 8, runs the Section 8 greedy and the
+// diagonal-sweep optimum, and prints both visit orders plus the cost ratio.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/reductions/greedy_grid.hpp"
+#include "src/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpeb;
+  const std::size_t ell = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const std::size_t kc = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64;
+
+  GreedyGrid grid = make_greedy_grid({.ell = ell, .k_common = kc});
+  std::cout << "Grid with ell = " << ell << ", k' = " << kc << ": "
+            << grid.instance.dag.node_count() << " nodes, "
+            << grid.instance.group_count() << " input groups, R = "
+            << grid.instance.red_limit << "\n\n";
+
+  GreedyGridOutcome outcome = evaluate_greedy_grid(grid, Model::oneshot());
+
+  auto describe = [&](std::size_t group) -> std::string {
+    if (group == grid.s0_group) return "S0";
+    for (std::size_t i = 1; i <= ell; ++i) {
+      for (std::size_t j = 1; i + j <= ell + 1; ++j) {
+        if (grid.group_index(i, j) == group) {
+          return "(" + std::to_string(i) + "," + std::to_string(j) + ")";
+        }
+      }
+    }
+    return "?";
+  };
+
+  std::cout << "Greedy visit order (columns right-to-left, as the paper"
+               " predicts):\n  ";
+  for (std::size_t g : outcome.greedy_order) std::cout << describe(g) << ' ';
+  std::cout << "\n\nOptimal visit order (diagonal sweeps):\n  ";
+  for (std::size_t g : grid.optimal_order) std::cout << describe(g) << ' ';
+  std::cout << "\n\n";
+
+  Table table("Greedy vs optimal on the misguidance grid (oneshot)");
+  table.set_header({"strategy", "cost", "ratio"});
+  table.add_row({"greedy (most red inputs)", outcome.greedy_cost.str(),
+                 format_double(outcome.greedy_cost.to_double() /
+                                   outcome.optimal_cost.to_double(),
+                               2) + "x"});
+  table.add_row({"optimal (diagonal sweep)", outcome.optimal_cost.str(), "1x"});
+  table.add_note(outcome.greedy_followed_expected
+                     ? "greedy followed exactly the misguided path of Figure 8"
+                     : "NOTE: greedy deviated from the predicted path");
+  std::cout << table;
+  std::cout << "\nThe greedy reloads each diagonal's " << kc
+            << " common nodes on every revisit; the optimum computes them\n"
+               "once per diagonal and deletes them for free. Growing ell makes"
+               " the ratio diverge (Theorem 4).\n";
+  return 0;
+}

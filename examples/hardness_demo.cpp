@@ -1,0 +1,60 @@
+// Theorem 2, live: solving Hamiltonian Path by pebbling.
+//
+//   $ ./hardness_demo [N] [seed]
+//
+// Generates random graphs, reduces each to a red-blue pebbling instance
+// (Figure 5), finds the optimal pebbling, and reads the answer to the
+// Hamiltonian-Path question off the pebbling cost — then double-checks
+// against a direct Held–Karp oracle.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/graph/generators.hpp"
+#include "src/reductions/hampath.hpp"
+#include "src/reductions/hampath_solver.hpp"
+#include "src/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpeb;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 7;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  Table table("Hamiltonian Path via red-blue pebbling (oneshot, R = N)");
+  table.set_header({"graph", "edges", "pebbling cost", "threshold C",
+                    "pebbling says", "oracle says", "agree"});
+
+  auto run = [&](const std::string& name, const Graph& g) {
+    HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+    HamPathPebbling opt = solve_hampath_pebbling(red);
+    Rational threshold = hampath_threshold(red);
+    bool pebbling_says = opt.cost <= threshold;
+    bool oracle_says = has_hamiltonian_path(g);
+    table.add_row({name, std::to_string(g.edge_count()), opt.cost.str(),
+                   threshold.str(), pebbling_says ? "HAM PATH" : "no",
+                   oracle_says ? "HAM PATH" : "no",
+                   pebbling_says == oracle_says ? "yes" : "MISMATCH"});
+    if (pebbling_says) {
+      std::cout << "  " << name << ": recovered path:";
+      for (Vertex v : opt.perm) std::cout << ' ' << v;
+      std::cout << '\n';
+    }
+  };
+
+  std::cout << "Recovered Hamiltonian paths (read off the optimal pebbling's"
+               " group visit order):\n";
+  run("path", path_graph(n));
+  run("cycle", cycle_graph(n));
+  run("star", star_graph(n));
+  run("two-cliques", two_cliques(n / 2, n - n / 2));
+  for (int i = 0; i < 3; ++i) {
+    run("random-" + std::to_string(i), random_graph(n, 0.3, rng));
+  }
+  run("planted", random_graph_with_ham_path(n, 0.1, rng));
+
+  std::cout << '\n' << table;
+  std::cout << "\nEvery pebbling verdict is obtained purely from the cost of\n"
+               "an audited pebbling of the Figure 5 DAG; the oracle column is\n"
+               "an independent Held-Karp search on the source graph.\n";
+  return 0;
+}

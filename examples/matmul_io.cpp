@@ -1,0 +1,60 @@
+// I/O cost of dense matrix multiplication under a shrinking cache.
+//
+//   $ ./matmul_io [n]
+//
+// Builds the n×n×n multiplication DAG (the workload Hong & Kung introduced
+// red-blue pebbling for) and measures the greedy pebbling cost as the number
+// of red pebbles (cache slots) shrinks — the time-memory tradeoff that
+// motivates the whole theory.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/greedy_vs_opt.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/support/table.hpp"
+#include "src/workloads/matmul.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpeb;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+
+  MatMulDag mm = make_matmul_dag(n);
+  std::cout << "C = A·B with n = " << n << ": " << mm.dag.node_count()
+            << " DAG nodes, " << mm.dag.edge_count() << " edges, Δ = "
+            << mm.dag.max_indegree() << "\n\n";
+
+  Table table("Greedy I/O cost vs cache size (oneshot model)");
+  table.set_header({"R (cache slots)", "transfers", "per output",
+                    "vs R=3 baseline"});
+  double baseline = -1.0;
+  for (std::size_t r : {std::size_t{3}, n, 2 * n, 4 * n, n * n}) {
+    if (r < min_red_pebbles(mm.dag)) continue;
+    Engine engine(mm.dag, Model::oneshot(), r);
+    VerifyResult vr = verify_or_throw(engine, solve_greedy(engine));
+    double cost = vr.total.to_double();
+    if (baseline < 0) baseline = cost;
+    table.add_row({std::to_string(r), vr.total.str(),
+                   format_double(cost / static_cast<double>(n * n), 2),
+                   baseline > 0
+                       ? format_double(100.0 * cost / baseline, 1) + "%"
+                       : "n/a"});
+  }
+  table.add_note("transfers fall steeply as the cache grows — the classical");
+  table.add_note("O(n^3/sqrt(R)) I/O behaviour of blocked matrix multiply");
+  std::cout << table;
+
+  // Eviction-policy ablation at a mid-size cache.
+  Table ablation("Eviction policy ablation (R = 2n)");
+  ablation.set_header({"policy", "transfers"});
+  for (EvictionRule rule : {EvictionRule::FewestRemainingUses,
+                            EvictionRule::Lru, EvictionRule::Random}) {
+    GreedyOptions options;
+    options.eviction = rule;
+    Rational cost = greedy_cost_on(mm.dag, Model::oneshot(), 2 * n, options);
+    ablation.add_row({to_string(rule), cost.str()});
+  }
+  std::cout << '\n' << ablation;
+  return 0;
+}

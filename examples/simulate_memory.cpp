@@ -1,0 +1,70 @@
+// Execute a pebbling schedule on real data through the two-level memory
+// simulator.
+//
+//   $ ./simulate_memory [width] [steps] [R]
+//
+// Builds a 1D stencil computation, lets the greedy solver produce a
+// schedule, executes it with actual values flowing through simulated
+// fast/slow memory, and shows that the results match an unbounded-memory
+// reference evaluation while never exceeding the fast-memory budget.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/exec/executor.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/support/table.hpp"
+#include "src/workloads/stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbpeb;
+  const std::size_t width = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const std::size_t r = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+
+  StencilDag st = make_stencil1d_dag(width, steps);
+  std::cout << "1D stencil, width " << width << " x " << steps
+            << " steps: " << st.dag.node_count() << " nodes\n\n";
+
+  Engine engine(st.dag, Model::oneshot(), r);
+  Trace schedule = solve_greedy(engine);
+  VerifyResult audit = verify_or_throw(engine, schedule);
+
+  // Semantics: boundary-damped averaging, values are actual doubles.
+  NodeOp op = [&](NodeId v, std::span<const double> inputs) {
+    if (inputs.empty()) return static_cast<double>(v % 7) + 1.0;
+    double sum = 0.0;
+    for (double x : inputs) sum += x;
+    return sum / static_cast<double>(inputs.size());
+  };
+
+  ExecutionResult exec = execute_trace(engine, schedule, op);
+  auto reference = reference_evaluation(st.dag, op);
+
+  std::size_t checked = 0, matched = 0;
+  double checksum = 0.0;
+  for (NodeId sink : st.final_) {
+    ++checked;
+    if (exec.values[sink].has_value() && *exec.values[sink] == reference[sink]) {
+      ++matched;
+      checksum += *exec.values[sink];
+    }
+  }
+
+  Table table("Schedule execution summary");
+  table.set_header({"metric", "value"});
+  table.add_row({"schedule moves", std::to_string(schedule.size())});
+  table.add_row({"slow-memory transfers", audit.total.str()});
+  table.add_row({"peak fast slots used",
+                 std::to_string(exec.peak_fast_slots) + " / " +
+                     std::to_string(r)});
+  table.add_row({"peak slow slots used", std::to_string(exec.peak_slow_slots)});
+  table.add_row({"outputs matching reference",
+                 std::to_string(matched) + " / " + std::to_string(checked)});
+  table.add_row({"output checksum", format_double(checksum, 6)});
+  std::cout << table;
+  std::cout << "\nThe executor refuses schedules whose data flow disagrees "
+               "with the pebbling rules,\nso a passing run means the audited "
+               "I/O cost belongs to a genuinely executable program.\n";
+  return matched == checked ? 0 : 1;
+}

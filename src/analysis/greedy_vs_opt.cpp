@@ -1,0 +1,38 @@
+#include "src/analysis/greedy_vs_opt.hpp"
+
+#include "src/pebble/verifier.hpp"
+
+namespace rbpeb {
+
+std::vector<GridRatioPoint> grid_ratio_sweep(const std::vector<std::size_t>& ells,
+                                             std::size_t k_common,
+                                             const Model& model) {
+  std::vector<GridRatioPoint> series;
+  for (std::size_t ell : ells) {
+    GreedyGridSpec spec;
+    spec.ell = ell;
+    spec.k_common = k_common;
+    // Models that allow recomputation need the Appendix A.4 protection,
+    // otherwise the greedy rederives the commons for free.
+    spec.protect_commons = model.kind() != ModelKind::Oneshot;
+    GreedyGrid grid = make_greedy_grid(spec);
+    GreedyGridOutcome outcome = evaluate_greedy_grid(grid, model);
+    GridRatioPoint point;
+    point.ell = ell;
+    point.nodes = grid.instance.dag.node_count();
+    point.greedy_cost = outcome.greedy_cost;
+    point.optimal_cost = outcome.optimal_cost;
+    point.followed_expected_path = outcome.greedy_followed_expected;
+    series.push_back(point);
+  }
+  return series;
+}
+
+Rational greedy_cost_on(const Dag& dag, const Model& model,
+                        std::size_t red_limit, const GreedyOptions& options) {
+  Engine engine(dag, model, red_limit);
+  Trace trace = solve_greedy(engine, options);
+  return verify_or_throw(engine, trace).total;
+}
+
+}  // namespace rbpeb

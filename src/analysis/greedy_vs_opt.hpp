@@ -1,0 +1,36 @@
+// Greedy-vs-optimum experiments (Theorem 4 and workload ablations).
+#pragma once
+
+#include <vector>
+
+#include "src/pebble/engine.hpp"
+#include "src/reductions/greedy_grid.hpp"
+#include "src/solvers/greedy.hpp"
+
+namespace rbpeb {
+
+struct GridRatioPoint {
+  std::size_t ell = 0;
+  std::size_t nodes = 0;
+  Rational greedy_cost;
+  Rational optimal_cost;
+  bool followed_expected_path = false;
+  double ratio() const {
+    double opt = optimal_cost.to_double();
+    return opt == 0.0 ? 0.0 : greedy_cost.to_double() / opt;
+  }
+};
+
+/// Run the Theorem 4 experiment for each ℓ, with k' scaled as k' = base_k
+/// per diagonal. The ratio column should grow ~ linearly in the diagonal
+/// count (the paper's Θ̃(n) separation).
+std::vector<GridRatioPoint> grid_ratio_sweep(const std::vector<std::size_t>& ells,
+                                             std::size_t k_common,
+                                             const Model& model);
+
+/// Cost of a node-level greedy run (Section 8 rules) on an arbitrary DAG,
+/// verified. Used by the workload benches and the eviction-policy ablation.
+Rational greedy_cost_on(const Dag& dag, const Model& model,
+                        std::size_t red_limit, const GreedyOptions& options);
+
+}  // namespace rbpeb

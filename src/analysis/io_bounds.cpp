@@ -1,0 +1,25 @@
+#include "src/analysis/io_bounds.hpp"
+
+#include <cmath>
+
+namespace rbpeb {
+
+double matmul_io_lower_bound(std::size_t n, std::size_t r) {
+  double cube = static_cast<double>(n) * n * n;
+  return cube / (8.0 * std::sqrt(static_cast<double>(r)));
+}
+
+double fft_io_lower_bound(std::size_t n, std::size_t r) {
+  if (n < 2 || r < 2) return 0.0;
+  double logn = std::log2(static_cast<double>(n));
+  double logr = std::log2(static_cast<double>(r));
+  return 0.25 * static_cast<double>(n) * logn / logr;
+}
+
+double stencil1d_io_lower_bound(std::size_t width, std::size_t steps,
+                                std::size_t r) {
+  double area = static_cast<double>(width) * static_cast<double>(steps);
+  return 0.25 * area / static_cast<double>(r);
+}
+
+}  // namespace rbpeb

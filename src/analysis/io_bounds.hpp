@@ -1,0 +1,28 @@
+// Classical I/O lower bound reference curves (Hong & Kung [12], the paper
+// that introduced red-blue pebbling), used by the workload benches to show
+// that measured pebbling costs track the known asymptotic shapes.
+//
+// These are *reference curves*: conservative leading constants with the
+// additive boundary terms omitted (rbpeb's default convention computes
+// inputs for free, which weakens the certified constants by O(inputs); at
+// bench sizes the subtracted forms collapse to zero and carry no signal).
+#pragma once
+
+#include <cstddef>
+
+namespace rbpeb {
+
+/// Hong–Kung: n×n×n matrix multiplication moves Ω(n³ / √R) values.
+/// Reference constant 1/8 (certified constant is 1/(2√2) minus boundary).
+double matmul_io_lower_bound(std::size_t n, std::size_t r);
+
+/// Hong–Kung: an n-point FFT needs Ω(n·log n / log R) transfers.
+/// Reference constant 1/4.
+double fft_io_lower_bound(std::size_t n, std::size_t r);
+
+/// Iterated stencils of width w over t steps need Ω(w·t / R) transfers once
+/// w >> R. Reference constant 1/4.
+double stencil1d_io_lower_bound(std::size_t width, std::size_t steps,
+                                std::size_t r);
+
+}  // namespace rbpeb

@@ -1,0 +1,15 @@
+#include "src/analysis/length_audit.hpp"
+
+#include "src/pebble/bounds.hpp"
+
+namespace rbpeb {
+
+LengthAudit audit_length(const Engine& engine, const Trace& trace) {
+  LengthAudit audit;
+  audit.trace_length = trace.size();
+  audit.bound = optimal_length_upper_bound(engine.dag(), engine.model());
+  audit.within_bound = audit.trace_length <= audit.bound;
+  return audit;
+}
+
+}  // namespace rbpeb

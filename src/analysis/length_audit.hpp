@@ -1,0 +1,18 @@
+// Lemma 1 audits: optimal pebblings have O(Δ·n) moves outside base.
+#pragma once
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+struct LengthAudit {
+  std::size_t trace_length = 0;
+  std::size_t bound = 0;       ///< optimal_length_upper_bound for the model.
+  bool within_bound = false;
+};
+
+/// Check a trace against the Lemma 1 length bound.
+LengthAudit audit_length(const Engine& engine, const Trace& trace);
+
+}  // namespace rbpeb

@@ -1,0 +1,30 @@
+#include "src/analysis/tradeoff.hpp"
+
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/chain_solver.hpp"
+
+namespace rbpeb {
+
+std::vector<TradeoffPoint> chain_tradeoff_sweep(std::size_t d,
+                                                std::size_t length,
+                                                const Model& model) {
+  std::vector<TradeoffPoint> series;
+  const bool oneshot = model.kind() == ModelKind::Oneshot;
+  for (std::size_t r = d + 2; r <= 2 * d + 2; ++r) {
+    TradeoffChainSpec spec;
+    spec.d = d;
+    spec.length = length;
+    if (!oneshot) spec.h2c_red_limit = r;
+    TradeoffChain chain = make_tradeoff_chain(spec);
+    Engine engine(chain.instance.dag, model, r);
+    Trace trace = solve_chain(engine, chain);
+    TradeoffPoint point;
+    point.red_limit = r;
+    point.measured = verify_or_throw(engine, trace).total;
+    point.formula = chain_oneshot_formula(d, length, r);
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,25 @@
+// Tradeoff sweeps: opt(R) series for the Figure 3/4 experiment.
+#pragma once
+
+#include <vector>
+
+#include "src/gadgets/tradeoff_chain.hpp"
+#include "src/pebble/model.hpp"
+
+namespace rbpeb {
+
+struct TradeoffPoint {
+  std::size_t red_limit = 0;
+  Rational measured;            ///< Verified cost of the chain strategy.
+  std::int64_t formula = 0;     ///< Paper's asymptotic oneshot value.
+};
+
+/// Measure the chain strategy's cost for every R in [d+2, 2d+2]. For models
+/// other than oneshot, H2C gadgets (sized per R) are attached as required by
+/// Appendix A.1; the DAG then differs across R only in gadget size, which
+/// contributes O(d) cost.
+std::vector<TradeoffPoint> chain_tradeoff_sweep(std::size_t d,
+                                                std::size_t length,
+                                                const Model& model);
+
+}  // namespace rbpeb

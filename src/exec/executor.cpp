@@ -1,0 +1,98 @@
+#include "src/exec/executor.hpp"
+
+#include <algorithm>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+NodeOp default_node_op() {
+  return [](NodeId v, std::span<const double> inputs) {
+    if (inputs.empty()) return static_cast<double>(v) + 1.0;
+    double sum = 0.0;
+    for (double x : inputs) sum += x;
+    return sum;
+  };
+}
+
+ExecutionResult execute_trace(const Engine& engine, const Trace& trace,
+                              const NodeOp& op) {
+  const Dag& dag = engine.dag();
+  ExecutionResult result;
+  result.values.assign(dag.node_count(), std::nullopt);
+
+  std::unordered_map<NodeId, double> fast, slow;
+  // Under the Hong–Kung convention the inputs are pre-loaded in slow memory.
+  if (engine.convention().sources_start_blue) {
+    for (NodeId s : dag.sources()) {
+      double value = op(s, {});
+      slow[s] = value;
+      result.values[s] = value;
+    }
+  }
+  std::vector<double> inputs;
+  for (const Move& move : trace) {
+    const NodeId v = move.node;
+    switch (move.type) {
+      case MoveType::Load: {
+        auto it = slow.find(v);
+        RBPEB_ENSURE(it != slow.end(),
+                     "schedule loads a value that is not in slow memory");
+        fast[v] = it->second;
+        slow.erase(it);
+        ++result.loads;
+        break;
+      }
+      case MoveType::Store: {
+        auto it = fast.find(v);
+        RBPEB_ENSURE(it != fast.end(),
+                     "schedule stores a value that is not in fast memory");
+        slow[v] = it->second;
+        fast.erase(it);
+        ++result.stores;
+        break;
+      }
+      case MoveType::Compute: {
+        inputs.clear();
+        for (NodeId u : dag.predecessors(v)) {
+          auto it = fast.find(u);
+          RBPEB_ENSURE(it != fast.end(),
+                       "schedule computes with an input missing from fast "
+                       "memory");
+          inputs.push_back(it->second);
+        }
+        // Recomputation replaces a blue copy (the value is re-derived).
+        slow.erase(v);
+        double value = op(v, inputs);
+        fast[v] = value;
+        if (result.values[v].has_value()) {
+          RBPEB_ENSURE(*result.values[v] == value,
+                       "recomputation produced a different value");
+        }
+        result.values[v] = value;
+        break;
+      }
+      case MoveType::Delete:
+        RBPEB_ENSURE(fast.erase(v) + slow.erase(v) == 1,
+                     "schedule deletes a value that is not resident");
+        break;
+    }
+    result.peak_fast_slots = std::max(result.peak_fast_slots, fast.size());
+    result.peak_slow_slots = std::max(result.peak_slow_slots, slow.size());
+  }
+  return result;
+}
+
+std::vector<double> reference_evaluation(const Dag& dag, const NodeOp& op) {
+  std::vector<double> values(dag.node_count(), 0.0);
+  std::vector<double> inputs;
+  for (NodeId v : topological_order(dag)) {
+    inputs.clear();
+    for (NodeId u : dag.predecessors(v)) inputs.push_back(values[u]);
+    values[v] = op(v, inputs);
+  }
+  return values;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,51 @@
+// Execute a pebbling trace as an actual computation.
+//
+// A pebbling is a *schedule*: computes evaluate a node from values resident
+// in fast memory, stores/loads move values between fast and slow memory,
+// deletes discard them. The executor runs a trace over real data with a
+// user-supplied node semantics and checks, at the data level, that every
+// value is where the schedule claims it is — an end-to-end validation that
+// rbpeb's legality rules really do describe executable programs, and a
+// little two-level memory simulator for the examples.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// Node semantics: value of a node from its input values (in predecessor
+/// order). Sources receive an empty span.
+using NodeOp = std::function<double(NodeId, std::span<const double>)>;
+
+/// Default semantics: sources get value node_id + 1; interior nodes sum
+/// their inputs. Cheap, deterministic, and sensitive to wrong/missing data.
+NodeOp default_node_op();
+
+/// Outcome of executing a schedule.
+struct ExecutionResult {
+  /// Value of every node that was ever computed.
+  std::vector<std::optional<double>> values;
+  std::size_t peak_fast_slots = 0;   ///< Max values simultaneously in fast memory.
+  std::size_t peak_slow_slots = 0;   ///< Max values simultaneously in slow memory.
+  std::int64_t loads = 0;            ///< Slow-to-fast copies performed.
+  std::int64_t stores = 0;           ///< Fast-to-slow copies performed.
+};
+
+/// Execute `trace` (which must verify as ok() under `engine`). Throws
+/// InvariantError if the data flow ever disagrees with the schedule — e.g. a
+/// compute finds an input value missing from fast memory.
+ExecutionResult execute_trace(const Engine& engine, const Trace& trace,
+                              const NodeOp& op = default_node_op());
+
+/// Reference evaluation: every node's value by straight topological
+/// evaluation with unbounded memory. Executor results must match this.
+std::vector<double> reference_evaluation(const Dag& dag,
+                                         const NodeOp& op = default_node_op());
+
+}  // namespace rbpeb

@@ -1,0 +1,40 @@
+#include "src/gadgets/cd_gadget.hpp"
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+CDAttachment attach_cd_gadget(DagBuilder& builder,
+                              const std::vector<NodeId>& members,
+                              const std::vector<NodeId>& real_targets,
+                              std::size_t layers) {
+  RBPEB_REQUIRE(!members.empty(), "CD gadget needs a non-empty group");
+  RBPEB_REQUIRE(layers >= 1, "CD gadget needs at least one layer");
+
+  CDAttachment result;
+  const std::size_t g = members.size();
+  result.layer_nodes.reserve(layers * g);
+  NodeId prev = kInvalidNode;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t i = 0; i < g; ++i) {
+      NodeId w = builder.add_node("cd_" + std::to_string(layer) + "_" +
+                                  std::to_string(i));
+      // Each layer node consumes one group member and the previous layer
+      // node, so the whole group is swept once per layer with indegree <= 2.
+      builder.add_edge(members[i], w);
+      if (prev != kInvalidNode) builder.add_edge(prev, w);
+      result.layer_nodes.push_back(w);
+      prev = w;
+    }
+  }
+  result.last_node = prev;
+  for (NodeId t : real_targets) builder.add_edge(prev, t);
+
+  result.group.members = members;
+  result.group.targets = result.layer_nodes;
+  result.group.targets.insert(result.group.targets.end(), real_targets.begin(),
+                              real_targets.end());
+  return result;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,40 @@
+// The constant-indegree (CD) gadget of Figure 1 / Appendix B.
+//
+// Replaces the "target node of an input group" pattern — whose indegree is
+// the group size — by h layers of indegree-2 nodes that sweep across the
+// group. Pebbling the layers is free (in oneshot/base) once all group
+// members are simultaneously red, but costs at least ~2h if the pebbler
+// tries to get by with fewer red pebbles on the group, which for large h
+// forces every reasonable pebbling to place all R−1 pebbles on the group —
+// the same effect as the original high-indegree target. The number of
+// available red pebbles must be raised by 1 (members + 2 working pebbles).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+/// Nodes created by attach_cd_gadget.
+struct CDAttachment {
+  /// Layer nodes in computation order (h · |members| of them).
+  std::vector<NodeId> layer_nodes;
+  /// The final layer node, input of every real target.
+  NodeId last_node = kInvalidNode;
+  /// The input group to register: members = the original group, targets =
+  /// layer nodes in order followed by `real_targets`.
+  InputGroup group;
+};
+
+/// Build h layers of indegree-2 nodes over `members` inside `builder` and
+/// wire `real_targets` to consume the last layer node. `real_targets` must
+/// currently have no other predecessors from this group (the gadget replaces
+/// the direct group→target edges).
+CDAttachment attach_cd_gadget(DagBuilder& builder,
+                              const std::vector<NodeId>& members,
+                              const std::vector<NodeId>& real_targets,
+                              std::size_t layers);
+
+}  // namespace rbpeb

@@ -1,0 +1,65 @@
+#include "src/gadgets/h2c.hpp"
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+H2CAttachment attach_h2c(DagBuilder& builder,
+                         const std::vector<NodeId>& protect,
+                         const H2CSpec& spec) {
+  RBPEB_REQUIRE(spec.red_limit >= 4,
+                "H2C needs R >= 4 (three starters plus the protected node)");
+  RBPEB_REQUIRE(!protect.empty(), "nothing to protect");
+  const std::size_t b_size = spec.red_limit - 1;
+
+  H2CAttachment result;
+  std::vector<NodeId> shared_b;
+  if (spec.shared_b) {
+    shared_b.reserve(b_size);
+    for (std::size_t i = 0; i < b_size; ++i) {
+      shared_b.push_back(builder.add_node("h2c_b" + std::to_string(i)));
+    }
+  }
+
+  // With a shared B, all B-groups are visited consecutively first so that B
+  // stays red across them; with private Bs the two groups of each node are
+  // interleaved (B dies immediately after its starters are computed).
+  std::vector<InputGroup> b_groups, s_groups;
+  for (std::size_t i = 0; i < protect.size(); ++i) {
+    NodeId v = protect[i];
+    std::vector<NodeId> b = shared_b;
+    if (!spec.shared_b) {
+      b.reserve(b_size);
+      for (std::size_t j = 0; j < b_size; ++j) {
+        b.push_back(builder.add_node("h2c_b" + std::to_string(i) + "_" +
+                                     std::to_string(j)));
+      }
+    }
+    std::array<NodeId, 3> u{};
+    for (std::size_t k = 0; k < 3; ++k) {
+      u[k] = builder.add_node("h2c_u" + std::to_string(i) + "_" +
+                              std::to_string(k));
+      builder.add_edges_from(b, u[k]);
+    }
+    builder.add_edges_from({u[0], u[1], u[2]}, v);
+
+    InputGroup b_group{b, {u[0], u[1], u[2]}};
+    InputGroup s_group{{u[0], u[1], u[2]}, {v}};
+    if (spec.shared_b) {
+      b_groups.push_back(std::move(b_group));
+      s_groups.push_back(std::move(s_group));
+    } else {
+      result.groups.push_back(std::move(b_group));
+      result.groups.push_back(std::move(s_group));
+    }
+    result.b_nodes.push_back(std::move(b));
+    result.starters.push_back(u);
+  }
+  if (spec.shared_b) {
+    for (auto& g : b_groups) result.groups.push_back(std::move(g));
+    for (auto& g : s_groups) result.groups.push_back(std::move(g));
+  }
+  return result;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,54 @@
+// The hard-to-compute (H2C) gadget of Figure 2.
+//
+// Placed in front of a node v, the gadget makes v's (re)computation cost at
+// least 4 transfer operations, because v's three starter nodes each require
+// all R red pebbles to compute and can therefore never be red simultaneously
+// without storing/loading two of them. The paper uses it to (i) model
+// computations whose inputs carry an inherent loading cost and (ii) forbid
+// free recomputation of designated nodes in the base/nodel/compcost models.
+//
+// Simplification vs. the paper's figure: we omit the auxiliary node s above
+// group B (its role is node economy, not the cost argument); group B members
+// are DAG sources. Every property the paper uses — "computing any starter
+// requires all R red pebbles" and "re-deriving v costs ≥ 4 > 2 transfers" —
+// is preserved. Documented in DESIGN.md.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+/// Parameters of an H2C attachment.
+struct H2CSpec {
+  /// The red-pebble budget R the gadget is sized for (group B has R−1 nodes).
+  std::size_t red_limit = 0;
+  /// Share one group B across all protected nodes (Section 3) or instantiate
+  /// a private B per node (Appendix A.2 uses this for exact accounting).
+  bool shared_b = true;
+};
+
+/// Nodes and groups created by attach_h2c.
+struct H2CAttachment {
+  /// Group-B node ids; one vector per protected node (all identical when
+  /// shared_b).
+  std::vector<std::vector<NodeId>> b_nodes;
+  /// The three starters u1, u2, u3 of each protected node.
+  std::vector<std::array<NodeId, 3>> starters;
+  /// Gadget input groups (two per protected node: the B-group computing the
+  /// starters, then the starter-group computing the protected node), in the
+  /// order they should be visited.
+  std::vector<InputGroup> groups;
+};
+
+/// Add an H2C gadget in front of each node in `protect`. The protected nodes
+/// must currently have no predecessors (they stop being DAG sources: each
+/// gains its three starters as inputs).
+H2CAttachment attach_h2c(DagBuilder& builder,
+                         const std::vector<NodeId>& protect,
+                         const H2CSpec& spec);
+
+}  // namespace rbpeb

@@ -1,0 +1,74 @@
+#include "src/gadgets/tradeoff_chain.hpp"
+
+#include "src/gadgets/h2c.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+TradeoffChain make_tradeoff_chain(const TradeoffChainSpec& spec) {
+  RBPEB_REQUIRE(spec.d >= 1, "control groups need at least one node");
+  RBPEB_REQUIRE(spec.length >= 1, "chain needs at least one node");
+
+  TradeoffChain chain;
+  chain.spec = spec;
+  DagBuilder builder;
+
+  for (std::size_t i = 0; i < spec.d; ++i) {
+    chain.group_a.push_back(builder.add_node("a" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < spec.d; ++i) {
+    chain.group_b.push_back(builder.add_node("b" + std::to_string(i)));
+  }
+
+  H2CAttachment h2c;
+  if (spec.h2c_red_limit) {
+    std::vector<NodeId> protect = chain.group_a;
+    protect.insert(protect.end(), chain.group_b.begin(), chain.group_b.end());
+    h2c = attach_h2c(builder, protect, H2CSpec{*spec.h2c_red_limit, true});
+  }
+
+  for (std::size_t j = 0; j < spec.length; ++j) {
+    NodeId c = builder.add_node("c" + std::to_string(j));
+    const std::vector<NodeId>& control =
+        (j % 2 == 0) ? chain.group_a : chain.group_b;
+    for (NodeId g : control) builder.add_edge(g, c);
+    if (j > 0) builder.add_edge(chain.chain.back(), c);
+    chain.chain.push_back(c);
+  }
+
+  chain.instance.dag = builder.build();
+  // Without gadgets the minimum budget is d+2 (Δ = d+1); with H2C the
+  // gadget is sized for one specific R, which the engine must then use.
+  chain.instance.red_limit =
+      spec.h2c_red_limit ? *spec.h2c_red_limit : spec.d + 2;
+
+  // Gadget groups first (they must run before the control nodes are usable),
+  // then one group per chain node.
+  for (InputGroup& g : h2c.groups) {
+    chain.instance.groups.push_back(std::move(g));
+  }
+  for (std::size_t j = 0; j < spec.length; ++j) {
+    InputGroup group;
+    group.members = (j % 2 == 0) ? chain.group_a : chain.group_b;
+    if (j > 0) group.members.push_back(chain.chain[j - 1]);
+    group.targets = {chain.chain[j]};
+    chain.instance.groups.push_back(std::move(group));
+  }
+  chain.default_order.resize(chain.instance.groups.size());
+  for (std::size_t i = 0; i < chain.default_order.size(); ++i) {
+    chain.default_order[i] = i;
+  }
+  return chain;
+}
+
+std::int64_t chain_oneshot_formula(std::size_t d, std::size_t length,
+                                   std::size_t red_limit) {
+  RBPEB_REQUIRE(red_limit >= d + 2, "R must be at least d+2 for the chain");
+  if (red_limit >= 2 * d + 2) return 0;
+  std::int64_t i = static_cast<std::int64_t>(red_limit - (d + 2));
+  return 2 * (static_cast<std::int64_t>(d) - i) *
+         static_cast<std::int64_t>(length);
+}
+
+}  // namespace rbpeb

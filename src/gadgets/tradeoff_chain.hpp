@@ -1,0 +1,47 @@
+// The time-memory tradeoff DAG of Figure 3 (Section 5).
+//
+// Two control groups of d source nodes each, and a chain whose node j is
+// enabled by chain node j−1 plus one of the control groups, alternating.
+// In the oneshot model its optimal cost with R = d+2+i red pebbles is
+// 2(d−i)·len asymptotically, exhibiting the maximal possible drop of 2·len
+// per extra red pebble all the way from (2Δ−2)·len down to 0 (Figure 4).
+#pragma once
+
+#include <optional>
+
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+/// Options for building the chain.
+struct TradeoffChainSpec {
+  std::size_t d = 4;       ///< Control group size.
+  std::size_t length = 32; ///< Chain length (the paper's n).
+  /// Attach H2C gadgets in front of every control node, sized for this R.
+  /// Required for faithful tradeoff curves in the base/nodel/compcost models
+  /// (Appendix A.1), where control nodes would otherwise be recomputable.
+  std::optional<std::size_t> h2c_red_limit;
+};
+
+/// The constructed instance.
+struct TradeoffChain {
+  GroupDagInstance instance;
+  std::vector<NodeId> group_a;
+  std::vector<NodeId> group_b;
+  std::vector<NodeId> chain;
+  /// Visit order realizing the paper's optimal strategy (gadget groups, if
+  /// any, followed by the chain in order).
+  std::vector<std::size_t> default_order;
+  TradeoffChainSpec spec;
+};
+
+/// Build the Figure 3 DAG. Without H2C, instance.red_limit is the minimum
+/// d+2; callers sweep R by constructing Engines with larger budgets.
+TradeoffChain make_tradeoff_chain(const TradeoffChainSpec& spec);
+
+/// The paper's asymptotic optimum for the oneshot model:
+/// opt(d+2+i) = 2(d−i)·len for i in [0, d], and 0 for R >= 2d+2.
+std::int64_t chain_oneshot_formula(std::size_t d, std::size_t length,
+                                   std::size_t red_limit);
+
+}  // namespace rbpeb

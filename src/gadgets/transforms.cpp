@@ -1,0 +1,50 @@
+#include "src/gadgets/transforms.hpp"
+
+#include <numeric>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+SingleSourceDag add_universal_source(const Dag& dag) {
+  DagBuilder builder;
+  SingleSourceDag result;
+  result.remap.resize(dag.node_count());
+  std::iota(result.remap.begin(), result.remap.end(), 0);
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    builder.add_node(dag.label(static_cast<NodeId>(v)));
+  }
+  result.s0 = builder.add_node("s0");
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    for (NodeId u : dag.predecessors(static_cast<NodeId>(v))) {
+      builder.add_edge(u, static_cast<NodeId>(v));
+    }
+    builder.add_edge(result.s0, static_cast<NodeId>(v));
+  }
+  result.dag = builder.build();
+  return result;
+}
+
+Trace finish_sinks_blue(const Engine& engine, const Trace& trace) {
+  VerifyResult vr = verify(engine, trace);
+  RBPEB_REQUIRE(vr.ok(), "finish_sinks_blue requires a valid complete trace");
+  Trace out = trace;
+  for (NodeId sink : engine.dag().sinks()) {
+    if (vr.final_state.is_red(sink)) out.push_store(sink);
+  }
+  return out;
+}
+
+Trace lift_to_universal_source(const SingleSourceDag& transformed,
+                               const Trace& original) {
+  Trace out;
+  out.push_compute(transformed.s0);
+  for (const Move& move : original) {
+    out.push(Move{move.type, transformed.remap[move.node]});
+  }
+  return out;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,36 @@
+// DAG-level transformations from Section 3 and Appendix C.
+#pragma once
+
+#include "src/graph/dag.hpp"
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// Result of add_universal_source.
+struct SingleSourceDag {
+  Dag dag;
+  NodeId s0 = kInvalidNode;  ///< The new, unique source.
+  /// Mapping old node id -> new node id (s0 is appended last, so old ids are
+  /// preserved; kept explicit for clarity at call sites).
+  std::vector<NodeId> remap;
+};
+
+/// Section 3, "Small number of source nodes": add a single source s0 with an
+/// edge to every other node, making it required by every computation. A
+/// reasonable pebbling keeps s0 red throughout, so the transformed DAG with
+/// budget R+1 behaves like the original with budget R.
+SingleSourceDag add_universal_source(const Dag& dag);
+
+/// Appendix C: given a legal, complete trace, append the stores that turn
+/// every red sink blue, producing a pebbling valid under the alternative
+/// "all sinks must end blue" finishing rule. Cost grows by at most one per
+/// sink. The input trace must verify as ok() under `engine`.
+Trace finish_sinks_blue(const Engine& engine, const Trace& trace);
+
+/// Lift a trace of the original DAG to the universal-source DAG: compute s0
+/// first, keep it red forever, then replay the original moves.
+Trace lift_to_universal_source(const SingleSourceDag& transformed,
+                               const Trace& original);
+
+}  // namespace rbpeb

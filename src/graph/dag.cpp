@@ -1,0 +1,34 @@
+#include "src/graph/dag.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+const std::string Dag::kEmptyLabel;
+
+std::span<const NodeId> Dag::predecessors(NodeId v) const {
+  RBPEB_REQUIRE(contains(v), "node id out of range");
+  return {in_targets_.data() + in_offsets_[v],
+          in_targets_.data() + in_offsets_[v + 1]};
+}
+
+std::span<const NodeId> Dag::successors(NodeId v) const {
+  RBPEB_REQUIRE(contains(v), "node id out of range");
+  return {out_targets_.data() + out_offsets_[v],
+          out_targets_.data() + out_offsets_[v + 1]};
+}
+
+bool Dag::has_edge(NodeId u, NodeId v) const {
+  auto preds = predecessors(v);
+  return std::find(preds.begin(), preds.end(), u) != preds.end();
+}
+
+const std::string& Dag::label(NodeId v) const {
+  RBPEB_REQUIRE(contains(v), "node id out of range");
+  if (v < labels_.size()) return labels_[v];
+  return kEmptyLabel;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,89 @@
+// Immutable computation DAG.
+//
+// rbpeb models a computation as a directed acyclic graph: sources are inputs,
+// sinks are outputs, and the in-edges of a node are the values its
+// computation consumes (paper, Section 1). `Dag` stores both edge directions
+// in compressed sparse row form so that pebbling engines can iterate
+// predecessors and successors without allocation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rbpeb {
+
+/// Index of a node inside a Dag. Dense, starting at 0.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class DagBuilder;
+
+/// An immutable directed acyclic graph. Construct via DagBuilder, which
+/// verifies acyclicity; every Dag instance is guaranteed acyclic.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Number of nodes.
+  std::size_t node_count() const { return in_offsets_.empty() ? 0 : in_offsets_.size() - 1; }
+
+  /// Number of edges.
+  std::size_t edge_count() const { return in_targets_.size(); }
+
+  /// Direct predecessors (inputs) of `v`, in insertion order.
+  std::span<const NodeId> predecessors(NodeId v) const;
+
+  /// Direct successors (consumers) of `v`, in insertion order.
+  std::span<const NodeId> successors(NodeId v) const;
+
+  /// In-degree of `v`.
+  std::size_t indegree(NodeId v) const { return predecessors(v).size(); }
+
+  /// Out-degree of `v`.
+  std::size_t outdegree(NodeId v) const { return successors(v).size(); }
+
+  /// Maximum in-degree over all nodes (Δ in the paper). Zero for the empty DAG.
+  std::size_t max_indegree() const { return max_indegree_; }
+
+  /// True if `v` has no predecessors (an input of the computation).
+  bool is_source(NodeId v) const { return indegree(v) == 0; }
+
+  /// True if `v` has no successors (an output of the computation).
+  bool is_sink(NodeId v) const { return outdegree(v) == 0; }
+
+  /// All sources, ascending.
+  const std::vector<NodeId>& sources() const { return sources_; }
+
+  /// All sinks, ascending.
+  const std::vector<NodeId>& sinks() const { return sinks_; }
+
+  /// True if the edge (u, v) exists. O(indegree(v)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Human-readable label of `v` ("" when none was assigned).
+  const std::string& label(NodeId v) const;
+
+  /// True if `v` is a valid node id for this DAG.
+  bool contains(NodeId v) const { return v < node_count(); }
+
+ private:
+  friend class DagBuilder;
+
+  // CSR storage: predecessors of v are in_targets_[in_offsets_[v] ..
+  // in_offsets_[v+1]); symmetrically for successors.
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<NodeId> in_targets_;
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> sinks_;
+  std::vector<std::string> labels_;
+  std::size_t max_indegree_ = 0;
+  static const std::string kEmptyLabel;
+};
+
+}  // namespace rbpeb

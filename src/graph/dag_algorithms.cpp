@@ -1,0 +1,101 @@
+#include "src/graph/dag_algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::vector<NodeId> topological_order(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  std::vector<std::uint32_t> indeg(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(dag.indegree(static_cast<NodeId>(v)));
+  }
+  // Min-heap for a deterministic order independent of insertion history.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push(static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId w : dag.successors(v)) {
+      if (--indeg[w] == 0) ready.push(w);
+    }
+  }
+  RBPEB_ENSURE(order.size() == n, "Dag invariant violated: cycle found");
+  return order;
+}
+
+bool is_topological_order(const Dag& dag, const std::vector<NodeId>& order) {
+  const std::size_t n = dag.node_count();
+  if (order.size() != n) return false;
+  std::vector<std::size_t> position(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dag.contains(order[i]) || position[order[i]] != n) return false;
+    position[order[i]] = i;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (NodeId u : dag.predecessors(static_cast<NodeId>(v))) {
+      if (position[u] >= position[v]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Generic BFS over either edge direction.
+template <typename Neighbors>
+std::vector<NodeId> bfs(const Dag& dag, NodeId start, Neighbors neighbors) {
+  RBPEB_REQUIRE(dag.contains(start), "start node out of range");
+  std::vector<bool> seen(dag.node_count(), false);
+  std::vector<NodeId> out;
+  std::vector<NodeId> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    out.push_back(v);
+    for (NodeId w : neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> reachable_from(const Dag& dag, NodeId start) {
+  return bfs(dag, start, [&](NodeId v) { return dag.successors(v); });
+}
+
+std::vector<NodeId> ancestors_of(const Dag& dag, NodeId target) {
+  return bfs(dag, target, [&](NodeId v) { return dag.predecessors(v); });
+}
+
+std::vector<std::size_t> node_depths(const Dag& dag) {
+  std::vector<std::size_t> depth(dag.node_count(), 0);
+  for (NodeId v : topological_order(dag)) {
+    for (NodeId u : dag.predecessors(v)) {
+      depth[v] = std::max(depth[v], depth[u] + 1);
+    }
+  }
+  return depth;
+}
+
+std::size_t longest_path_length(const Dag& dag) {
+  auto depth = node_depths(dag);
+  return depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,31 @@
+// Pure graph algorithms on Dag used throughout rbpeb.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// A topological order of all nodes (Kahn's algorithm; deterministic:
+/// smallest node id first among ready nodes).
+std::vector<NodeId> topological_order(const Dag& dag);
+
+/// True if `order` is a permutation of all nodes that respects every edge.
+bool is_topological_order(const Dag& dag, const std::vector<NodeId>& order);
+
+/// Nodes reachable from `start` by following edges forward (including start).
+std::vector<NodeId> reachable_from(const Dag& dag, NodeId start);
+
+/// Nodes that reach `target` by following edges forward (including target);
+/// i.e. the transitive predecessors plus the target itself.
+std::vector<NodeId> ancestors_of(const Dag& dag, NodeId target);
+
+/// Length (edge count) of the longest directed path in the DAG.
+std::size_t longest_path_length(const Dag& dag);
+
+/// For each node, the number of edges on the longest path from any source
+/// to the node ("depth"; sources have depth 0).
+std::vector<std::size_t> node_depths(const Dag& dag);
+
+}  // namespace rbpeb

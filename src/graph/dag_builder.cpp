@@ -1,0 +1,117 @@
+#include "src/graph/dag_builder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+// Pack an edge into 64 bits for duplicate detection.
+std::uint64_t edge_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+NodeId DagBuilder::add_nodes(std::size_t count) {
+  NodeId first = static_cast<NodeId>(labels_.size());
+  labels_.resize(labels_.size() + count);
+  return first;
+}
+
+NodeId DagBuilder::add_node(std::string label) {
+  labels_.push_back(std::move(label));
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+void DagBuilder::add_edge(NodeId from, NodeId to) {
+  RBPEB_REQUIRE(from < labels_.size() && to < labels_.size(),
+                "edge endpoints must be existing nodes");
+  RBPEB_REQUIRE(from != to, "self-loops are not allowed in a DAG");
+  edges_.emplace_back(from, to);
+}
+
+void DagBuilder::add_edges_from(const std::vector<NodeId>& from, NodeId to) {
+  for (NodeId u : from) add_edge(u, to);
+}
+
+Dag DagBuilder::build() {
+  const std::size_t n = labels_.size();
+
+  // Reject duplicate edges.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges_.size() * 2);
+    for (const auto& [u, v] : edges_) {
+      RBPEB_REQUIRE(seen.insert(edge_key(u, v)).second,
+                    "duplicate edge in DAG construction");
+    }
+  }
+
+  Dag dag;
+  dag.labels_ = std::move(labels_);
+  labels_.clear();
+
+  // Counting sort of edges into CSR form, both directions.
+  dag.in_offsets_.assign(n + 1, 0);
+  dag.out_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++dag.in_offsets_[v + 1];
+    ++dag.out_offsets_[u + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dag.in_offsets_[i + 1] += dag.in_offsets_[i];
+    dag.out_offsets_[i + 1] += dag.out_offsets_[i];
+  }
+  dag.in_targets_.resize(edges_.size());
+  dag.out_targets_.resize(edges_.size());
+  {
+    std::vector<std::uint32_t> in_pos(dag.in_offsets_.begin(),
+                                      dag.in_offsets_.end() - 1);
+    std::vector<std::uint32_t> out_pos(dag.out_offsets_.begin(),
+                                       dag.out_offsets_.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      dag.in_targets_[in_pos[v]++] = u;
+      dag.out_targets_[out_pos[u]++] = v;
+    }
+  }
+  edges_.clear();
+
+  // Kahn's algorithm both validates acyclicity and finds sources.
+  std::vector<std::uint32_t> indeg(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = dag.in_offsets_[v + 1] - dag.in_offsets_[v];
+  }
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(static_cast<NodeId>(v));
+  }
+  std::size_t processed = 0;
+  std::vector<NodeId> frontier = queue;
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    ++processed;
+    for (NodeId w : dag.successors(v)) {
+      if (--indeg[w] == 0) frontier.push_back(w);
+    }
+  }
+  RBPEB_REQUIRE(processed == n, "graph contains a cycle; not a DAG");
+
+  dag.max_indegree_ = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t d = dag.in_offsets_[v + 1] - dag.in_offsets_[v];
+    dag.max_indegree_ = std::max(dag.max_indegree_, d);
+    if (d == 0) dag.sources_.push_back(static_cast<NodeId>(v));
+    if (dag.out_offsets_[v + 1] == dag.out_offsets_[v]) {
+      dag.sinks_.push_back(static_cast<NodeId>(v));
+    }
+  }
+  return dag;
+}
+
+}  // namespace rbpeb

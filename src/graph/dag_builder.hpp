@@ -1,0 +1,48 @@
+// Mutable builder producing validated, immutable Dag instances.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// Accumulates nodes and edges, then `build()`s an immutable Dag.
+///
+/// The builder rejects self-loops and duplicate edges eagerly, and rejects
+/// cycles at build() time, so Dag's acyclicity invariant is established by
+/// construction.
+class DagBuilder {
+ public:
+  DagBuilder() = default;
+
+  /// Pre-declare `count` unnamed nodes at once; returns the first new id.
+  NodeId add_nodes(std::size_t count);
+
+  /// Add one node with an optional debugging label; returns its id.
+  NodeId add_node(std::string label = "");
+
+  /// Add the edge (from → to). Both ids must already exist; self-loops and
+  /// duplicates are rejected.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Convenience: edge from every node in `from` to `to`.
+  void add_edges_from(const std::vector<NodeId>& from, NodeId to);
+
+  /// Number of nodes added so far.
+  std::size_t node_count() const { return labels_.size(); }
+
+  /// Number of edges added so far.
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Validate acyclicity and freeze into a Dag. The builder is left empty.
+  Dag build();
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,55 @@
+#include "src/graph/dag_io.hpp"
+
+#include <sstream>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::string to_dot(const Dag& dag, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    os << "  n" << v;
+    const std::string& label = dag.label(static_cast<NodeId>(v));
+    if (!label.empty()) os << " [label=\"" << label << "\"]";
+    os << ";\n";
+  }
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    for (NodeId u : dag.predecessors(static_cast<NodeId>(v))) {
+      os << "  n" << u << " -> n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const Dag& dag) {
+  std::ostringstream os;
+  os << dag.node_count() << '\n';
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    for (NodeId u : dag.predecessors(static_cast<NodeId>(v))) {
+      os << u << ' ' << v << '\n';
+    }
+  }
+  return os.str();
+}
+
+Dag from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0;
+  RBPEB_REQUIRE(static_cast<bool>(is >> n), "missing node count");
+  DagBuilder builder;
+  builder.add_nodes(n);
+  std::uint64_t u = 0, v = 0;
+  while (is >> u >> v) {
+    RBPEB_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  RBPEB_REQUIRE(is.eof(), "trailing garbage in DAG text");
+  return builder.build();
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,23 @@
+// DAG serialization: Graphviz DOT export and a simple line-based text format.
+#pragma once
+
+#include <string>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// Render the DAG in Graphviz DOT syntax. Labels are used when present.
+std::string to_dot(const Dag& dag, const std::string& graph_name = "dag");
+
+/// Serialize to the rbpeb text format:
+///   line 1: "<node_count>"
+///   following lines: "<from> <to>" for every edge.
+/// Labels are not round-tripped (they are debugging aids only).
+std::string to_text(const Dag& dag);
+
+/// Parse the rbpeb text format. Throws PreconditionError on malformed input
+/// or if the described graph has a cycle.
+Dag from_text(const std::string& text);
+
+}  // namespace rbpeb

@@ -1,0 +1,77 @@
+#include "src/graph/generators.hpp"
+
+#include <numeric>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Graph random_graph(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) {
+      if (rng.next_bool(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph random_graph_with_ham_path(std::size_t n, double p, Rng& rng) {
+  RBPEB_REQUIRE(n >= 2, "need at least two vertices for a path");
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(perm[i], perm[i + 1]);
+  }
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) {
+      if (!g.has_edge(a, b) && rng.next_bool(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  RBPEB_REQUIRE(n >= 3, "a cycle needs at least three vertices");
+  Graph g = path_graph(n);
+  g.add_edge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  RBPEB_REQUIRE(n >= 1, "star needs a center");
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph two_cliques(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex x = 0; x < a; ++x) {
+    for (Vertex y = x + 1; y < a; ++y) g.add_edge(x, y);
+  }
+  for (Vertex x = 0; x < b; ++x) {
+    for (Vertex y = x + 1; y < b; ++y) {
+      g.add_edge(static_cast<Vertex>(a + x), static_cast<Vertex>(a + y));
+    }
+  }
+  return g;
+}
+
+}  // namespace rbpeb

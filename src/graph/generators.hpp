@@ -1,0 +1,33 @@
+// Random and structured generators for undirected graphs (reduction inputs).
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+Graph random_graph(std::size_t n, double p, Rng& rng);
+
+/// G(n, p) with a planted Hamiltonian path: a random permutation's
+/// consecutive pairs are forced edges, then extra edges are added with
+/// probability p. Guarantees a Hamiltonian path exists.
+Graph random_graph_with_ham_path(std::size_t n, double p, Rng& rng);
+
+/// Path graph 0-1-2-...-(n-1).
+Graph path_graph(std::size_t n);
+
+/// Cycle graph on n >= 3 vertices.
+Graph cycle_graph(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n);
+
+/// Star: vertex 0 adjacent to all others. Has no Hamiltonian path for n > 3.
+Graph star_graph(std::size_t n);
+
+/// Disjoint union of two cliques of sizes a and b (never has a Hamiltonian
+/// path when both sides are non-empty; useful as a guaranteed NO instance).
+Graph two_cliques(std::size_t a, std::size_t b);
+
+}  // namespace rbpeb

@@ -1,0 +1,55 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Graph::Graph(std::size_t n) : n_(n), adjacency_(n * (n > 0 ? n - 1 : 0) / 2, false) {}
+
+std::size_t Graph::index(Vertex a, Vertex b) const {
+  RBPEB_REQUIRE(a < n_ && b < n_, "vertex out of range");
+  RBPEB_REQUIRE(a != b, "loops are not allowed");
+  if (a > b) std::swap(a, b);
+  // Upper-triangular row-major packing: row a holds n-1-a entries.
+  std::size_t row_start = static_cast<std::size_t>(a) * n_ -
+                          static_cast<std::size_t>(a) * (a + 1) / 2;
+  return row_start + (b - a - 1);
+}
+
+void Graph::add_edge(Vertex a, Vertex b) {
+  std::size_t i = index(a, b);
+  RBPEB_REQUIRE(!adjacency_[i], "duplicate edge");
+  adjacency_[i] = true;
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+bool Graph::has_edge(Vertex a, Vertex b) const {
+  if (a == b) return false;
+  return adjacency_[index(a, b)];
+}
+
+std::size_t Graph::degree(Vertex v) const {
+  RBPEB_REQUIRE(v < n_, "vertex out of range");
+  std::size_t d = 0;
+  for (Vertex u = 0; u < n_; ++u) {
+    if (u != v && has_edge(u, v)) ++d;
+  }
+  return d;
+}
+
+std::vector<Vertex> Graph::neighbors(Vertex v) const {
+  RBPEB_REQUIRE(v < n_, "vertex out of range");
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < n_; ++u) {
+    if (u != v && has_edge(u, v)) out.push_back(u);
+  }
+  return out;
+}
+
+bool Graph::is_complete() const {
+  return edge_count() == n_ * (n_ - 1) / 2;
+}
+
+}  // namespace rbpeb

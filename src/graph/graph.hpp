@@ -1,0 +1,53 @@
+// Simple undirected graph — the *source* object of the paper's reductions.
+//
+// Theorem 2 reduces Hamiltonian Path on an undirected graph G to pebbling;
+// Theorem 3 reduces Vertex Cover on G. This class represents such a G.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rbpeb {
+
+/// Vertex index of an undirected Graph.
+using Vertex = std::uint32_t;
+
+/// Simple undirected graph (no loops, no multi-edges) with O(1) adjacency
+/// queries via a packed adjacency matrix. Intended for the small instances
+/// that feed the paper's reductions (N up to a few hundred).
+class Graph {
+ public:
+  /// An edgeless graph on `n` vertices.
+  explicit Graph(std::size_t n = 0);
+
+  std::size_t vertex_count() const { return n_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Add the undirected edge {a, b}. Rejects loops and duplicates.
+  void add_edge(Vertex a, Vertex b);
+
+  /// True if {a, b} is an edge.
+  bool has_edge(Vertex a, Vertex b) const;
+
+  /// Degree of `v`.
+  std::size_t degree(Vertex v) const;
+
+  /// Neighbors of `v`, ascending.
+  std::vector<Vertex> neighbors(Vertex v) const;
+
+  /// All edges as (min, max) pairs, in insertion order.
+  const std::vector<std::pair<Vertex, Vertex>>& edges() const { return edges_; }
+
+  /// True for every vertex pair present: a clique.
+  bool is_complete() const;
+
+ private:
+  std::size_t index(Vertex a, Vertex b) const;
+
+  std::size_t n_ = 0;
+  std::vector<bool> adjacency_;  // packed upper-triangular matrix
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+}  // namespace rbpeb

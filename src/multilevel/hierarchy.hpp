@@ -1,0 +1,42 @@
+// Multi-level memory hierarchies — the generalization of red-blue pebbling
+// to more than two levels (discussed by Carpenter et al. [4], cited in the
+// paper's related work as the natural extension).
+//
+// Level 0 is the fastest memory (the red pebbles); the last level is
+// unbounded slow memory (the blue pebbles). A value lives on at most one
+// level; computation requires all inputs at level 0; moving a value across
+// the boundary between levels l and l+1 costs transfer_cost[l] in either
+// direction. With levels() == 2 this degenerates to the classic game.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rbpeb {
+
+/// Shape of a memory hierarchy.
+struct Hierarchy {
+  /// Capacity of each bounded level, fastest first. The implicit last level
+  /// is unbounded. capacities.size() + 1 == levels().
+  std::vector<std::size_t> capacities;
+  /// Cost of one transfer across the boundary below level l (between l and
+  /// l+1). Must have the same size as `capacities`.
+  std::vector<std::int64_t> transfer_costs;
+
+  std::size_t levels() const { return capacities.size() + 1; }
+
+  /// The classic two-level hierarchy: R fast slots, unit transfers.
+  static Hierarchy two_level(std::size_t r) { return {{r}, {1}}; }
+
+  /// A cache-like pyramid: capacities grow and transfers get cheaper toward
+  /// the fast end, e.g. three_level(8, 64) with costs {1, 10}.
+  static Hierarchy three_level(std::size_t l0, std::size_t l1,
+                               std::int64_t c0 = 1, std::int64_t c1 = 10) {
+    return {{l0, l1}, {c0, c1}};
+  }
+};
+
+/// Validate shape invariants; throws PreconditionError on violation.
+void validate(const Hierarchy& hierarchy);
+
+}  // namespace rbpeb

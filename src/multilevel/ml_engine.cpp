@@ -1,0 +1,175 @@
+#include "src/multilevel/ml_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+void validate(const Hierarchy& hierarchy) {
+  RBPEB_REQUIRE(!hierarchy.capacities.empty(),
+                "a hierarchy needs at least one bounded level");
+  RBPEB_REQUIRE(hierarchy.transfer_costs.size() == hierarchy.capacities.size(),
+                "one transfer cost per boundary");
+  for (std::size_t c : hierarchy.capacities) {
+    RBPEB_REQUIRE(c >= 1, "level capacities must be positive");
+  }
+  for (std::int64_t c : hierarchy.transfer_costs) {
+    RBPEB_REQUIRE(c >= 0, "transfer costs must be non-negative");
+  }
+}
+
+std::string to_string(const MlMove& move) {
+  std::ostringstream os;
+  switch (move.type) {
+    case MlMoveType::Promote: os << "promote"; break;
+    case MlMoveType::Demote: os << "demote"; break;
+    case MlMoveType::Compute: os << "compute"; break;
+    case MlMoveType::Delete: os << "delete"; break;
+  }
+  os << '(' << move.node << ')';
+  return os.str();
+}
+
+MlState::MlState(std::size_t node_count, std::size_t levels)
+    : level_(node_count, kNoLevel),
+      computed_(node_count, false),
+      occupancy_(levels, 0) {}
+
+void MlState::set_level(NodeId v, Level l) {
+  RBPEB_REQUIRE(v < level_.size(), "node id out of range");
+  RBPEB_REQUIRE(l < occupancy_.size(), "level out of range");
+  if (level_[v] != kNoLevel) --occupancy_[level_[v]];
+  level_[v] = l;
+  ++occupancy_[l];
+}
+
+void MlState::remove(NodeId v) {
+  RBPEB_REQUIRE(v < level_.size(), "node id out of range");
+  if (level_[v] != kNoLevel) {
+    --occupancy_[level_[v]];
+    level_[v] = kNoLevel;
+  }
+}
+
+MlEngine::MlEngine(const Dag& dag, Hierarchy hierarchy)
+    : dag_(&dag), hierarchy_(std::move(hierarchy)) {
+  validate(hierarchy_);
+  std::size_t min_l0 = dag.node_count() == 0 ? 0 : dag.max_indegree() + 1;
+  RBPEB_REQUIRE(hierarchy_.capacities[0] >= min_l0,
+                "level-0 capacity must be at least max-indegree + 1");
+}
+
+std::optional<std::string> MlEngine::why_illegal(const MlState& state,
+                                                 const MlMove& move) const {
+  if (!dag_->contains(move.node)) return "node id out of range";
+  const NodeId v = move.node;
+  const std::size_t levels = hierarchy_.levels();
+  auto has_room = [&](Level l) {
+    // The last level is unbounded.
+    return l + 1 == levels || state.occupancy(l) < hierarchy_.capacities[l];
+  };
+  switch (move.type) {
+    case MlMoveType::Promote: {
+      if (!state.present(v)) return "promote requires a value in the hierarchy";
+      Level l = state.level(v);
+      if (l == 0) return "value already at the fastest level";
+      if (!has_room(static_cast<Level>(l - 1))) return "target level is full";
+      return std::nullopt;
+    }
+    case MlMoveType::Demote: {
+      if (!state.present(v)) return "demote requires a value in the hierarchy";
+      Level l = state.level(v);
+      if (l + 1 == levels) return "value already at the slowest level";
+      if (!has_room(static_cast<Level>(l + 1))) return "target level is full";
+      return std::nullopt;
+    }
+    case MlMoveType::Compute: {
+      if (state.was_computed(v)) return "oneshot: node was already computed";
+      if (state.present(v)) return "node already holds a value";
+      for (NodeId u : dag_->predecessors(v)) {
+        if (!state.present(u) || state.level(u) != 0) {
+          std::ostringstream os;
+          os << "input node " << u << " is not at level 0";
+          return os.str();
+        }
+      }
+      if (!has_room(0)) return "level 0 is full";
+      return std::nullopt;
+    }
+    case MlMoveType::Delete:
+      if (!state.present(v)) return "delete requires a value in the hierarchy";
+      return std::nullopt;
+  }
+  return "unknown move type";
+}
+
+std::int64_t MlEngine::apply(MlState& state, const MlMove& move) const {
+  if (auto reason = why_illegal(state, move)) {
+    throw PreconditionError("illegal move " + to_string(move) + ": " + *reason);
+  }
+  const NodeId v = move.node;
+  switch (move.type) {
+    case MlMoveType::Promote: {
+      Level l = state.level(v);
+      state.set_level(v, static_cast<Level>(l - 1));
+      return hierarchy_.transfer_costs[l - 1];
+    }
+    case MlMoveType::Demote: {
+      Level l = state.level(v);
+      state.set_level(v, static_cast<Level>(l + 1));
+      return hierarchy_.transfer_costs[l];
+    }
+    case MlMoveType::Compute:
+      state.set_level(v, 0);
+      state.mark_computed(v);
+      return 0;
+    case MlMoveType::Delete:
+      state.remove(v);
+      return 0;
+  }
+  RBPEB_ENSURE(false, "unreachable");
+  return 0;
+}
+
+bool MlEngine::is_complete(const MlState& state) const {
+  for (NodeId sink : dag_->sinks()) {
+    if (!state.present(sink)) return false;
+  }
+  return true;
+}
+
+MlVerifyResult ml_verify(const MlEngine& engine, const MlTrace& trace) {
+  MlVerifyResult result;
+  MlState state = engine.initial_state();
+  const std::size_t levels = engine.hierarchy().levels();
+  result.boundary_transfers.assign(levels - 1, 0);
+  result.peak_occupancy.assign(levels, 0);
+  result.legal = true;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const MlMove& move = trace[i];
+    if (auto reason = engine.why_illegal(state, move)) {
+      result.legal = false;
+      result.failed_at = i;
+      result.error = "move " + std::to_string(i) + " " + to_string(move) +
+                     ": " + *reason;
+      break;
+    }
+    // Record which boundary the move crosses before applying.
+    if (move.type == MlMoveType::Promote) {
+      ++result.boundary_transfers[state.level(move.node) - 1];
+    } else if (move.type == MlMoveType::Demote) {
+      ++result.boundary_transfers[state.level(move.node)];
+    }
+    result.total_cost += engine.apply(state, move);
+    for (std::size_t l = 0; l < levels; ++l) {
+      result.peak_occupancy[l] =
+          std::max(result.peak_occupancy[l], state.occupancy(static_cast<Level>(l)));
+    }
+  }
+  result.complete = result.legal && engine.is_complete(state);
+  return result;
+}
+
+}  // namespace rbpeb

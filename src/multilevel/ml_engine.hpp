@@ -1,0 +1,117 @@
+// Rules and state of the multi-level pebble game.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+#include "src/multilevel/hierarchy.hpp"
+
+namespace rbpeb {
+
+/// Level index within a hierarchy; kNoLevel means "no pebble".
+using Level = std::uint8_t;
+inline constexpr Level kNoLevel = 0xFF;
+
+/// One step of a multi-level pebbling.
+enum class MlMoveType {
+  Promote,  ///< Move the value one level toward fast memory.
+  Demote,   ///< Move the value one level toward slow memory.
+  Compute,  ///< Place the node at level 0; all inputs must be at level 0.
+  Delete,   ///< Remove the value from the hierarchy.
+};
+
+struct MlMove {
+  MlMoveType type;
+  NodeId node;
+  bool operator==(const MlMove& o) const = default;
+};
+
+std::string to_string(const MlMove& move);
+
+/// Dynamic state: the level of each node's value (or none) plus the sticky
+/// computed flag used by the oneshot rule.
+class MlState {
+ public:
+  MlState() = default;
+  MlState(std::size_t node_count, std::size_t levels);
+
+  Level level(NodeId v) const { return level_[v]; }
+  bool present(NodeId v) const { return level_[v] != kNoLevel; }
+  bool was_computed(NodeId v) const { return computed_[v]; }
+  std::size_t occupancy(Level l) const { return occupancy_[l]; }
+
+  void set_level(NodeId v, Level l);
+  void remove(NodeId v);
+  void mark_computed(NodeId v) { computed_[v] = true; }
+
+ private:
+  std::vector<Level> level_;
+  std::vector<bool> computed_;
+  std::vector<std::size_t> occupancy_;
+};
+
+/// An accumulated multi-level move sequence.
+class MlTrace {
+ public:
+  void push(MlMove move) { moves_.push_back(move); }
+  std::size_t size() const { return moves_.size(); }
+  const MlMove& operator[](std::size_t i) const { return moves_[i]; }
+  auto begin() const { return moves_.begin(); }
+  auto end() const { return moves_.end(); }
+
+ private:
+  std::vector<MlMove> moves_;
+};
+
+/// Rule engine. Oneshot semantics (each node computed at most once) — the
+/// variant the multi-level literature studies, and the one whose optimal
+/// pebblings are polynomially long.
+class MlEngine {
+ public:
+  MlEngine(const Dag& dag, Hierarchy hierarchy);
+  MlEngine(Dag&&, Hierarchy) = delete;
+
+  const Dag& dag() const { return *dag_; }
+  const Hierarchy& hierarchy() const { return hierarchy_; }
+
+  MlState initial_state() const {
+    return MlState(dag_->node_count(), hierarchy_.levels());
+  }
+
+  std::optional<std::string> why_illegal(const MlState& state,
+                                         const MlMove& move) const;
+  bool is_legal(const MlState& state, const MlMove& move) const {
+    return !why_illegal(state, move).has_value();
+  }
+
+  /// Apply a legal move; returns its cost (transfer cost for promote/demote,
+  /// zero otherwise). Throws PreconditionError on illegal moves.
+  std::int64_t apply(MlState& state, const MlMove& move) const;
+
+  /// Every sink holds a value somewhere in the hierarchy.
+  bool is_complete(const MlState& state) const;
+
+ private:
+  const Dag* dag_;
+  Hierarchy hierarchy_;
+};
+
+/// Replay audit, mirroring the two-level Verifier.
+struct MlVerifyResult {
+  bool legal = false;
+  bool complete = false;
+  std::size_t failed_at = 0;
+  std::string error;
+  std::int64_t total_cost = 0;
+  /// Transfers counted per boundary (size levels()-1).
+  std::vector<std::int64_t> boundary_transfers;
+  std::vector<std::size_t> peak_occupancy;  ///< Per level.
+
+  bool ok() const { return legal && complete; }
+};
+
+MlVerifyResult ml_verify(const MlEngine& engine, const MlTrace& trace);
+
+}  // namespace rbpeb

@@ -1,0 +1,142 @@
+#include "src/multilevel/ml_solver.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+class MlRun {
+ public:
+  MlRun(const MlEngine& engine, const MlSolveOptions& options)
+      : engine_(engine),
+        dag_(engine.dag()),
+        options_(options),
+        state_(engine.initial_state()),
+        n_(dag_.node_count()),
+        remaining_uses_(n_, 0),
+        last_use_tick_(n_, -1),
+        pinned_(n_, false),
+        is_sink_(n_, false) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      remaining_uses_[v] =
+          static_cast<std::int64_t>(dag_.outdegree(static_cast<NodeId>(v)));
+    }
+    for (NodeId s : dag_.sinks()) is_sink_[s] = true;
+  }
+
+  MlTrace run(const std::vector<NodeId>& order) {
+    for (NodeId v : order) compute_node(v);
+    return std::move(trace_);
+  }
+
+ private:
+  void apply(MlMove move) {
+    engine_.apply(state_, move);
+    trace_.push(move);
+  }
+
+  bool dead(NodeId v) const {
+    return remaining_uses_[v] == 0 && !is_sink_[v];
+  }
+
+  /// Ensure one free slot at `level`, demoting (or deleting) a victim and
+  /// cascading toward slow memory as needed.
+  void ensure_room(Level level) {
+    const Hierarchy& h = engine_.hierarchy();
+    if (level + 1 == h.levels()) return;  // unbounded
+    if (state_.occupancy(level) < h.capacities[level]) return;
+
+    // Victim: unpinned value at this level; dead first, then fewest
+    // remaining uses, then least recently used.
+    NodeId victim = kInvalidNode;
+    for (std::size_t u = 0; u < n_; ++u) {
+      NodeId cand = static_cast<NodeId>(u);
+      if (pinned_[cand] || state_.level(cand) != level) continue;
+      if (victim == kInvalidNode) {
+        victim = cand;
+        continue;
+      }
+      auto key = [&](NodeId x) {
+        return std::tuple<int, std::int64_t, std::int64_t, NodeId>(
+            dead(x) ? 0 : 1, remaining_uses_[x], last_use_tick_[x], x);
+      };
+      if (key(cand) < key(victim)) victim = cand;
+    }
+    RBPEB_ENSURE(victim != kInvalidNode,
+                 "a hierarchy level is saturated with pinned values");
+    if (dead(victim) && options_.eager_delete_dead) {
+      apply({MlMoveType::Delete, victim});
+      return;
+    }
+    ensure_room(static_cast<Level>(level + 1));
+    apply({MlMoveType::Demote, victim});
+  }
+
+  /// Bring a present value up to level 0.
+  void raise_to_top(NodeId v) {
+    while (state_.level(v) != 0) {
+      Level target = static_cast<Level>(state_.level(v) - 1);
+      ensure_room(target);
+      apply({MlMoveType::Promote, v});
+    }
+  }
+
+  void compute_node(NodeId v) {
+    auto preds = dag_.predecessors(v);
+    pinned_[v] = true;
+    for (NodeId p : preds) pinned_[p] = true;
+
+    for (NodeId p : preds) {
+      RBPEB_ENSURE(state_.present(p), "input value lost before its last use");
+      raise_to_top(p);
+    }
+    ensure_room(0);
+    apply({MlMoveType::Compute, v});
+
+    ++tick_;
+    last_use_tick_[v] = tick_;
+    for (NodeId p : preds) {
+      last_use_tick_[p] = tick_;
+      if (--remaining_uses_[p] == 0 && !is_sink_[p] &&
+          options_.eager_delete_dead) {
+        apply({MlMoveType::Delete, p});
+      }
+    }
+    pinned_[v] = false;
+    for (NodeId p : preds) pinned_[p] = false;
+  }
+
+  const MlEngine& engine_;
+  const Dag& dag_;
+  MlSolveOptions options_;
+  MlState state_;
+  MlTrace trace_;
+  const std::size_t n_;
+  std::vector<std::int64_t> remaining_uses_;
+  std::vector<std::int64_t> last_use_tick_;
+  std::vector<bool> pinned_;
+  std::vector<bool> is_sink_;
+  std::int64_t tick_ = 0;
+};
+
+}  // namespace
+
+MlTrace ml_pebble_in_order(const MlEngine& engine,
+                           const std::vector<NodeId>& order,
+                           const MlSolveOptions& options) {
+  RBPEB_REQUIRE(is_topological_order(engine.dag(), order),
+                "computation order must be topological");
+  MlRun run(engine, options);
+  return run.run(order);
+}
+
+MlTrace solve_ml_topo(const MlEngine& engine, const MlSolveOptions& options) {
+  return ml_pebble_in_order(engine, topological_order(engine.dag()), options);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,26 @@
+// Baseline solver for the multi-level game: compute nodes in topological
+// order, promote inputs through the hierarchy on demand, demote
+// least-useful values to make room (cascading toward slow memory), and
+// delete dead values for free.
+#pragma once
+
+#include <vector>
+
+#include "src/multilevel/ml_engine.hpp"
+
+namespace rbpeb {
+
+struct MlSolveOptions {
+  /// Delete values with no remaining uses instead of demoting them.
+  bool eager_delete_dead = true;
+};
+
+/// Pebble the whole DAG, computing nodes in `order` (must be topological).
+MlTrace ml_pebble_in_order(const MlEngine& engine,
+                           const std::vector<NodeId>& order,
+                           const MlSolveOptions& options = {});
+
+/// ml_pebble_in_order with the deterministic Kahn order.
+MlTrace solve_ml_topo(const MlEngine& engine, const MlSolveOptions& options = {});
+
+}  // namespace rbpeb

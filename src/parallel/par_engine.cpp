@@ -1,0 +1,272 @@
+#include "src/parallel/par_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::string to_string(const ParMove& move) {
+  std::ostringstream os;
+  switch (move.type) {
+    case ParMove::Type::Load: os << "load"; break;
+    case ParMove::Type::Store: os << "store"; break;
+    case ParMove::Type::Compute: os << "compute"; break;
+    case ParMove::Type::Delete: os << "delete"; break;
+  }
+  os << "(p" << move.proc << ", " << move.node << ')';
+  return os.str();
+}
+
+ParState::ParState(std::size_t node_count, std::size_t procs)
+    : n_(node_count),
+      red_(node_count * procs, false),
+      blue_(node_count, false),
+      computed_(node_count, false),
+      red_count_(procs, 0) {}
+
+void ParState::set_red(ProcId p, NodeId v, bool value) {
+  RBPEB_REQUIRE(p < red_count_.size() && v < n_, "proc or node out of range");
+  bool old = red_[p * n_ + v];
+  if (old == value) return;
+  red_[p * n_ + v] = value;
+  red_count_[p] += value ? 1 : -1;
+}
+
+ParEngine::ParEngine(const Dag& dag, std::size_t procs, std::size_t red_limit)
+    : dag_(&dag), procs_(procs), red_limit_(red_limit) {
+  RBPEB_REQUIRE(procs_ >= 1, "need at least one processor");
+  std::size_t min_r = dag.node_count() == 0 ? 0 : dag.max_indegree() + 1;
+  RBPEB_REQUIRE(red_limit_ >= min_r,
+                "per-processor budget must be at least max-indegree + 1");
+}
+
+std::optional<std::string> ParEngine::why_illegal(const ParState& state,
+                                                  const ParMove& move) const {
+  if (!dag_->contains(move.node)) return "node id out of range";
+  if (move.proc >= procs_) return "processor id out of range";
+  const NodeId v = move.node;
+  const ProcId p = move.proc;
+  switch (move.type) {
+    case ParMove::Type::Load:
+      if (!state.blue(v)) return "load requires the value in slow memory";
+      if (state.red_at(p, v)) return "value already in this fast memory";
+      if (state.red_count(p) >= red_limit_) return "fast memory full";
+      return std::nullopt;
+    case ParMove::Type::Store:
+      if (!state.red_at(p, v)) return "store requires the value here";
+      if (state.blue(v)) return "value already in slow memory";
+      return std::nullopt;
+    case ParMove::Type::Compute: {
+      if (state.was_computed(v)) return "oneshot: node was already computed";
+      for (NodeId u : dag_->predecessors(v)) {
+        if (!state.red_at(p, u)) {
+          std::ostringstream os;
+          os << "input node " << u << " is not in processor " << p
+             << "'s fast memory";
+          return os.str();
+        }
+      }
+      if (state.red_count(p) >= red_limit_) return "fast memory full";
+      return std::nullopt;
+    }
+    case ParMove::Type::Delete:
+      if (!state.red_at(p, v)) return "no local copy to delete";
+      return std::nullopt;
+  }
+  return "unknown move type";
+}
+
+void ParEngine::apply(ParState& state, const ParMove& move) const {
+  if (auto reason = why_illegal(state, move)) {
+    throw PreconditionError("illegal move " + to_string(move) + ": " +
+                            *reason);
+  }
+  switch (move.type) {
+    case ParMove::Type::Load:
+      state.set_red(move.proc, move.node, true);
+      break;
+    case ParMove::Type::Store:
+      state.set_blue(move.node, true);
+      break;
+    case ParMove::Type::Compute:
+      state.set_red(move.proc, move.node, true);
+      state.mark_computed(move.node);
+      break;
+    case ParMove::Type::Delete:
+      state.set_red(move.proc, move.node, false);
+      break;
+  }
+}
+
+bool ParEngine::is_complete(const ParState& state) const {
+  for (NodeId sink : dag_->sinks()) {
+    bool resident = state.blue(sink);
+    for (ProcId p = 0; !resident && p < procs_; ++p) {
+      resident = state.red_at(p, sink);
+    }
+    if (!resident) return false;
+  }
+  return true;
+}
+
+ParVerifyResult par_verify(const ParEngine& engine,
+                           const std::vector<ParMove>& moves) {
+  ParVerifyResult result;
+  ParState state = engine.initial_state();
+  result.ops_per_proc.assign(engine.procs(), 0);
+  result.computes_per_proc.assign(engine.procs(), 0);
+  result.legal = true;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const ParMove& move = moves[i];
+    if (auto reason = engine.why_illegal(state, move)) {
+      result.legal = false;
+      result.failed_at = i;
+      result.error = "move " + std::to_string(i) + " " + to_string(move) +
+                     ": " + *reason;
+      break;
+    }
+    engine.apply(state, move);
+    ++result.ops_per_proc[move.proc];
+    if (move.type == ParMove::Type::Load) ++result.loads;
+    if (move.type == ParMove::Type::Store) ++result.stores;
+    if (move.type == ParMove::Type::Compute) {
+      ++result.computes_per_proc[move.proc];
+    }
+  }
+  result.complete = result.legal && engine.is_complete(state);
+  result.makespan = result.ops_per_proc.empty()
+                        ? 0
+                        : *std::max_element(result.ops_per_proc.begin(),
+                                            result.ops_per_proc.end());
+  return result;
+}
+
+namespace {
+
+/// Owner-computes scheduler state.
+class ParScheduler {
+ public:
+  explicit ParScheduler(const ParEngine& engine)
+      : engine_(engine),
+        dag_(engine.dag()),
+        state_(engine.initial_state()),
+        n_(dag_.node_count()),
+        remaining_uses_(n_, 0),
+        is_sink_(n_, false),
+        pinned_(n_, false) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      remaining_uses_[v] =
+          static_cast<std::int64_t>(dag_.outdegree(static_cast<NodeId>(v)));
+    }
+    for (NodeId s : dag_.sinks()) is_sink_[s] = true;
+  }
+
+  std::vector<ParMove> run() {
+    // Owner: block partition within each depth level.
+    auto depth = node_depths(dag_);
+    std::size_t max_depth = 0;
+    for (std::size_t d : depth) max_depth = std::max(max_depth, d);
+    std::vector<std::vector<NodeId>> levels(max_depth + 1);
+    for (NodeId v : topological_order(dag_)) levels[depth[v]].push_back(v);
+
+    std::vector<ProcId> owner(n_, 0);
+    const std::size_t procs = engine_.procs();
+    for (const auto& level : levels) {
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        owner[level[i]] =
+            static_cast<ProcId>(i * procs / level.size());
+      }
+    }
+
+    for (const auto& level : levels) {
+      for (NodeId v : level) compute_node(owner[v], v, owner);
+    }
+    return std::move(moves_);
+  }
+
+ private:
+  void apply(ParMove move) {
+    engine_.apply(state_, move);
+    moves_.push_back(move);
+  }
+
+  bool dead(NodeId v) const {
+    return remaining_uses_[v] == 0 && !is_sink_[v];
+  }
+
+  /// Free one slot in processor p's fast memory.
+  void make_room(ProcId p) {
+    if (state_.red_count(p) < engine_.red_limit()) return;
+    NodeId victim = kInvalidNode;
+    auto key = [&](NodeId x) {
+      // Prefer dead values, then values already backed up in slow memory,
+      // then fewest remaining uses.
+      return std::tuple<int, int, std::int64_t, NodeId>(
+          dead(x) ? 0 : 1, state_.blue(x) ? 0 : 1, remaining_uses_[x], x);
+    };
+    for (std::size_t u = 0; u < n_; ++u) {
+      NodeId cand = static_cast<NodeId>(u);
+      if (!state_.red_at(p, cand) || pinned_[cand]) continue;
+      if (victim == kInvalidNode || key(cand) < key(victim)) victim = cand;
+    }
+    RBPEB_ENSURE(victim != kInvalidNode, "fast memory saturated with pins");
+    if (!dead(victim) && !state_.blue(victim)) {
+      apply({ParMove::Type::Store, p, victim});
+    }
+    apply({ParMove::Type::Delete, p, victim});
+  }
+
+  /// Make node u resident in processor p's fast memory.
+  void ensure_red(ProcId p, NodeId u, const std::vector<ProcId>& owner) {
+    if (state_.red_at(p, u)) return;
+    if (!state_.blue(u)) {
+      // The producer still holds the only copy; publish it to slow memory.
+      ProcId q = owner[u];
+      RBPEB_ENSURE(state_.red_at(q, u), "value lost before its last use");
+      apply({ParMove::Type::Store, q, u});
+    }
+    make_room(p);
+    apply({ParMove::Type::Load, p, u});
+  }
+
+  void compute_node(ProcId p, NodeId v, const std::vector<ProcId>& owner) {
+    auto preds = dag_.predecessors(v);
+    pinned_[v] = true;
+    for (NodeId u : preds) pinned_[u] = true;
+    for (NodeId u : preds) ensure_red(p, u, owner);
+    make_room(p);
+    apply({ParMove::Type::Compute, p, v});
+    for (NodeId u : preds) {
+      if (--remaining_uses_[u] == 0 && !is_sink_[u]) {
+        // Drop every remaining fast copy of the dead value.
+        for (ProcId q = 0; q < engine_.procs(); ++q) {
+          if (state_.red_at(q, u)) apply({ParMove::Type::Delete, q, u});
+        }
+      }
+    }
+    pinned_[v] = false;
+    for (NodeId u : preds) pinned_[u] = false;
+  }
+
+  const ParEngine& engine_;
+  const Dag& dag_;
+  ParState state_;
+  std::vector<ParMove> moves_;
+  const std::size_t n_;
+  std::vector<std::int64_t> remaining_uses_;
+  std::vector<bool> is_sink_;
+  std::vector<bool> pinned_;
+};
+
+}  // namespace
+
+std::vector<ParMove> solve_par_owner_computes(const ParEngine& engine) {
+  ParScheduler scheduler(engine);
+  return scheduler.run();
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,113 @@
+// Parallel red-blue pebbling — multiple "shades" of red.
+//
+// Elango et al. [8] (paper, Section 2) generalize red-blue pebbling to
+// parallel execution: each of P processors owns a private fast memory (its
+// own shade of red pebbles), and all share the unbounded slow memory (blue).
+// A value may be resident in several fast memories at once (copies);
+// computing a node requires all inputs in the *computing processor's* fast
+// memory. Transfers between any fast memory and slow memory cost 1; the
+// total transfer count is the communication volume of the schedule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+using ProcId = std::uint32_t;
+
+/// One step of a parallel pebbling, executed by one processor.
+struct ParMove {
+  enum class Type { Load, Store, Compute, Delete } type;
+  ProcId proc;
+  NodeId node;
+  bool operator==(const ParMove& o) const = default;
+};
+
+std::string to_string(const ParMove& move);
+
+/// Dynamic state: which processor holds which value, plus the shared blue
+/// set and the global computed flags (oneshot semantics).
+class ParState {
+ public:
+  ParState() = default;
+  ParState(std::size_t node_count, std::size_t procs);
+
+  bool red_at(ProcId p, NodeId v) const { return red_[p * n_ + v]; }
+  bool blue(NodeId v) const { return blue_[v]; }
+  bool was_computed(NodeId v) const { return computed_[v]; }
+  std::size_t red_count(ProcId p) const { return red_count_[p]; }
+  std::size_t procs() const { return red_count_.size(); }
+
+  void set_red(ProcId p, NodeId v, bool value);
+  void set_blue(NodeId v, bool value) { blue_[v] = value; }
+  void mark_computed(NodeId v) { computed_[v] = true; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<bool> red_;   // procs x nodes
+  std::vector<bool> blue_;
+  std::vector<bool> computed_;
+  std::vector<std::size_t> red_count_;
+};
+
+/// Rule engine: P processors with `red_limit` fast slots each.
+class ParEngine {
+ public:
+  ParEngine(const Dag& dag, std::size_t procs, std::size_t red_limit);
+  ParEngine(Dag&&, std::size_t, std::size_t) = delete;
+
+  const Dag& dag() const { return *dag_; }
+  std::size_t procs() const { return procs_; }
+  std::size_t red_limit() const { return red_limit_; }
+
+  ParState initial_state() const {
+    return ParState(dag_->node_count(), procs_);
+  }
+
+  std::optional<std::string> why_illegal(const ParState& state,
+                                         const ParMove& move) const;
+  bool is_legal(const ParState& state, const ParMove& move) const {
+    return !why_illegal(state, move).has_value();
+  }
+  void apply(ParState& state, const ParMove& move) const;
+
+  /// Every sink resident somewhere (any fast memory or slow memory).
+  bool is_complete(const ParState& state) const;
+
+ private:
+  const Dag* dag_;
+  std::size_t procs_;
+  std::size_t red_limit_;
+};
+
+/// Replay audit.
+struct ParVerifyResult {
+  bool legal = false;
+  bool complete = false;
+  std::size_t failed_at = 0;
+  std::string error;
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+  std::vector<std::int64_t> ops_per_proc;  ///< All operations, per processor.
+  std::vector<std::int64_t> computes_per_proc;
+  /// Max over processors of its operation count — a simple makespan proxy
+  /// under fully overlapped execution.
+  std::int64_t makespan = 0;
+
+  std::int64_t transfers() const { return loads + stores; }
+  bool ok() const { return legal && complete; }
+};
+
+ParVerifyResult par_verify(const ParEngine& engine,
+                           const std::vector<ParMove>& moves);
+
+/// Baseline scheduler: owner-computes by block partition of each
+/// topological level. Producers store shared values once; consumers load
+/// them. Returns a legal, complete schedule.
+std::vector<ParMove> solve_par_owner_computes(const ParEngine& engine);
+
+}  // namespace rbpeb

@@ -1,0 +1,81 @@
+#include "src/pebble/bounds.hpp"
+
+#include <limits>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::size_t min_red_pebbles(const Dag& dag) {
+  if (dag.node_count() == 0) return 0;
+  return dag.max_indegree() + 1;
+}
+
+Rational universal_cost_upper_bound(const Dag& dag, const Model& model) {
+  const std::int64_t n = static_cast<std::int64_t>(dag.node_count());
+  const std::int64_t delta = static_cast<std::int64_t>(dag.max_indegree());
+  // (2Δ+1)·n transfers; compcost adds at most ε per node computation in the
+  // greedy strategy of Section 3 (each node computed exactly once there).
+  Rational bound((2 * delta + 1) * n);
+  if (model.kind() == ModelKind::Compcost) {
+    bound += model.epsilon() * Rational(n);
+  }
+  return bound;
+}
+
+Rational cost_lower_bound(const Dag& dag, const Model& model,
+                          std::size_t red_limit) {
+  const std::int64_t n = static_cast<std::int64_t>(dag.node_count());
+  switch (model.kind()) {
+    case ModelKind::Base:
+    case ModelKind::Oneshot:
+      return Rational(0);
+    case ModelKind::Nodel: {
+      // Every node eventually holds a pebble which cannot be deleted; at most
+      // R of them can stay red, so at least n - R Step-2 operations happen.
+      std::int64_t r = static_cast<std::int64_t>(red_limit);
+      return Rational(n > r ? n - r : 0);
+    }
+    case ModelKind::Compcost: {
+      // Each non-source node must be computed at least once, at ε apiece.
+      std::int64_t non_sources =
+          n - static_cast<std::int64_t>(dag.sources().size());
+      return model.epsilon() * Rational(non_sources);
+    }
+  }
+  RBPEB_ENSURE(false, "unreachable");
+  return Rational(0);
+}
+
+std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model) {
+  const std::size_t n = dag.node_count();
+  const std::size_t delta = dag.max_indegree();
+  const std::size_t transfers = (2 * delta + 1) * n;
+  switch (model.kind()) {
+    case ModelKind::Base:
+      // The base model admits optimal pebblings of superpolynomial length
+      // (paper, Section 4); no finite bound is claimed.
+      return std::numeric_limits<std::size_t>::max();
+    case ModelKind::Oneshot:
+      // ≤ n computes; a deleted node can never be re-pebbled, so ≤ n deletes.
+      return transfers + 2 * n;
+    case ModelKind::Nodel:
+      // ≤ n first computes; every recomputation consumes a blue pebble
+      // created by a Step 2, of which there are at most `transfers`.
+      return 2 * transfers + n;
+    case ModelKind::Compcost: {
+      // Lemma 1: p ≤ (2/ε)·(2Δ+1+ε)·n non-transfer steps.
+      Rational eps = model.epsilon();
+      Rational cost_cap = universal_cost_upper_bound(dag, model);
+      // p ≤ 2 · cost_cap / ε  ⇒  p ≤ ceil(2 · num · eps_den / (den · eps_num))
+      __int128 num = static_cast<__int128>(2) * cost_cap.num() * eps.den();
+      __int128 den = static_cast<__int128>(cost_cap.den()) * eps.num();
+      std::size_t p = static_cast<std::size_t>((num + den - 1) / den);
+      return transfers + p;
+    }
+  }
+  RBPEB_ENSURE(false, "unreachable");
+  return 0;
+}
+
+}  // namespace rbpeb

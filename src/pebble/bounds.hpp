@@ -1,0 +1,30 @@
+// Closed-form bounds from Sections 3 and 4 of the paper, as checkable code.
+#pragma once
+
+#include "src/graph/dag.hpp"
+#include "src/pebble/model.hpp"
+
+namespace rbpeb {
+
+/// Minimum red-pebble budget for which any pebbling exists: Δ + 1
+/// (paper, Section 3). Zero for the empty DAG, 1 for an edgeless DAG.
+std::size_t min_red_pebbles(const Dag& dag);
+
+/// Universal upper bound on the optimal pebbling cost with any legal R:
+/// (2Δ+1)·n transfers (paper, Section 3), plus ε·(#computes ≤ n·(Δ+1)-ish)
+/// in compcost — we report the paper's (2Δ+1+ε)·n form.
+Rational universal_cost_upper_bound(const Dag& dag, const Model& model);
+
+/// Model-specific lower bound on the cost of *any* pebbling:
+///  * base, oneshot: 0;
+///  * nodel: n − R (all but R nodes must end up blue; paper, Section 4);
+///  * compcost: ε · (#non-source nodes) (each must be computed at least once).
+Rational cost_lower_bound(const Dag& dag, const Model& model,
+                          std::size_t red_limit);
+
+/// Upper bound on the number of moves in an *optimal* pebbling in the
+/// oneshot / nodel / compcost models: O(Δ·n) (paper, Lemma 1). Returns the
+/// explicit constant used in the proof so tests can assert against it.
+std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model);
+
+}  // namespace rbpeb

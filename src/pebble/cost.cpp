@@ -1,0 +1,54 @@
+#include "src/pebble/cost.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  RBPEB_REQUIRE(den_ != 0, "rational denominator must be non-zero");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+bool Rational::operator==(const Rational& o) const {
+  // Both sides are normalized, so representation equality is value equality.
+  return num_ == o.num_ && den_ == o.den_;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  // __int128 avoids overflow for the magnitudes rbpeb works with.
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::str() const {
+  std::ostringstream os;
+  os << num_;
+  if (den_ != 1) os << '/' << den_;
+  return os.str();
+}
+
+}  // namespace rbpeb

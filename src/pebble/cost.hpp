@@ -1,0 +1,68 @@
+// Exact pebbling cost accounting.
+//
+// Costs in the compcost model involve a rational ε (the paper suggests
+// ε ≈ 1/100); representing totals as floating point would make optimality
+// comparisons unreliable, so rbpeb tracks operation *counts* exactly and
+// compares totals with exact rational arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rbpeb {
+
+/// Exact rational number with cross-multiplication comparison. Denominator
+/// is kept positive; values are normalized on construction.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num, std::int64_t den = 1);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+
+  bool operator==(const Rational& o) const;
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  double to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+  /// "7", "7/2" style rendering.
+  std::string str() const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// Counts of the four pebbling operations (paper, Section 1):
+///   Step 1 (blue→red, "load"), Step 2 (red→blue, "store"),
+///   Step 3 (compute), Step 4 (delete).
+/// A model turns these counts into a total cost (see Model::total).
+struct Cost {
+  std::int64_t loads = 0;    ///< Step 1: move to fast memory.
+  std::int64_t stores = 0;   ///< Step 2: move to slow memory.
+  std::int64_t computes = 0; ///< Step 3.
+  std::int64_t deletes = 0;  ///< Step 4.
+
+  /// Steps 1 + 2 — the transfer operations whose count is the cost in the
+  /// base / oneshot / nodel models.
+  std::int64_t transfers() const { return loads + stores; }
+
+  Cost operator+(const Cost& o) const {
+    return {loads + o.loads, stores + o.stores, computes + o.computes,
+            deletes + o.deletes};
+  }
+  Cost& operator+=(const Cost& o) { return *this = *this + o; }
+  bool operator==(const Cost& o) const = default;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,36 @@
+#include "src/pebble/model.hpp"
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Model Model::base() { return Model(ModelKind::Base, "base", Rational(0)); }
+
+Model Model::oneshot() {
+  return Model(ModelKind::Oneshot, "oneshot", Rational(0));
+}
+
+Model Model::nodel() { return Model(ModelKind::Nodel, "nodel", Rational(0)); }
+
+Model Model::compcost(std::int64_t num, std::int64_t den) {
+  Rational eps(num, den);
+  RBPEB_REQUIRE(Rational(0) < eps && eps < Rational(1),
+                "compcost requires 0 < eps < 1");
+  return Model(ModelKind::Compcost, "compcost", eps);
+}
+
+Rational Model::total(const Cost& cost) const {
+  Rational t(cost.transfers());
+  if (kind_ == ModelKind::Compcost) {
+    t += eps_ * Rational(cost.computes);
+  }
+  return t;
+}
+
+const std::vector<Model>& all_models() {
+  static const std::vector<Model> models = {
+      Model::base(), Model::oneshot(), Model::nodel(), Model::compcost()};
+  return models;
+}
+
+}  // namespace rbpeb

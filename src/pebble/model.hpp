@@ -1,0 +1,65 @@
+// The four red-blue pebbling model variants studied by the paper.
+//
+// Paper, Table 1:
+//   model     blue→red  red→blue  compute       delete
+//   base      1         1         0             0
+//   oneshot   1         1         0, ∞, ∞, ...  0      (each node once)
+//   nodel     1         1         0             ∞      (no deletions)
+//   compcost  1         1         ε             0
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/pebble/cost.hpp"
+
+namespace rbpeb {
+
+/// Which rule set is in effect.
+enum class ModelKind { Base, Oneshot, Nodel, Compcost };
+
+/// A fully-specified model: a rule set plus, for compcost, the computation
+/// cost ε = eps_num/eps_den with 0 < ε < 1.
+class Model {
+ public:
+  /// The base model: transfers cost 1, compute and delete free and unlimited.
+  static Model base();
+
+  /// The oneshot model: like base, but each node may be computed at most once.
+  static Model oneshot();
+
+  /// The no-deletion model: like base, but Step 4 is forbidden.
+  static Model nodel();
+
+  /// The compcost model with ε = num/den (paper suggests ε ≈ 1/100).
+  static Model compcost(std::int64_t num = 1, std::int64_t den = 100);
+
+  ModelKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  /// True if Step 4 (delete) is ever legal.
+  bool allows_delete() const { return kind_ != ModelKind::Nodel; }
+
+  /// True if a node may be computed more than once.
+  bool allows_recompute() const { return kind_ != ModelKind::Oneshot; }
+
+  /// ε as a rational; zero except in compcost.
+  Rational epsilon() const { return eps_; }
+
+  /// Exact total cost of an operation-count vector under this model.
+  Rational total(const Cost& cost) const;
+
+ private:
+  Model(ModelKind kind, std::string name, Rational eps)
+      : kind_(kind), name_(std::move(name)), eps_(eps) {}
+
+  ModelKind kind_;
+  std::string name_;
+  Rational eps_;
+};
+
+/// All four models with default parameters (ε = 1/100), in paper order.
+/// Convenient for parameterized tests and benches.
+const std::vector<Model>& all_models();
+
+}  // namespace rbpeb

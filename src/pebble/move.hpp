@@ -1,0 +1,35 @@
+// A single step of a red-blue pebbling.
+#pragma once
+
+#include <string>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// The four operations of the red-blue pebble game (paper, Section 1).
+enum class MoveType {
+  Load,     ///< Step 1: replace a blue pebble by a red pebble.
+  Store,    ///< Step 2: replace a red pebble by a blue pebble.
+  Compute,  ///< Step 3: place a red pebble on a node whose inputs are all red.
+  Delete,   ///< Step 4: remove a (red or blue) pebble.
+};
+
+/// One pebbling step applied to one node.
+struct Move {
+  MoveType type;
+  NodeId node;
+
+  bool operator==(const Move& o) const = default;
+};
+
+/// Convenience constructors.
+inline Move load(NodeId v) { return {MoveType::Load, v}; }
+inline Move store(NodeId v) { return {MoveType::Store, v}; }
+inline Move compute(NodeId v) { return {MoveType::Compute, v}; }
+inline Move erase(NodeId v) { return {MoveType::Delete, v}; }
+
+/// "load(7)" style rendering for diagnostics.
+std::string to_string(const Move& move);
+
+}  // namespace rbpeb

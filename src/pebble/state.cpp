@@ -1,0 +1,30 @@
+#include "src/pebble/state.hpp"
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+GameState::GameState(std::size_t node_count)
+    : color_(node_count, PebbleColor::None), computed_(node_count, false) {}
+
+std::vector<NodeId> GameState::red_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(red_count_);
+  for (std::size_t v = 0; v < color_.size(); ++v) {
+    if (color_[v] == PebbleColor::Red) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+void GameState::set_color(NodeId v, PebbleColor c) {
+  RBPEB_REQUIRE(v < color_.size(), "node id out of range");
+  PebbleColor old = color_[v];
+  if (old == c) return;
+  if (old == PebbleColor::Red) --red_count_;
+  if (old == PebbleColor::Blue) --blue_count_;
+  if (c == PebbleColor::Red) ++red_count_;
+  if (c == PebbleColor::Blue) ++blue_count_;
+  color_[v] = c;
+}
+
+}  // namespace rbpeb

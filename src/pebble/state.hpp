@@ -1,0 +1,57 @@
+// Mutable pebbling configuration: which pebble (if any) sits on each node,
+// and which nodes have ever been computed (needed for the oneshot rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// Pebble occupancy of one node.
+enum class PebbleColor : std::uint8_t { None = 0, Red = 1, Blue = 2 };
+
+/// The dynamic state of a pebbling in progress. Plain data; legality of
+/// transitions is the Engine's job.
+class GameState {
+ public:
+  GameState() = default;
+
+  /// Empty configuration (no pebbles, nothing computed) for an n-node DAG.
+  explicit GameState(std::size_t node_count);
+
+  std::size_t node_count() const { return color_.size(); }
+
+  PebbleColor color(NodeId v) const { return color_[v]; }
+  bool is_red(NodeId v) const { return color_[v] == PebbleColor::Red; }
+  bool is_blue(NodeId v) const { return color_[v] == PebbleColor::Blue; }
+  bool is_empty(NodeId v) const { return color_[v] == PebbleColor::None; }
+
+  /// True if Step 3 was ever applied to `v` (sticky; survives deletion).
+  bool was_computed(NodeId v) const { return computed_[v]; }
+
+  /// Number of red pebbles currently on the DAG.
+  std::size_t red_count() const { return red_count_; }
+
+  /// Number of blue pebbles currently on the DAG.
+  std::size_t blue_count() const { return blue_count_; }
+
+  /// All nodes currently holding a red pebble, ascending. O(n).
+  std::vector<NodeId> red_nodes() const;
+
+  // --- raw mutation (Engine uses these; they maintain the counters) ---
+
+  void set_color(NodeId v, PebbleColor c);
+  void mark_computed(NodeId v) { computed_[v] = true; }
+
+  bool operator==(const GameState& o) const = default;
+
+ private:
+  std::vector<PebbleColor> color_;
+  std::vector<bool> computed_;
+  std::size_t red_count_ = 0;
+  std::size_t blue_count_ = 0;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,31 @@
+#include "src/pebble/trace.hpp"
+
+#include <sstream>
+
+namespace rbpeb {
+
+std::string to_string(const Move& move) {
+  std::ostringstream os;
+  switch (move.type) {
+    case MoveType::Load: os << "load"; break;
+    case MoveType::Store: os << "store"; break;
+    case MoveType::Compute: os << "compute"; break;
+    case MoveType::Delete: os << "delete"; break;
+  }
+  os << '(' << move.node << ')';
+  return os.str();
+}
+
+void Trace::append(const Trace& other) {
+  moves_.insert(moves_.end(), other.moves_.begin(), other.moves_.end());
+}
+
+std::string Trace::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < moves_.size(); ++i) {
+    os << i << ": " << to_string(moves_[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,42 @@
+// A pebbling trace: the full move sequence a solver produced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/pebble/move.hpp"
+
+namespace rbpeb {
+
+/// An append-only sequence of moves. Traces are produced by solvers and
+/// consumed by the Verifier; they carry no cost information of their own —
+/// cost is always recomputed by replaying, so solvers cannot misreport.
+class Trace {
+ public:
+  Trace() = default;
+
+  void push(Move move) { moves_.push_back(move); }
+  void push_load(NodeId v) { push(load(v)); }
+  void push_store(NodeId v) { push(store(v)); }
+  void push_compute(NodeId v) { push(compute(v)); }
+  void push_delete(NodeId v) { push(erase(v)); }
+
+  /// Append all moves of another trace.
+  void append(const Trace& other);
+
+  std::size_t size() const { return moves_.size(); }
+  bool empty() const { return moves_.empty(); }
+  const Move& operator[](std::size_t i) const { return moves_[i]; }
+  const std::vector<Move>& moves() const { return moves_; }
+
+  auto begin() const { return moves_.begin(); }
+  auto end() const { return moves_.end(); }
+
+  /// Multi-line human-readable rendering (one move per line).
+  std::string str() const;
+
+ private:
+  std::vector<Move> moves_;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,54 @@
+#include "src/pebble/trace_io.hpp"
+
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::string trace_to_text(const Trace& trace) {
+  std::ostringstream os;
+  for (const Move& move : trace) {
+    switch (move.type) {
+      case MoveType::Load: os << "load "; break;
+      case MoveType::Store: os << "store "; break;
+      case MoveType::Compute: os << "compute "; break;
+      case MoveType::Delete: os << "delete "; break;
+    }
+    os << move.node << '\n';
+  }
+  return os.str();
+}
+
+Trace trace_from_text(const std::string& text) {
+  Trace trace;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) continue;  // blank line
+    std::uint64_t node = 0;
+    RBPEB_REQUIRE(static_cast<bool>(ls >> node),
+                  "trace line " + std::to_string(line_number) +
+                      ": missing node id");
+    std::string rest;
+    RBPEB_REQUIRE(!(ls >> rest), "trace line " + std::to_string(line_number) +
+                                     ": trailing tokens");
+    NodeId v = static_cast<NodeId>(node);
+    if (op == "load") trace.push_load(v);
+    else if (op == "store") trace.push_store(v);
+    else if (op == "compute") trace.push_compute(v);
+    else if (op == "delete") trace.push_delete(v);
+    else
+      RBPEB_REQUIRE(false, "trace line " + std::to_string(line_number) +
+                               ": unknown operation '" + op + "'");
+  }
+  return trace;
+}
+
+}  // namespace rbpeb

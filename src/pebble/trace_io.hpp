@@ -1,0 +1,20 @@
+// Trace serialization: a line-based text format for saving and replaying
+// pebbling schedules (used by the CLI and the golden tests).
+//
+// Format: one move per line, "<op> <node>", where op is one of
+// load | store | compute | delete. Blank lines and '#' comments allowed.
+#pragma once
+
+#include <string>
+
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// Serialize a trace.
+std::string trace_to_text(const Trace& trace);
+
+/// Parse the format above. Throws PreconditionError on malformed input.
+Trace trace_from_text(const std::string& text);
+
+}  // namespace rbpeb

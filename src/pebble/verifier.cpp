@@ -1,0 +1,46 @@
+#include "src/pebble/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+VerifyResult verify(const Engine& engine, const Trace& trace) {
+  VerifyResult result;
+  GameState state = engine.initial_state();
+  result.legal = true;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Move& move = trace[i];
+    if (auto reason = engine.why_illegal(state, move)) {
+      result.legal = false;
+      result.failed_at = i;
+      std::ostringstream os;
+      os << "move " << i << " " << to_string(move) << ": " << *reason;
+      result.error = os.str();
+      break;
+    }
+    engine.apply(state, move, result.cost);
+    result.max_red = std::max(result.max_red, state.red_count());
+    ++result.length;
+  }
+  result.complete = result.legal && engine.is_complete(state);
+  result.total = engine.model().total(result.cost);
+  result.final_state = std::move(state);
+  return result;
+}
+
+VerifyResult verify_or_throw(const Engine& engine, const Trace& trace) {
+  VerifyResult result = verify(engine, trace);
+  if (!result.legal) {
+    throw InvariantError("trace replay failed: " + result.error);
+  }
+  if (!result.complete) {
+    throw InvariantError(
+        "trace is legal but incomplete: some sink holds no pebble");
+  }
+  return result;
+}
+
+}  // namespace rbpeb

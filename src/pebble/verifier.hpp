@@ -1,0 +1,39 @@
+// Independent replay of a trace against the game rules.
+//
+// rbpeb never trusts a solver's self-reported cost: every experiment and
+// test replays the solver's trace through the Engine and uses the audited
+// numbers. This is the design decision that makes the benchmark outputs
+// trustworthy (DESIGN.md, decision 2).
+#pragma once
+
+#include <string>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// Result of replaying a trace.
+struct VerifyResult {
+  bool legal = false;        ///< Every move was legal in sequence.
+  bool complete = false;     ///< Final state pebbles every sink.
+  std::size_t failed_at = 0; ///< Index of the first illegal move (if !legal).
+  std::string error;         ///< Reason for the first illegal move.
+  Cost cost;                 ///< Operation counts over the whole trace.
+  Rational total;            ///< Model-weighted total cost.
+  std::size_t max_red = 0;   ///< Peak number of red pebbles observed.
+  std::size_t length = 0;    ///< Number of moves replayed (= trace size if legal).
+  GameState final_state;     ///< State after the last replayed move.
+
+  /// True iff the trace is a valid, complete pebbling.
+  bool ok() const { return legal && complete; }
+};
+
+/// Replay `trace` from the empty configuration under `engine`'s rules.
+VerifyResult verify(const Engine& engine, const Trace& trace);
+
+/// Like verify, but throws InvariantError with diagnostics unless ok().
+/// Returns the result for further inspection.
+VerifyResult verify_or_throw(const Engine& engine, const Trace& trace);
+
+}  // namespace rbpeb

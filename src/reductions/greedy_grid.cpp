@@ -1,0 +1,200 @@
+#include "src/reductions/greedy_grid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/gadgets/h2c.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+GreedyGrid make_greedy_grid(const GreedyGridSpec& spec) {
+  RBPEB_REQUIRE(spec.ell >= 2, "the grid needs ell >= 2");
+  RBPEB_REQUIRE(spec.k_common >= 1, "need at least one common node");
+  RBPEB_REQUIRE(spec.intersection >= 2,
+                "intersections must outweigh a single red target");
+  const std::size_t ell = spec.ell;
+
+  GreedyGrid grid;
+  grid.spec = spec;
+  DagBuilder builder;
+
+  // Common nodes per diagonal x = i + j, x in [2, ell+1].
+  std::vector<std::vector<NodeId>> common(ell + 2);
+  for (std::size_t x = 2; x <= ell + 1; ++x) {
+    common[x].reserve(spec.k_common);
+    for (std::size_t c = 0; c < spec.k_common; ++c) {
+      common[x].push_back(builder.add_node());
+    }
+  }
+
+  // The uniform group size is known in advance: k' commons plus at most one
+  // incoming target and two intersections; every group is padded to this k.
+  const std::size_t k = spec.k_common + 1 + 2 * spec.intersection;
+
+  // Appendix A.4: protect the commons from free recomputation. The gadget is
+  // sized for R = k+1 and its groups are visited before everything else.
+  H2CAttachment h2c;
+  if (spec.protect_commons) {
+    std::vector<NodeId> protect;
+    for (std::size_t x = 2; x <= ell + 1; ++x) {
+      protect.insert(protect.end(), common[x].begin(), common[x].end());
+    }
+    h2c = attach_h2c(builder, protect, H2CSpec{k + 1, /*shared_b=*/true});
+  }
+
+  // Misguidance intersections: mis[j] is shared by the top group of column j
+  // and the bottom group of column j−1 (j in [2, ell]); s0_mis by S0 and
+  // (ell, 1).
+  std::vector<std::vector<NodeId>> mis(ell + 1);
+  for (std::size_t j = 2; j <= ell; ++j) {
+    for (std::size_t c = 0; c < spec.intersection; ++c) {
+      mis[j].push_back(builder.add_node());
+    }
+  }
+  std::vector<NodeId> s0_mis;
+  for (std::size_t c = 0; c < spec.intersection; ++c) {
+    s0_mis.push_back(builder.add_node());
+  }
+
+  // Targets: one per grid group, plus one S0 target per bottom group.
+  auto valid = [&](std::size_t i, std::size_t j) {
+    return i >= 1 && j >= 1 && i + j <= ell + 1;
+  };
+  std::vector<NodeId> target((ell + 1) * (ell + 1), kInvalidNode);
+  auto target_at = [&](std::size_t i, std::size_t j) -> NodeId& {
+    return target[i * (ell + 1) + j];
+  };
+  for (std::size_t i = 1; i <= ell; ++i) {
+    for (std::size_t j = 1; valid(i, j); ++j) {
+      target_at(i, j) = builder.add_node("t_" + std::to_string(i) + "_" +
+                                         std::to_string(j));
+    }
+  }
+  std::vector<NodeId> s0_targets(ell + 1, kInvalidNode);
+  for (std::size_t i = 1; i <= ell; ++i) {
+    s0_targets[i] = builder.add_node("s0t_" + std::to_string(i));
+  }
+
+  // Assemble member lists (fillers added after k is known).
+  struct PendingGroup {
+    std::size_t i = 0, j = 0;  // 0 for S0
+    std::vector<NodeId> members;
+    std::vector<NodeId> targets;
+  };
+  std::vector<PendingGroup> pending;
+
+  PendingGroup s0;
+  s0.members = s0_mis;
+  for (std::size_t i = 1; i <= ell; ++i) s0.targets.push_back(s0_targets[i]);
+  pending.push_back(std::move(s0));
+
+  for (std::size_t i = 1; i <= ell; ++i) {
+    for (std::size_t j = 1; valid(i, j); ++j) {
+      PendingGroup pg;
+      pg.i = i;
+      pg.j = j;
+      pg.members = common[i + j];
+      if (j == 1) {
+        pg.members.push_back(s0_targets[i]);
+        // Bottom of column i intersects the top of column i+1.
+        if (i + 1 <= ell) {
+          pg.members.insert(pg.members.end(), mis[i + 1].begin(),
+                            mis[i + 1].end());
+        }
+      } else {
+        pg.members.push_back(target_at(i, j - 1));
+      }
+      if (j == ell + 1 - i) {  // top of column i
+        if (i >= 2) {
+          pg.members.insert(pg.members.end(), mis[i].begin(), mis[i].end());
+        }
+        if (i == ell) {
+          pg.members.insert(pg.members.end(), s0_mis.begin(), s0_mis.end());
+        }
+      }
+      pg.targets = {target_at(i, j)};
+      pending.push_back(std::move(pg));
+    }
+  }
+
+  // Pad every group with fresh source nodes up to the uniform size k.
+  for (PendingGroup& pg : pending) {
+    RBPEB_ENSURE(pg.members.size() <= k, "group exceeds the computed size k");
+    while (pg.members.size() < k) pg.members.push_back(builder.add_node());
+  }
+
+  // Edges and final group registration.
+  for (const PendingGroup& pg : pending) {
+    for (NodeId t : pg.targets) {
+      for (NodeId m : pg.members) builder.add_edge(m, t);
+    }
+  }
+  grid.instance.dag = builder.build();
+  grid.instance.red_limit = k + 1;
+  grid.group_at.assign(ell * ell, std::numeric_limits<std::size_t>::max());
+  for (InputGroup& gadget_group : h2c.groups) {
+    grid.gadget_prefix.push_back(grid.instance.groups.size());
+    grid.instance.groups.push_back(std::move(gadget_group));
+  }
+  for (PendingGroup& pg : pending) {
+    std::size_t index = grid.instance.groups.size();
+    if (pg.i == 0) {
+      grid.s0_group = index;
+    } else {
+      grid.group_at[(pg.i - 1) * ell + (pg.j - 1)] = index;
+    }
+    grid.instance.groups.push_back(InputGroup{std::move(pg.members),
+                                              std::move(pg.targets)});
+  }
+
+  // Optimal: gadgets, then S0, then each bottom group with its diagonal.
+  grid.optimal_order = grid.gadget_prefix;
+  grid.optimal_order.push_back(grid.s0_group);
+  for (std::size_t i = 1; i <= ell; ++i) {
+    for (std::size_t p = i, q = 1; p >= 1; --p, ++q) {
+      grid.optimal_order.push_back(grid.group_index(p, q));
+    }
+  }
+  // Expected greedy: gadgets, S0, then columns right-to-left, bottom-to-top.
+  grid.expected_greedy_order = grid.gadget_prefix;
+  grid.expected_greedy_order.push_back(grid.s0_group);
+  for (std::size_t i = ell; i >= 1; --i) {
+    for (std::size_t j = 1; valid(i, j); ++j) {
+      grid.expected_greedy_order.push_back(grid.group_index(i, j));
+    }
+  }
+  return grid;
+}
+
+GreedyGridOutcome evaluate_greedy_grid(const GreedyGrid& grid,
+                                       const Model& model) {
+  Engine engine(grid.instance.dag, model, grid.instance.red_limit);
+  GreedyGridOutcome outcome;
+
+  GroupSolveResult greedy = solve_group_greedy(engine, grid.instance);
+  outcome.greedy_cost = verify_or_throw(engine, greedy.trace).total;
+  outcome.greedy_order = greedy.order;
+
+  // The misguidance claim concerns the walk through S0 and the grid; the
+  // order in which the gadget-prefix groups are processed is immaterial.
+  std::vector<bool> is_gadget(grid.instance.group_count(), false);
+  for (std::size_t g : grid.gadget_prefix) is_gadget[g] = true;
+  auto strip_gadgets = [&](const std::vector<std::size_t>& order) {
+    std::vector<std::size_t> out;
+    for (std::size_t g : order) {
+      if (!is_gadget[g]) out.push_back(g);
+    }
+    return out;
+  };
+  outcome.greedy_followed_expected =
+      strip_gadgets(greedy.order) == strip_gadgets(grid.expected_greedy_order);
+
+  Trace optimal =
+      pebble_visit_order(engine, grid.instance, grid.optimal_order);
+  outcome.optimal_cost = verify_or_throw(engine, optimal).total;
+  return outcome;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,68 @@
+// The greedy-misguidance grid of Theorem 4 (Figure 8).
+//
+// Input groups sit on grid positions (i, j), 1 <= i, j, i+j <= ℓ+1. Groups
+// on one diagonal (i+j constant) share k' common source nodes. Group (i,j)'s
+// target is a member of (i, j+1), forcing bottom-to-top visits inside each
+// column. Small planted intersections between the top group of column j and
+// the bottom group of column j−1 (plus an entry group S0 intersecting
+// (ℓ,1)) lure the Section 8 greedy into sweeping columns right-to-left —
+// revisiting each diagonal's common nodes Θ(ℓ) times — while the optimum
+// sweeps diagonals and pays nothing for them. The greedy/optimal cost ratio
+// grows as Θ̃(n) (unbounded indegree version).
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+struct GreedyGridSpec {
+  std::size_t ell = 4;       ///< Grid side length ℓ (>= 2).
+  std::size_t k_common = 32; ///< k' common nodes per diagonal.
+  std::size_t intersection = 2; ///< Size of the misguidance intersections.
+  /// Put H2C gadgets in front of every common node (Appendix A.4). Required
+  /// for a faithful separation in the models that allow recomputation
+  /// (base / nodel / compcost), where unprotected commons would be free to
+  /// rederive and the greedy would pay nothing for its revisits.
+  bool protect_commons = false;
+};
+
+struct GreedyGrid {
+  GroupDagInstance instance;
+  GreedyGridSpec spec;
+  /// Gadget groups to visit before everything else (empty without
+  /// protect_commons).
+  std::vector<std::size_t> gadget_prefix;
+  std::size_t s0_group = 0;  ///< Entry group.
+  /// group_at[(i−1)·ℓ + (j−1)] = instance group index of position (i, j);
+  /// unused slots (i+j > ℓ+1) hold SIZE_MAX.
+  std::vector<std::size_t> group_at;
+  /// The paper's optimal visitation: S0, then for each i the bottom group
+  /// (i,1) followed by its diagonal up to (1,i).
+  std::vector<std::size_t> optimal_order;
+  /// The visitation order the misguided greedy is expected to take: S0, then
+  /// columns right-to-left, each bottom-to-top.
+  std::vector<std::size_t> expected_greedy_order;
+
+  std::size_t group_index(std::size_t i, std::size_t j) const {
+    return group_at[(i - 1) * spec.ell + (j - 1)];
+  }
+};
+
+/// Build the grid for the oneshot model. R = k + 1 where k is the uniform
+/// group size (k' plus a few bookkeeping nodes).
+GreedyGrid make_greedy_grid(const GreedyGridSpec& spec);
+
+/// Convenience: run the group-level greedy and the optimal order, verify
+/// both traces, and return the verified costs.
+struct GreedyGridOutcome {
+  Rational greedy_cost;
+  Rational optimal_cost;
+  std::vector<std::size_t> greedy_order;
+  bool greedy_followed_expected = false;
+};
+GreedyGridOutcome evaluate_greedy_grid(const GreedyGrid& grid,
+                                       const Model& model);
+
+}  // namespace rbpeb

@@ -1,0 +1,89 @@
+// The Hamiltonian-Path reduction of Theorem 2 (Figure 5).
+//
+// Given an undirected graph G on N vertices, build a pebbling instance with
+// one input group per vertex: the group of vertex a holds one contact node
+// per other vertex b, and the contact nodes of an edge {a,b} are merged.
+// With R = N, pebbling cost is an affine function of the number of
+// *adjacent* consecutive vertex pairs in the group visit order, so the
+// optimal pebbling detects a Hamiltonian path.
+//
+// Cost accounting note: rbpeb's trace generator deletes dead pebbles as soon
+// as the model allows, so the absolute costs differ from the paper's
+// (non-optimized) bookkeeping by instance-independent boundary terms. The
+// reduction only needs cost(π) = base − per_edge · A(π) with per_edge > 0,
+// which calibrate_hampath_cost establishes and the tests verify exactly.
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+struct HamPathReduction {
+  GroupDagInstance instance;
+  Graph source;                       ///< The graph G being reduced.
+  Model model = Model::oneshot();
+  /// instance.groups index of the input group of vertex a.
+  std::vector<std::size_t> group_of_vertex;
+  /// Target node t_a of vertex a.
+  std::vector<NodeId> targets;
+  /// contact(a, b): the contact node in group a for vertex b (merged with
+  /// contact(b, a) iff {a,b} is an edge). Indexed a*N+b; diagonal unused.
+  std::vector<NodeId> contacts;
+  /// Gadget groups to visit before the vertex groups (base / compcost only).
+  std::vector<std::size_t> gadget_prefix;
+
+  NodeId contact(Vertex a, Vertex b) const {
+    return contacts[a * source.vertex_count() + b];
+  }
+};
+
+/// Build the reduction for the given model. For base and compcost, per-source
+/// H2C gadgets (Appendix A.2) disable free recomputation of contact nodes.
+HamPathReduction make_hampath_reduction(const Graph& g, const Model& model);
+
+/// The constant-indegree variant (Appendix B.1): each input group's target
+/// is reached through a CD gadget of `layers` layers, so the DAG has Δ = 2
+/// while forcing the same all-red-pebbles group visits. R becomes N+1.
+/// Oneshot model (where processing a CD gadget is free).
+HamPathReduction make_hampath_reduction_cd(const Graph& g, std::size_t layers);
+
+/// Full visit order realizing vertex permutation `perm` (gadget prefix
+/// followed by the vertex groups in permutation order).
+std::vector<std::size_t> order_for_permutation(const HamPathReduction& red,
+                                               const std::vector<Vertex>& perm);
+
+/// Pebble the reduction for vertex permutation `perm`, with the phase
+/// barrier after the gadget prefix that makes the affine cost law exact.
+Trace pebble_permutation(const HamPathReduction& red,
+                         const std::vector<Vertex>& perm);
+
+/// Number of consecutive pairs of `perm` that are edges of `g`.
+std::size_t adjacent_pairs(const Graph& g, const std::vector<Vertex>& perm);
+
+/// cost(π) = base + per_missing_edge · ((N−1) − A(π)), exact rationals.
+struct HamPathCostModel {
+  Rational base;              ///< Cost when the order follows a Ham. path.
+  Rational per_missing_edge;  ///< Extra cost per non-adjacent consecutive pair.
+};
+
+/// Determine the affine cost model by replaying the generator on a reference
+/// permutation. per_missing_edge is the model-determined constant (2 for
+/// transfer-cost models, validated in the test suite); base is measured.
+HamPathCostModel calibrate_hampath_cost(const HamPathReduction& red);
+
+/// The decision threshold C: pebbling cost <= C iff G has a Hamiltonian path
+/// (given the visit-order optimality the paper proves).
+Rational hampath_threshold(const HamPathReduction& red);
+
+/// Optimal pebbling of the reduction: Held–Karp maximizes adjacent pairs.
+struct HamPathPebbling {
+  std::vector<Vertex> perm;
+  std::size_t adjacent = 0;  ///< A(perm), maximal over all permutations.
+  Trace trace;
+  Rational cost;             ///< Verified cost of `trace`.
+};
+HamPathPebbling solve_hampath_pebbling(const HamPathReduction& red);
+
+}  // namespace rbpeb

@@ -1,0 +1,43 @@
+#include "src/reductions/hampath_solver.hpp"
+
+#include "src/solvers/held_karp.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::size_t max_adjacent_pairs(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  RBPEB_REQUIRE(n >= 1, "graph must be non-empty");
+  if (n == 1) return 0;
+  auto transition = [&](std::size_t prev, std::size_t next) -> std::int64_t {
+    if (prev == kHeldKarpStart) return 0;
+    return g.has_edge(static_cast<Vertex>(prev), static_cast<Vertex>(next))
+               ? 0
+               : 1;
+  };
+  HeldKarpResult hk = held_karp_min_order(n, transition);
+  RBPEB_ENSURE(hk.feasible, "unconstrained Held-Karp cannot be infeasible");
+  return (n - 1) - static_cast<std::size_t>(hk.cost);
+}
+
+std::optional<std::vector<Vertex>> find_hamiltonian_path(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  RBPEB_REQUIRE(n >= 1, "graph must be non-empty");
+  if (n == 1) return std::vector<Vertex>{0};
+  auto transition = [&](std::size_t prev, std::size_t next) -> std::int64_t {
+    if (prev == kHeldKarpStart) return 0;
+    return g.has_edge(static_cast<Vertex>(prev), static_cast<Vertex>(next))
+               ? 0
+               : 1;
+  };
+  HeldKarpResult hk = held_karp_min_order(n, transition);
+  if (hk.cost != 0) return std::nullopt;
+  std::vector<Vertex> path(hk.order.begin(), hk.order.end());
+  return path;
+}
+
+bool has_hamiltonian_path(const Graph& g) {
+  return find_hamiltonian_path(g).has_value();
+}
+
+}  // namespace rbpeb

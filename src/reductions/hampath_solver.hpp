@@ -1,0 +1,22 @@
+// Exact Hamiltonian-path oracle (the NP side of the Theorem 2 reduction).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rbpeb {
+
+/// A Hamiltonian path of `g` if one exists, else nullopt. Held–Karp DP,
+/// O(2^N · N²); N <= 20.
+std::optional<std::vector<Vertex>> find_hamiltonian_path(const Graph& g);
+
+/// Convenience wrapper.
+bool has_hamiltonian_path(const Graph& g);
+
+/// Maximum number of graph edges usable as consecutive pairs by any vertex
+/// permutation (equals N−1 iff a Hamiltonian path exists).
+std::size_t max_adjacent_pairs(const Graph& g);
+
+}  // namespace rbpeb

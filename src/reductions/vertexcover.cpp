@@ -1,0 +1,141 @@
+#include "src/reductions/vertexcover.hpp"
+
+#include <algorithm>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+VertexCoverReduction make_vertexcover_reduction(const Graph& g,
+                                                std::size_t k) {
+  const std::size_t n = g.vertex_count();
+  RBPEB_REQUIRE(n >= 2, "vertex cover needs at least two vertices");
+  RBPEB_REQUIRE(k > n, "group size k must exceed the vertex count");
+
+  VertexCoverReduction red;
+  red.source = g;
+  red.k = k;
+  red.k_common = k - n;
+
+  DagBuilder builder;
+  red.first_targets.assign(n * n, kInvalidNode);
+  red.second_targets.assign(n, kInvalidNode);
+
+  // Common nodes per vertex, and the targets.
+  std::vector<std::vector<NodeId>> common(n);
+  for (Vertex a = 0; a < n; ++a) {
+    common[a].reserve(red.k_common);
+    for (std::size_t i = 0; i < red.k_common; ++i) {
+      common[a].push_back(builder.add_node());
+    }
+    for (Vertex b = 0; b < n; ++b) {
+      if (a == b) continue;
+      red.first_targets[a * n + b] = builder.add_node(
+          "t1_" + std::to_string(a) + "_" + std::to_string(b));
+    }
+    red.second_targets[a] = builder.add_node("t2_" + std::to_string(a));
+  }
+
+  std::vector<InputGroup> groups(2 * n);
+  for (Vertex a = 0; a < n; ++a) {
+    InputGroup& v1 = groups[2 * a];
+    InputGroup& v2 = groups[2 * a + 1];
+    v1.members = common[a];
+    v2.members = common[a];
+    // Second level: targets of adjacent first-level groups.
+    for (Vertex b = 0; b < n; ++b) {
+      if (b == a || !g.has_edge(a, b)) continue;
+      v2.members.push_back(red.first_targets[b * n + a]);
+    }
+    // Fill both levels with distinct extra nodes up to cardinality k.
+    while (v1.members.size() < k) v1.members.push_back(builder.add_node());
+    while (v2.members.size() < k) v2.members.push_back(builder.add_node());
+    RBPEB_ENSURE(v1.members.size() == k && v2.members.size() == k,
+                 "group fill failed: k too small for this degree");
+    for (Vertex b = 0; b < n; ++b) {
+      if (b == a) continue;
+      v1.targets.push_back(red.first_targets[a * n + b]);
+    }
+    v2.targets = {red.second_targets[a]};
+  }
+
+  // Edges: every member feeds every target of its group.
+  for (const InputGroup& group : groups) {
+    for (NodeId t : group.targets) {
+      for (NodeId m : group.members) builder.add_edge(m, t);
+    }
+  }
+
+  red.instance.dag = builder.build();
+  red.instance.red_limit = k + 1;
+  red.first_level.resize(n);
+  red.second_level.resize(n);
+  for (Vertex a = 0; a < n; ++a) {
+    red.first_level[a] = 2 * a;
+    red.second_level[a] = 2 * a + 1;
+  }
+  red.instance.groups = std::move(groups);
+  return red;
+}
+
+std::vector<std::size_t> order_for_cover(const VertexCoverReduction& red,
+                                         const std::vector<Vertex>& cover) {
+  const std::size_t n = red.source.vertex_count();
+  std::vector<bool> in_cover(n, false);
+  for (Vertex v : cover) {
+    RBPEB_REQUIRE(v < n, "cover vertex out of range");
+    in_cover[v] = true;
+  }
+  // Validate that `cover` really covers every edge — the order is only
+  // guaranteed dependency-valid in that case.
+  for (const auto& [a, b] : red.source.edges()) {
+    RBPEB_REQUIRE(in_cover[a] || in_cover[b],
+                  "the given set is not a vertex cover");
+  }
+  std::vector<std::size_t> order;
+  order.reserve(2 * n);
+  for (Vertex a = 0; a < n; ++a) {
+    if (in_cover[a]) order.push_back(red.first_level[a]);
+  }
+  for (Vertex a = 0; a < n; ++a) {
+    if (!in_cover[a]) {
+      order.push_back(red.first_level[a]);
+      order.push_back(red.second_level[a]);
+    }
+  }
+  for (Vertex a = 0; a < n; ++a) {
+    if (in_cover[a]) order.push_back(red.second_level[a]);
+  }
+  return order;
+}
+
+Rational cost_for_cover(const VertexCoverReduction& red,
+                        const std::vector<Vertex>& cover) {
+  Engine engine(red.instance.dag, Model::oneshot(), red.instance.red_limit);
+  Trace trace =
+      pebble_visit_order(engine, red.instance, order_for_cover(red, cover));
+  return verify_or_throw(engine, trace).total;
+}
+
+Rational vertexcover_cost_lower_bound(const VertexCoverReduction& red,
+                                      std::size_t min_cover_size) {
+  return Rational(2 * static_cast<std::int64_t>(red.k_common) *
+                  static_cast<std::int64_t>(min_cover_size));
+}
+
+std::vector<Vertex> cover_from_order(const VertexCoverReduction& red,
+                                     const std::vector<std::size_t>& order) {
+  const std::size_t n = red.source.vertex_count();
+  std::vector<std::size_t> position(red.instance.group_count(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  std::vector<Vertex> cover;
+  for (Vertex a = 0; a < n; ++a) {
+    if (position[red.first_level[a]] + 1 != position[red.second_level[a]]) {
+      cover.push_back(a);
+    }
+  }
+  return cover;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,59 @@
+// The Vertex-Cover reduction of Theorem 3 (Figures 6–7) — the δ < 2
+// inapproximability construction for the oneshot model.
+//
+// Every vertex a of G gets a first-level group V_{a,1} and a second-level
+// group V_{a,2} sharing k' = k − N common source nodes. V_{a,1} has one
+// target per other vertex; for each edge {a,b}, target t_{a,1,b} is a member
+// of V_{b,2}, forcing V_{a,1} to be visited before V_{b,2}. Visiting a
+// vertex's two groups consecutively lets its k' common nodes live entirely
+// in red; non-consecutive visits cost 2 transfers per common node. The
+// vertices whose group pairs are visited consecutively form an independent
+// set, so the pebbling cost tracks 2k'·|vertex cover| up to O(N²).
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+struct VertexCoverReduction {
+  GroupDagInstance instance;
+  Graph source;
+  std::size_t k = 0;        ///< Uniform input-group size.
+  std::size_t k_common = 0; ///< k' = k − N common nodes per vertex.
+  /// instance.groups indices of V_{a,1} and V_{a,2}.
+  std::vector<std::size_t> first_level;
+  std::vector<std::size_t> second_level;
+  /// t_{a,1,b}, indexed a*N+b (diagonal unused).
+  std::vector<NodeId> first_targets;
+  /// t_{a,2}.
+  std::vector<NodeId> second_targets;
+};
+
+/// Build the reduction (oneshot model; the paper proves the inapproximability
+/// only there). `k` must exceed the vertex count N; the paper takes
+/// k = ω(N²) so that common nodes dominate.
+VertexCoverReduction make_vertexcover_reduction(const Graph& g, std::size_t k);
+
+/// Visit order induced by a vertex cover: first-level groups of `cover`,
+/// then both groups of each independent-set vertex consecutively, then the
+/// second-level groups of `cover` (the paper's optimal strategy shape).
+std::vector<std::size_t> order_for_cover(const VertexCoverReduction& red,
+                                         const std::vector<Vertex>& cover);
+
+/// Pebble with the order induced by `cover` and return the verified cost.
+Rational cost_for_cover(const VertexCoverReduction& red,
+                        const std::vector<Vertex>& cover);
+
+/// Lower bound from the paper's argument: 2k'·|minimum vertex cover|.
+Rational vertexcover_cost_lower_bound(const VertexCoverReduction& red,
+                                      std::size_t min_cover_size);
+
+/// Recover a vertex cover from an arbitrary visit order: the vertices whose
+/// two groups are *not* consecutive. (The forward direction of the
+/// approximation-preserving map.)
+std::vector<Vertex> cover_from_order(const VertexCoverReduction& red,
+                                     const std::vector<std::size_t>& order);
+
+}  // namespace rbpeb

@@ -1,0 +1,72 @@
+#include "src/reductions/vertexcover_solver.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+bool is_vertex_cover(const Graph& g, const std::vector<Vertex>& cover) {
+  std::vector<bool> in_cover(g.vertex_count(), false);
+  for (Vertex v : cover) {
+    if (v >= g.vertex_count()) return false;
+    in_cover[v] = true;
+  }
+  for (const auto& [a, b] : g.edges()) {
+    if (!in_cover[a] && !in_cover[b]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Depth-first branch and bound: pick an uncovered edge, branch on which
+/// endpoint enters the cover.
+void search(const Graph& g, std::vector<bool>& in_cover, std::size_t size,
+            std::vector<Vertex>& best) {
+  if (size >= best.size()) return;  // cannot improve
+  // Find an uncovered edge.
+  for (const auto& [a, b] : g.edges()) {
+    if (in_cover[a] || in_cover[b]) continue;
+    for (Vertex pick : {a, b}) {
+      in_cover[pick] = true;
+      search(g, in_cover, size + 1, best);
+      in_cover[pick] = false;
+    }
+    return;
+  }
+  // All edges covered: record the improvement.
+  best.clear();
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (in_cover[v]) best.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<Vertex> minimum_vertex_cover(const Graph& g) {
+  // Start from the trivial cover (all vertices) and improve.
+  std::vector<Vertex> best(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) best[v] = v;
+  if (g.edge_count() == 0) return {};
+  std::vector<bool> in_cover(g.vertex_count(), false);
+  // `best` initially has size n, strictly larger than any proper cover the
+  // search finds, so the bound is safe.
+  std::vector<Vertex> result = best;
+  search(g, in_cover, 0, result);
+  return result;
+}
+
+std::vector<Vertex> two_approx_vertex_cover(const Graph& g) {
+  std::vector<bool> matched(g.vertex_count(), false);
+  std::vector<Vertex> cover;
+  for (const auto& [a, b] : g.edges()) {
+    if (matched[a] || matched[b]) continue;
+    matched[a] = matched[b] = true;
+    cover.push_back(a);
+    cover.push_back(b);
+  }
+  return cover;
+}
+
+}  // namespace rbpeb

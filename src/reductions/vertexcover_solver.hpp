@@ -1,0 +1,22 @@
+// Exact minimum vertex cover (the NP-side oracle of the Theorem 3 reduction).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rbpeb {
+
+/// A minimum vertex cover of `g`, found by branch-and-bound on edges
+/// (branch: either endpoint joins the cover). Exponential in the cover size;
+/// fine for the reduction-validation instances (N up to ~24).
+std::vector<Vertex> minimum_vertex_cover(const Graph& g);
+
+/// True if `cover` covers every edge of `g`.
+bool is_vertex_cover(const Graph& g, const std::vector<Vertex>& cover);
+
+/// The classical 2-approximation (maximal matching endpoints); used to
+/// exercise the approximation-factor correspondence of Theorem 3.
+std::vector<Vertex> two_approx_vertex_cover(const Graph& g);
+
+}  // namespace rbpeb

@@ -1,0 +1,17 @@
+#include "src/solvers/chain_solver.hpp"
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Trace solve_chain(const Engine& engine, const TradeoffChain& chain) {
+  RBPEB_REQUIRE(engine.red_limit() >= chain.instance.red_limit,
+                "engine budget below the chain's minimum");
+  // The "parking" of surplus red pebbles in the off control group emerges
+  // from the visit-order pebbler: evictions happen only when the budget is
+  // full, and the deterministic victim choice keeps the same control nodes
+  // resident across visits.
+  return pebble_visit_order(engine, chain.instance, chain.default_order);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,17 @@
+// Constructive optimal strategy for the Figure 3 tradeoff chain.
+#pragma once
+
+#include "src/gadgets/tradeoff_chain.hpp"
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// Pebble the chain with the paper's strategy: visit gadget groups (if any),
+/// then chain nodes in order, keeping as many control pebbles parked as the
+/// budget allows. The trace is legal for any R >= chain.instance.red_limit;
+/// optimality for small instances is established against solve_exact in the
+/// test suite.
+Trace solve_chain(const Engine& engine, const TradeoffChain& chain);
+
+}  // namespace rbpeb

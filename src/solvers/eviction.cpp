@@ -1,0 +1,47 @@
+#include "src/solvers/eviction.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+const char* to_string(EvictionRule rule) {
+  switch (rule) {
+    case EvictionRule::Lru: return "lru";
+    case EvictionRule::FewestRemainingUses: return "fewest-uses";
+    case EvictionRule::Random: return "random";
+  }
+  return "?";
+}
+
+NodeId choose_victim(EvictionRule rule, const std::vector<NodeId>& candidates,
+                     const std::vector<std::int64_t>& remaining_uses,
+                     const std::vector<std::int64_t>& last_use_tick,
+                     Rng& rng) {
+  RBPEB_REQUIRE(!candidates.empty(), "no eviction candidate available");
+  switch (rule) {
+    case EvictionRule::Lru:
+      return *std::min_element(candidates.begin(), candidates.end(),
+                               [&](NodeId a, NodeId b) {
+                                 if (last_use_tick[a] != last_use_tick[b])
+                                   return last_use_tick[a] < last_use_tick[b];
+                                 return a < b;
+                               });
+    case EvictionRule::FewestRemainingUses:
+      return *std::min_element(candidates.begin(), candidates.end(),
+                               [&](NodeId a, NodeId b) {
+                                 if (remaining_uses[a] != remaining_uses[b])
+                                   return remaining_uses[a] < remaining_uses[b];
+                                 if (last_use_tick[a] != last_use_tick[b])
+                                   return last_use_tick[a] < last_use_tick[b];
+                                 return a < b;
+                               });
+    case EvictionRule::Random:
+      return candidates[rng.next_below(candidates.size())];
+  }
+  RBPEB_ENSURE(false, "unreachable");
+  return kInvalidNode;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,38 @@
+// Red-pebble eviction policies.
+//
+// Section 8's greedy rules only choose *which node to compute next*; which
+// red pebble to displace when capacity runs out is an orthogonal decision
+// (DESIGN.md, decision 4). These policies make that decision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+
+/// Strategy for choosing the red pebble to displace.
+enum class EvictionRule {
+  /// Evict the red pebble whose node was least recently used (computed or
+  /// consumed as an input).
+  Lru,
+  /// Evict the node with the fewest not-yet-computed consumers, breaking
+  /// ties by least-recently-used. Nodes that will never be needed again are
+  /// always preferred.
+  FewestRemainingUses,
+  /// Evict a uniformly random candidate (baseline for ablations).
+  Random,
+};
+
+const char* to_string(EvictionRule rule);
+
+/// Pick a victim among `candidates` (non-empty).
+///  * `remaining_uses[v]` — number of uncomputed successors of v;
+///  * `last_use_tick[v]`  — logical clock of v's last involvement.
+NodeId choose_victim(EvictionRule rule, const std::vector<NodeId>& candidates,
+                     const std::vector<std::int64_t>& remaining_uses,
+                     const std::vector<std::int64_t>& last_use_tick, Rng& rng);
+
+}  // namespace rbpeb

@@ -1,0 +1,140 @@
+#include "src/solvers/exact.hpp"
+
+#include <queue>
+#include <unordered_map>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+/// 3 bits per node: 2 for the pebble color, 1 for the computed flag.
+std::uint64_t encode(const GameState& state) {
+  std::uint64_t key = 0;
+  for (std::size_t v = state.node_count(); v-- > 0;) {
+    key <<= 3;
+    key |= static_cast<std::uint64_t>(state.color(static_cast<NodeId>(v)));
+    key |= state.was_computed(static_cast<NodeId>(v)) ? 0x4u : 0x0u;
+  }
+  return key;
+}
+
+GameState decode(std::uint64_t key, std::size_t n) {
+  GameState state(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto color = static_cast<PebbleColor>(key & 0x3u);
+    state.set_color(static_cast<NodeId>(v), color);
+    if (key & 0x4u) state.mark_computed(static_cast<NodeId>(v));
+    key >>= 3;
+  }
+  return state;
+}
+
+/// Integer cost of one move, scaled so that a transfer costs eps_den and a
+/// computation costs eps_num (exact for every model).
+std::int64_t move_cost_scaled(const Model& model, MoveType type) {
+  const Rational eps = model.epsilon();
+  switch (type) {
+    case MoveType::Load:
+    case MoveType::Store:
+      return eps.den();
+    case MoveType::Compute:
+      return eps.num();
+    case MoveType::Delete:
+      return 0;
+  }
+  return 0;
+}
+
+struct QueueEntry {
+  std::int64_t cost;
+  std::uint64_t key;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+struct ParentLink {
+  std::uint64_t key;
+  Move move;
+};
+
+}  // namespace
+
+std::optional<ExactResult> try_solve_exact(const Engine& engine,
+                                           std::size_t max_states) {
+  const Dag& dag = engine.dag();
+  const std::size_t n = dag.node_count();
+  RBPEB_REQUIRE(n <= 21, "solve_exact supports at most 21 nodes");
+  const Model& model = engine.model();
+
+  std::unordered_map<std::uint64_t, std::int64_t> dist;
+  std::unordered_map<std::uint64_t, ParentLink> parent;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+
+  GameState start = engine.initial_state();
+  const std::uint64_t start_key = encode(start);
+  dist[start_key] = 0;
+  pq.push({0, start_key});
+
+  std::size_t expanded = 0;
+  while (!pq.empty()) {
+    auto [cost, key] = pq.top();
+    pq.pop();
+    auto it = dist.find(key);
+    if (it == dist.end() || it->second < cost) continue;  // stale entry
+    GameState state = decode(key, n);
+    if (engine.is_complete(state)) {
+      // Reconstruct the optimal move sequence.
+      std::vector<Move> reversed;
+      std::uint64_t cur = key;
+      while (cur != start_key) {
+        const ParentLink& link = parent.at(cur);
+        reversed.push_back(link.move);
+        cur = link.key;
+      }
+      ExactResult result;
+      for (std::size_t i = reversed.size(); i-- > 0;) {
+        result.trace.push(reversed[i]);
+      }
+      // Scaled units are 1/eps_den (eps_den == 1 outside compcost).
+      result.cost = Rational(cost, model.epsilon().den());
+      result.states_expanded = expanded;
+      return result;
+    }
+    ++expanded;
+    if (expanded > max_states) return std::nullopt;
+
+    for (std::size_t v = 0; v < n; ++v) {
+      NodeId node = static_cast<NodeId>(v);
+      for (MoveType type : {MoveType::Load, MoveType::Store, MoveType::Compute,
+                            MoveType::Delete}) {
+        Move move{type, node};
+        if (!engine.is_legal(state, move)) continue;
+        GameState next = state;
+        Cost scratch;
+        engine.apply(next, move, scratch);
+        std::uint64_t next_key = encode(next);
+        std::int64_t next_cost = cost + move_cost_scaled(model, type);
+        auto [entry, inserted] = dist.try_emplace(next_key, next_cost);
+        if (!inserted && entry->second <= next_cost) continue;
+        entry->second = next_cost;
+        parent[next_key] = {key, move};
+        pq.push({next_cost, next_key});
+      }
+    }
+  }
+  // The configuration graph always contains a complete state reachable from
+  // the empty one when R >= Δ+1 (Section 3), which Engine enforces.
+  RBPEB_ENSURE(false, "exhausted configuration graph without completion");
+  return std::nullopt;
+}
+
+ExactResult solve_exact(const Engine& engine, std::size_t max_states) {
+  auto result = try_solve_exact(engine, max_states);
+  if (!result) {
+    throw InvariantError("solve_exact exceeded its state budget");
+  }
+  return std::move(*result);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,36 @@
+// Exact optimal pebbling via Dijkstra over game configurations.
+//
+// The configuration graph has one vertex per (pebble placement, computed
+// set) pair and one edge per legal move, weighted by the model's cost of
+// that move. Dijkstra from the empty configuration to any complete one
+// yields a provably optimal pebbling. Exponential (4^n states worst case);
+// intended for DAGs of up to ~14 nodes, where it serves as the ground truth
+// that every other solver is validated against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+#include "src/pebble/verifier.hpp"
+
+namespace rbpeb {
+
+struct ExactResult {
+  Trace trace;          ///< An optimal pebbling.
+  Rational cost;        ///< Its model cost (equals verify().total).
+  std::size_t states_expanded = 0;
+};
+
+/// Solve optimally. Throws PreconditionError if the DAG has more than 21
+/// nodes (the packed-state limit) and InvariantError if `max_states` is
+/// exceeded before an optimum is proven.
+ExactResult solve_exact(const Engine& engine, std::size_t max_states = 2'000'000);
+
+/// Like solve_exact but returns nullopt instead of throwing when the state
+/// budget is exhausted.
+std::optional<ExactResult> try_solve_exact(const Engine& engine,
+                                           std::size_t max_states = 2'000'000);
+
+}  // namespace rbpeb

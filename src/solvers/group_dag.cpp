@@ -1,0 +1,343 @@
+#include "src/solvers/group_dag.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::vector<std::vector<std::size_t>> group_dependencies(
+    const GroupDagInstance& instance) {
+  const std::size_t m = instance.group_count();
+  // target_owner[v] = group whose target v is (construction invariant:
+  // every node is the target of at most one group).
+  std::vector<std::size_t> target_owner(instance.dag.node_count(), m);
+  for (std::size_t g = 0; g < m; ++g) {
+    for (NodeId t : instance.groups[g].targets) {
+      RBPEB_REQUIRE(target_owner[t] == m,
+                    "a node may be the target of at most one group");
+      target_owner[t] = g;
+    }
+  }
+  std::vector<std::vector<std::size_t>> deps(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    for (NodeId v : instance.groups[h].members) {
+      std::size_t g = target_owner[v];
+      if (g != m && g != h) deps[h].push_back(g);
+    }
+    std::sort(deps[h].begin(), deps[h].end());
+    deps[h].erase(std::unique(deps[h].begin(), deps[h].end()), deps[h].end());
+  }
+  return deps;
+}
+
+bool is_valid_visit_order(const GroupDagInstance& instance,
+                          const std::vector<std::size_t>& order) {
+  const std::size_t m = instance.group_count();
+  if (order.size() != m) return false;
+  std::vector<std::size_t> position(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (order[i] >= m || position[order[i]] != m) return false;
+    position[order[i]] = i;
+  }
+  auto deps = group_dependencies(instance);
+  for (std::size_t h = 0; h < m; ++h) {
+    for (std::size_t g : deps[h]) {
+      if (position[g] >= position[h]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared machinery for visit-order pebbling and the group-level greedy.
+class GroupPebbler {
+ public:
+  GroupPebbler(const Engine& engine, const GroupDagInstance& instance)
+      : engine_(engine),
+        instance_(instance),
+        dag_(instance.dag),
+        state_(engine.initial_state()),
+        n_(dag_.node_count()),
+        remaining_uses_(n_, 0),
+        in_current_group_(n_, 0),
+        is_sink_(n_, false) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      remaining_uses_[v] =
+          static_cast<std::int64_t>(dag_.outdegree(static_cast<NodeId>(v)));
+    }
+    for (NodeId s : dag_.sinks()) is_sink_[s] = true;
+  }
+
+  /// Number of members of group g currently holding a red pebble.
+  std::size_t red_members(std::size_t g) const {
+    std::size_t count = 0;
+    for (NodeId m : instance_.groups[g].members) {
+      if (state_.is_red(m)) ++count;
+    }
+    return count;
+  }
+
+  /// Visit one group: make all members red, then compute each target.
+  void visit(std::size_t g) {
+    const InputGroup& group = instance_.groups[g];
+    const Model& model = engine_.model();
+    for (NodeId m : group.members) in_current_group_[m] = 1;
+
+    // Red pebbles outside the group are the eviction candidates; collected
+    // once per visit and consumed on demand, best class first.
+    std::vector<NodeId> evictable;
+    for (NodeId r : state_.red_nodes()) {
+      if (!in_current_group_[r]) evictable.push_back(r);
+    }
+
+    for (NodeId m : group.members) {
+      if (state_.is_red(m)) continue;
+      make_room(evictable, kInvalidNode);
+      acquire(m);
+    }
+    for (NodeId t : group.targets) {
+      // Chained targets (e.g. CD-gadget layers) consume the previous target
+      // as an input; it must not be evicted while t is being computed.
+      make_room(evictable, t);
+      apply(compute(t));
+      // The freshly computed target competes for slots with later targets.
+      evictable.push_back(t);
+    }
+
+    for (NodeId m : group.members) in_current_group_[m] = 0;
+
+    // Free dead red pebbles immediately where deletion is allowed; in nodel
+    // they stay red (storing them early would only add cost — the group
+    // visited last keeps its pebbles, paper Appendix A.2).
+    if (model.allows_delete()) {
+      for (NodeId v : group.members) {
+        if (dead(v) && state_.is_red(v)) apply(erase(v));
+      }
+      for (NodeId v : group.targets) {
+        if (dead(v) && state_.is_red(v)) apply(erase(v));
+      }
+    }
+  }
+
+  /// Store every live, non-sink red pebble (a phase barrier; see header).
+  void flush_live_reds() {
+    for (NodeId r : state_.red_nodes()) {
+      if (!dead(r) && !is_sink_[r]) apply(store(r));
+    }
+  }
+
+  Trace take_trace() { return std::move(trace_); }
+
+ private:
+  void apply(Move move) {
+    // Deadness is tracked at DAG granularity: each first computation of a
+    // node consumes one use of every input (recomputations don't re-count).
+    bool first_compute = move.type == MoveType::Compute &&
+                         !state_.was_computed(move.node);
+    Cost scratch;
+    engine_.apply(state_, move, scratch);
+    trace_.push(move);
+    if (first_compute) {
+      for (NodeId p : dag_.predecessors(move.node)) --remaining_uses_[p];
+    }
+  }
+
+  /// True when the pebble on v has no possible future use.
+  bool dead(NodeId v) const {
+    return remaining_uses_[v] == 0 && !is_sink_[v];
+  }
+
+  /// True if re-deriving `v` by Step 3 is legal and at most as expensive as
+  /// a load: only DAG sources are ever recomputed (gadgets make everything
+  /// else costly to recompute, so solvers need not consider it).
+  bool recomputable(NodeId v) const {
+    return engine_.model().allows_recompute() && dag_.is_source(v);
+  }
+
+  /// Make a node red, assuming capacity for one more red pebble.
+  void acquire(NodeId m) {
+    if (state_.is_blue(m)) {
+      if (recomputable(m)) {
+        apply(compute(m));  // replaces blue by red; free (or ε) vs. load's 1
+      } else {
+        apply(load(m));
+      }
+      return;
+    }
+    RBPEB_ENSURE(state_.is_empty(m), "acquire called on a red node");
+    if (state_.was_computed(m)) {
+      RBPEB_ENSURE(recomputable(m),
+                   "a needed non-recomputable pebble was deleted");
+    }
+    // First computation (sources of the construction, or a dependency bug
+    // which the engine will reject because an input is not red).
+    apply(compute(m));
+  }
+
+  /// Eviction preference, lower is better:
+  ///   0 — dead (never needed again, not a sink): delete where allowed;
+  ///   1 — recomputable source: cheap to re-derive later;
+  ///   2 — anything else: store now, load later.
+  int victim_class(NodeId v) const {
+    if (dead(v)) return 0;
+    if (recomputable(v)) return 1;
+    return 2;
+  }
+
+  /// Free one red slot if the budget is full, consuming from `evictable`.
+  /// When `upcoming` is a node about to be computed, its inputs are shielded.
+  void make_room(std::vector<NodeId>& evictable, NodeId upcoming) {
+    if (state_.red_count() < engine_.red_limit()) return;
+    std::vector<bool> shielded;
+    if (upcoming != kInvalidNode) {
+      shielded.assign(n_, false);
+      for (NodeId p : dag_.predecessors(upcoming)) shielded[p] = true;
+    }
+    auto eligible = [&](NodeId v) {
+      return shielded.empty() || !shielded[v];
+    };
+    NodeId victim = kInvalidNode;
+    std::size_t victim_pos = 0;
+    for (std::size_t i = 0; i < evictable.size(); ++i) {
+      NodeId cand = evictable[i];
+      if (!eligible(cand)) continue;
+      if (victim == kInvalidNode) {
+        victim = cand;
+        victim_pos = i;
+        continue;
+      }
+      int cc = victim_class(cand), cv = victim_class(victim);
+      if (cc < cv || (cc == cv && cand < victim)) {
+        victim = cand;
+        victim_pos = i;
+      }
+    }
+    RBPEB_ENSURE(victim != kInvalidNode,
+                 "red budget full with nothing evictable");
+    evictable[victim_pos] = evictable.back();
+    evictable.pop_back();
+    int cls = victim_class(victim);
+    bool can_drop = engine_.model().allows_delete() &&
+                    (cls == 0 || (cls == 1 && recomputable(victim)));
+    if (can_drop) {
+      apply(erase(victim));
+    } else {
+      apply(store(victim));
+    }
+  }
+
+  const Engine& engine_;
+  const GroupDagInstance& instance_;
+  const Dag& dag_;
+  GameState state_;
+  Trace trace_;
+  const std::size_t n_;
+  std::vector<std::int64_t> remaining_uses_;
+  std::vector<char> in_current_group_;
+  std::vector<bool> is_sink_;
+};
+
+}  // namespace
+
+Trace pebble_visit_order(const Engine& engine, const GroupDagInstance& instance,
+                         const std::vector<std::size_t>& order,
+                         const std::vector<std::size_t>& barriers) {
+  RBPEB_REQUIRE(is_valid_visit_order(instance, order),
+                "visit order violates group dependencies");
+  GroupPebbler pebbler(engine, instance);
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    pebbler.visit(order[position]);
+    if (std::find(barriers.begin(), barriers.end(), position) !=
+        barriers.end()) {
+      pebbler.flush_live_reds();
+    }
+  }
+  return pebbler.take_trace();
+}
+
+GroupSolveResult solve_group_greedy(const Engine& engine,
+                                    const GroupDagInstance& instance) {
+  const std::size_t m = instance.group_count();
+  auto deps = group_dependencies(instance);
+  std::vector<std::size_t> unmet(m, 0);
+  for (std::size_t g = 0; g < m; ++g) unmet[g] = deps[g].size();
+  std::vector<std::vector<std::size_t>> dependents(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    for (std::size_t g : deps[h]) dependents[g].push_back(h);
+  }
+
+  GroupPebbler pebbler(engine, instance);
+  std::vector<bool> visited(m, false);
+  GroupSolveResult result;
+  result.order.reserve(m);
+  for (std::size_t step = 0; step < m; ++step) {
+    // Enabled group with the most red pebbles on its members; ties broken
+    // toward the smallest index (deterministic).
+    std::size_t best = m;
+    std::size_t best_score = 0;
+    for (std::size_t g = 0; g < m; ++g) {
+      if (visited[g] || unmet[g] > 0) continue;
+      std::size_t score = pebbler.red_members(g);
+      if (best == m || score > best_score) {
+        best = g;
+        best_score = score;
+      }
+    }
+    RBPEB_ENSURE(best != m, "group dependencies contain a cycle");
+    pebbler.visit(best);
+    visited[best] = true;
+    result.order.push_back(best);
+    for (std::size_t h : dependents[best]) --unmet[h];
+  }
+  result.trace = pebbler.take_trace();
+  return result;
+}
+
+GroupSolveResult solve_exhaustive_order(const Engine& engine,
+                                        const GroupDagInstance& instance) {
+  const std::size_t m = instance.group_count();
+  RBPEB_REQUIRE(m <= 9, "exhaustive order search is limited to 9 groups");
+  auto deps = group_dependencies(instance);
+  std::vector<std::uint32_t> dep_mask(m, 0);
+  for (std::size_t h = 0; h < m; ++h) {
+    for (std::size_t g : deps[h]) dep_mask[h] |= (1u << g);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(m);
+  GroupSolveResult best;
+  bool have_best = false;
+  Rational best_cost(0);
+
+  // Depth-first enumeration of dependency-respecting permutations.
+  auto recurse = [&](auto&& self, std::uint32_t mask) -> void {
+    if (order.size() == m) {
+      Trace trace = pebble_visit_order(engine, instance, order);
+      VerifyResult vr = verify(engine, trace);
+      RBPEB_ENSURE(vr.ok(), "generated trace failed verification");
+      if (!have_best || vr.total < best_cost) {
+        have_best = true;
+        best_cost = vr.total;
+        best.order = order;
+        best.trace = std::move(trace);
+      }
+      return;
+    }
+    for (std::size_t g = 0; g < m; ++g) {
+      if (mask & (1u << g)) continue;
+      if ((dep_mask[g] & mask) != dep_mask[g]) continue;
+      order.push_back(g);
+      self(self, mask | (1u << g));
+      order.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  RBPEB_ENSURE(have_best, "no dependency-respecting visit order exists");
+  return best;
+}
+
+}  // namespace rbpeb

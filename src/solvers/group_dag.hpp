@@ -1,0 +1,86 @@
+// Input-group DAGs and visit-order pebbling.
+//
+// Every construction in the paper (Sections 5–8) is an "input-group DAG":
+// node groups of size R−1 are the joint inputs of one or more target nodes,
+// so a target can only be computed while *all* red pebbles sit on its group.
+// An optimal pebbling then reduces to the order in which groups are visited
+// (paper, Section 3, "Constant indegree" discussion). This module provides:
+//   * the GroupDagInstance description,
+//   * a deterministic trace generator for a given visit order,
+//   * the group-level greedy of Section 8 (most red pebbles in the group),
+//   * exhaustive search over visit orders (optimal for small instances).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+/// One input group: `members` must all be red for any of `targets` to be
+/// computed; each target's predecessor set is exactly `members`.
+struct InputGroup {
+  std::vector<NodeId> members;
+  std::vector<NodeId> targets;
+};
+
+/// A DAG together with its input-group structure and red-pebble budget
+/// (R = max group size + 1 in all paper constructions).
+struct GroupDagInstance {
+  Dag dag;
+  std::vector<InputGroup> groups;
+  std::size_t red_limit = 0;
+
+  std::size_t group_count() const { return groups.size(); }
+};
+
+/// Group-level dependencies: g must be visited before h iff some target of g
+/// is a member of h (the target must be computed before h's targets can be).
+/// Returns deps[h] = sorted list of such g.
+std::vector<std::vector<std::size_t>> group_dependencies(
+    const GroupDagInstance& instance);
+
+/// True if `order` is a permutation of all groups respecting
+/// group_dependencies().
+bool is_valid_visit_order(const GroupDagInstance& instance,
+                          const std::vector<std::size_t>& order);
+
+/// Generate the pebbling trace that visits groups in `order` under the
+/// engine's model, using the paper's accounting:
+///  * members are acquired by computing (sources / recomputable), loading
+///    (blue) — recomputation is preferred wherever the model makes it
+///    cheaper than a load;
+///  * red pebbles that will never be needed again are deleted when the
+///    model allows, stored otherwise;
+///  * targets are computed in sequence, the previous one stored or deleted
+///    according to future need.
+/// `barriers` lists positions in `order` after which every live non-sink red
+/// pebble is flushed to blue. Reductions use one barrier after their gadget
+/// prefix so that the pebbling cost of the remaining visits is independent
+/// of which gadget happened to run last (exact affine cost laws need this).
+/// The result is legal and complete (verified by the caller via verify()).
+Trace pebble_visit_order(const Engine& engine, const GroupDagInstance& instance,
+                         const std::vector<std::size_t>& order,
+                         const std::vector<std::size_t>& barriers = {});
+
+/// Result of a group-level solver run.
+struct GroupSolveResult {
+  std::vector<std::size_t> order;
+  Trace trace;
+};
+
+/// The Section 8 greedy at group granularity: repeatedly visit the enabled
+/// group with the most red pebbles currently on its members (ties: smallest
+/// group index). This is exactly how the paper walks through the Theorem 4
+/// grid.
+GroupSolveResult solve_group_greedy(const Engine& engine,
+                                    const GroupDagInstance& instance);
+
+/// Try every dependency-respecting visit order and return the cheapest
+/// (by verified model cost). Exponential; requires group_count() <= 9.
+GroupSolveResult solve_exhaustive_order(const Engine& engine,
+                                        const GroupDagInstance& instance);
+
+}  // namespace rbpeb

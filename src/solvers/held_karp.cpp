@@ -1,0 +1,77 @@
+#include "src/solvers/held_karp.hpp"
+
+#include <limits>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+HeldKarpResult held_karp_min_order(
+    std::size_t count,
+    const std::function<std::int64_t(std::size_t prev, std::size_t next)>&
+        transition,
+    const std::vector<std::uint32_t>& dep_mask) {
+  RBPEB_REQUIRE(count >= 1 && count <= 20,
+                "held_karp_min_order supports 1..20 items");
+  RBPEB_REQUIRE(dep_mask.empty() || dep_mask.size() == count,
+                "dep_mask must be empty or have one entry per item");
+
+  const std::size_t full = (std::size_t{1} << count) - 1;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  auto deps = [&](std::size_t i) -> std::uint32_t {
+    return dep_mask.empty() ? 0u : dep_mask[i];
+  };
+
+  // dp[mask * count + last] = min cost to visit exactly `mask`, ending at
+  // `last`. parent stores the predecessor for path reconstruction.
+  std::vector<std::int64_t> dp((full + 1) * count, kInf);
+  std::vector<std::uint8_t> parent((full + 1) * count, 0xFF);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (deps(i) == 0) {
+      dp[(std::size_t{1} << i) * count + i] = transition(kHeldKarpStart, i);
+    }
+  }
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    for (std::size_t last = 0; last < count; ++last) {
+      std::int64_t cur = dp[mask * count + last];
+      if (cur >= kInf) continue;
+      for (std::size_t next = 0; next < count; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        if ((deps(next) & mask) != deps(next)) continue;
+        std::size_t nmask = mask | (std::size_t{1} << next);
+        std::int64_t cand = cur + transition(last, next);
+        if (cand < dp[nmask * count + next]) {
+          dp[nmask * count + next] = cand;
+          parent[nmask * count + next] = static_cast<std::uint8_t>(last);
+        }
+      }
+    }
+  }
+
+  HeldKarpResult result;
+  std::size_t best_last = count;
+  std::int64_t best = kInf;
+  for (std::size_t last = 0; last < count; ++last) {
+    if (dp[full * count + last] < best) {
+      best = dp[full * count + last];
+      best_last = last;
+    }
+  }
+  if (best_last == count) return result;  // infeasible precedence
+
+  result.feasible = true;
+  result.cost = best;
+  result.order.resize(count);
+  std::size_t mask = full;
+  std::size_t last = best_last;
+  for (std::size_t i = count; i-- > 0;) {
+    result.order[i] = last;
+    std::uint8_t p = parent[mask * count + last];
+    mask ^= (std::size_t{1} << last);
+    last = p;
+  }
+  return result;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,35 @@
+// Held–Karp dynamic program for minimum-cost visit orders.
+//
+// Finds the cheapest order visiting each of `count` items exactly once,
+// where moving from item `prev` to item `next` costs transition(prev, next)
+// and items may carry precedence constraints. O(2^count · count²) time and
+// O(2^count · count) memory; intended for count <= 20.
+//
+// Used by the Hamiltonian-Path reduction (Theorem 2): the optimal pebbling
+// corresponds to a minimum Hamiltonian path in the "group adjacency" metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rbpeb {
+
+/// Transition cost callback; `prev == kHeldKarpStart` for the first item.
+inline constexpr std::size_t kHeldKarpStart = static_cast<std::size_t>(-1);
+
+struct HeldKarpResult {
+  std::vector<std::size_t> order;
+  std::int64_t cost = 0;
+  bool feasible = false;  ///< False if precedence constraints are cyclic.
+};
+
+/// Minimize total transition cost over all precedence-respecting orders.
+/// `dep_mask[i]` is a bitmask of items that must precede item i (may be 0).
+HeldKarpResult held_karp_min_order(
+    std::size_t count,
+    const std::function<std::int64_t(std::size_t prev, std::size_t next)>&
+        transition,
+    const std::vector<std::uint32_t>& dep_mask = {});
+
+}  // namespace rbpeb

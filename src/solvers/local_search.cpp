@@ -1,0 +1,76 @@
+#include "src/solvers/local_search.hpp"
+
+#include <cmath>
+
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+double evaluate(const Engine& engine, const GroupDagInstance& instance,
+                const std::vector<std::size_t>& order) {
+  Trace trace = pebble_visit_order(engine, instance, order);
+  VerifyResult vr = verify(engine, trace);
+  RBPEB_ENSURE(vr.ok(), "generated trace failed verification");
+  return vr.total.to_double();
+}
+
+}  // namespace
+
+GroupSolveResult solve_order_local_search(const Engine& engine,
+                                          const GroupDagInstance& instance,
+                                          const LocalSearchOptions& options) {
+  const std::size_t m = instance.group_count();
+  auto deps = group_dependencies(instance);
+  // dep_set[h][g]: g must precede h.
+  std::vector<std::vector<bool>> must_precede(m, std::vector<bool>(m, false));
+  for (std::size_t h = 0; h < m; ++h) {
+    for (std::size_t g : deps[h]) must_precede[h][g] = true;
+  }
+
+  GroupSolveResult greedy = solve_group_greedy(engine, instance);
+  std::vector<std::size_t> current = greedy.order;
+  double current_cost = evaluate(engine, instance, current);
+
+  std::vector<std::size_t> best_order = current;
+  double best_cost = current_cost;
+
+  Rng rng(options.seed);
+  double temperature =
+      std::max(current_cost * options.initial_temperature_fraction, 1e-9);
+
+  for (std::size_t iter = 0; iter < options.iterations && m >= 2; ++iter) {
+    // Adjacent swap that keeps the order dependency-valid.
+    std::size_t i = static_cast<std::size_t>(rng.next_below(m - 1));
+    std::size_t a = current[i], b = current[i + 1];
+    if (must_precede[b][a]) {
+      temperature *= options.cooling;
+      continue;  // b requires a before it; swap would be invalid
+    }
+    std::swap(current[i], current[i + 1]);
+    double cost = evaluate(engine, instance, current);
+    double delta = cost - current_cost;
+    bool accept = delta <= 0 ||
+                  rng.next_double() < std::exp(-delta / temperature);
+    if (accept) {
+      current_cost = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_order = current;
+      }
+    } else {
+      std::swap(current[i], current[i + 1]);  // undo
+    }
+    temperature *= options.cooling;
+  }
+
+  GroupSolveResult result;
+  result.order = best_order;
+  result.trace = pebble_visit_order(engine, instance, best_order);
+  return result;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,32 @@
+// Local search over group visit orders.
+//
+// The paper shows greedy rules can be Θ̃(√n) worse than optimal and that
+// sub-2 approximation is UGC-hard — but says nothing against local search
+// as a *practical* heuristic. This solver anneals over dependency-respecting
+// visit orders with adjacent-swap moves, evaluating candidates by generating
+// and auditing the full trace (so its numbers are as trustworthy as every
+// other solver's). Used by the heuristics ablation bench.
+#pragma once
+
+#include <cstdint>
+
+#include "src/solvers/group_dag.hpp"
+
+namespace rbpeb {
+
+struct LocalSearchOptions {
+  std::size_t iterations = 2000;
+  /// Initial acceptance temperature as a fraction of the starting cost.
+  double initial_temperature_fraction = 0.1;
+  /// Geometric cooling factor applied every iteration.
+  double cooling = 0.999;
+  std::uint64_t seed = 1;
+};
+
+/// Anneal from the group-level greedy's order. Returns the best order found
+/// and its trace; never worse than the greedy start.
+GroupSolveResult solve_order_local_search(const Engine& engine,
+                                          const GroupDagInstance& instance,
+                                          const LocalSearchOptions& options = {});
+
+}  // namespace rbpeb

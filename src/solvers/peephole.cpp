@@ -1,0 +1,78 @@
+#include "src/solvers/peephole.hpp"
+
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+Trace without_indices(const Trace& trace, std::size_t i,
+                      std::size_t j = static_cast<std::size_t>(-1)) {
+  Trace out;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (k == i || k == j) continue;
+    out.push(trace[k]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace peephole_optimize(const Engine& engine, const Trace& trace,
+                        PeepholeStats* stats, std::size_t max_passes) {
+  VerifyResult current = verify(engine, trace);
+  RBPEB_REQUIRE(current.ok(), "peephole_optimize needs a valid trace");
+
+  Trace best = trace;
+  Rational best_cost = current.total;
+  PeepholeStats local;
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    ++local.passes;
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      const Move move = best[i];
+      // Only transfer moves carry cost in every model; deletes are free and
+      // computes are load-bearing — but a useless transfer can also *block*
+      // later improvements, so try stores, loads, and store+load pairs.
+      if (move.type != MoveType::Store && move.type != MoveType::Load) {
+        continue;
+      }
+      // Candidate 1: drop the move alone.
+      Trace cand = without_indices(best, i);
+      VerifyResult vr = verify(engine, cand);
+      if (vr.ok() && vr.total < best_cost) {
+        best = std::move(cand);
+        best_cost = vr.total;
+        ++local.removed_moves;
+        improved = true;
+        continue;
+      }
+      // Candidate 2: a store together with the next load of the same node.
+      if (move.type == MoveType::Store) {
+        for (std::size_t j = i + 1; j < best.size(); ++j) {
+          if (best[j].node != move.node) continue;
+          if (best[j].type == MoveType::Load) {
+            Trace pair = without_indices(best, i, j);
+            VerifyResult pv = verify(engine, pair);
+            if (pv.ok() && pv.total < best_cost) {
+              best = std::move(pair);
+              best_cost = pv.total;
+              local.removed_moves += 2;
+              improved = true;
+            }
+          }
+          break;  // only the node's next touch matters
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  local.saved = current.total - best_cost;
+  if (stats) *stats = local;
+  return best;
+}
+
+}  // namespace rbpeb

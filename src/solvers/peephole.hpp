@@ -1,0 +1,30 @@
+// Peephole post-optimization of pebbling traces.
+//
+// Solvers sometimes emit transfers that hindsight shows were unnecessary
+// (a stored value that is never reloaded, a spill that the final state
+// didn't need). The optimizer repeatedly tries removing individual moves —
+// and store/load pairs — re-verifying the whole trace after every candidate
+// edit, so the result is guaranteed legal, complete, and no more expensive.
+// A verification-guided optimizer is slow (O(T²) replays) but cannot be
+// wrong; it doubles as a harness for finding solver inefficiencies.
+#pragma once
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb {
+
+struct PeepholeStats {
+  std::size_t removed_moves = 0;
+  std::size_t passes = 0;
+  Rational saved;  ///< Cost reduction achieved.
+};
+
+/// Optimize `trace` (which must verify ok() under `engine`). Returns an
+/// equivalent trace with cost <= the original's. `stats`, when given,
+/// reports what was removed. `max_passes` bounds the outer loop.
+Trace peephole_optimize(const Engine& engine, const Trace& trace,
+                        PeepholeStats* stats = nullptr,
+                        std::size_t max_passes = 8);
+
+}  // namespace rbpeb

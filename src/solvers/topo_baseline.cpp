@@ -1,0 +1,99 @@
+#include "src/solvers/topo_baseline.hpp"
+
+#include <algorithm>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Trace pebble_in_order(const Engine& engine, const std::vector<NodeId>& order,
+                      const OrderedOptions& options) {
+  const Dag& dag = engine.dag();
+  RBPEB_REQUIRE(is_topological_order(dag, order),
+                "computation order must be topological");
+
+  const std::size_t n = dag.node_count();
+  GameState state = engine.initial_state();
+  Cost scratch;
+  Trace trace;
+  Rng rng(options.seed);
+  std::vector<std::int64_t> remaining_uses(n, 0);
+  std::vector<std::int64_t> last_use_tick(n, -1);
+  std::vector<bool> is_sink(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    remaining_uses[v] =
+        static_cast<std::int64_t>(dag.outdegree(static_cast<NodeId>(v)));
+    is_sink[v] = dag.is_sink(static_cast<NodeId>(v));
+  }
+
+  std::vector<bool> protected_node(n, false);
+  std::int64_t tick = 0;
+
+  auto apply = [&](Move move) {
+    engine.apply(state, move, scratch);
+    trace.push(move);
+  };
+
+  auto make_room = [&](std::size_t slots, std::span<const NodeId> protect) {
+    if (state.red_count() + slots <= engine.red_limit()) return;
+    for (NodeId p : protect) protected_node[p] = true;
+    std::vector<NodeId> dead, live;
+    for (NodeId r : state.red_nodes()) {
+      if (protected_node[r]) continue;
+      if (remaining_uses[r] == 0 && !is_sink[r]) dead.push_back(r);
+      else live.push_back(r);
+    }
+    while (state.red_count() + slots > engine.red_limit()) {
+      NodeId victim;
+      bool dead_victim = !dead.empty();
+      if (dead_victim) {
+        victim = dead.back();
+        dead.pop_back();
+      } else {
+        victim =
+            choose_victim(options.eviction, live, remaining_uses, last_use_tick, rng);
+        live.erase(std::find(live.begin(), live.end(), victim));
+      }
+      if (dead_victim && engine.model().allows_delete()) {
+        apply(erase(victim));
+      } else {
+        apply(store(victim));
+      }
+    }
+    for (NodeId p : protect) protected_node[p] = false;
+  };
+
+  for (NodeId v : order) {
+    auto preds = dag.predecessors(v);
+    std::vector<NodeId> to_load;
+    for (NodeId p : preds) {
+      if (!state.is_red(p)) {
+        RBPEB_ENSURE(state.is_blue(p),
+                     "input of the next node is neither red nor blue");
+        to_load.push_back(p);
+      }
+    }
+    make_room(to_load.size() + 1, preds);
+    for (NodeId p : to_load) apply(load(p));
+    apply(compute(v));
+    ++tick;
+    for (NodeId p : preds) last_use_tick[p] = tick;
+    last_use_tick[v] = tick;
+    for (NodeId p : preds) {
+      if (--remaining_uses[p] == 0 && !is_sink[p]) {
+        if (options.eager_delete_dead && engine.model().allows_delete() &&
+            !state.is_empty(p)) {
+          apply(erase(p));
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+Trace solve_topo_baseline(const Engine& engine, const OrderedOptions& options) {
+  return pebble_in_order(engine, topological_order(engine.dag()), options);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,34 @@
+// The Section 3 baseline: pebble nodes in a fixed (topological) order.
+//
+// The paper uses this strategy to prove the universal cost upper bound
+// (2Δ+1)·n; pebble_in_order keeps that guarantee while evicting lazily.
+#pragma once
+
+#include <vector>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+#include "src/solvers/eviction.hpp"
+
+namespace rbpeb {
+
+/// Options for the ordered pebbler.
+struct OrderedOptions {
+  EvictionRule eviction = EvictionRule::FewestRemainingUses;
+  /// Delete dead pebbles immediately where the model allows.
+  bool eager_delete_dead = true;
+  std::uint64_t seed = 1;
+};
+
+/// Pebble the DAG computing nodes exactly in `order` (must be topological).
+/// Per computed node the trace uses at most Δ loads and Δ+1 stores, so its
+/// transfer cost is at most (2Δ+1)·n in every model — the paper's universal
+/// upper bound.
+Trace pebble_in_order(const Engine& engine, const std::vector<NodeId>& order,
+                      const OrderedOptions& options = {});
+
+/// pebble_in_order with the deterministic Kahn topological order.
+Trace solve_topo_baseline(const Engine& engine,
+                          const OrderedOptions& options = {});
+
+}  // namespace rbpeb

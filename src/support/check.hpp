@@ -1,0 +1,60 @@
+// Lightweight runtime checking used across rbpeb.
+//
+// The library is a research artifact whose outputs back claims about a
+// paper's theorems; silent corruption is far worse than a crash, so
+// invariant checks stay enabled in all build types.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rbpeb {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in rbpeb itself).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace rbpeb
+
+/// Validate a caller-facing precondition; always on.
+#define RBPEB_REQUIRE(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::rbpeb::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Validate an internal invariant; always on.
+#define RBPEB_ENSURE(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::rbpeb::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

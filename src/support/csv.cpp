@@ -1,0 +1,58 @@
+#include "src/support/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RBPEB_REQUIRE(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  RBPEB_REQUIRE(row.size() == header_.size(),
+                "CSV row width must match the header");
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,35 @@
+// Minimal CSV emission for machine-readable benchmark series.
+//
+// Bench binaries print human-readable tables; alongside them they can dump
+// CSV files so figures can be re-plotted externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rbpeb {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append a row; width must match the header.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Serialized CSV contents (header + rows).
+  std::string str() const;
+
+  /// Write to a file; returns false (without throwing) on I/O failure so
+  /// benches degrade gracefully in read-only environments.
+  bool write_file(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,55 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms, so
+// rbpeb does not use std::mt19937 / std::uniform_int_distribution (whose
+// outputs are implementation-defined for distributions); instead we ship a
+// small xoshiro256** generator with explicit, portable sampling routines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rbpeb {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference constants),
+/// seeded through splitmix64 so that consecutive seeds give uncorrelated
+/// streams.
+class Rng {
+ public:
+  /// Seed the generator. Distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Fisher–Yates shuffle of the given vector, in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random k-subset of {0, ..., n-1}, in increasing order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,153 @@
+#include "src/support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+const std::string kSeparatorSentinel = "\x01";
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  RBPEB_REQUIRE(rows_.empty(), "set the header before adding rows");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    RBPEB_REQUIRE(row.size() == header_.size(),
+                  "row width must match the header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({kSeparatorSentinel}); }
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::set_align(std::size_t column, Align align) {
+  align_overrides_.emplace_back(column, align);
+}
+
+std::string Table::str() const {
+  // Column widths over header + all non-separator rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    columns = std::max(columns, row.size());
+  }
+  std::vector<std::size_t> width(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    widen(row);
+  }
+
+  // Alignment: numeric-looking columns default to Right. A column is numeric
+  // if every non-empty cell in it looks numeric.
+  std::vector<Align> align(columns, Align::Left);
+  for (std::size_t c = 0; c < columns; ++c) {
+    bool all_numeric = true;
+    bool any = false;
+    for (const auto& row : rows_) {
+      if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+      if (c >= row.size() || row[c].empty()) continue;
+      any = true;
+      if (!looks_numeric(row[c])) {
+        all_numeric = false;
+        break;
+      }
+    }
+    if (any && all_numeric) align[c] = Align::Right;
+  }
+  for (const auto& [c, a] : align_overrides_) {
+    if (c < columns) align[c] = a;
+  }
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      std::size_t pad = width[c] - cell.size();
+      os << ' ';
+      if (align[c] == Align::Right) os << std::string(pad, ' ');
+      os << cell;
+      if (align[c] == Align::Left) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit_row(header_);
+    hline();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      hline();
+    } else {
+      emit_row(row);
+    }
+  }
+  hline();
+  for (const auto& note : notes_) os << "  " << note << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace rbpeb

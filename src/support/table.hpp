@@ -1,0 +1,63 @@
+// ASCII table rendering for benchmark and example output.
+//
+// Every bench binary reproduces a table or figure from the paper; this
+// printer keeps their output uniform and diffable (fixed column widths,
+// right-aligned numerics, optional title and footnotes).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rbpeb {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// An incrementally-built ASCII table.
+///
+/// Usage:
+///   Table t("Figure 4: tradeoff");
+///   t.set_header({"R", "opt(R)"});
+///   t.add_row({"6", "40"});
+///   std::cout << t;
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row; fixes the column count for subsequent rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator at the current position.
+  void add_separator();
+
+  /// Append a footnote rendered under the table.
+  void add_note(std::string note);
+
+  /// Override the default alignment (Right for cells that parse as numbers).
+  void set_align(std::size_t column, Align align);
+
+  /// Render into a string.
+  std::string str() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // A row with the sentinel value {"\x01"} renders as a separator line.
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+  std::vector<std::pair<std::size_t, Align>> align_overrides_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Format a double with the given precision, trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace rbpeb

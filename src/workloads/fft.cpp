@@ -1,0 +1,35 @@
+#include "src/workloads/fft.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+FftDag make_fft_dag(std::size_t size) {
+  RBPEB_REQUIRE(size >= 2 && (size & (size - 1)) == 0,
+                "FFT size must be a power of two >= 2");
+  FftDag fft;
+  fft.size = size;
+  while ((std::size_t{1} << fft.stages) < size) ++fft.stages;
+
+  DagBuilder builder;
+  std::vector<NodeId> prev(size);
+  for (std::size_t p = 0; p < size; ++p) {
+    prev[p] = builder.add_node("x" + std::to_string(p));
+  }
+  fft.inputs = prev;
+  for (std::size_t s = 0; s < fft.stages; ++s) {
+    std::vector<NodeId> cur(size);
+    for (std::size_t p = 0; p < size; ++p) {
+      cur[p] = builder.add_node();
+      builder.add_edge(prev[p], cur[p]);
+      builder.add_edge(prev[p ^ (std::size_t{1} << s)], cur[p]);
+    }
+    prev = std::move(cur);
+  }
+  fft.outputs = prev;
+  fft.dag = builder.build();
+  return fft;
+}
+
+}  // namespace rbpeb

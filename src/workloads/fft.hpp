@@ -1,0 +1,20 @@
+// Radix-2 FFT butterfly computation DAG.
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct FftDag {
+  Dag dag;
+  std::size_t size = 0;    ///< Number of points (a power of two).
+  std::size_t stages = 0;  ///< log2(size).
+  std::vector<NodeId> inputs;
+  std::vector<NodeId> outputs;
+};
+
+/// Build the log2(size)-stage butterfly: node (stage s, position p) consumes
+/// positions p and p XOR 2^s of stage s−1. Every non-source has indegree 2.
+FftDag make_fft_dag(std::size_t size);
+
+}  // namespace rbpeb

@@ -1,0 +1,47 @@
+#include "src/workloads/lu.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+LuDag make_lu_dag(std::size_t n) {
+  RBPEB_REQUIRE(n >= 1, "matrix dimension must be positive");
+  LuDag lu;
+  lu.n = n;
+  DagBuilder builder;
+
+  // current[i*n + j] is the live node holding entry (i, j).
+  std::vector<NodeId> current(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      current[i * n + j] = builder.add_node();
+    }
+  }
+  lu.inputs = current;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Column scaling: l(i,k) = a(i,k) / a(k,k).
+    for (std::size_t i = k + 1; i < n; ++i) {
+      NodeId l = builder.add_node();
+      builder.add_edge(current[i * n + k], l);
+      builder.add_edge(current[k * n + k], l);
+      current[i * n + k] = l;
+    }
+    // Trailing update: a(i,j) -= l(i,k) * u(k,j).
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        NodeId u = builder.add_node();
+        builder.add_edge(current[i * n + j], u);
+        builder.add_edge(current[i * n + k], u);
+        builder.add_edge(current[k * n + j], u);
+        current[i * n + j] = u;
+      }
+    }
+  }
+  lu.outputs = current;
+  lu.dag = builder.build();
+  return lu;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,22 @@
+// Right-looking LU decomposition (without pivoting) computation DAG —
+// a second dense linear-algebra workload with a different dependence
+// structure from matmul (triangular, phase-by-phase).
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct LuDag {
+  Dag dag;
+  std::size_t n = 0;
+  std::vector<NodeId> inputs;   ///< a(i,j) sources, row-major.
+  std::vector<NodeId> outputs;  ///< Final value of each matrix entry.
+};
+
+/// Build the n×n LU DAG: for each step k, column entries below the pivot
+/// are divided by the pivot (indegree 2) and the trailing submatrix gets a
+/// rank-1 update a(i,j) -= l(i,k)·u(k,j) (indegree 3). Δ = 3.
+LuDag make_lu_dag(std::size_t n);
+
+}  // namespace rbpeb

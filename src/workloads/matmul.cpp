@@ -1,0 +1,41 @@
+#include "src/workloads/matmul.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+MatMulDag make_matmul_dag(std::size_t n) {
+  RBPEB_REQUIRE(n >= 1, "matrix dimension must be positive");
+  MatMulDag mm;
+  mm.n = n;
+  DagBuilder builder;
+
+  mm.a_base = builder.add_nodes(n * n);
+  mm.b_base = builder.add_nodes(n * n);
+
+  mm.outputs.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      NodeId acc = kInvalidNode;
+      for (std::size_t k = 0; k < n; ++k) {
+        NodeId p = builder.add_node();
+        builder.add_edge(mm.a_base + static_cast<NodeId>(i * n + k), p);
+        builder.add_edge(mm.b_base + static_cast<NodeId>(k * n + j), p);
+        if (acc == kInvalidNode) {
+          acc = p;  // first product seeds the accumulator chain
+        } else {
+          NodeId s = builder.add_node();
+          builder.add_edge(acc, s);
+          builder.add_edge(p, s);
+          acc = s;
+        }
+      }
+      mm.outputs.push_back(acc);
+    }
+  }
+  mm.dag = builder.build();
+  return mm;
+}
+
+}  // namespace rbpeb

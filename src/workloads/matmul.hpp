@@ -1,0 +1,31 @@
+// Dense matrix-multiplication computation DAG (C = A·B).
+//
+// The canonical I/O-bound kernel motivating red-blue pebbling (Hong & Kung
+// analyzed exactly this DAG): 2n² input sources, n³ product nodes of
+// indegree 2, and per-output chains of n−1 additions.
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct MatMulDag {
+  Dag dag;
+  std::size_t n = 0;
+  /// a(i,k), b(k,j): input sources; c(i,j): output sinks.
+  NodeId a(std::size_t i, std::size_t k) const { return a_base + static_cast<NodeId>(i * n + k); }
+  NodeId b(std::size_t k, std::size_t j) const { return b_base + static_cast<NodeId>(k * n + j); }
+  NodeId c(std::size_t i, std::size_t j) const { return c_(i * n + j); }
+
+  NodeId a_base = 0, b_base = 0;
+  std::vector<NodeId> outputs;  ///< c(i,j) in row-major order.
+
+ private:
+  NodeId c_(std::size_t idx) const { return outputs[idx]; }
+};
+
+/// Build the n×n×n multiplication DAG: p(i,j,k) = a(i,k)·b(k,j) and
+/// s(i,j,k) = s(i,j,k−1) + p(i,j,k); c(i,j) = s(i,j,n−1). Δ = 2.
+MatMulDag make_matmul_dag(std::size_t n);
+
+}  // namespace rbpeb

@@ -1,0 +1,31 @@
+#include "src/workloads/pyramid.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+PyramidDag make_pyramid_dag(std::size_t base) {
+  RBPEB_REQUIRE(base >= 1, "pyramid needs a positive base width");
+  PyramidDag py;
+  py.base = base;
+
+  DagBuilder builder;
+  std::vector<NodeId> row(base);
+  for (auto& v : row) v = builder.add_node();
+  py.base_nodes = row;
+  while (row.size() > 1) {
+    std::vector<NodeId> next(row.size() - 1);
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+      next[i] = builder.add_node();
+      builder.add_edge(row[i], next[i]);
+      builder.add_edge(row[i + 1], next[i]);
+    }
+    row = std::move(next);
+  }
+  py.apex = row.front();
+  py.dag = builder.build();
+  return py;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,22 @@
+// r-pyramid DAG — the indegree-reduction gadget of earlier red-blue work
+// ([6, 10, 16] in the paper), kept here both as a workload and to contrast
+// with the CD gadget (Section 3 notes that removing one red pebble from a
+// pyramid costs only 2, whereas the CD gadget's cost explodes).
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct PyramidDag {
+  Dag dag;
+  std::size_t base = 0;            ///< Width of the bottom row (r).
+  std::vector<NodeId> base_nodes;  ///< Sources.
+  NodeId apex = kInvalidNode;      ///< Single sink.
+};
+
+/// Rows of width r, r−1, ..., 1; node i of a row consumes nodes i and i+1 of
+/// the row below. Δ = 2.
+PyramidDag make_pyramid_dag(std::size_t base);
+
+}  // namespace rbpeb

@@ -1,0 +1,32 @@
+#include "src/workloads/random_layered.hpp"
+
+#include <algorithm>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+Dag make_random_layered_dag(const RandomLayeredSpec& spec) {
+  RBPEB_REQUIRE(spec.layers >= 1 && spec.width >= 1,
+                "layers and width must be positive");
+  const std::size_t indeg = std::min(spec.indegree, spec.width);
+
+  DagBuilder builder;
+  Rng rng(spec.seed);
+  std::vector<NodeId> prev(spec.width);
+  for (auto& v : prev) v = builder.add_node();
+  for (std::size_t layer = 1; layer < spec.layers; ++layer) {
+    std::vector<NodeId> cur(spec.width);
+    for (std::size_t i = 0; i < spec.width; ++i) {
+      cur[i] = builder.add_node();
+      for (std::size_t pick : rng.sample_without_replacement(spec.width, indeg)) {
+        builder.add_edge(prev[pick], cur[i]);
+      }
+    }
+    prev = std::move(cur);
+  }
+  return builder.build();
+}
+
+}  // namespace rbpeb

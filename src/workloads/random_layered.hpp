@@ -1,0 +1,20 @@
+// Random layered DAGs — generic synthetic workloads for solver stress tests.
+#pragma once
+
+#include "src/graph/dag.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+
+struct RandomLayeredSpec {
+  std::size_t layers = 4;
+  std::size_t width = 8;
+  std::size_t indegree = 2;  ///< Inputs per non-source node (capped by width).
+  std::uint64_t seed = 1;
+};
+
+/// `layers` layers of `width` nodes; each node beyond layer 0 consumes
+/// `indegree` distinct uniformly random nodes of the previous layer.
+Dag make_random_layered_dag(const RandomLayeredSpec& spec);
+
+}  // namespace rbpeb

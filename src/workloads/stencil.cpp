@@ -1,0 +1,67 @@
+#include "src/workloads/stencil.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+StencilDag make_stencil1d_dag(std::size_t width, std::size_t steps) {
+  RBPEB_REQUIRE(width >= 1 && steps >= 1, "stencil needs positive extents");
+  StencilDag st;
+  st.width = width;
+  st.steps = steps;
+
+  DagBuilder builder;
+  std::vector<NodeId> prev(width);
+  for (std::size_t x = 0; x < width; ++x) prev[x] = builder.add_node();
+  st.initial = prev;
+  for (std::size_t t = 1; t <= steps; ++t) {
+    std::vector<NodeId> cur(width);
+    for (std::size_t x = 0; x < width; ++x) {
+      cur[x] = builder.add_node();
+      if (x > 0) builder.add_edge(prev[x - 1], cur[x]);
+      builder.add_edge(prev[x], cur[x]);
+      if (x + 1 < width) builder.add_edge(prev[x + 1], cur[x]);
+    }
+    prev = std::move(cur);
+  }
+  st.final_ = prev;
+  st.dag = builder.build();
+  return st;
+}
+
+StencilDag make_stencil2d_dag(std::size_t width, std::size_t height,
+                              std::size_t steps) {
+  RBPEB_REQUIRE(width >= 1 && height >= 1 && steps >= 1,
+                "stencil needs positive extents");
+  StencilDag st;
+  st.width = width;
+  st.height = height;
+  st.steps = steps;
+
+  DagBuilder builder;
+  auto idx = [&](std::size_t x, std::size_t y) { return y * width + x; };
+  std::vector<NodeId> prev(width * height);
+  for (auto& v : prev) v = builder.add_node();
+  st.initial = prev;
+  for (std::size_t t = 1; t <= steps; ++t) {
+    std::vector<NodeId> cur(width * height);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        NodeId v = builder.add_node();
+        cur[idx(x, y)] = v;
+        builder.add_edge(prev[idx(x, y)], v);
+        if (x > 0) builder.add_edge(prev[idx(x - 1, y)], v);
+        if (x + 1 < width) builder.add_edge(prev[idx(x + 1, y)], v);
+        if (y > 0) builder.add_edge(prev[idx(x, y - 1)], v);
+        if (y + 1 < height) builder.add_edge(prev[idx(x, y + 1)], v);
+      }
+    }
+    prev = std::move(cur);
+  }
+  st.final_ = prev;
+  st.dag = builder.build();
+  return st;
+}
+
+}  // namespace rbpeb

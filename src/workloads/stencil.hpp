@@ -1,0 +1,25 @@
+// Iterated stencil computation DAGs (1D 3-point and 2D 5-point).
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct StencilDag {
+  Dag dag;
+  std::size_t width = 0;
+  std::size_t height = 1;  ///< 1 for the 1D variant.
+  std::size_t steps = 0;
+  std::vector<NodeId> initial;  ///< t = 0 sources.
+  std::vector<NodeId> final_;   ///< t = steps sinks.
+};
+
+/// 1D Jacobi-style stencil: cell (t, x) consumes (t−1, x−1), (t−1, x),
+/// (t−1, x+1), clipped at the boundary. Δ = 3.
+StencilDag make_stencil1d_dag(std::size_t width, std::size_t steps);
+
+/// 2D 5-point stencil over a width×height grid for `steps` steps. Δ = 5.
+StencilDag make_stencil2d_dag(std::size_t width, std::size_t height,
+                              std::size_t steps);
+
+}  // namespace rbpeb

@@ -1,0 +1,34 @@
+#include "src/workloads/tree_reduction.hpp"
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+TreeReductionDag make_tree_reduction_dag(std::size_t leaves) {
+  RBPEB_REQUIRE(leaves >= 1, "need at least one leaf");
+  TreeReductionDag tree;
+  tree.leaves = leaves;
+
+  DagBuilder builder;
+  std::vector<NodeId> level(leaves);
+  for (auto& v : level) v = builder.add_node();
+  tree.leaf_nodes = level;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      NodeId v = builder.add_node();
+      builder.add_edge(level[i], v);
+      builder.add_edge(level[i + 1], v);
+      next.push_back(v);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  tree.root = level.front();
+  tree.dag = builder.build();
+  return tree;
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,19 @@
+// Binary tree reduction DAG (e.g. a parallel sum).
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+struct TreeReductionDag {
+  Dag dag;
+  std::size_t leaves = 0;
+  std::vector<NodeId> leaf_nodes;
+  NodeId root = kInvalidNode;
+};
+
+/// Reduce `leaves` inputs pairwise (odd nodes carried up a level) until one
+/// root remains. Δ = 2.
+TreeReductionDag make_tree_reduction_dag(std::size_t leaves);
+
+}  // namespace rbpeb

@@ -1,0 +1,44 @@
+#include "src/analysis/io_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/workloads/matmul.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(IoBounds, ShapesAreSane) {
+  // Decreasing in R, increasing in problem size, never negative.
+  EXPECT_GT(matmul_io_lower_bound(64, 8), matmul_io_lower_bound(64, 32));
+  EXPECT_GT(matmul_io_lower_bound(96, 16), matmul_io_lower_bound(64, 16));
+  EXPECT_GE(matmul_io_lower_bound(4, 1024), 0.0);
+
+  EXPECT_GT(fft_io_lower_bound(4096, 4), fft_io_lower_bound(4096, 64));
+  EXPECT_GT(fft_io_lower_bound(8192, 8), fft_io_lower_bound(4096, 8));
+  EXPECT_GE(fft_io_lower_bound(2, 2), 0.0);
+
+  EXPECT_GT(stencil1d_io_lower_bound(256, 256, 8),
+            stencil1d_io_lower_bound(256, 256, 64));
+  EXPECT_GE(stencil1d_io_lower_bound(4, 2, 64), 0.0);
+}
+
+TEST(IoBounds, MeasuredMatmulCostRespectsTheBound) {
+  // With the conservative constants the measured greedy cost must sit above
+  // the reference curve wherever the curve is non-trivial.
+  for (std::size_t n : {6u, 8u}) {
+    MatMulDag mm = make_matmul_dag(n);
+    for (std::size_t r : {4u, 8u}) {
+      double bound = matmul_io_lower_bound(n, r);
+      if (bound <= 0.0) continue;
+      Engine engine(mm.dag, Model::oneshot(), r);
+      double measured =
+          verify_or_throw(engine, solve_greedy(engine)).total.to_double();
+      EXPECT_GE(measured, bound) << "n=" << n << " R=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbpeb

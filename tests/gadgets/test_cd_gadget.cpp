@@ -1,0 +1,96 @@
+#include "src/gadgets/cd_gadget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+// Group of g source members, one real target, h layers.
+struct CDFixture {
+  GroupDagInstance instance;
+  CDAttachment attachment;
+  NodeId target;
+};
+
+CDFixture make_fixture(std::size_t g, std::size_t h) {
+  DagBuilder b;
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < g; ++i) members.push_back(b.add_node());
+  NodeId t = b.add_node("t");
+  CDAttachment cd = attach_cd_gadget(b, members, {t}, h);
+  CDFixture fx;
+  fx.target = t;
+  fx.instance.dag = b.build();
+  fx.instance.groups = {cd.group};
+  fx.instance.red_limit = g + 2;  // members + 2 working pebbles
+  fx.attachment = cd;
+  return fx;
+}
+
+TEST(CDGadget, ConstantIndegree) {
+  CDFixture fx = make_fixture(6, 4);
+  for (std::size_t v = 0; v < fx.instance.dag.node_count(); ++v) {
+    EXPECT_LE(fx.instance.dag.indegree(static_cast<NodeId>(v)), 2u);
+  }
+  EXPECT_EQ(fx.attachment.layer_nodes.size(), 6u * 4u);
+}
+
+TEST(CDGadget, RejectsDegenerateParameters) {
+  DagBuilder b;
+  NodeId t = b.add_node();
+  EXPECT_THROW(attach_cd_gadget(b, {}, {t}, 3), PreconditionError);
+  NodeId m = b.add_node();
+  EXPECT_THROW(attach_cd_gadget(b, {m}, {t}, 0), PreconditionError);
+}
+
+TEST(CDGadget, FreeWithFullBudgetInOneshot) {
+  // With members + 2 red pebbles, the whole gadget pebbles at zero cost:
+  // this is the property that replaces "computing the target requires all
+  // red pebbles" at constant indegree.
+  CDFixture fx = make_fixture(4, 6);
+  Engine engine(fx.instance.dag, Model::oneshot(), fx.instance.red_limit);
+  Trace trace = pebble_visit_order(engine, fx.instance, {0});
+  VerifyResult vr = verify_or_throw(engine, trace);
+  EXPECT_EQ(vr.total, Rational(0));
+}
+
+TEST(CDGadget, ExactConfirmsZeroCost) {
+  CDFixture fx = make_fixture(3, 3);  // 3 + 9 + 1 = 13 nodes
+  Engine engine(fx.instance.dag, Model::oneshot(), fx.instance.red_limit);
+  EXPECT_EQ(solve_exact(engine, 4'000'000).cost, Rational(0));
+}
+
+TEST(CDGadget, CostScalesWithLayersWhenBudgetShort) {
+  // One red pebble less forces ~2 transfers per layer (Appendix B): the
+  // gadget's defining "cost cliff".
+  std::vector<Rational> costs;
+  for (std::size_t h : {2u, 3u, 4u}) {
+    CDFixture fx = make_fixture(2, h);  // 2 + 2h + 1 nodes
+    Engine engine(fx.instance.dag, Model::oneshot(),
+                  fx.instance.red_limit - 1);
+    ExactResult exact = solve_exact(engine, 6'000'000);
+    costs.push_back(exact.cost);
+  }
+  // Strictly increasing in h, and at least ~2h - O(1).
+  EXPECT_LT(costs[0], costs[1]);
+  EXPECT_LT(costs[1], costs[2]);
+  EXPECT_GE(costs[2], Rational(2 * 4 - 4));
+}
+
+TEST(CDGadget, NodelPaysPerLayerNode) {
+  // Appendix B.1: in nodel every layer node must be turned blue eventually;
+  // cost grows by (R−1)·h-ish even with the full budget.
+  CDFixture fx = make_fixture(3, 4);
+  Engine engine(fx.instance.dag, Model::nodel(), fx.instance.red_limit);
+  Trace trace = pebble_visit_order(engine, fx.instance, {0});
+  VerifyResult vr = verify_or_throw(engine, trace);
+  // 12 layer nodes; all but the last few must be stored.
+  EXPECT_GE(vr.total, Rational(8));
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,114 @@
+// Section 5 / Figure 4: the time-memory tradeoff chain.
+#include "src/gadgets/tradeoff_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/chain_solver.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(TradeoffChain, Structure) {
+  TradeoffChain chain = make_tradeoff_chain({.d = 3, .length = 5});
+  const Dag& dag = chain.instance.dag;
+  EXPECT_EQ(dag.node_count(), 3 + 3 + 5u);
+  EXPECT_EQ(dag.max_indegree(), 4u);  // d + 1
+  EXPECT_EQ(chain.instance.red_limit, 5u);  // d + 2
+  // chain[0] consumes group A only; chain[1] consumes chain[0] and group B.
+  EXPECT_EQ(dag.indegree(chain.chain[0]), 3u);
+  EXPECT_EQ(dag.indegree(chain.chain[1]), 4u);
+  EXPECT_TRUE(dag.has_edge(chain.chain[0], chain.chain[1]));
+  EXPECT_TRUE(dag.has_edge(chain.group_b[0], chain.chain[1]));
+  EXPECT_TRUE(dag.has_edge(chain.group_a[0], chain.chain[2]));
+  EXPECT_TRUE(dag.is_sink(chain.chain.back()));
+}
+
+TEST(TradeoffChain, FullBudgetIsFreeInOneshot) {
+  TradeoffChain chain = make_tradeoff_chain({.d = 4, .length = 12});
+  Engine engine(chain.instance.dag, Model::oneshot(), 2 * 4 + 2);
+  VerifyResult vr = verify_or_throw(engine, solve_chain(engine, chain));
+  EXPECT_EQ(vr.total, Rational(0));
+}
+
+TEST(TradeoffChain, MinimalBudgetCostsNearTwoDN) {
+  const std::size_t d = 3, len = 10;
+  TradeoffChain chain = make_tradeoff_chain({.d = d, .length = len});
+  Engine engine(chain.instance.dag, Model::oneshot(), d + 2);
+  VerifyResult vr = verify_or_throw(engine, solve_chain(engine, chain));
+  // Asymptotically 2d per chain node; boundary terms only save O(d).
+  std::int64_t formula = chain_oneshot_formula(d, len, d + 2);
+  EXPECT_LE(vr.total, Rational(formula));
+  EXPECT_GE(vr.total, Rational(formula - 4 * static_cast<std::int64_t>(d)));
+}
+
+TEST(TradeoffChain, EachExtraPebbleSavesAboutTwoN) {
+  const std::size_t d = 4, len = 16;
+  TradeoffChain chain = make_tradeoff_chain({.d = d, .length = len});
+  std::vector<Rational> cost;
+  for (std::size_t r = d + 2; r <= 2 * d + 2; ++r) {
+    Engine engine(chain.instance.dag, Model::oneshot(), r);
+    cost.push_back(verify_or_throw(engine, solve_chain(engine, chain)).total);
+  }
+  for (std::size_t i = 0; i + 1 < cost.size(); ++i) {
+    Rational drop = cost[i] - cost[i + 1];
+    // Figure 4: the drop per extra pebble is 2n up to boundary terms.
+    EXPECT_GE(drop, Rational(2 * static_cast<std::int64_t>(len) - 8)) << i;
+    EXPECT_LE(drop, Rational(2 * static_cast<std::int64_t>(len))) << i;
+  }
+  EXPECT_EQ(cost.back(), Rational(0));
+}
+
+TEST(TradeoffChain, StrategyIsOptimalOnTinyInstance) {
+  const std::size_t d = 2, len = 3;  // 2+2+3 = 7 nodes
+  TradeoffChain chain = make_tradeoff_chain({.d = d, .length = len});
+  for (std::size_t r = d + 2; r <= 2 * d + 2; ++r) {
+    Engine engine(chain.instance.dag, Model::oneshot(), r);
+    Rational strategy =
+        verify_or_throw(engine, solve_chain(engine, chain)).total;
+    Rational exact = solve_exact(engine, 6'000'000).cost;
+    EXPECT_EQ(strategy, exact) << "R=" << r;
+  }
+}
+
+TEST(TradeoffChain, FormulaEdgeCases) {
+  EXPECT_EQ(chain_oneshot_formula(4, 10, 6), 80);   // i = 0 -> 2d·n
+  EXPECT_EQ(chain_oneshot_formula(4, 10, 10), 0);   // R = 2d+2
+  EXPECT_EQ(chain_oneshot_formula(4, 10, 50), 0);   // plenty of pebbles
+  EXPECT_THROW(chain_oneshot_formula(4, 10, 5), PreconditionError);
+}
+
+TEST(TradeoffChain, H2CVariantBuildsAndPebbles) {
+  TradeoffChainSpec spec{.d = 2, .length = 4, .h2c_red_limit = 4};
+  TradeoffChain chain = make_tradeoff_chain(spec);
+  for (const Model& model : all_models()) {
+    Engine engine(chain.instance.dag, model, 4);
+    Trace trace = solve_chain(engine, chain);
+    VerifyResult vr = verify(engine, trace);
+    EXPECT_TRUE(vr.ok()) << model.name() << ": " << vr.error;
+  }
+}
+
+TEST(TradeoffChain, NodelCurveIsOneshotPlusOffset) {
+  // Appendix A.1: in nodel each chain node is stored instead of deleted,
+  // adding ~n to every opt(R) value (via the H2C-protected construction).
+  const std::size_t d = 3, len = 8;
+  for (std::size_t r = d + 2; r <= 2 * d + 2; ++r) {
+    TradeoffChainSpec spec{.d = d, .length = len, .h2c_red_limit = r};
+    TradeoffChain chain = make_tradeoff_chain(spec);
+    Engine oneshot_engine(chain.instance.dag, Model::oneshot(), r);
+    Engine nodel_engine(chain.instance.dag, Model::nodel(), r);
+    Rational c1 =
+        verify_or_throw(oneshot_engine, solve_chain(oneshot_engine, chain)).total;
+    Rational c2 =
+        verify_or_throw(nodel_engine, solve_chain(nodel_engine, chain)).total;
+    // The nodel run pays at least the extra chain stores; gadget nodes add
+    // a bounded extra term.
+    EXPECT_GE(c2, c1 + Rational(static_cast<std::int64_t>(len) - 2)) << r;
+  }
+}
+
+}  // namespace
+}  // namespace rbpeb

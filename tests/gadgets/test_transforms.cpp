@@ -1,0 +1,72 @@
+#include "src/gadgets/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/support/check.hpp"
+#include "src/workloads/random_layered.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Transforms, UniversalSourceStructure) {
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 4, .indegree = 2,
+                                     .seed = 3});
+  SingleSourceDag tr = add_universal_source(dag);
+  EXPECT_EQ(tr.dag.node_count(), dag.node_count() + 1);
+  EXPECT_EQ(tr.dag.sources(), std::vector<NodeId>({tr.s0}));
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    EXPECT_TRUE(tr.dag.has_edge(tr.s0, static_cast<NodeId>(v)));
+  }
+  EXPECT_EQ(tr.dag.max_indegree(), dag.max_indegree() + 1);
+}
+
+TEST(Transforms, LiftedTraceValidWithOneExtraPebble) {
+  // Section 3: the transformed DAG with R+1 pebbles behaves like the
+  // original with R — a trace lifts by computing s0 first.
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 4, .indegree = 2,
+                                     .seed = 5});
+  std::size_t r = min_red_pebbles(dag);
+  for (const Model& model : all_models()) {
+    Engine original(dag, model, r);
+    Trace trace = solve_greedy(original);
+    VerifyResult vr0 = verify(original, trace);
+    ASSERT_TRUE(vr0.ok()) << model.name();
+
+    SingleSourceDag tr = add_universal_source(dag);
+    Engine lifted_engine(tr.dag, model, r + 1);
+    Trace lifted = lift_to_universal_source(tr, trace);
+    VerifyResult vr1 = verify(lifted_engine, lifted);
+    ASSERT_TRUE(vr1.ok()) << model.name() << ": " << vr1.error;
+    // Identical transfer cost: s0 is computed once and never moved.
+    EXPECT_EQ(vr1.cost.transfers(), vr0.cost.transfers()) << model.name();
+  }
+}
+
+TEST(Transforms, FinishSinksBlueAddsAtMostOnePerSink) {
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 5, .indegree = 2,
+                                     .seed = 11});
+  Engine engine(dag, Model::oneshot(), min_red_pebbles(dag) + 1);
+  Trace trace = solve_greedy(engine);
+  VerifyResult before = verify_or_throw(engine, trace);
+  Trace blue = finish_sinks_blue(engine, trace);
+  VerifyResult after = verify_or_throw(engine, blue);
+  for (NodeId sink : dag.sinks()) {
+    EXPECT_TRUE(after.final_state.is_blue(sink));
+  }
+  EXPECT_LE(after.total,
+            before.total +
+                Rational(static_cast<std::int64_t>(dag.sinks().size())));
+}
+
+TEST(Transforms, FinishSinksBlueRejectsInvalidTrace) {
+  Dag dag = make_random_layered_dag({.layers = 2, .width = 2, .indegree = 1,
+                                     .seed = 1});
+  Engine engine(dag, Model::oneshot(), min_red_pebbles(dag));
+  EXPECT_THROW(finish_sinks_blue(engine, Trace{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpeb

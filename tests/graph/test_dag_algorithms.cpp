@@ -1,0 +1,77 @@
+#include "src/graph/dag_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/workloads/random_layered.hpp"
+
+namespace rbpeb {
+namespace {
+
+Dag chain(std::size_t n) {
+  DagBuilder b;
+  b.add_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+TEST(DagAlgorithms, TopologicalOrderOnChain) {
+  Dag dag = chain(5);
+  auto order = topological_order(dag);
+  EXPECT_EQ(order, std::vector<NodeId>({0, 1, 2, 3, 4}));
+  EXPECT_TRUE(is_topological_order(dag, order));
+}
+
+TEST(DagAlgorithms, TopologicalOrderDeterministic) {
+  DagBuilder b;
+  b.add_nodes(4);
+  b.add_edge(3, 1);
+  b.add_edge(2, 1);
+  Dag dag = b.build();
+  // Ready set initially {0, 2, 3}: smallest id first.
+  auto order = topological_order(dag);
+  EXPECT_EQ(order, std::vector<NodeId>({0, 2, 3, 1}));
+}
+
+TEST(DagAlgorithms, IsTopologicalOrderRejectsViolations) {
+  Dag dag = chain(3);
+  EXPECT_FALSE(is_topological_order(dag, {2, 1, 0}));
+  EXPECT_FALSE(is_topological_order(dag, {0, 1}));        // not a permutation
+  EXPECT_FALSE(is_topological_order(dag, {0, 1, 1}));     // duplicate
+  EXPECT_FALSE(is_topological_order(dag, {0, 1, 7}));     // out of range
+}
+
+TEST(DagAlgorithms, RandomLayeredOrdersAreTopological) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Dag dag = make_random_layered_dag({.layers = 6, .width = 7, .indegree = 3,
+                                       .seed = seed});
+    EXPECT_TRUE(is_topological_order(dag, topological_order(dag)));
+  }
+}
+
+TEST(DagAlgorithms, Reachability) {
+  DagBuilder b;
+  b.add_nodes(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  Dag dag = b.build();
+  EXPECT_EQ(reachable_from(dag, 0), std::vector<NodeId>({0, 1, 2}));
+  EXPECT_EQ(reachable_from(dag, 3), std::vector<NodeId>({3, 4}));
+  EXPECT_EQ(ancestors_of(dag, 2), std::vector<NodeId>({0, 1, 2}));
+  EXPECT_EQ(ancestors_of(dag, 3), std::vector<NodeId>({3}));
+}
+
+TEST(DagAlgorithms, DepthsAndLongestPath) {
+  Dag dag = chain(6);
+  auto depth = node_depths(dag);
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(depth[v], v);
+  EXPECT_EQ(longest_path_length(dag), 5u);
+
+  DagBuilder b;
+  b.add_nodes(3);  // edgeless
+  EXPECT_EQ(longest_path_length(b.build()), 0u);
+}
+
+}  // namespace
+}  // namespace rbpeb

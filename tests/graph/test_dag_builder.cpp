@@ -1,0 +1,122 @@
+#include "src/graph/dag_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+Dag diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  DagBuilder b;
+  b.add_nodes(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(DagBuilder, BuildsDiamond) {
+  Dag dag = diamond();
+  EXPECT_EQ(dag.node_count(), 4u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+  EXPECT_EQ(dag.max_indegree(), 2u);
+  EXPECT_EQ(dag.sources(), std::vector<NodeId>({0}));
+  EXPECT_EQ(dag.sinks(), std::vector<NodeId>({3}));
+  EXPECT_TRUE(dag.is_source(0));
+  EXPECT_TRUE(dag.is_sink(3));
+  EXPECT_FALSE(dag.is_sink(1));
+}
+
+TEST(DagBuilder, AdjacencyBothDirections) {
+  Dag dag = diamond();
+  auto preds3 = dag.predecessors(3);
+  std::vector<NodeId> p(preds3.begin(), preds3.end());
+  std::sort(p.begin(), p.end());
+  EXPECT_EQ(p, std::vector<NodeId>({1, 2}));
+  auto succ0 = dag.successors(0);
+  std::vector<NodeId> s(succ0.begin(), succ0.end());
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, std::vector<NodeId>({1, 2}));
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(1, 0));
+  EXPECT_FALSE(dag.has_edge(0, 3));
+}
+
+TEST(DagBuilder, RejectsCycle) {
+  DagBuilder b;
+  b.add_nodes(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(DagBuilder, RejectsSelfLoop) {
+  DagBuilder b;
+  b.add_nodes(1);
+  EXPECT_THROW(b.add_edge(0, 0), PreconditionError);
+}
+
+TEST(DagBuilder, RejectsDuplicateEdge) {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(DagBuilder, RejectsDanglingEndpoints) {
+  DagBuilder b;
+  b.add_nodes(2);
+  EXPECT_THROW(b.add_edge(0, 5), PreconditionError);
+}
+
+TEST(DagBuilder, EmptyDag) {
+  DagBuilder b;
+  Dag dag = b.build();
+  EXPECT_EQ(dag.node_count(), 0u);
+  EXPECT_EQ(dag.edge_count(), 0u);
+  EXPECT_EQ(dag.max_indegree(), 0u);
+}
+
+TEST(DagBuilder, EdgelessNodesAreSourcesAndSinks) {
+  DagBuilder b;
+  b.add_nodes(3);
+  Dag dag = b.build();
+  EXPECT_EQ(dag.sources().size(), 3u);
+  EXPECT_EQ(dag.sinks().size(), 3u);
+}
+
+TEST(DagBuilder, LabelsPreserved) {
+  DagBuilder b;
+  NodeId x = b.add_node("input");
+  NodeId y = b.add_node();
+  b.add_edge(x, y);
+  Dag dag = b.build();
+  EXPECT_EQ(dag.label(x), "input");
+  EXPECT_EQ(dag.label(y), "");
+}
+
+TEST(DagBuilder, NodeIdOutOfRangeThrows) {
+  Dag dag = diamond();
+  EXPECT_THROW(dag.predecessors(99), PreconditionError);
+  EXPECT_THROW(dag.label(99), PreconditionError);
+}
+
+TEST(DagBuilder, LargeFanIn) {
+  DagBuilder b;
+  NodeId first = b.add_nodes(100);
+  NodeId sink = b.add_node();
+  for (NodeId v = first; v < 100; ++v) b.add_edge(v, sink);
+  Dag dag = b.build();
+  EXPECT_EQ(dag.max_indegree(), 100u);
+  EXPECT_EQ(dag.predecessors(sink).size(), 100u);
+}
+
+}  // namespace
+}  // namespace rbpeb

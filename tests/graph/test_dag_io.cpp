@@ -1,0 +1,50 @@
+#include "src/graph/dag_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+#include "src/workloads/random_layered.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(DagIo, TextRoundTrip) {
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 5, .indegree = 2,
+                                     .seed = 9});
+  Dag back = from_text(to_text(dag));
+  ASSERT_EQ(back.node_count(), dag.node_count());
+  ASSERT_EQ(back.edge_count(), dag.edge_count());
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    auto a = dag.predecessors(static_cast<NodeId>(v));
+    auto b = back.predecessors(static_cast<NodeId>(v));
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(DagIo, FromTextRejectsBadInput) {
+  EXPECT_THROW(from_text(""), PreconditionError);
+  EXPECT_THROW(from_text("2\n0 5\n"), PreconditionError);   // out of range
+  EXPECT_THROW(from_text("2\n0 1 junk"), PreconditionError);
+  EXPECT_THROW(from_text("2\n0 1\n1 0\n"), PreconditionError);  // cycle
+}
+
+TEST(DagIo, DotContainsNodesAndEdges) {
+  DagBuilder b;
+  NodeId x = b.add_node("in");
+  NodeId y = b.add_node();
+  b.add_edge(x, y);
+  std::string dot = to_dot(b.build(), "g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"in\""), std::string::npos);
+}
+
+TEST(DagIo, EmptyDagSerializes) {
+  DagBuilder b;
+  Dag dag = b.build();
+  EXPECT_EQ(from_text(to_text(dag)).node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rbpeb

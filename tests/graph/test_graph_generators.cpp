@@ -1,0 +1,74 @@
+#include "src/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/reductions/hampath_solver.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 1));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(3), std::vector<Vertex>({2}));
+}
+
+TEST(Graph, RejectsLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), PreconditionError);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 7), PreconditionError);
+}
+
+TEST(Generators, StructuredGraphs) {
+  EXPECT_EQ(path_graph(5).edge_count(), 4u);
+  EXPECT_EQ(cycle_graph(5).edge_count(), 5u);
+  EXPECT_TRUE(complete_graph(6).is_complete());
+  EXPECT_EQ(star_graph(5).degree(0), 4u);
+  Graph tc = two_cliques(3, 4);
+  EXPECT_EQ(tc.edge_count(), 3u + 6u);
+  EXPECT_FALSE(tc.has_edge(0, 3));
+}
+
+TEST(Generators, RandomGraphRespectsProbabilityExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(random_graph(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_TRUE(random_graph(10, 1.0, rng).is_complete());
+}
+
+TEST(Generators, PlantedHamPathAlwaysHasOne) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = random_graph_with_ham_path(7, 0.1, rng);
+    EXPECT_TRUE(has_hamiltonian_path(g));
+  }
+}
+
+TEST(Generators, KnownHamPathFacts) {
+  EXPECT_TRUE(has_hamiltonian_path(path_graph(6)));
+  EXPECT_TRUE(has_hamiltonian_path(cycle_graph(6)));
+  EXPECT_TRUE(has_hamiltonian_path(complete_graph(5)));
+  EXPECT_FALSE(has_hamiltonian_path(star_graph(5)));
+  EXPECT_FALSE(has_hamiltonian_path(two_cliques(3, 3)));
+}
+
+TEST(Generators, MaxAdjacentPairsMatchesStructure) {
+  // A star on 5 vertices: best permutation alternates center... only one
+  // center, so at most 2 adjacent pairs (x-0-y).
+  EXPECT_EQ(max_adjacent_pairs(star_graph(5)), 2u);
+  EXPECT_EQ(max_adjacent_pairs(path_graph(5)), 4u);
+  // Two K3s: each clique contributes a sub-path of 2 edges, no bridge.
+  EXPECT_EQ(max_adjacent_pairs(two_cliques(3, 3)), 4u);
+}
+
+}  // namespace
+}  // namespace rbpeb

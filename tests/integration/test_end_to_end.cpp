@@ -1,0 +1,100 @@
+// Cross-module integration: full paper pipelines on small instances.
+#include <gtest/gtest.h>
+
+#include "src/analysis/greedy_vs_opt.hpp"
+#include "src/analysis/length_audit.hpp"
+#include "src/analysis/tradeoff.hpp"
+#include "src/graph/generators.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/reductions/hampath.hpp"
+#include "src/reductions/hampath_solver.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace rbpeb {
+namespace {
+
+// Random yes/no Hamiltonian-path instances, solved end to end through the
+// pebbling reduction, cross-checked against the Held–Karp oracle.
+TEST(EndToEnd, HamPathPipelineOnRandomGraphs) {
+  Rng rng(2026);
+  int yes = 0, no = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph g = trial % 2 == 0 ? random_graph(6, 0.3, rng)
+                             : random_graph_with_ham_path(6, 0.15, rng);
+    bool oracle = has_hamiltonian_path(g);
+    (oracle ? yes : no)++;
+    HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+    HamPathPebbling opt = solve_hampath_pebbling(red);
+    EXPECT_EQ(opt.cost <= hampath_threshold(red), oracle) << "trial " << trial;
+  }
+  // The sample must exercise both branches to be meaningful.
+  EXPECT_GT(yes, 0);
+  EXPECT_GT(no, 0);
+}
+
+TEST(EndToEnd, TradeoffSweepShapes) {
+  const std::size_t d = 3, len = 8;
+  for (const Model& model : all_models()) {
+    auto series = chain_tradeoff_sweep(d, len, model);
+    ASSERT_EQ(series.size(), d + 1);
+    // Monotone non-increasing in R in every model.
+    for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+      EXPECT_LE(series[i + 1].measured, series[i].measured) << model.name();
+    }
+    // oneshot hits zero at R = 2d+2; others keep their model-specific floor.
+    if (model.kind() == ModelKind::Oneshot) {
+      EXPECT_EQ(series.back().measured, Rational(0));
+    } else {
+      EXPECT_GT(series.back().measured, Rational(0)) << model.name();
+    }
+  }
+}
+
+TEST(EndToEnd, GridRatioSweepGrows) {
+  auto series = grid_ratio_sweep({2, 4}, 24, Model::oneshot());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_TRUE(series[0].followed_expected_path);
+  EXPECT_TRUE(series[1].followed_expected_path);
+  EXPECT_LT(series[0].ratio(), series[1].ratio());
+  EXPECT_GT(series[1].ratio(), 1.0);
+}
+
+TEST(EndToEnd, TreeReductionGreedyNearExactTinyCase) {
+  TreeReductionDag tree = make_tree_reduction_dag(4);  // 7 nodes
+  Engine engine(tree.dag, Model::oneshot(), 3);
+  ExactResult exact = solve_exact(engine, 4'000'000);
+  Rational greedy = verify_or_throw(engine, solve_greedy(engine)).total;
+  EXPECT_GE(greedy, exact.cost);
+  EXPECT_LE(greedy, exact.cost * Rational(3) + Rational(4));
+}
+
+TEST(EndToEnd, LengthAuditOnSolverTraces) {
+  MatMulDag mm = make_matmul_dag(3);
+  for (const Model& model : all_models()) {
+    if (model.kind() == ModelKind::Base) continue;  // no finite bound
+    Engine engine(mm.dag, model, 4);
+    Trace trace = solve_greedy(engine);
+    LengthAudit audit = audit_length(engine, trace);
+    EXPECT_TRUE(audit.within_bound) << model.name();
+    EXPECT_LE(audit.trace_length, audit.bound);
+  }
+}
+
+TEST(EndToEnd, GreedyEvictionAblationAllValid) {
+  MatMulDag mm = make_matmul_dag(3);
+  for (EvictionRule rule : {EvictionRule::Lru, EvictionRule::FewestRemainingUses,
+                            EvictionRule::Random}) {
+    GreedyOptions options;
+    options.eviction = rule;
+    Rational cost = greedy_cost_on(mm.dag, Model::oneshot(), 5, options);
+    EXPECT_GE(cost, Rational(0));
+    EXPECT_LE(cost, universal_cost_upper_bound(mm.dag, Model::oneshot()));
+  }
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,96 @@
+// Section 3 / Lemma 1 bounds as executable checks.
+#include "src/pebble/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/topo_baseline.hpp"
+#include "src/workloads/random_layered.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Bounds, MinRedPebbles) {
+  DagBuilder b;
+  b.add_nodes(4);
+  b.add_edge(0, 3);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  EXPECT_EQ(min_red_pebbles(b.build()), 4u);  // Δ+1 = 4
+
+  DagBuilder empty;
+  EXPECT_EQ(min_red_pebbles(empty.build()), 0u);
+
+  DagBuilder edgeless;
+  edgeless.add_nodes(3);
+  EXPECT_EQ(min_red_pebbles(edgeless.build()), 1u);
+}
+
+TEST(Bounds, UniversalUpperBoundForms) {
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 4, .indegree = 2,
+                                     .seed = 2});
+  std::int64_t n = static_cast<std::int64_t>(dag.node_count());
+  std::int64_t delta = static_cast<std::int64_t>(dag.max_indegree());
+  EXPECT_EQ(universal_cost_upper_bound(dag, Model::oneshot()),
+            Rational((2 * delta + 1) * n));
+  EXPECT_EQ(universal_cost_upper_bound(dag, Model::compcost()),
+            Rational((2 * delta + 1) * n) + Rational(n, 100));
+}
+
+TEST(Bounds, LowerBoundsPerModel) {
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 5, .indegree = 2,
+                                     .seed = 3});
+  std::int64_t n = static_cast<std::int64_t>(dag.node_count());
+  std::int64_t sources = static_cast<std::int64_t>(dag.sources().size());
+  EXPECT_EQ(cost_lower_bound(dag, Model::base(), 3), Rational(0));
+  EXPECT_EQ(cost_lower_bound(dag, Model::oneshot(), 3), Rational(0));
+  EXPECT_EQ(cost_lower_bound(dag, Model::nodel(), 3), Rational(n - 3));
+  EXPECT_EQ(cost_lower_bound(dag, Model::compcost(), 3),
+            Rational(n - sources, 100));
+  // nodel bound clamps at zero when R >= n.
+  EXPECT_EQ(cost_lower_bound(dag, Model::nodel(), dag.node_count() + 5),
+            Rational(0));
+}
+
+class BoundsHoldOnRandomDags
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundsHoldOnRandomDags,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<std::size_t>(0, 2, 5)));
+
+// Property: the topo-order baseline respects the universal cost bound and
+// the Lemma 1 length bound in every model, for any budget >= Δ+1.
+TEST_P(BoundsHoldOnRandomDags, BaselineWithinUniversalBounds) {
+  auto [seed, extra_r] = GetParam();
+  Dag dag = make_random_layered_dag({.layers = 5, .width = 6, .indegree = 3,
+                                     .seed = seed});
+  std::size_t r = min_red_pebbles(dag) + extra_r;
+  for (const Model& model : all_models()) {
+    Engine engine(dag, model, r);
+    Trace trace = solve_topo_baseline(engine);
+    VerifyResult vr = verify(engine, trace);
+    ASSERT_TRUE(vr.ok()) << model.name() << ": " << vr.error;
+    EXPECT_LE(vr.total, universal_cost_upper_bound(dag, model))
+        << model.name();
+    EXPECT_GE(vr.total, cost_lower_bound(dag, model, r)) << model.name();
+    std::size_t length_bound = optimal_length_upper_bound(dag, model);
+    EXPECT_LE(trace.size(), length_bound) << model.name();
+  }
+}
+
+TEST(Bounds, BaseModelHasNoLengthBound) {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  Dag dag = b.build();
+  EXPECT_EQ(optimal_length_upper_bound(dag, Model::base()),
+            std::numeric_limits<std::size_t>::max());
+  EXPECT_LT(optimal_length_upper_bound(dag, Model::oneshot()),
+            std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,118 @@
+// Appendix C: alternative starting/finishing conventions are essentially
+// equivalent to the paper's own definitions.
+#include <gtest/gtest.h>
+
+#include "src/gadgets/transforms.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/workloads/random_layered.hpp"
+
+namespace rbpeb {
+namespace {
+
+Dag edge_dag() {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  return b.build();
+}
+
+TEST(Conventions, BlueStartSourcesAreNotComputable) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2,
+                PebblingConvention{.sources_start_blue = true});
+  GameState state = engine.initial_state();
+  EXPECT_TRUE(state.is_blue(0));
+  EXPECT_FALSE(engine.is_legal(state, compute(0)));
+  EXPECT_TRUE(engine.is_legal(state, load(0)));
+  Cost cost;
+  engine.apply(state, load(0), cost);
+  EXPECT_TRUE(engine.is_legal(state, compute(1)));
+}
+
+TEST(Conventions, BlueStartAddsOneTransferPerUsedSource) {
+  Dag dag = edge_dag();
+  Engine free_sources(dag, Model::oneshot(), 2);
+  Engine blue_sources(dag, Model::oneshot(), 2,
+                      PebblingConvention{.sources_start_blue = true});
+  Rational a = solve_exact(free_sources).cost;
+  Rational b = solve_exact(blue_sources).cost;
+  EXPECT_EQ(a, Rational(0));
+  EXPECT_EQ(b, Rational(1));  // one load of the pre-placed input
+}
+
+TEST(Conventions, BlueSinksRequireExplicitStores) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2,
+                PebblingConvention{.sinks_end_blue = true});
+  Trace red_finish;
+  red_finish.push_compute(0);
+  red_finish.push_compute(1);
+  VerifyResult vr = verify(engine, red_finish);
+  EXPECT_TRUE(vr.legal);
+  EXPECT_FALSE(vr.complete);  // sink is red, must be blue
+  Trace blue_finish = red_finish;
+  blue_finish.push_store(1);
+  EXPECT_TRUE(verify(engine, blue_finish).ok());
+}
+
+TEST(Conventions, BlueSinkOptimumWithinOnePerSink) {
+  // Appendix C: requiring blue sinks changes the optimum by at most one
+  // transfer per sink.
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 3, .indegree = 2,
+                                     .seed = 4});
+  for (const Model& model : all_models()) {
+    std::size_t r = min_red_pebbles(dag);
+    Engine plain(dag, model, r);
+    Engine blue(dag, model, r, PebblingConvention{.sinks_end_blue = true});
+    Rational a = solve_exact(plain).cost;
+    Rational b = solve_exact(blue).cost;
+    EXPECT_LE(a, b) << model.name();
+    EXPECT_LE(b, a + Rational(static_cast<std::int64_t>(dag.sinks().size())))
+        << model.name();
+  }
+}
+
+TEST(Conventions, FinishSinksBlueTransformBridgesTheConventions) {
+  // A pebbling finished under the default convention, passed through
+  // finish_sinks_blue, verifies under the strict convention.
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 4, .indegree = 2,
+                                     .seed = 6});
+  Engine plain(dag, Model::oneshot(), min_red_pebbles(dag) + 1);
+  Trace trace = finish_sinks_blue(plain, solve_greedy(plain));
+  Engine strict(dag, Model::oneshot(), min_red_pebbles(dag) + 1,
+                PebblingConvention{.sinks_end_blue = true});
+  EXPECT_TRUE(verify(strict, trace).ok());
+}
+
+TEST(Conventions, UniversalSourceBridgesBlueStart) {
+  // Section 3 / Appendix C: with a single universal source, the blue-start
+  // convention costs exactly one extra load over the free-source convention.
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 3, .indegree = 2,
+                                     .seed = 9});
+  SingleSourceDag tr = add_universal_source(dag);
+  std::size_t r = min_red_pebbles(tr.dag);
+  Engine free_engine(tr.dag, Model::oneshot(), r);
+  Engine blue_engine(tr.dag, Model::oneshot(), r,
+                     PebblingConvention{.sources_start_blue = true});
+  Rational a = solve_exact(free_engine).cost;
+  Rational b = solve_exact(blue_engine).cost;
+  EXPECT_EQ(b, a + Rational(1));
+}
+
+TEST(Conventions, BlueStartOneshotDeleteIsIrrevocable) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2,
+                PebblingConvention{.sources_start_blue = true});
+  GameState state = engine.initial_state();
+  Cost cost;
+  engine.apply(state, erase(0), cost);  // discard the input
+  EXPECT_FALSE(engine.is_legal(state, compute(0)));
+  EXPECT_FALSE(engine.is_legal(state, load(0)));
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,61 @@
+// Table 1: the cost rules of the four model variants.
+#include "src/pebble/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Model, Table1RuleMatrix) {
+  // base: everything allowed, transfers cost 1, the rest free.
+  Model base = Model::base();
+  EXPECT_TRUE(base.allows_delete());
+  EXPECT_TRUE(base.allows_recompute());
+  EXPECT_EQ(base.epsilon(), Rational(0));
+
+  // oneshot: like base but each node computable once (engine-enforced).
+  Model oneshot = Model::oneshot();
+  EXPECT_TRUE(oneshot.allows_delete());
+  EXPECT_FALSE(oneshot.allows_recompute());
+
+  // nodel: Step 4 forbidden.
+  Model nodel = Model::nodel();
+  EXPECT_FALSE(nodel.allows_delete());
+  EXPECT_TRUE(nodel.allows_recompute());
+
+  // compcost: computation costs eps.
+  Model compcost = Model::compcost();
+  EXPECT_TRUE(compcost.allows_delete());
+  EXPECT_TRUE(compcost.allows_recompute());
+  EXPECT_EQ(compcost.epsilon(), Rational(1, 100));
+}
+
+TEST(Model, TotalWeighsOperations) {
+  Cost cost{3, 4, 5, 6};  // 7 transfers, 5 computes
+  EXPECT_EQ(Model::base().total(cost), Rational(7));
+  EXPECT_EQ(Model::oneshot().total(cost), Rational(7));
+  EXPECT_EQ(Model::nodel().total(cost), Rational(7));
+  EXPECT_EQ(Model::compcost().total(cost), Rational(7) + Rational(5, 100));
+  EXPECT_EQ(Model::compcost(1, 3).total(cost), Rational(7) + Rational(5, 3));
+}
+
+TEST(Model, CompcostEpsilonRange) {
+  EXPECT_NO_THROW(Model::compcost(1, 2));
+  EXPECT_THROW(Model::compcost(0, 1), PreconditionError);
+  EXPECT_THROW(Model::compcost(1, 1), PreconditionError);
+  EXPECT_THROW(Model::compcost(3, 2), PreconditionError);
+}
+
+TEST(Model, AllModelsOrderAndNames) {
+  const auto& models = all_models();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name(), "base");
+  EXPECT_EQ(models[1].name(), "oneshot");
+  EXPECT_EQ(models[2].name(), "nodel");
+  EXPECT_EQ(models[3].name(), "compcost");
+}
+
+}  // namespace
+}  // namespace rbpeb

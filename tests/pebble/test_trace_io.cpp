@@ -1,0 +1,52 @@
+#include "src/pebble/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/support/check.hpp"
+#include "src/workloads/fft.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  Dag dag = make_fft_dag(8).dag;
+  Engine engine(dag, Model::oneshot(), 4);
+  Trace trace = solve_greedy(engine);
+  Trace back = trace_from_text(trace_to_text(trace));
+  EXPECT_EQ(trace.moves(), back.moves());
+  // The deserialized trace verifies identically.
+  EXPECT_EQ(verify(engine, back).total, verify(engine, trace).total);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  Trace trace = trace_from_text(
+      "# a schedule\n"
+      "compute 0\n"
+      "\n"
+      "store 0   # spill\n"
+      "load 0\n"
+      "delete 0\n");
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], compute(0));
+  EXPECT_EQ(trace[1], store(0));
+  EXPECT_EQ(trace[2], load(0));
+  EXPECT_EQ(trace[3], erase(0));
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(trace_from_text("jump 3\n"), PreconditionError);
+  EXPECT_THROW(trace_from_text("compute\n"), PreconditionError);
+  EXPECT_THROW(trace_from_text("compute 1 2\n"), PreconditionError);
+}
+
+TEST(TraceIo, EmptyTextIsEmptyTrace) {
+  EXPECT_EQ(trace_from_text("").size(), 0u);
+  EXPECT_EQ(trace_from_text("# only comments\n\n").size(), 0u);
+}
+
+}  // namespace
+}  // namespace rbpeb

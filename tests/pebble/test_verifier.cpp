@@ -1,0 +1,122 @@
+#include "src/pebble/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+Dag edge_dag() {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  return b.build();
+}
+
+TEST(Verifier, AcceptsValidCompletePebbling) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2);
+  Trace trace;
+  trace.push_compute(0);
+  trace.push_compute(1);
+  VerifyResult vr = verify(engine, trace);
+  EXPECT_TRUE(vr.legal);
+  EXPECT_TRUE(vr.complete);
+  EXPECT_TRUE(vr.ok());
+  EXPECT_EQ(vr.total, Rational(0));
+  EXPECT_EQ(vr.cost.computes, 2);
+  EXPECT_EQ(vr.max_red, 2u);
+  EXPECT_EQ(vr.length, 2u);
+}
+
+TEST(Verifier, ReportsFirstIllegalMove) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2);
+  Trace trace;
+  trace.push_compute(0);
+  trace.push_store(1);  // 1 holds no pebble
+  trace.push_compute(1);
+  VerifyResult vr = verify(engine, trace);
+  EXPECT_FALSE(vr.legal);
+  EXPECT_EQ(vr.failed_at, 1u);
+  EXPECT_NE(vr.error.find("store"), std::string::npos);
+  EXPECT_FALSE(vr.ok());
+}
+
+TEST(Verifier, LegalButIncomplete) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2);
+  Trace trace;
+  trace.push_compute(0);
+  VerifyResult vr = verify(engine, trace);
+  EXPECT_TRUE(vr.legal);
+  EXPECT_FALSE(vr.complete);
+}
+
+TEST(Verifier, CountsModelWeightedTotal) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::compcost(1, 10), 2);
+  Trace trace;
+  trace.push_compute(0);
+  trace.push_compute(1);
+  trace.push_store(1);
+  trace.push_load(1);
+  VerifyResult vr = verify(engine, trace);
+  ASSERT_TRUE(vr.ok());
+  EXPECT_EQ(vr.total, Rational(2) + Rational(2, 10));
+}
+
+TEST(Verifier, VerifyOrThrowPropagatesFailures) {
+  Dag dag = edge_dag();
+  Engine engine(dag, Model::oneshot(), 2);
+  Trace bad;
+  bad.push_load(0);
+  EXPECT_THROW(verify_or_throw(engine, bad), InvariantError);
+  Trace incomplete;
+  incomplete.push_compute(0);
+  EXPECT_THROW(verify_or_throw(engine, incomplete), InvariantError);
+  Trace good;
+  good.push_compute(0);
+  good.push_compute(1);
+  EXPECT_NO_THROW(verify_or_throw(engine, good));
+}
+
+TEST(Verifier, MaxRedTracksPeak) {
+  DagBuilder b;
+  b.add_nodes(3);
+  Dag dag = b.build();
+  Engine engine(dag, Model::base(), 3);
+  Trace trace;
+  trace.push_compute(0);
+  trace.push_compute(1);
+  trace.push_store(0);
+  trace.push_compute(2);
+  VerifyResult vr = verify(engine, trace);
+  ASSERT_TRUE(vr.ok());
+  EXPECT_EQ(vr.max_red, 2u);
+}
+
+TEST(Trace, AppendAndRender) {
+  Trace a, b;
+  a.push_compute(0);
+  b.push_store(0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], store(0));
+  std::string s = a.str();
+  EXPECT_NE(s.find("0: compute(0)"), std::string::npos);
+  EXPECT_NE(s.find("1: store(0)"), std::string::npos);
+}
+
+TEST(Verifier, EmptyTraceOnSinklessGraphIsComplete) {
+  DagBuilder b;
+  Dag dag = b.build();
+  Engine engine(dag, Model::base(), 0);
+  VerifyResult vr = verify(engine, Trace{});
+  EXPECT_TRUE(vr.ok());
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,118 @@
+// Theorem 4: the grid that misguides the greedy heuristic.
+#include "src/reductions/greedy_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(GreedyGrid, StructureBasics) {
+  GreedyGrid grid = make_greedy_grid({.ell = 4, .k_common = 10});
+  // (ell+1 choose 2) grid groups + S0.
+  EXPECT_EQ(grid.instance.group_count(), 10u + 1u);
+  EXPECT_EQ(grid.optimal_order.size(), grid.instance.group_count());
+  EXPECT_EQ(grid.expected_greedy_order.size(), grid.instance.group_count());
+  // Uniform group size.
+  std::size_t k = grid.instance.groups[0].members.size();
+  for (const InputGroup& g : grid.instance.groups) {
+    EXPECT_EQ(g.members.size(), k);
+  }
+  EXPECT_EQ(grid.instance.red_limit, k + 1);
+}
+
+TEST(GreedyGrid, OrdersAreDependencyValid) {
+  for (std::size_t ell : {2u, 3u, 5u}) {
+    GreedyGrid grid = make_greedy_grid({.ell = ell, .k_common = 8});
+    EXPECT_TRUE(is_valid_visit_order(grid.instance, grid.optimal_order))
+        << "ell=" << ell;
+    EXPECT_TRUE(
+        is_valid_visit_order(grid.instance, grid.expected_greedy_order))
+        << "ell=" << ell;
+  }
+}
+
+TEST(GreedyGrid, GreedyFallsForTheMisguidance) {
+  // The group-level greedy must follow exactly the column-by-column path the
+  // paper describes — the whole point of the construction.
+  for (std::size_t ell : {3u, 4u, 6u}) {
+    GreedyGrid grid = make_greedy_grid({.ell = ell, .k_common = 16});
+    GreedyGridOutcome outcome = evaluate_greedy_grid(grid, Model::oneshot());
+    EXPECT_TRUE(outcome.greedy_followed_expected) << "ell=" << ell;
+  }
+}
+
+TEST(GreedyGrid, GreedyPaysCommonsRepeatedly) {
+  GreedyGridSpec spec{.ell = 5, .k_common = 40};
+  GreedyGrid grid = make_greedy_grid(spec);
+  GreedyGridOutcome outcome = evaluate_greedy_grid(grid, Model::oneshot());
+  // Greedy revisits diagonal commons Θ(ℓ²) times at 2 transfers each; the
+  // optimum pays only the O(1)-per-group bookkeeping nodes.
+  EXPECT_GE(outcome.greedy_cost.to_double(),
+            2.0 * 40 * 4);  // at least a few diagonal revisits
+  EXPECT_GT(outcome.greedy_cost, outcome.optimal_cost * Rational(3));
+}
+
+TEST(GreedyGrid, RatioGrowsWithEll) {
+  std::vector<double> ratios;
+  for (std::size_t ell : {2u, 4u, 6u}) {
+    GreedyGrid grid = make_greedy_grid({.ell = ell, .k_common = 48});
+    GreedyGridOutcome outcome = evaluate_greedy_grid(grid, Model::oneshot());
+    ratios.push_back(outcome.greedy_cost.to_double() /
+                     outcome.optimal_cost.to_double());
+  }
+  EXPECT_LT(ratios[0], ratios[1]);
+  EXPECT_LT(ratios[1], ratios[2]);
+}
+
+TEST(GreedyGrid, OptimalOrderCommonsAreFree) {
+  // Doubling k' should barely change the optimal cost (commons are computed
+  // and deleted inside one diagonal sweep) while greedy cost ~doubles.
+  GreedyGridOutcome small =
+      evaluate_greedy_grid(make_greedy_grid({.ell = 4, .k_common = 20}),
+                           Model::oneshot());
+  GreedyGridOutcome big =
+      evaluate_greedy_grid(make_greedy_grid({.ell = 4, .k_common = 40}),
+                           Model::oneshot());
+  EXPECT_EQ(small.optimal_cost, big.optimal_cost);
+  EXPECT_GT(big.greedy_cost.to_double(),
+            1.7 * small.greedy_cost.to_double());
+}
+
+TEST(GreedyGrid, ProtectedCommonsRestoreTheGapInRecomputeModels) {
+  // Appendix A.4: without protection the base-model greedy re-derives the
+  // commons for free; with H2C protection the gap comes back.
+  GreedyGridSpec unprotected{.ell = 3, .k_common = 24};
+  GreedyGridSpec protected_spec{.ell = 3, .k_common = 24,
+                                .protect_commons = true};
+  GreedyGridOutcome open =
+      evaluate_greedy_grid(make_greedy_grid(unprotected), Model::base());
+  GreedyGridOutcome guarded =
+      evaluate_greedy_grid(make_greedy_grid(protected_spec), Model::base());
+  // Unprotected: greedy pays almost nothing (free recomputation).
+  EXPECT_LT(open.greedy_cost, Rational(30));
+  // Protected: the greedy pays for its revisits again.
+  EXPECT_GT(guarded.greedy_cost, guarded.optimal_cost);
+  EXPECT_TRUE(guarded.greedy_followed_expected);
+}
+
+TEST(GreedyGrid, ProtectedGridValidInAllModels) {
+  GreedyGrid grid = make_greedy_grid({.ell = 3, .k_common = 16,
+                                      .protect_commons = true});
+  for (const Model& model : all_models()) {
+    GreedyGridOutcome outcome = evaluate_greedy_grid(grid, model);
+    EXPECT_GT(outcome.greedy_cost, Rational(0)) << model.name();
+    EXPECT_GT(outcome.optimal_cost, Rational(0)) << model.name();
+  }
+}
+
+TEST(GreedyGrid, RejectsDegenerateSpecs) {
+  EXPECT_THROW(make_greedy_grid({.ell = 1, .k_common = 8}), PreconditionError);
+  EXPECT_THROW(make_greedy_grid({.ell = 3, .k_common = 0}), PreconditionError);
+  EXPECT_THROW(make_greedy_grid({.ell = 3, .k_common = 8, .intersection = 1}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpeb

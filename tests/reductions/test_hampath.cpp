@@ -1,0 +1,193 @@
+// Theorem 2: the Hamiltonian-Path reduction, validated in both directions.
+#include "src/reductions/hampath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/generators.hpp"
+#include "src/reductions/hampath_solver.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(HamPathReduction, StructureMatchesPaper) {
+  Graph g = path_graph(4);  // N = 4, M = 3
+  HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+  const Dag& dag = red.instance.dag;
+  // N(N−1) − M contact nodes + N targets.
+  EXPECT_EQ(dag.node_count(), 4 * 3 - 3 + 4u);
+  EXPECT_EQ(dag.sources().size(), 4 * 3 - 3u);
+  EXPECT_EQ(dag.sinks().size(), 4u);
+  EXPECT_EQ(dag.max_indegree(), 3u);  // N − 1
+  EXPECT_EQ(red.instance.red_limit, 4u);
+  // Merged contacts exactly for edges.
+  EXPECT_EQ(red.contact(0, 1), red.contact(1, 0));
+  EXPECT_EQ(red.contact(0, 2) == red.contact(2, 0), false);
+}
+
+TEST(HamPathReduction, AdjacentPairsCounter) {
+  Graph g = path_graph(5);
+  EXPECT_EQ(adjacent_pairs(g, {0, 1, 2, 3, 4}), 4u);
+  EXPECT_EQ(adjacent_pairs(g, {0, 2, 4, 1, 3}), 0u);
+  EXPECT_EQ(adjacent_pairs(g, {1, 0, 2, 3, 4}), 3u);
+}
+
+class HamPathAllModels : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const Model& model() const { return all_models()[GetParam()]; }
+};
+
+INSTANTIATE_TEST_SUITE_P(Models, HamPathAllModels,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const auto& info) {
+                           return std::string(all_models()[info.param].name());
+                         });
+
+// The reduction's core affine law: cost(π) = base + per·missing(π), exactly,
+// for every permutation and every model.
+TEST_P(HamPathAllModels, AffineCostLawHolds) {
+  Rng rng(19);
+  Graph g = random_graph(5, 0.5, rng);
+  HamPathReduction red = make_hampath_reduction(g, model());
+  HamPathCostModel cm = calibrate_hampath_cost(red);
+  Engine engine(red.instance.dag, model(), red.instance.red_limit);
+
+  std::vector<Vertex> perm(5);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 8; ++trial) {
+    rng.shuffle(perm);
+    Trace trace = pebble_permutation(red, perm);
+    Rational cost = verify_or_throw(engine, trace).total;
+    std::size_t missing = (5 - 1) - adjacent_pairs(g, perm);
+    EXPECT_EQ(cost,
+              cm.base + cm.per_missing_edge *
+                            Rational(static_cast<std::int64_t>(missing)))
+        << "perm trial " << trial;
+  }
+}
+
+// Soundness + completeness of the decision reduction on yes/no instances.
+TEST_P(HamPathAllModels, DecisionMatchesOracle) {
+  std::vector<Graph> graphs;
+  graphs.push_back(path_graph(5));           // yes
+  graphs.push_back(cycle_graph(5));          // yes
+  graphs.push_back(star_graph(5));           // no
+  graphs.push_back(two_cliques(2, 3));       // no
+  Rng rng(77);
+  graphs.push_back(random_graph_with_ham_path(5, 0.3, rng));  // yes
+  graphs.push_back(random_graph(5, 0.25, rng));
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    HamPathReduction red = make_hampath_reduction(g, model());
+    HamPathPebbling opt = solve_hampath_pebbling(red);
+    Rational threshold = hampath_threshold(red);
+    bool oracle = has_hamiltonian_path(g);
+    EXPECT_EQ(opt.cost <= threshold, oracle)
+        << "graph " << i << " under " << model().name();
+    // Reverse direction: the optimal pebbling's permutation IS a Hamiltonian
+    // path when one exists.
+    if (oracle) {
+      EXPECT_EQ(adjacent_pairs(g, opt.perm), g.vertex_count() - 1);
+    }
+  }
+}
+
+TEST(HamPathReduction, OptimalPebblingBeatsEveryOrderSampled) {
+  Rng rng(5);
+  Graph g = random_graph(6, 0.4, rng);
+  HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+  HamPathPebbling opt = solve_hampath_pebbling(red);
+  Engine engine(red.instance.dag, Model::oneshot(), red.instance.red_limit);
+  std::vector<Vertex> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(perm);
+    Trace trace = pebble_permutation(red, perm);
+    EXPECT_GE(verify_or_throw(engine, trace).total, opt.cost);
+  }
+}
+
+TEST(HamPathReduction, CompleteGraphCostsBase) {
+  Graph g = complete_graph(5);
+  HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+  HamPathPebbling opt = solve_hampath_pebbling(red);
+  EXPECT_EQ(opt.cost, hampath_threshold(red));
+  EXPECT_EQ(opt.adjacent, 4u);
+}
+
+TEST(HamPathReductionCd, ConstantIndegreeStructure) {
+  Graph g = path_graph(5);
+  HamPathReduction red = make_hampath_reduction_cd(g, 4);
+  EXPECT_LE(red.instance.dag.max_indegree(), 2u);
+  EXPECT_EQ(red.instance.red_limit, 6u);  // N + 1
+  // Merged contacts still merged.
+  EXPECT_EQ(red.contact(0, 1), red.contact(1, 0));
+}
+
+TEST(HamPathReductionCd, AffineCostLawStillHolds) {
+  Rng rng(44);
+  Graph g = random_graph(5, 0.5, rng);
+  HamPathReduction red = make_hampath_reduction_cd(g, 6);
+  HamPathCostModel cm = calibrate_hampath_cost(red);
+  Engine engine(red.instance.dag, red.model, red.instance.red_limit);
+  std::vector<Vertex> perm(5);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 6; ++trial) {
+    rng.shuffle(perm);
+    Rational cost =
+        verify_or_throw(engine, pebble_permutation(red, perm)).total;
+    std::size_t missing = (5 - 1) - adjacent_pairs(g, perm);
+    EXPECT_EQ(cost, cm.base + cm.per_missing_edge *
+                                  Rational(static_cast<std::int64_t>(missing)));
+  }
+}
+
+TEST(HamPathReductionCd, DecisionMatchesOracleAtConstantIndegree) {
+  Rng rng(55);
+  std::vector<Graph> graphs = {path_graph(5), star_graph(5),
+                               two_cliques(2, 3),
+                               random_graph_with_ham_path(5, 0.2, rng),
+                               random_graph(5, 0.3, rng)};
+  for (const Graph& g : graphs) {
+    HamPathReduction red = make_hampath_reduction_cd(g, 5);
+    HamPathPebbling opt = solve_hampath_pebbling(red);
+    EXPECT_EQ(opt.cost <= hampath_threshold(red), has_hamiltonian_path(g));
+  }
+}
+
+TEST(HamPathReduction, VisitOrderStrategyIsGloballyOptimalOnTinyInstances) {
+  // The paper's reduction assumes optimal pebblings correspond to group
+  // visit orders. Close the loop: on N = 3 instances the configuration-space
+  // Dijkstra (which searches ALL strategies) matches the best visit order.
+  std::vector<Graph> graphs;
+  graphs.push_back(path_graph(3));
+  graphs.push_back(complete_graph(3));
+  Graph no_edges(3);
+  graphs.push_back(no_edges);
+  for (const Graph& g : graphs) {
+    for (const Model& model : {Model::oneshot(), Model::nodel()}) {
+      HamPathReduction red = make_hampath_reduction(g, model);
+      ASSERT_LE(red.instance.dag.node_count(), 21u);
+      HamPathPebbling order_opt = solve_hampath_pebbling(red);
+      Engine engine(red.instance.dag, model, red.instance.red_limit);
+      Rational exact = solve_exact(engine, 6'000'000).cost;
+      EXPECT_EQ(exact, order_opt.cost)
+          << model.name() << " M=" << g.edge_count();
+    }
+  }
+}
+
+TEST(HamPathSolver, FindsWitnessPath) {
+  Graph g = path_graph(6);
+  auto path = find_hamiltonian_path(g);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(adjacent_pairs(g, *path), 5u);
+  EXPECT_FALSE(find_hamiltonian_path(star_graph(4)).has_value());
+}
+
+}  // namespace
+}  // namespace rbpeb

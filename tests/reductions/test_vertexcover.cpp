@@ -1,0 +1,149 @@
+// Theorem 3: the Vertex-Cover reduction (oneshot inapproximability).
+#include "src/reductions/vertexcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.hpp"
+#include "src/reductions/vertexcover_solver.hpp"
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(VertexCoverSolver, ExactOnKnownGraphs) {
+  EXPECT_TRUE(minimum_vertex_cover(Graph(4)).empty());
+  EXPECT_EQ(minimum_vertex_cover(path_graph(5)).size(), 2u);
+  EXPECT_EQ(minimum_vertex_cover(cycle_graph(5)).size(), 3u);
+  EXPECT_EQ(minimum_vertex_cover(star_graph(6)).size(), 1u);
+  EXPECT_EQ(minimum_vertex_cover(complete_graph(5)).size(), 4u);
+  Graph g = two_cliques(3, 4);
+  auto cover = minimum_vertex_cover(g);
+  EXPECT_EQ(cover.size(), 2u + 3u);
+  EXPECT_TRUE(is_vertex_cover(g, cover));
+}
+
+TEST(VertexCoverSolver, TwoApproxIsACoverWithinFactorTwo) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = random_graph(8, 0.35, rng);
+    auto approx = two_approx_vertex_cover(g);
+    auto exact = minimum_vertex_cover(g);
+    EXPECT_TRUE(is_vertex_cover(g, approx));
+    EXPECT_LE(approx.size(), 2 * exact.size());
+  }
+}
+
+TEST(VertexCoverReduction, StructureMatchesPaper) {
+  Graph g = path_graph(4);
+  const std::size_t k = 12;
+  VertexCoverReduction red = make_vertexcover_reduction(g, k);
+  EXPECT_EQ(red.instance.group_count(), 8u);  // two levels per vertex
+  EXPECT_EQ(red.k_common, k - 4);
+  EXPECT_EQ(red.instance.red_limit, k + 1);
+  for (const InputGroup& group : red.instance.groups) {
+    EXPECT_EQ(group.members.size(), k);
+  }
+  // Edge {0,1}: t_{0,1,1} is a member of V_{1,2}.
+  const InputGroup& v12 = red.instance.groups[red.second_level[1]];
+  NodeId t = red.first_targets[0 * 4 + 1];
+  EXPECT_NE(std::find(v12.members.begin(), v12.members.end(), t),
+            v12.members.end());
+  // Non-edge {0,2}: t_{0,1,2} is in no second-level group (a pure sink).
+  EXPECT_TRUE(red.instance.dag.is_sink(red.first_targets[0 * 4 + 2]));
+}
+
+TEST(VertexCoverReduction, DependenciesFollowEdges) {
+  Graph g = path_graph(3);
+  VertexCoverReduction red = make_vertexcover_reduction(g, 8);
+  auto deps = group_dependencies(red.instance);
+  // V_{1,2} depends on the first-level groups of 1's neighbors (0 and 2).
+  std::vector<std::size_t> expected = {red.first_level[0], red.first_level[2]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(deps[red.second_level[1]], expected);
+  EXPECT_TRUE(deps[red.first_level[1]].empty());
+}
+
+TEST(VertexCoverReduction, CoverOrderIsValidAndRecoverable) {
+  Rng rng(9);
+  Graph g = random_graph(6, 0.4, rng);
+  VertexCoverReduction red = make_vertexcover_reduction(g, 15);
+  auto cover = minimum_vertex_cover(g);
+  auto order = order_for_cover(red, cover);
+  EXPECT_TRUE(is_valid_visit_order(red.instance, order));
+  // Round trip: recovering the cover from the order gives the same set.
+  EXPECT_EQ(cover_from_order(red, order), cover);
+}
+
+TEST(VertexCoverReduction, RejectsNonCover) {
+  Graph g = path_graph(4);
+  VertexCoverReduction red = make_vertexcover_reduction(g, 10);
+  EXPECT_THROW(order_for_cover(red, {}), PreconditionError);
+}
+
+TEST(VertexCoverReduction, CostTracksCoverSize) {
+  // cost(cover) ≈ 2k'·|cover| + O(N²): the smaller the cover, the cheaper
+  // the pebbling, and the lower bound 2k'·|VC_min| holds.
+  Rng rng(21);
+  Graph g = random_graph(6, 0.4, rng);
+  const std::size_t k = 40;
+  VertexCoverReduction red = make_vertexcover_reduction(g, k);
+  auto min_cover = minimum_vertex_cover(g);
+  auto big_cover = two_approx_vertex_cover(g);
+  Rational cost_min = cost_for_cover(red, min_cover);
+  Rational cost_big = cost_for_cover(red, big_cover);
+  EXPECT_GE(cost_min, vertexcover_cost_lower_bound(red, min_cover.size()));
+  if (big_cover.size() > min_cover.size()) {
+    EXPECT_LT(cost_min, cost_big);
+  }
+  // Upper bound: 2k'|VC| plus the O(N²) bookkeeping term.
+  std::int64_t n2 = static_cast<std::int64_t>(
+      3 * g.vertex_count() * g.vertex_count());
+  EXPECT_LE(cost_min,
+            vertexcover_cost_lower_bound(red, min_cover.size()) + Rational(n2));
+}
+
+TEST(VertexCoverReduction, CoverOrderApproachesExhaustiveOptimumAsKGrows) {
+  // The paper's cover-shaped order is optimal only asymptotically in k':
+  // its gap to the true best visit order is an O(N²) constant, so it
+  // vanishes relative to the 2k'|VC| term as k' grows.
+  Graph g(2);
+  g.add_edge(0, 1);
+  Rational previous_gap(-1);
+  for (std::size_t k : {4u, 12u, 40u}) {
+    VertexCoverReduction red = make_vertexcover_reduction(g, k);
+    Engine engine(red.instance.dag, Model::oneshot(), red.instance.red_limit);
+    GroupSolveResult best = solve_exhaustive_order(engine, red.instance);
+    Rational best_cost = verify_or_throw(engine, best.trace).total;
+    Rational cover_cost = cost_for_cover(red, minimum_vertex_cover(g));
+    EXPECT_GE(cover_cost, best_cost) << "k=" << k;
+    Rational gap = cover_cost - best_cost;
+    EXPECT_LE(gap, Rational(8)) << "k=" << k;  // O(N²), k-independent
+    if (previous_gap >= Rational(0)) {
+      EXPECT_LE(gap, previous_gap + Rational(2)) << "k=" << k;
+    }
+    previous_gap = gap;
+  }
+}
+
+TEST(VertexCoverReduction, ApproximationFactorTransfers) {
+  // Theorem 3's heart: a pebbling within factor δ of optimal yields a vertex
+  // cover within ~δ of minimum as k' grows.
+  Rng rng(33);
+  Graph g = random_graph(5, 0.5, rng);
+  const std::size_t k = 100;  // k' >> N²
+  VertexCoverReduction red = make_vertexcover_reduction(g, k);
+  auto min_cover = minimum_vertex_cover(g);
+  auto approx_cover = two_approx_vertex_cover(g);
+  double cost_ratio = cost_for_cover(red, approx_cover).to_double() /
+                      cost_for_cover(red, min_cover).to_double();
+  double cover_ratio = static_cast<double>(approx_cover.size()) /
+                       static_cast<double>(min_cover.size());
+  // With k' = 95 >> N² = 25, the ratios agree within a modest tolerance.
+  EXPECT_NEAR(cost_ratio, cover_ratio, 0.35);
+}
+
+}  // namespace
+}  // namespace rbpeb

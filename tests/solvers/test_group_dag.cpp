@@ -1,0 +1,195 @@
+#include "src/solvers/group_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+// Two groups of 3 sources sharing one node, each with one target. R = 4.
+GroupDagInstance two_groups(bool share) {
+  DagBuilder b;
+  NodeId m0 = b.add_node(), m1 = b.add_node(), m2 = b.add_node();
+  NodeId n0 = b.add_node(), n1 = b.add_node();
+  NodeId n2 = share ? m2 : b.add_node();
+  NodeId t0 = b.add_node("t0"), t1 = b.add_node("t1");
+  for (NodeId m : {m0, m1, m2}) b.add_edge(m, t0);
+  for (NodeId m : {n0, n1, n2}) b.add_edge(m, t1);
+  GroupDagInstance inst;
+  inst.dag = b.build();
+  inst.groups = {{{m0, m1, m2}, {t0}}, {{n0, n1, n2}, {t1}}};
+  inst.red_limit = 4;
+  return inst;
+}
+
+// Group 0's target is a member of group 1 (dependency 0 -> 1).
+GroupDagInstance dependent_groups() {
+  DagBuilder b;
+  NodeId m0 = b.add_node(), m1 = b.add_node();
+  NodeId t0 = b.add_node();
+  NodeId n0 = b.add_node();
+  NodeId t1 = b.add_node();
+  b.add_edge(m0, t0);
+  b.add_edge(m1, t0);
+  b.add_edge(t0, t1);
+  b.add_edge(n0, t1);
+  GroupDagInstance inst;
+  inst.dag = b.build();
+  inst.groups = {{{m0, m1}, {t0}}, {{t0, n0}, {t1}}};
+  inst.red_limit = 3;
+  return inst;
+}
+
+TEST(GroupDag, DependenciesDerivedFromMembership) {
+  auto deps = group_dependencies(dependent_groups());
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(deps[0].empty());
+  EXPECT_EQ(deps[1], std::vector<std::size_t>({0}));
+}
+
+TEST(GroupDag, ValidOrderChecks) {
+  GroupDagInstance inst = dependent_groups();
+  EXPECT_TRUE(is_valid_visit_order(inst, {0, 1}));
+  EXPECT_FALSE(is_valid_visit_order(inst, {1, 0}));
+  EXPECT_FALSE(is_valid_visit_order(inst, {0}));
+  EXPECT_FALSE(is_valid_visit_order(inst, {0, 0}));
+  EXPECT_THROW(pebble_visit_order(
+                   Engine(inst.dag, Model::oneshot(), inst.red_limit), inst,
+                   {1, 0}),
+               PreconditionError);
+}
+
+class GroupDagModels : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const Model& model() const { return all_models()[GetParam()]; }
+};
+
+INSTANTIATE_TEST_SUITE_P(Models, GroupDagModels,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const auto& info) {
+                           return std::string(
+                               all_models()[info.param].name());
+                         });
+
+TEST_P(GroupDagModels, VisitOrderTraceIsValid) {
+  for (bool share : {false, true}) {
+    GroupDagInstance inst = two_groups(share);
+    Engine engine(inst.dag, model(), inst.red_limit);
+    Trace trace = pebble_visit_order(engine, inst, {0, 1});
+    VerifyResult vr = verify(engine, trace);
+    EXPECT_TRUE(vr.ok()) << model().name() << " share=" << share << ": "
+                         << vr.error;
+  }
+}
+
+TEST(GroupDag, ConsecutiveVisitsKeepSharedMemberRed) {
+  // Three groups; groups 0 and 2 share a member. Visiting them
+  // consecutively (0,2,1) avoids the store+load of the shared node that the
+  // separated order (0,1,2) must pay — the effect all the paper's
+  // constructions are built on.
+  DagBuilder b;
+  NodeId a0 = b.add_node(), a1 = b.add_node(), a2 = b.add_node();
+  NodeId b0 = b.add_node(), b1 = b.add_node(), b2 = b.add_node();
+  NodeId c1 = b.add_node(), c2 = b.add_node();
+  NodeId t0 = b.add_node(), t1 = b.add_node(), t2 = b.add_node();
+  for (NodeId m : {a0, a1, a2}) b.add_edge(m, t0);
+  for (NodeId m : {b0, b1, b2}) b.add_edge(m, t1);
+  for (NodeId m : {a0, c1, c2}) b.add_edge(m, t2);  // shares a0 with group 0
+  GroupDagInstance inst;
+  inst.dag = b.build();
+  inst.groups = {{{a0, a1, a2}, {t0}},
+                 {{b0, b1, b2}, {t1}},
+                 {{a0, c1, c2}, {t2}}};
+  inst.red_limit = 4;
+  Engine engine(inst.dag, Model::oneshot(), 4);
+  Rational consecutive =
+      verify_or_throw(engine, pebble_visit_order(engine, inst, {0, 2, 1})).total;
+  Rational separated =
+      verify_or_throw(engine, pebble_visit_order(engine, inst, {0, 1, 2})).total;
+  EXPECT_EQ(separated, consecutive + Rational(2));
+}
+
+TEST(GroupDag, GreedyPrefersGroupWithRedPebbles) {
+  // After group 0 (sharing a member with group 2), the greedy should pick
+  // group 2 (one red member) over group 1 (none).
+  DagBuilder b;
+  NodeId a0 = b.add_node(), a1 = b.add_node();
+  NodeId b0 = b.add_node(), b1 = b.add_node();
+  NodeId c1 = b.add_node();
+  NodeId t0 = b.add_node(), t1 = b.add_node(), t2 = b.add_node();
+  for (NodeId m : {a0, a1}) b.add_edge(m, t0);
+  for (NodeId m : {b0, b1}) b.add_edge(m, t1);
+  for (NodeId m : {a1, c1}) b.add_edge(m, t2);
+  GroupDagInstance inst;
+  inst.dag = b.build();
+  inst.groups = {{{a0, a1}, {t0}}, {{b0, b1}, {t1}}, {{a1, c1}, {t2}}};
+  inst.red_limit = 3;
+  Engine engine(inst.dag, Model::oneshot(), 3);
+  GroupSolveResult result = solve_group_greedy(engine, inst);
+  EXPECT_EQ(result.order, std::vector<std::size_t>({0, 2, 1}));
+  EXPECT_TRUE(verify(engine, result.trace).ok());
+}
+
+TEST(GroupDag, ExhaustiveMatchesExactOnTinyInstance) {
+  // The visit-order space and the raw configuration space should agree on
+  // the optimum for a construction-shaped instance.
+  GroupDagInstance inst = two_groups(true);
+  for (const Model& model : all_models()) {
+    Engine engine(inst.dag, model, inst.red_limit);
+    GroupSolveResult best = solve_exhaustive_order(engine, inst);
+    Rational best_cost = verify_or_throw(engine, best.trace).total;
+    Rational exact_cost = solve_exact(engine).cost;
+    EXPECT_EQ(best_cost, exact_cost) << model.name();
+  }
+}
+
+TEST(GroupDag, ExhaustiveRespectsDependencies) {
+  GroupDagInstance inst = dependent_groups();
+  Engine engine(inst.dag, Model::oneshot(), inst.red_limit);
+  GroupSolveResult best = solve_exhaustive_order(engine, inst);
+  EXPECT_EQ(best.order, std::vector<std::size_t>({0, 1}));
+}
+
+TEST(GroupDag, RejectsTooManyGroupsForExhaustive) {
+  DagBuilder b;
+  GroupDagInstance inst;
+  std::vector<NodeId> members;
+  for (int g = 0; g < 10; ++g) {
+    NodeId m = b.add_node();
+    NodeId t = b.add_node();
+    b.add_edge(m, t);
+    inst.groups.push_back({{m}, {t}});
+  }
+  inst.dag = b.build();
+  inst.red_limit = 2;
+  Engine engine(inst.dag, Model::oneshot(), 2);
+  EXPECT_THROW(solve_exhaustive_order(engine, inst), PreconditionError);
+}
+
+TEST(GroupDag, MultiTargetGroupStoresIntermediateTargets) {
+  // One group with three targets: only one free slot above the members, so
+  // two targets must be stored.
+  DagBuilder b;
+  NodeId m0 = b.add_node(), m1 = b.add_node();
+  NodeId t0 = b.add_node(), t1 = b.add_node(), t2 = b.add_node();
+  for (NodeId t : {t0, t1, t2}) {
+    b.add_edge(m0, t);
+    b.add_edge(m1, t);
+  }
+  GroupDagInstance inst;
+  inst.dag = b.build();
+  inst.groups = {{{m0, m1}, {t0, t1, t2}}};
+  inst.red_limit = 3;
+  Engine engine(inst.dag, Model::oneshot(), 3);
+  Trace trace = pebble_visit_order(engine, inst, {0});
+  VerifyResult vr = verify_or_throw(engine, trace);
+  EXPECT_EQ(vr.cost.stores, 2);  // t0 and t1 turned blue; t2 stays red
+  EXPECT_EQ(vr.cost.loads, 0);
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,118 @@
+#include "src/solvers/held_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+
+namespace rbpeb {
+namespace {
+
+// Brute-force reference: minimum over all precedence-respecting permutations.
+std::int64_t brute_force_min(
+    std::size_t count,
+    const std::function<std::int64_t(std::size_t, std::size_t)>& transition,
+    const std::vector<std::uint32_t>& dep_mask) {
+  std::vector<std::size_t> perm(count);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  do {
+    bool feasible = true;
+    std::uint32_t seen = 0;
+    std::int64_t cost = 0;
+    std::size_t prev = kHeldKarpStart;
+    for (std::size_t item : perm) {
+      std::uint32_t deps = dep_mask.empty() ? 0 : dep_mask[item];
+      if ((deps & seen) != deps) {
+        feasible = false;
+        break;
+      }
+      cost += transition(prev, item);
+      seen |= (1u << item);
+      prev = item;
+    }
+    if (feasible) best = std::min(best, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HeldKarp, MatchesBruteForceOnRandomCosts) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t count = 3 + trial % 4;  // 3..6 items
+    std::vector<std::int64_t> matrix((count + 1) * count);
+    for (auto& c : matrix) c = rng.next_in(0, 20);
+    auto transition = [&](std::size_t prev, std::size_t next) {
+      std::size_t row = (prev == kHeldKarpStart) ? count : prev;
+      return matrix[row * count + next];
+    };
+    HeldKarpResult hk = held_karp_min_order(count, transition);
+    ASSERT_TRUE(hk.feasible);
+    EXPECT_EQ(hk.cost, brute_force_min(count, transition, {}));
+    // Returned order must achieve the returned cost.
+    std::int64_t check = 0;
+    std::size_t prev = kHeldKarpStart;
+    for (std::size_t item : hk.order) {
+      check += transition(prev, item);
+      prev = item;
+    }
+    EXPECT_EQ(check, hk.cost);
+  }
+}
+
+TEST(HeldKarp, RespectsPrecedence) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t count = 5;
+    std::vector<std::uint32_t> deps(count, 0);
+    // item i may depend on items with smaller index (guarantees feasibility).
+    for (std::size_t i = 1; i < count; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (rng.next_bool(0.3)) deps[i] |= (1u << j);
+      }
+    }
+    std::vector<std::int64_t> matrix((count + 1) * count);
+    for (auto& c : matrix) c = rng.next_in(0, 9);
+    auto transition = [&](std::size_t prev, std::size_t next) {
+      std::size_t row = (prev == kHeldKarpStart) ? count : prev;
+      return matrix[row * count + next];
+    };
+    HeldKarpResult hk = held_karp_min_order(count, transition, deps);
+    ASSERT_TRUE(hk.feasible);
+    EXPECT_EQ(hk.cost, brute_force_min(count, transition, deps));
+    // Order respects deps.
+    std::uint32_t seen = 0;
+    for (std::size_t item : hk.order) {
+      EXPECT_EQ(deps[item] & seen, deps[item]);
+      seen |= (1u << item);
+    }
+  }
+}
+
+TEST(HeldKarp, DetectsInfeasiblePrecedence) {
+  std::vector<std::uint32_t> deps = {0x2, 0x1};  // 0 needs 1, 1 needs 0
+  auto transition = [](std::size_t, std::size_t) -> std::int64_t { return 0; };
+  HeldKarpResult hk = held_karp_min_order(2, transition, deps);
+  EXPECT_FALSE(hk.feasible);
+}
+
+TEST(HeldKarp, SingleItem) {
+  auto transition = [](std::size_t, std::size_t) -> std::int64_t { return 5; };
+  HeldKarpResult hk = held_karp_min_order(1, transition);
+  ASSERT_TRUE(hk.feasible);
+  EXPECT_EQ(hk.cost, 5);
+  EXPECT_EQ(hk.order, std::vector<std::size_t>({0}));
+}
+
+TEST(HeldKarp, RejectsInvalidSizes) {
+  auto transition = [](std::size_t, std::size_t) -> std::int64_t { return 0; };
+  EXPECT_THROW(held_karp_min_order(0, transition), PreconditionError);
+  EXPECT_THROW(held_karp_min_order(21, transition), PreconditionError);
+  EXPECT_THROW(held_karp_min_order(3, transition, {0u}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,0 +1,76 @@
+#include "src/solvers/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/pebble/verifier.hpp"
+#include "src/reductions/greedy_grid.hpp"
+#include "src/reductions/hampath.hpp"
+#include "src/graph/generators.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(LocalSearch, NeverWorseThanGreedyOnGrid) {
+  GreedyGrid grid = make_greedy_grid({.ell = 4, .k_common = 24});
+  Engine engine(grid.instance.dag, Model::oneshot(), grid.instance.red_limit);
+  GroupSolveResult greedy = solve_group_greedy(engine, grid.instance);
+  Rational greedy_cost = verify_or_throw(engine, greedy.trace).total;
+
+  LocalSearchOptions options;
+  options.iterations = 800;
+  GroupSolveResult annealed =
+      solve_order_local_search(engine, grid.instance, options);
+  Rational annealed_cost = verify_or_throw(engine, annealed.trace).total;
+  EXPECT_LE(annealed_cost, greedy_cost);
+  EXPECT_TRUE(is_valid_visit_order(grid.instance, annealed.order));
+}
+
+TEST(LocalSearch, EscapesTheMisguidanceSubstantially) {
+  // On the Theorem 4 grid, local search should recover a large part of the
+  // gap the greedy leaves on the table.
+  GreedyGrid grid = make_greedy_grid({.ell = 3, .k_common = 32});
+  Engine engine(grid.instance.dag, Model::oneshot(), grid.instance.red_limit);
+  Rational greedy_cost =
+      verify_or_throw(engine, solve_group_greedy(engine, grid.instance).trace)
+          .total;
+  LocalSearchOptions options;
+  options.iterations = 3000;
+  options.seed = 7;
+  Rational annealed_cost =
+      verify_or_throw(
+          engine,
+          solve_order_local_search(engine, grid.instance, options).trace)
+          .total;
+  EXPECT_LT(annealed_cost.to_double(), 0.7 * greedy_cost.to_double());
+}
+
+TEST(LocalSearch, RespectsDependenciesOnHamPath) {
+  Rng rng(3);
+  Graph g = random_graph(5, 0.4, rng);
+  HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
+  Engine engine(red.instance.dag, Model::oneshot(), red.instance.red_limit);
+  LocalSearchOptions options;
+  options.iterations = 500;
+  GroupSolveResult result =
+      solve_order_local_search(engine, red.instance, options);
+  EXPECT_TRUE(is_valid_visit_order(red.instance, result.order));
+  // And at least as good as the optimal-order cost upper bound times 1:
+  // the Held–Karp optimum is a lower bound for any order-based strategy.
+  HamPathPebbling opt = solve_hampath_pebbling(red);
+  Rational ls_cost = verify_or_throw(engine, result.trace).total;
+  EXPECT_GE(ls_cost, opt.cost);
+}
+
+TEST(LocalSearch, DeterministicForFixedSeed) {
+  GreedyGrid grid = make_greedy_grid({.ell = 3, .k_common = 16});
+  Engine engine(grid.instance.dag, Model::oneshot(), grid.instance.red_limit);
+  LocalSearchOptions options;
+  options.iterations = 300;
+  options.seed = 42;
+  auto a = solve_order_local_search(engine, grid.instance, options);
+  auto b = solve_order_local_search(engine, grid.instance, options);
+  EXPECT_EQ(a.order, b.order);
+}
+
+}  // namespace
+}  // namespace rbpeb

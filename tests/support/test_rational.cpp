@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/pebble/cost.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  Rational zero(0, 7);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), PreconditionError);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  Rational acc(0);
+  for (int i = 0; i < 100; ++i) acc += Rational(1, 100);
+  EXPECT_EQ(acc, Rational(1));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7), Rational(13, 2));
+  EXPECT_GE(Rational(7), Rational(7, 1));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, Rendering) {
+  EXPECT_EQ(Rational(7).str(), "7");
+  EXPECT_EQ(Rational(7, 2).str(), "7/2");
+  EXPECT_EQ(Rational(-3, 9).str(), "-1/3");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Cost, TransfersAndAddition) {
+  Cost a{1, 2, 3, 4};
+  Cost b{10, 20, 30, 40};
+  Cost sum = a + b;
+  EXPECT_EQ(sum.loads, 11);
+  EXPECT_EQ(sum.stores, 22);
+  EXPECT_EQ(sum.computes, 33);
+  EXPECT_EQ(sum.deletes, 44);
+  EXPECT_EQ(sum.transfers(), 33);
+  a += b;
+  EXPECT_EQ(a, sum);
+}
+
+}  // namespace
+}  // namespace rbpeb

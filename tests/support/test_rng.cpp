@@ -1,0 +1,117 @@
+#include "src/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.next_in(9, 9), 9);
+  EXPECT_THROW(rng.next_in(3, 2), PreconditionError);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(17);
+  for (std::size_t n : {1u, 5u, 20u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+      EXPECT_EQ(std::set<std::size_t>(sample.begin(), sample.end()).size(), k);
+      for (std::size_t x : sample) EXPECT_LT(x, n);
+    }
+  }
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), PreconditionError);
+}
+
+TEST(Rng, SampleEventuallyCoversAllSubsmarkets) {
+  // Every element of {0..4} should appear in some 2-subset over many draws.
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t x : rng.sample_without_replacement(5, 2)) seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rbpeb

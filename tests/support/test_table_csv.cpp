@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/support/csv.hpp"
+#include "src/support/table.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "23"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "234"});
+  std::string s = t.str();
+  // "1" should be right-aligned under the wider "234".
+  EXPECT_NE(s.find("|   1 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, SeparatorAndNotes) {
+  Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  t.add_note("a note");
+  std::string s = t.str();
+  EXPECT_NE(s.find("a note"), std::string::npos);
+  // 5 horizontal lines: top, under header, separator, bottom... count '+'-
+  // prefixed lines.
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; (pos = s.find("\n+", pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header underline, explicit separator, bottom
+}
+
+TEST(FormatDouble, TrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quote\"inside", "line\nbreak"});
+  std::string s = csv.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"x"}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rbpeb

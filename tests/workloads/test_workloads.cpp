@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/graph/dag_io.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/workloads/fft.hpp"
+#include "src/workloads/lu.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/pyramid.hpp"
+#include "src/workloads/random_layered.hpp"
+#include "src/workloads/stencil.hpp"
+#include "src/workloads/tree_reduction.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(MatMul, Structure) {
+  MatMulDag mm = make_matmul_dag(3);
+  // 2n² inputs + n³ products + n²(n−1) sums.
+  EXPECT_EQ(mm.dag.node_count(), 2 * 9 + 27 + 9 * 2u);
+  EXPECT_EQ(mm.dag.sources().size(), 18u);
+  EXPECT_EQ(mm.dag.sinks().size(), 9u);
+  EXPECT_EQ(mm.dag.max_indegree(), 2u);
+  EXPECT_TRUE(mm.dag.is_source(mm.a(1, 2)));
+  EXPECT_TRUE(mm.dag.is_sink(mm.c(2, 2)));
+}
+
+TEST(MatMul, TrivialSize) {
+  MatMulDag mm = make_matmul_dag(1);
+  EXPECT_EQ(mm.dag.node_count(), 3u);  // a, b, product
+  EXPECT_EQ(mm.dag.max_indegree(), 2u);
+}
+
+TEST(Fft, Structure) {
+  FftDag fft = make_fft_dag(8);
+  EXPECT_EQ(fft.stages, 3u);
+  EXPECT_EQ(fft.dag.node_count(), 8 * 4u);  // inputs + 3 stages
+  EXPECT_EQ(fft.dag.sources().size(), 8u);
+  EXPECT_EQ(fft.dag.sinks().size(), 8u);
+  EXPECT_EQ(fft.dag.max_indegree(), 2u);
+  EXPECT_EQ(longest_path_length(fft.dag), 3u);
+  EXPECT_THROW(make_fft_dag(6), PreconditionError);
+  EXPECT_THROW(make_fft_dag(1), PreconditionError);
+}
+
+TEST(Stencil, OneDimensional) {
+  StencilDag st = make_stencil1d_dag(5, 3);
+  EXPECT_EQ(st.dag.node_count(), 5 * 4u);
+  EXPECT_EQ(st.dag.max_indegree(), 3u);
+  EXPECT_EQ(st.dag.sources().size(), 5u);
+  EXPECT_EQ(st.dag.sinks().size(), 5u);
+  EXPECT_EQ(longest_path_length(st.dag), 3u);
+}
+
+TEST(Stencil, TwoDimensional) {
+  StencilDag st = make_stencil2d_dag(4, 3, 2);
+  EXPECT_EQ(st.dag.node_count(), 12 * 3u);
+  EXPECT_EQ(st.dag.max_indegree(), 5u);
+  EXPECT_EQ(st.final_.size(), 12u);
+}
+
+TEST(TreeReduction, Structure) {
+  TreeReductionDag tree = make_tree_reduction_dag(8);
+  EXPECT_EQ(tree.dag.node_count(), 8 + 4 + 2 + 1u);
+  EXPECT_EQ(tree.dag.sinks(), std::vector<NodeId>({tree.root}));
+  EXPECT_EQ(tree.dag.max_indegree(), 2u);
+
+  TreeReductionDag odd = make_tree_reduction_dag(5);
+  EXPECT_EQ(odd.dag.sinks().size(), 1u);
+  EXPECT_EQ(make_tree_reduction_dag(1).dag.node_count(), 1u);
+}
+
+TEST(Pyramid, Structure) {
+  PyramidDag py = make_pyramid_dag(4);
+  EXPECT_EQ(py.dag.node_count(), 4 + 3 + 2 + 1u);
+  EXPECT_EQ(py.dag.sinks(), std::vector<NodeId>({py.apex}));
+  EXPECT_EQ(py.dag.sources().size(), 4u);
+  EXPECT_EQ(longest_path_length(py.dag), 3u);
+}
+
+TEST(Lu, Structure) {
+  LuDag lu = make_lu_dag(3);
+  // n² inputs + per step k: (n-k-1) scalings + (n-k-1)² updates.
+  // n=3: 9 + (2 + 4) + (1 + 1) = 17.
+  EXPECT_EQ(lu.dag.node_count(), 17u);
+  EXPECT_EQ(lu.dag.sources().size(), 9u);
+  EXPECT_EQ(lu.dag.max_indegree(), 3u);
+  // The (0,0) pivot is never rewritten; below-pivot entries are.
+  EXPECT_EQ(lu.outputs[0], lu.inputs[0]);
+  EXPECT_NE(lu.outputs[1 * 3 + 0], lu.inputs[1 * 3 + 0]);
+}
+
+TEST(Lu, TrivialAndSmallSizes) {
+  EXPECT_EQ(make_lu_dag(1).dag.node_count(), 1u);
+  LuDag lu2 = make_lu_dag(2);
+  EXPECT_EQ(lu2.dag.node_count(), 4 + 1 + 1u);
+  EXPECT_TRUE(is_topological_order(lu2.dag, topological_order(lu2.dag)));
+}
+
+TEST(Lu, GreedyPebblesInEveryModel) {
+  LuDag lu = make_lu_dag(4);
+  for (const Model& model : all_models()) {
+    Engine engine(lu.dag, model, min_red_pebbles(lu.dag) + 2);
+    VerifyResult vr = verify(engine, solve_greedy(engine));
+    ASSERT_TRUE(vr.ok()) << model.name() << ": " << vr.error;
+  }
+}
+
+TEST(RandomLayered, RespectsSpec) {
+  RandomLayeredSpec spec{.layers = 5, .width = 7, .indegree = 3, .seed = 42};
+  Dag dag = make_random_layered_dag(spec);
+  EXPECT_EQ(dag.node_count(), 35u);
+  EXPECT_EQ(dag.sources().size(), 7u);
+  EXPECT_EQ(dag.max_indegree(), 3u);
+  // Determinism.
+  Dag again = make_random_layered_dag(spec);
+  EXPECT_EQ(to_text(dag) == to_text(again), true);
+}
+
+TEST(RandomLayered, IndegreeCappedByWidth) {
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 2, .indegree = 9,
+                                     .seed = 1});
+  EXPECT_EQ(dag.max_indegree(), 2u);
+}
+
+class AllWorkloadsPebbleable : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ExtraBudget, AllWorkloadsPebbleable,
+                         ::testing::Values<std::size_t>(0, 1, 4));
+
+// Property: every workload is pebbleable by the greedy in every model with
+// any budget >= Δ+1, within the universal bound.
+TEST_P(AllWorkloadsPebbleable, GreedyHandlesAll) {
+  std::size_t extra = GetParam();
+  std::vector<Dag> dags;
+  dags.push_back(make_matmul_dag(3).dag);
+  dags.push_back(make_fft_dag(8).dag);
+  dags.push_back(make_stencil1d_dag(6, 4).dag);
+  dags.push_back(make_stencil2d_dag(3, 3, 2).dag);
+  dags.push_back(make_tree_reduction_dag(11).dag);
+  dags.push_back(make_pyramid_dag(5).dag);
+  for (const Dag& dag : dags) {
+    for (const Model& model : all_models()) {
+      Engine engine(dag, model, min_red_pebbles(dag) + extra);
+      VerifyResult vr = verify(engine, solve_greedy(engine));
+      ASSERT_TRUE(vr.ok()) << model.name() << ": " << vr.error;
+      EXPECT_LE(vr.total, universal_cost_upper_bound(dag, model));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbpeb

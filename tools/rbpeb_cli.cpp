@@ -1,0 +1,171 @@
+// rbpeb_cli — command-line front end for the pebbling laboratory.
+//
+// Usage:
+//   rbpeb_cli solve <dag-file> <R> [--model base|oneshot|nodel|compcost]
+//                                  [--solver greedy|topo|exact]
+//                                  [--trace <out-file>] [--dot <out-file>]
+//   rbpeb_cli verify <dag-file> <R> <trace-file> [--model ...]
+//   rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> | tree <leaves>
+//
+// DAG files use the rbpeb text format (first line: node count; then one
+// "from to" edge per line). `gen` writes such a file to stdout.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/graph/dag_io.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/trace_io.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/solvers/topo_baseline.hpp"
+#include "src/support/check.hpp"
+#include "src/workloads/fft.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/stencil.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace {
+
+using namespace rbpeb;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage:\n"
+      "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S]"
+      " [--trace F] [--dot F]\n"
+      "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
+      "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
+      " tree <leaves>\n"
+      "models: base oneshot nodel compcost; solvers: greedy topo exact\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << '\n';
+    std::exit(1);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Model parse_model(const std::string& name) {
+  for (const Model& m : all_models()) {
+    if (m.name() == name) return m;
+  }
+  std::cerr << "unknown model '" << name << "'\n";
+  std::exit(2);
+}
+
+void print_audit(const Engine& engine, const VerifyResult& vr) {
+  std::cout << "legal:      " << (vr.legal ? "yes" : "NO — " + vr.error)
+            << '\n';
+  std::cout << "complete:   " << (vr.complete ? "yes" : "no") << '\n';
+  std::cout << "total cost: " << vr.total.str() << " (" << vr.cost.loads
+            << " loads, " << vr.cost.stores << " stores, " << vr.cost.computes
+            << " computes, " << vr.cost.deletes << " deletes)\n";
+  std::cout << "moves:      " << vr.length << '\n';
+  std::cout << "peak red:   " << vr.max_red << " / " << engine.red_limit()
+            << '\n';
+}
+
+int cmd_solve(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  Dag dag = from_text(read_file(args[0]));
+  std::size_t r = std::stoul(args[1]);
+  Model model = Model::oneshot();
+  std::string solver = "greedy";
+  std::string trace_out, dot_out;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--model" && i + 1 < args.size()) model = parse_model(args[++i]);
+    else if (args[i] == "--solver" && i + 1 < args.size()) solver = args[++i];
+    else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
+    else if (args[i] == "--dot" && i + 1 < args.size()) dot_out = args[++i];
+    else usage();
+  }
+
+  std::cout << "DAG: " << dag.node_count() << " nodes, " << dag.edge_count()
+            << " edges, Δ = " << dag.max_indegree() << " (min R = "
+            << min_red_pebbles(dag) << ")\n";
+  Engine engine(dag, model, r);
+  Trace trace;
+  if (solver == "greedy") trace = solve_greedy(engine);
+  else if (solver == "topo") trace = solve_topo_baseline(engine);
+  else if (solver == "exact") trace = solve_exact(engine).trace;
+  else usage();
+
+  VerifyResult vr = verify(engine, trace);
+  std::cout << "model:      " << model.name() << ", solver: " << solver
+            << '\n';
+  print_audit(engine, vr);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << trace_to_text(trace);
+    std::cout << "trace written to " << trace_out << '\n';
+  }
+  if (!dot_out.empty()) {
+    std::ofstream out(dot_out);
+    out << to_dot(dag);
+    std::cout << "DOT written to " << dot_out << '\n';
+  }
+  return vr.ok() ? 0 : 1;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  Dag dag = from_text(read_file(args[0]));
+  std::size_t r = std::stoul(args[1]);
+  Trace trace = trace_from_text(read_file(args[2]));
+  Model model = Model::oneshot();
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--model" && i + 1 < args.size()) model = parse_model(args[++i]);
+    else usage();
+  }
+  Engine engine(dag, model, r);
+  VerifyResult vr = verify(engine, trace);
+  print_audit(engine, vr);
+  return vr.ok() ? 0 : 1;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::string& kind = args[0];
+  if (kind == "matmul" && args.size() == 2) {
+    std::cout << to_text(make_matmul_dag(std::stoul(args[1])).dag);
+  } else if (kind == "fft" && args.size() == 2) {
+    std::cout << to_text(make_fft_dag(std::stoul(args[1])).dag);
+  } else if (kind == "stencil" && args.size() == 3) {
+    std::cout << to_text(
+        make_stencil1d_dag(std::stoul(args[1]), std::stoul(args[2])).dag);
+  } else if (kind == "tree" && args.size() == 2) {
+    std::cout << to_text(make_tree_reduction_dag(std::stoul(args[1])).dag);
+  } else {
+    usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  try {
+    std::string cmd = args[0];
+    args.erase(args.begin());
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "gen") return cmd_gen(args);
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
