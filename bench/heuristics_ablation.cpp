@@ -1,6 +1,8 @@
 // Ablation: how much of the greedy's Theorem 4 loss can practical heuristics
 // recover? Compares the Section 8 greedy, simulated annealing over visit
-// orders, and the known-optimal orders on the paper's constructions.
+// orders, and the known-optimal orders on the paper's constructions. All
+// solver runs go through the SolverRegistry; costs are the API's audited
+// totals.
 #include <iostream>
 
 #include "src/pebble/verifier.hpp"
@@ -8,11 +10,13 @@
 #include "src/reductions/hampath.hpp"
 #include "src/reductions/hampath_solver.hpp"
 #include "src/graph/generators.hpp"
-#include "src/solvers/local_search.hpp"
+#include "src/solvers/api.hpp"
+#include "src/solvers/group_dag.hpp"
 #include "src/support/table.hpp"
 
 int main() {
   using namespace rbpeb;
+  const SolverRegistry& registry = SolverRegistry::instance();
   std::cout << "Heuristics ablation on the paper's hard instances (oneshot)\n\n";
 
   Table grid_table("Theorem 4 grid: greedy vs annealing vs optimal order");
@@ -22,17 +26,13 @@ int main() {
     GreedyGrid grid = make_greedy_grid({.ell = ell, .k_common = 48});
     Engine engine(grid.instance.dag, Model::oneshot(),
                   grid.instance.red_limit);
-    Rational greedy =
-        verify_or_throw(engine,
-                        solve_group_greedy(engine, grid.instance).trace)
-            .total;
-    LocalSearchOptions options;
-    options.iterations = 4000;
-    Rational annealed =
-        verify_or_throw(
-            engine,
-            solve_order_local_search(engine, grid.instance, options).trace)
-            .total;
+    SolveRequest request;
+    request.engine = &engine;
+    request.groups = &grid.instance;
+    Rational greedy = registry.at("group-greedy").run(request).cost;
+    SolveRequest anneal_request = request;
+    anneal_request.options["iterations"] = "4000";
+    Rational annealed = registry.at("local-search").run(anneal_request).cost;
     Rational optimal =
         verify_or_throw(
             engine, pebble_visit_order(engine, grid.instance,
@@ -54,18 +54,14 @@ int main() {
     Graph g = random_graph_with_ham_path(7, 0.2, rng);
     HamPathReduction red = make_hampath_reduction(g, Model::oneshot());
     Engine engine(red.instance.dag, Model::oneshot(), red.instance.red_limit);
-    Rational greedy =
-        verify_or_throw(engine,
-                        solve_group_greedy(engine, red.instance).trace)
-            .total;
-    LocalSearchOptions options;
-    options.iterations = 2500;
-    options.seed = 100 + static_cast<std::uint64_t>(trial);
-    Rational annealed =
-        verify_or_throw(
-            engine,
-            solve_order_local_search(engine, red.instance, options).trace)
-            .total;
+    SolveRequest request;
+    request.engine = &engine;
+    request.groups = &red.instance;
+    Rational greedy = registry.at("group-greedy").run(request).cost;
+    SolveRequest anneal_request = request;
+    anneal_request.options["iterations"] = "2500";
+    anneal_request.options["seed"] = std::to_string(100 + trial);
+    Rational annealed = registry.at("local-search").run(anneal_request).cost;
     Rational optimal = solve_hampath_pebbling(red).cost;
     hp_table.add_row({"planted-" + std::to_string(trial), greedy.str(),
                       annealed.str(), optimal.str()});

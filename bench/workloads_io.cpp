@@ -6,9 +6,9 @@
 
 #include <iostream>
 
-#include "src/analysis/greedy_vs_opt.hpp"
 #include "src/analysis/io_bounds.hpp"
 #include "src/pebble/bounds.hpp"
+#include "src/solvers/api.hpp"
 #include "src/solvers/peephole.hpp"
 #include "src/workloads/lu.hpp"
 #include "src/pebble/verifier.hpp"
@@ -22,6 +22,15 @@
 namespace {
 
 using namespace rbpeb;
+
+/// Registry-dispatched solve; the returned cost is the API's audited total.
+SolveResult run_registered(const std::string& solver, const Engine& engine,
+                           SolverOptions options = {}) {
+  SolveRequest request;
+  request.engine = &engine;
+  request.options = std::move(options);
+  return SolverRegistry::instance().at(solver).run(request);
+}
 
 void print_tables() {
   std::cout << "Workload I/O sweeps (oneshot model, greedy solver, audited "
@@ -52,7 +61,7 @@ void print_tables() {
         continue;
       }
       Engine engine(w.dag, Model::oneshot(), r);
-      row.push_back(verify_or_throw(engine, solve_greedy(engine)).total.str());
+      row.push_back(run_registered("greedy", engine).cost.str());
     }
     table.add_row(row);
   }
@@ -68,8 +77,7 @@ void print_tables() {
     Dag mm8 = make_matmul_dag(8).dag;
     for (std::size_t r : {4u, 8u, 16u}) {
       Engine engine(mm8, Model::oneshot(), r);
-      double measured =
-          verify_or_throw(engine, solve_greedy(engine)).total.to_double();
+      double measured = run_registered("greedy", engine).cost.to_double();
       double bound = matmul_io_lower_bound(8, r);
       hk.add_row({std::to_string(r), format_double(measured, 0),
                   format_double(bound, 1),
@@ -90,8 +98,9 @@ void print_tables() {
     if (w.dag.node_count() > 600) continue;  // keep O(T^2) replays quick
     Engine engine(w.dag, Model::oneshot(),
                   std::max<std::size_t>(8, min_red_pebbles(w.dag)));
-    Trace trace = solve_greedy(engine);
-    Rational clean = verify_or_throw(engine, trace).total;
+    SolveResult greedy = run_registered("greedy", engine);
+    const Trace& trace = *greedy.trace;
+    Rational clean = greedy.cost;
     // Inject a pointless spill+reload after every 8th computation.
     Trace wasteful;
     std::size_t computes = 0;
@@ -120,10 +129,11 @@ void print_tables() {
                           GreedyRule::RedRatio}) {
     for (EvictionRule ev : {EvictionRule::FewestRemainingUses,
                             EvictionRule::Lru, EvictionRule::Random}) {
-      GreedyOptions options;
-      options.rule = rule;
-      options.eviction = ev;
-      Rational cost = greedy_cost_on(mm, Model::oneshot(), 16, options);
+      Engine engine(mm, Model::oneshot(), 16);
+      Rational cost = run_registered("greedy", engine,
+                                     {{"rule", to_string(rule)},
+                                      {"eviction", to_string(ev)}})
+                          .cost;
       rules.add_row({to_string(rule), to_string(ev), cost.str()});
     }
   }
@@ -134,10 +144,10 @@ void print_tables() {
   Dag fft = make_fft_dag(64).dag;
   for (const Model& model : all_models()) {
     Engine engine(fft, model, 16);
-    VerifyResult vr = verify_or_throw(engine, solve_greedy(engine));
-    models.add_row({std::string(model.name()), vr.total.str(),
-                    std::to_string(vr.cost.transfers()),
-                    std::to_string(vr.cost.computes)});
+    SolveResult result = run_registered("greedy", engine);
+    models.add_row({std::string(model.name()), result.cost.str(),
+                    result.stats.at("transfers"),
+                    result.stats.at("computes")});
   }
   models.add_note("nodel pays ~n extra stores; compcost adds eps per compute");
   std::cout << models << '\n';

@@ -2,16 +2,18 @@
 //
 //   $ ./quickstart
 //
-// Walks through the core rbpeb API: DagBuilder -> Engine -> solver ->
-// Verifier. Everything a solver claims is re-checked by replaying its trace.
+// Walks through the core rbpeb API: DagBuilder -> Engine -> SolverRegistry
+// -> SolveResult. Solvers are looked up by name; every cost below is the
+// verifier's audited total (the API replays each trace, so solvers cannot
+// misreport). The final section races the whole registry with
+// solve_portfolio.
 #include <iostream>
 
 #include "src/graph/dag_builder.hpp"
 #include "src/graph/dag_io.hpp"
 #include "src/pebble/bounds.hpp"
-#include "src/pebble/verifier.hpp"
-#include "src/solvers/exact.hpp"
-#include "src/solvers/greedy.hpp"
+#include "src/solvers/api.hpp"
+#include "src/solvers/portfolio.hpp"
 #include "src/support/table.hpp"
 
 int main() {
@@ -37,30 +39,49 @@ int main() {
   std::cout << "Minimum red pebbles (fast-memory slots): Δ+1 = "
             << min_red_pebbles(dag) << "\n\n";
 
+  const SolverRegistry& registry = SolverRegistry::instance();
+
   Table table("Pebbling the diamond with R = 3 red pebbles");
   table.set_header({"model", "greedy cost", "optimal cost", "moves", "peak red"});
   for (const Model& model : all_models()) {
     Engine engine(dag, model, 3);
+    SolveRequest request;
+    request.engine = &engine;
 
-    // Heuristic solution, audited by replay.
-    Trace greedy_trace = solve_greedy(engine);
-    VerifyResult greedy = verify_or_throw(engine, greedy_trace);
+    // Heuristic solution; result.cost is audited by replay.
+    SolveResult greedy = registry.at("greedy").run(request);
 
     // Provably optimal solution (exponential search; fine at this size).
-    ExactResult exact = solve_exact(engine);
+    SolveResult exact = registry.at("exact").run(request);
 
-    table.add_row({model.name(), greedy.total.str(), exact.cost.str(),
-                   std::to_string(greedy.length),
-                   std::to_string(greedy.max_red)});
+    table.add_row({model.name(), greedy.cost.str(), exact.cost.str(),
+                   greedy.stats.at("moves"), greedy.stats.at("peak_red")});
   }
   table.add_note("cost = slow-memory transfers (+ eps per compute in compcost)");
   std::cout << table;
 
-  // Show one concrete optimal pebbling, move by move.
+  // Race every registered solver and keep the best verified trace. Group
+  // solvers report themselves inapplicable here (no group structure), which
+  // is fine — a portfolio runs whatever fits the request. Sequential with
+  // no early exit so this walkthrough prints the same thing every run.
   Engine engine(dag, Model::oneshot(), 3);
-  ExactResult exact = solve_exact(engine);
-  std::cout << "\nAn optimal oneshot pebbling with R = 3 ("
-            << exact.cost.str() << " transfers):\n"
-            << exact.trace.str();
+  SolveRequest request;
+  request.engine = &engine;
+  PortfolioOptions popts;
+  popts.parallel = false;
+  popts.cancel_on_optimal = false;
+  PortfolioResult portfolio = solve_portfolio(request, popts);
+  std::cout << "\nPortfolio over " << portfolio.results.size()
+            << " registered solvers:\n";
+  for (const SolveResult& result : portfolio.results) {
+    std::cout << "  " << result.solver << ": " << to_string(result.status);
+    if (result.has_trace()) std::cout << ", cost " << result.cost.str();
+    if (!result.detail.empty()) std::cout << " (" << result.detail << ")";
+    std::cout << '\n';
+  }
+  const SolveResult& best = portfolio.best();
+  std::cout << "\nWinner: " << best.solver << " (" << to_string(best.status)
+            << ") — an optimal oneshot pebbling with R = 3 ("
+            << best.cost.str() << " transfers):\n" << best.trace->str();
   return 0;
 }

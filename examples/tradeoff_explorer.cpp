@@ -3,12 +3,17 @@
 //   $ ./tradeoff_explorer [d] [chain_length] [model]
 //
 // model is one of: base, oneshot, nodel, compcost (default: oneshot).
-// Prints opt(R) for every R between d+2 and 2d+2 and draws the staircase.
+// Prints opt(R) for every R between d+2 and 2d+2, draws the staircase, then
+// races the registered solvers on the chain instance at the tightest budget
+// to show how the heuristics stack up against the constructive strategy.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "src/analysis/tradeoff.hpp"
+#include "src/gadgets/tradeoff_chain.hpp"
+#include "src/solvers/api.hpp"
+#include "src/solvers/portfolio.hpp"
 #include "src/support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -17,9 +22,13 @@ int main(int argc, char** argv) {
   const std::size_t len = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64;
   Model model = Model::oneshot();
   if (argc > 3) {
-    for (const Model& m : all_models()) {
-      if (m.name() == argv[3]) model = m;
+    auto parsed = Model::from_name(argv[3]);
+    if (!parsed) {
+      std::cerr << "unknown model '" << argv[3]
+                << "' (base oneshot nodel compcost)\n";
+      return 2;
     }
+    model = *parsed;
   }
 
   std::cout << "Tradeoff chain: d = " << d << ", chain length n = " << len
@@ -52,5 +61,38 @@ int main(int argc, char** argv) {
               << " |" << std::string(bar, '#') << ' ' << pt.measured.str()
               << '\n';
   }
+
+  // Registry shoot-out on a small chain at the tightest budget R = d+2:
+  // the request carries the chain and its group structure, so every solver
+  // that can use them (chain, group-greedy, held-karp, local-search, …)
+  // competes; the rest report why they sat out.
+  const std::size_t small_d = std::min<std::size_t>(d, 4);
+  const std::size_t small_len = std::min<std::size_t>(len, 12);
+  TradeoffChain chain =
+      make_tradeoff_chain({.d = small_d, .length = small_len});
+  Engine engine(chain.instance.dag, model, chain.instance.red_limit);
+  SolveRequest request;
+  request.engine = &engine;
+  request.groups = &chain.instance;
+  request.chain = &chain;
+  PortfolioOptions popts;
+  popts.parallel = false;  // keep the table order deterministic
+  popts.cancel_on_optimal = false;
+  PortfolioResult portfolio = solve_portfolio(request, popts);
+
+  Table race("Registered solvers on the chain (d = " +
+             std::to_string(small_d) + ", n = " + std::to_string(small_len) +
+             ", R = " + std::to_string(chain.instance.red_limit) + ")");
+  race.set_header({"solver", "status", "cost", "notes"});
+  for (const SolveResult& result : portfolio.results) {
+    race.add_row({result.solver, to_string(result.status),
+                  result.has_trace() ? result.cost.str() : "-",
+                  result.detail});
+  }
+  if (portfolio.has_best()) {
+    race.add_note("winner: " + portfolio.best().solver + " at cost " +
+                  portfolio.best().cost.str());
+  }
+  std::cout << '\n' << race;
   return 0;
 }

@@ -47,4 +47,16 @@ Trace lift_to_universal_source(const SingleSourceDag& transformed,
   return out;
 }
 
+Trace load_blue_sources(const Dag& dag, const Trace& trace) {
+  Trace out;
+  for (const Move& move : trace) {
+    if (move.type == MoveType::Compute && dag.is_source(move.node)) {
+      out.push_load(move.node);
+    } else {
+      out.push(move);
+    }
+  }
+  return out;
+}
+
 }  // namespace rbpeb

@@ -33,4 +33,11 @@ Trace finish_sinks_blue(const Engine& engine, const Trace& trace);
 Trace lift_to_universal_source(const SingleSourceDag& transformed,
                                const Trace& original);
 
+/// Appendix C, the other direction: rewrite a default-convention trace for
+/// the Hong–Kung "sources start blue" rule by replacing every computation of
+/// a source with a load of its pre-placed blue pebble. Exact for traces that
+/// never recompute a deleted source (all rbpeb solvers qualify); the caller
+/// re-verifies under the strict engine, which catches any other case.
+Trace load_blue_sources(const Dag& dag, const Trace& trace);
+
 }  // namespace rbpeb

@@ -19,6 +19,13 @@ Model Model::compcost(std::int64_t num, std::int64_t den) {
   return Model(ModelKind::Compcost, "compcost", eps);
 }
 
+std::optional<Model> Model::from_name(std::string_view name) {
+  for (const Model& m : all_models()) {
+    if (m.name() == name) return m;
+  }
+  return std::nullopt;
+}
+
 Rational Model::total(const Cost& cost) const {
   Rational t(cost.transfers());
   if (kind_ == ModelKind::Compcost) {

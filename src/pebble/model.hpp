@@ -8,7 +8,9 @@
 //   compcost  1         1         ε             0
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/pebble/cost.hpp"
@@ -33,6 +35,11 @@ class Model {
 
   /// The compcost model with ε = num/den (paper suggests ε ≈ 1/100).
   static Model compcost(std::int64_t num = 1, std::int64_t den = 100);
+
+  /// Look a model up by its name ("base", "oneshot", "nodel", "compcost",
+  /// each with default parameters). nullopt for unknown names. This is the
+  /// single parsing point shared by the CLI and the solver registry.
+  static std::optional<Model> from_name(std::string_view name);
 
   ModelKind kind() const { return kind_; }
   const std::string& name() const { return name_; }

@@ -1,0 +1,699 @@
+#include "src/solvers/api.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "src/gadgets/transforms.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/chain_solver.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/solvers/greedy.hpp"
+#include "src/solvers/held_karp.hpp"
+#include "src/solvers/local_search.hpp"
+#include "src/solvers/peephole.hpp"
+#include "src/solvers/topo_baseline.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Heuristic: return "heuristic";
+    case SolveStatus::BudgetExhausted: return "budget-exhausted";
+    case SolveStatus::Inapplicable: return "inapplicable";
+  }
+  return "?";
+}
+
+SolveBudget& SolveBudget::with_wall_clock_ms(std::int64_t ms) {
+  deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return *this;
+}
+
+// ---- option helpers ------------------------------------------------------
+
+namespace solver_options {
+
+std::optional<std::string_view> get(const SolverOptions& options,
+                                    std::string_view key) {
+  auto it = options.find(key);
+  if (it == options.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+namespace {
+
+[[noreturn]] void bad_option(std::string_view key, std::string_view value,
+                             std::string_view expected) {
+  std::ostringstream os;
+  os << "option '" << key << "': cannot parse '" << value << "' as "
+     << expected;
+  throw PreconditionError(os.str());
+}
+
+template <typename T>
+T parse_number(std::string_view key, std::string_view value,
+               std::string_view expected) {
+  T out{};
+  auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    bad_option(key, value, expected);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t get_size(const SolverOptions& options, std::string_view key,
+                     std::size_t fallback) {
+  auto value = get(options, key);
+  if (!value) return fallback;
+  return parse_number<std::size_t>(key, *value, "a non-negative integer");
+}
+
+std::uint64_t get_u64(const SolverOptions& options, std::string_view key,
+                      std::uint64_t fallback) {
+  auto value = get(options, key);
+  if (!value) return fallback;
+  return parse_number<std::uint64_t>(key, *value, "a non-negative integer");
+}
+
+double get_double(const SolverOptions& options, std::string_view key,
+                  double fallback) {
+  auto value = get(options, key);
+  if (!value) return fallback;
+  return parse_number<double>(key, *value, "a number");
+}
+
+bool get_bool(const SolverOptions& options, std::string_view key,
+              bool fallback) {
+  auto value = get(options, key);
+  if (!value) return fallback;
+  if (*value == "1" || *value == "true" || *value == "yes" || *value == "on") {
+    return true;
+  }
+  if (*value == "0" || *value == "false" || *value == "no" || *value == "off") {
+    return false;
+  }
+  bad_option(key, *value, "a boolean");
+}
+
+Model parse_model(std::string_view name) {
+  std::optional<Model> model = Model::from_name(name);
+  if (!model) {
+    std::ostringstream os;
+    os << "unknown model '" << name << "'; known models:";
+    for (const Model& m : all_models()) os << ' ' << m.name();
+    throw PreconditionError(os.str());
+  }
+  return *model;
+}
+
+Model get_model(const SolverOptions& options, std::string_view key,
+                const Model& fallback) {
+  auto value = get(options, key);
+  if (!value) return fallback;
+  return parse_model(*value);
+}
+
+}  // namespace solver_options
+
+// ---- Solver base ---------------------------------------------------------
+
+namespace {
+
+/// The same rules with the paper's default start/finish convention; the view
+/// convention-naive strategies solve under before their trace is bridged.
+Engine default_convention_view(const Engine& engine) {
+  return Engine(engine.dag(), engine.model(), engine.red_limit());
+}
+
+bool nondefault_convention(const Engine& engine) {
+  return engine.convention().sources_start_blue ||
+         engine.convention().sinks_end_blue;
+}
+
+void fill_audit_stats(std::map<std::string, std::string>& stats,
+                      const VerifyResult& vr) {
+  stats["loads"] = std::to_string(vr.cost.loads);
+  stats["stores"] = std::to_string(vr.cost.stores);
+  stats["computes"] = std::to_string(vr.cost.computes);
+  stats["deletes"] = std::to_string(vr.cost.deletes);
+  stats["transfers"] = std::to_string(vr.cost.transfers());
+  stats["moves"] = std::to_string(vr.length);
+  stats["peak_red"] = std::to_string(vr.max_red);
+}
+
+}  // namespace
+
+std::optional<std::string> Solver::why_inapplicable(
+    const SolveRequest& request) const {
+  (void)request;
+  return std::nullopt;
+}
+
+SolveResult Solver::run(const SolveRequest& request) const {
+  RBPEB_REQUIRE(request.engine != nullptr, "SolveRequest.engine is required");
+  const auto start = std::chrono::steady_clock::now();
+  SolveResult result;
+  if (auto reason = why_inapplicable(request)) {
+    result = fail(SolveStatus::Inapplicable, *reason);
+  } else if (request.budget.interrupted()) {
+    result = fail(SolveStatus::BudgetExhausted,
+                  "budget interrupted before the solve started");
+  } else {
+    result = do_solve(request);
+  }
+  result.solver = std::string(name());
+  result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+SolveResult Solver::make_result(const SolveRequest& request, Trace trace,
+                                SolveStatus status,
+                                std::map<std::string, std::string> stats,
+                                bool bridge_conventions) const {
+  const Engine& engine = *request.engine;
+  SolveResult result;
+  result.status = status;
+  result.stats = std::move(stats);
+  if (bridge_conventions && nondefault_convention(engine)) {
+    // The strategy solved the default-convention game; rewrite its trace for
+    // the requested convention (Appendix C) and re-audit under the strict
+    // rules. Optimality claims do not survive the bridge.
+    Engine relaxed = default_convention_view(engine);
+    if (engine.convention().sinks_end_blue) {
+      trace = finish_sinks_blue(relaxed, trace);
+    }
+    if (engine.convention().sources_start_blue) {
+      trace = load_blue_sources(engine.dag(), trace);
+    }
+    VerifyResult vr = verify(engine, trace);
+    if (!vr.ok()) {
+      return fail(SolveStatus::Inapplicable,
+                  "strategy does not support the requested pebbling "
+                  "convention: " + (vr.legal ? "incomplete pebbling" : vr.error));
+    }
+    if (result.status == SolveStatus::Optimal) {
+      result.status = SolveStatus::Heuristic;
+    }
+    result.cost = vr.total;
+    fill_audit_stats(result.stats, vr);
+  } else {
+    VerifyResult vr = verify_or_throw(engine, trace);
+    result.cost = vr.total;
+    fill_audit_stats(result.stats, vr);
+  }
+  result.trace = std::move(trace);
+  return result;
+}
+
+SolveResult Solver::fail(SolveStatus status, std::string detail) const {
+  SolveResult result;
+  result.status = status;
+  result.detail = std::move(detail);
+  return result;
+}
+
+// ---- adapters ------------------------------------------------------------
+
+namespace {
+
+namespace so = solver_options;
+
+GreedyRule parse_rule(std::string_view name) {
+  auto rule = greedy_rule_from_name(name);
+  if (!rule) {
+    throw PreconditionError("option 'rule': unknown greedy rule '" +
+                            std::string(name) +
+                            "' (most-red-inputs, fewest-blue-inputs, "
+                            "red-ratio)");
+  }
+  return *rule;
+}
+
+EvictionRule parse_eviction(std::string_view name) {
+  auto rule = eviction_rule_from_name(name);
+  if (!rule) {
+    throw PreconditionError("option 'eviction': unknown eviction rule '" +
+                            std::string(name) +
+                            "' (lru, fewest-uses, random)");
+  }
+  return *rule;
+}
+
+/// The Section 8 node-level greedy; one registration per choice rule, with
+/// the plain "greedy" entry accepting a rule=… option.
+class GreedySolver final : public Solver {
+ public:
+  GreedySolver(std::string name, std::string description,
+               std::optional<GreedyRule> fixed_rule)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        fixed_rule_(fixed_rule) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    GreedyOptions options;
+    if (fixed_rule_) {
+      options.rule = *fixed_rule_;
+    } else if (auto rule = so::get(request.options, "rule")) {
+      options.rule = parse_rule(*rule);
+    }
+    if (auto ev = so::get(request.options, "eviction")) {
+      options.eviction = parse_eviction(*ev);
+    }
+    options.eager_delete_dead =
+        so::get_bool(request.options, "eager-delete", options.eager_delete_dead);
+    options.seed = so::get_u64(request.options, "seed", options.seed);
+
+    Engine relaxed = default_convention_view(*request.engine);
+    Trace trace = solve_greedy(relaxed, options);
+    return make_result(request, std::move(trace), SolveStatus::Heuristic,
+                       {{"rule", to_string(options.rule)},
+                        {"eviction", to_string(options.eviction)}});
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::optional<GreedyRule> fixed_rule_;
+};
+
+/// The Section 3 fixed-topological-order baseline.
+class TopoSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "topo"; }
+  std::string_view description() const override {
+    return "topological-order baseline with lazy eviction ((2Δ+1)·n bound)";
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    OrderedOptions options;
+    if (auto ev = so::get(request.options, "eviction")) {
+      options.eviction = parse_eviction(*ev);
+    }
+    options.eager_delete_dead =
+        so::get_bool(request.options, "eager-delete", options.eager_delete_dead);
+    options.seed = so::get_u64(request.options, "seed", options.seed);
+
+    Engine relaxed = default_convention_view(*request.engine);
+    Trace trace = solve_topo_baseline(relaxed, options);
+    return make_result(request, std::move(trace), SolveStatus::Heuristic,
+                       {{"eviction", to_string(options.eviction)}});
+  }
+};
+
+/// Dijkstra over game configurations: provably optimal, exponential.
+class ExactSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "exact"; }
+  std::string_view description() const override {
+    return "optimal pebbling via Dijkstra over configurations (≤ 21 nodes)";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    const std::size_t n = request.engine->dag().node_count();
+    if (n > 21) {
+      return "DAG has " + std::to_string(n) +
+             " nodes; exact search supports at most 21";
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    const std::size_t max_states =
+        so::get_size(request.options, "max-states", request.budget.max_states);
+    const SolveBudget budget = request.budget;
+    auto solved = try_solve_exact(*request.engine, max_states,
+                                  [budget] { return budget.interrupted(); });
+    if (!solved) {
+      SolveResult result =
+          fail(SolveStatus::BudgetExhausted,
+               "state budget (" + std::to_string(max_states) +
+                   ") exhausted or deadline/cancellation hit before an "
+                   "optimum was proven");
+      result.stats["max_states"] = std::to_string(max_states);
+      return result;
+    }
+    // The engine itself enforces the convention here — no bridging needed,
+    // and the optimality claim stands for the exact rules requested.
+    return make_result(
+        request, std::move(solved->trace), SolveStatus::Optimal,
+        {{"states_expanded", std::to_string(solved->states_expanded)}},
+        /*bridge_conventions=*/false);
+  }
+};
+
+/// Verification-guided post-optimizer over another registered solver.
+class PeepholeSolver final : public Solver {
+ public:
+  explicit PeepholeSolver(const SolverRegistry& registry)
+      : registry_(&registry) {}
+
+  std::string_view name() const override { return "peephole"; }
+  std::string_view description() const override {
+    return "inner solver (opt inner=NAME, default greedy) plus "
+           "verification-guided peephole cleanup";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    const std::string inner(
+        so::get(request.options, "inner").value_or("greedy"));
+    if (inner == name()) return "inner solver must not be peephole itself";
+    const Solver* solver = registry_->find(inner);
+    if (!solver) return "unknown inner solver '" + inner + "'";
+    if (auto reason = solver->why_inapplicable(request)) {
+      return "inner solver '" + inner + "' inapplicable: " + *reason;
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    const std::string inner(
+        so::get(request.options, "inner").value_or("greedy"));
+    SolveResult base = registry_->at(inner).run(request);
+    // A BudgetExhausted inner run may still carry a verified best-so-far
+    // trace (local-search does); optimize whatever trace exists.
+    if (!base.has_trace()) {
+      SolveResult result = fail(base.status, "inner solver '" + inner +
+                                                "' failed: " + base.detail);
+      result.stats["inner"] = inner;
+      return result;
+    }
+    PeepholeStats stats;
+    const std::size_t max_passes =
+        so::get_size(request.options, "max-passes", 8);
+    // The inner trace is already bridged to the request's convention, and
+    // the optimizer re-verifies every candidate edit under the real engine.
+    Trace optimized =
+        peephole_optimize(*request.engine, *base.trace, &stats, max_passes);
+    SolveResult result = make_result(
+        request, std::move(optimized), base.status,
+        {{"inner", inner},
+         {"inner_cost", base.cost.str()},
+         {"removed_moves", std::to_string(stats.removed_moves)},
+         {"passes", std::to_string(stats.passes)},
+         {"saved", stats.saved.str()}},
+        /*bridge_conventions=*/false);
+    result.detail = base.detail;
+    return result;
+  }
+
+ private:
+  const SolverRegistry* registry_;
+};
+
+std::optional<std::string> require_groups(const SolveRequest& request) {
+  if (request.groups == nullptr) {
+    return "requires the instance's input-group structure "
+           "(SolveRequest.groups)";
+  }
+  if (request.groups->group_count() == 0) return "instance has no groups";
+  return std::nullopt;
+}
+
+/// Held–Karp over group visit orders under the load-count adjacency metric
+/// (exact for the Theorem 2 construction, a heuristic elsewhere).
+class HeldKarpSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "held-karp"; }
+  std::string_view description() const override {
+    return "Held–Karp minimum visit order under the group adjacency metric "
+           "(≤ 20 groups)";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    if (auto reason = require_groups(request)) return reason;
+    if (request.groups->group_count() > 20) {
+      return "instance has " + std::to_string(request.groups->group_count()) +
+             " groups; Held–Karp supports at most 20";
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    const GroupDagInstance& instance = *request.groups;
+    const std::size_t m = instance.group_count();
+    std::vector<std::unordered_set<NodeId>> members(m);
+    for (std::size_t g = 0; g < m; ++g) {
+      members[g].insert(instance.groups[g].members.begin(),
+                        instance.groups[g].members.end());
+    }
+    // Moving from group `prev` to `next` costs one transfer per member that
+    // was not already resident — the adjacency metric of the Theorem 2
+    // reduction, applied as a general-purpose order heuristic.
+    auto transition = [&](std::size_t prev, std::size_t next) -> std::int64_t {
+      if (prev == kHeldKarpStart) {
+        return static_cast<std::int64_t>(members[next].size());
+      }
+      std::int64_t fresh = 0;
+      for (NodeId v : instance.groups[next].members) {
+        if (!members[prev].contains(v)) ++fresh;
+      }
+      return fresh;
+    };
+    std::vector<std::uint32_t> dep_mask(m, 0);
+    auto deps = group_dependencies(instance);
+    for (std::size_t h = 0; h < m; ++h) {
+      for (std::size_t g : deps[h]) {
+        dep_mask[h] |= (std::uint32_t{1} << g);
+      }
+    }
+    HeldKarpResult hk = held_karp_min_order(m, transition, dep_mask);
+    if (!hk.feasible) {
+      return fail(SolveStatus::Inapplicable, "group dependencies are cyclic");
+    }
+    Engine relaxed = default_convention_view(*request.engine);
+    Trace trace = pebble_visit_order(relaxed, instance, hk.order);
+    return make_result(request, std::move(trace), SolveStatus::Heuristic,
+                       {{"order_metric_cost", std::to_string(hk.cost)}});
+  }
+};
+
+/// The paper's constructive strategy for the Figure 3 tradeoff chain.
+class ChainSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "chain"; }
+  std::string_view description() const override {
+    return "constructive optimal strategy for the Figure 3 tradeoff chain";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    if (request.chain == nullptr) {
+      return "requires a TradeoffChain instance (SolveRequest.chain)";
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    Engine relaxed = default_convention_view(*request.engine);
+    Trace trace = solve_chain(relaxed, *request.chain);
+    return make_result(request, std::move(trace), SolveStatus::Heuristic,
+                       {{"strategy", "figure-3-constructive"}});
+  }
+};
+
+/// The Section 8 greedy at group granularity.
+class GroupGreedySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "group-greedy"; }
+  std::string_view description() const override {
+    return "group-level greedy: visit the enabled group with the most red "
+           "pebbles";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    return require_groups(request);
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    Engine relaxed = default_convention_view(*request.engine);
+    GroupSolveResult solved = solve_group_greedy(relaxed, *request.groups);
+    return make_result(request, std::move(solved.trace),
+                       SolveStatus::Heuristic,
+                       {{"groups", std::to_string(solved.order.size())}});
+  }
+};
+
+/// Simulated annealing over dependency-respecting visit orders.
+class LocalSearchSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "local-search"; }
+  std::string_view description() const override {
+    return "simulated annealing over group visit orders (opt iterations=N, "
+           "seed=N, cooling=X)";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    return require_groups(request);
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    LocalSearchOptions options;
+    options.iterations = so::get_size(request.options, "iterations",
+                                      request.budget.max_iterations);
+    options.seed = so::get_u64(request.options, "seed", options.seed);
+    options.cooling =
+        so::get_double(request.options, "cooling", options.cooling);
+    options.initial_temperature_fraction =
+        so::get_double(request.options, "initial-temperature",
+                       options.initial_temperature_fraction);
+    const SolveBudget budget = request.budget;
+    // Record whether the budget actually cut the anneal short: re-checking
+    // interrupted() after the run would mislabel a completed anneal whose
+    // deadline expires microseconds after the last iteration.
+    auto stopped = std::make_shared<bool>(false);
+    options.should_stop = [budget, stopped] {
+      if (!budget.interrupted()) return false;
+      *stopped = true;
+      return true;
+    };
+
+    Engine relaxed = default_convention_view(*request.engine);
+    GroupSolveResult solved =
+        solve_order_local_search(relaxed, *request.groups, options);
+    const bool interrupted = *stopped;
+    SolveResult result = make_result(
+        request, std::move(solved.trace),
+        interrupted ? SolveStatus::BudgetExhausted : SolveStatus::Heuristic,
+        {{"iterations", std::to_string(options.iterations)},
+         {"seed", std::to_string(options.seed)}});
+    if (interrupted && result.has_trace()) {
+      result.detail = "deadline or cancellation hit mid-anneal; returning the "
+                      "best order found so far";
+    }
+    return result;
+  }
+};
+
+/// Exhaustive search over visit orders — optimal within the order family.
+class ExhaustiveOrderSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "exhaustive-order"; }
+  std::string_view description() const override {
+    return "exhaustive search over group visit orders (≤ 9 groups)";
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    if (auto reason = require_groups(request)) return reason;
+    if (request.groups->group_count() > 9) {
+      return "instance has " + std::to_string(request.groups->group_count()) +
+             " groups; exhaustive order search supports at most 9";
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    Engine relaxed = default_convention_view(*request.engine);
+    GroupSolveResult solved =
+        solve_exhaustive_order(relaxed, *request.groups);
+    // Optimal among visit orders, which the paper shows is the right family
+    // for its constructions — but not a global optimality proof, so the
+    // status stays Heuristic and only `exact` may claim Optimal.
+    return make_result(request, std::move(solved.trace),
+                       SolveStatus::Heuristic,
+                       {{"optimal_visit_order", "true"}});
+  }
+};
+
+}  // namespace
+
+// ---- registry ------------------------------------------------------------
+
+void SolverRegistry::add(std::unique_ptr<Solver> solver) {
+  RBPEB_REQUIRE(solver != nullptr, "cannot register a null solver");
+  RBPEB_REQUIRE(find(solver->name()) == nullptr,
+                "solver '" + std::string(solver->name()) +
+                    "' is already registered");
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* SolverRegistry::find(std::string_view name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::at(std::string_view name) const {
+  const Solver* solver = find(name);
+  if (solver == nullptr) {
+    std::ostringstream os;
+    os << "unknown solver '" << name << "'; registered solvers:";
+    for (const auto& s : solvers_) os << ' ' << s->name();
+    throw PreconditionError(os.str());
+  }
+  return *solver;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.emplace_back(solver->name());
+  return out;
+}
+
+std::vector<const Solver*> SolverRegistry::solvers() const {
+  std::vector<const Solver*> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver.get());
+  return out;
+}
+
+const SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void register_builtin_solvers(SolverRegistry& registry) {
+  registry.add(std::make_unique<GreedySolver>(
+      "greedy",
+      "Section 8 node greedy, most-red-inputs rule (opt rule=…, eviction=…, "
+      "seed=N)",
+      std::nullopt));
+  registry.add(std::make_unique<GreedySolver>(
+      "greedy-fewest-blue",
+      "Section 8 node greedy, fewest-blue-inputs rule",
+      GreedyRule::FewestBlueInputs));
+  registry.add(std::make_unique<GreedySolver>(
+      "greedy-red-ratio", "Section 8 node greedy, red-ratio rule",
+      GreedyRule::RedRatio));
+  registry.add(std::make_unique<TopoSolver>());
+  registry.add(std::make_unique<ExactSolver>());
+  registry.add(std::make_unique<PeepholeSolver>(registry));
+  registry.add(std::make_unique<HeldKarpSolver>());
+  registry.add(std::make_unique<ChainSolver>());
+  registry.add(std::make_unique<GroupGreedySolver>());
+  registry.add(std::make_unique<LocalSearchSolver>());
+  registry.add(std::make_unique<ExhaustiveOrderSolver>());
+}
+
+}  // namespace rbpeb

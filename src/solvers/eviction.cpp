@@ -15,6 +15,14 @@ const char* to_string(EvictionRule rule) {
   return "?";
 }
 
+std::optional<EvictionRule> eviction_rule_from_name(std::string_view name) {
+  for (EvictionRule rule : {EvictionRule::Lru, EvictionRule::FewestRemainingUses,
+                            EvictionRule::Random}) {
+    if (name == to_string(rule)) return rule;
+  }
+  return std::nullopt;
+}
+
 NodeId choose_victim(EvictionRule rule, const std::vector<NodeId>& candidates,
                      const std::vector<std::int64_t>& remaining_uses,
                      const std::vector<std::int64_t>& last_use_tick,

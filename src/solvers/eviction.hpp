@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/graph/dag.hpp"
@@ -27,6 +29,9 @@ enum class EvictionRule {
 };
 
 const char* to_string(EvictionRule rule);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<EvictionRule> eviction_rule_from_name(std::string_view name);
 
 /// Pick a victim among `candidates` (non-empty).
 ///  * `remaining_uses[v]` — number of uncomputed successors of v;

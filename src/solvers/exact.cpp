@@ -61,7 +61,8 @@ struct ParentLink {
 }  // namespace
 
 std::optional<ExactResult> try_solve_exact(const Engine& engine,
-                                           std::size_t max_states) {
+                                           std::size_t max_states,
+                                           const StopPredicate& should_stop) {
   const Dag& dag = engine.dag();
   const std::size_t n = dag.node_count();
   RBPEB_REQUIRE(n <= 21, "solve_exact supports at most 21 nodes");
@@ -103,6 +104,9 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
     }
     ++expanded;
     if (expanded > max_states) return std::nullopt;
+    if (should_stop && (expanded & 0x3FFu) == 0 && should_stop()) {
+      return std::nullopt;
+    }
 
     for (std::size_t v = 0; v < n; ++v) {
       NodeId node = static_cast<NodeId>(v);

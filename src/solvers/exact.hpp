@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "src/pebble/engine.hpp"
@@ -23,14 +24,20 @@ struct ExactResult {
   std::size_t states_expanded = 0;
 };
 
+/// Cooperative interruption hook: polled periodically during the search;
+/// returning true abandons the run (deadline or cancellation from a solve
+/// budget). An empty function never stops.
+using StopPredicate = std::function<bool()>;
+
 /// Solve optimally. Throws PreconditionError if the DAG has more than 21
 /// nodes (the packed-state limit) and InvariantError if `max_states` is
 /// exceeded before an optimum is proven.
 ExactResult solve_exact(const Engine& engine, std::size_t max_states = 2'000'000);
 
 /// Like solve_exact but returns nullopt instead of throwing when the state
-/// budget is exhausted.
+/// budget is exhausted or `should_stop` fires.
 std::optional<ExactResult> try_solve_exact(const Engine& engine,
-                                           std::size_t max_states = 2'000'000);
+                                           std::size_t max_states = 2'000'000,
+                                           const StopPredicate& should_stop = {});
 
 }  // namespace rbpeb

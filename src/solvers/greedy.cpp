@@ -15,6 +15,14 @@ const char* to_string(GreedyRule rule) {
   return "?";
 }
 
+std::optional<GreedyRule> greedy_rule_from_name(std::string_view name) {
+  for (GreedyRule rule : {GreedyRule::MostRedInputs, GreedyRule::FewestBlueInputs,
+                          GreedyRule::RedRatio}) {
+    if (name == to_string(rule)) return rule;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 /// Incremental solver state shared by the phases of one greedy run.

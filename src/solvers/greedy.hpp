@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "src/pebble/engine.hpp"
 #include "src/pebble/trace.hpp"
@@ -26,6 +28,9 @@ enum class GreedyRule {
 };
 
 const char* to_string(GreedyRule rule);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<GreedyRule> greedy_rule_from_name(std::string_view name);
 
 /// Configuration of a greedy run.
 struct GreedyOptions {

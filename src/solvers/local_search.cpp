@@ -43,6 +43,7 @@ GroupSolveResult solve_order_local_search(const Engine& engine,
       std::max(current_cost * options.initial_temperature_fraction, 1e-9);
 
   for (std::size_t iter = 0; iter < options.iterations && m >= 2; ++iter) {
+    if (options.should_stop && options.should_stop()) break;
     // Adjacent swap that keeps the order dependency-valid.
     std::size_t i = static_cast<std::size_t>(rng.next_below(m - 1));
     std::size_t a = current[i], b = current[i + 1];

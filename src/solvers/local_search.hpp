@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "src/solvers/group_dag.hpp"
 
@@ -21,6 +22,9 @@ struct LocalSearchOptions {
   /// Geometric cooling factor applied every iteration.
   double cooling = 0.999;
   std::uint64_t seed = 1;
+  /// Polled once per iteration; returning true ends the anneal early with
+  /// the best order found so far. Empty = run all iterations.
+  std::function<bool()> should_stop;
 };
 
 /// Anneal from the group-level greedy's order. Returns the best order found

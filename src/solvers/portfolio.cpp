@@ -1,0 +1,138 @@
+#include "src/solvers/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+const SolveResult& PortfolioResult::best() const {
+  RBPEB_REQUIRE(has_best(), "portfolio produced no verified trace");
+  return results[best_index];
+}
+
+namespace {
+
+/// True when `candidate` beats `incumbent` (both must carry traces).
+bool better(const SolveResult& candidate, const SolveResult& incumbent) {
+  if (candidate.cost != incumbent.cost) {
+    return candidate.cost < incumbent.cost;
+  }
+  return candidate.status == SolveStatus::Optimal &&
+         incumbent.status != SolveStatus::Optimal;
+}
+
+}  // namespace
+
+PortfolioResult solve_portfolio(const SolveRequest& request,
+                                const PortfolioOptions& options,
+                                const SolverRegistry& registry) {
+  RBPEB_REQUIRE(request.engine != nullptr, "SolveRequest.engine is required");
+
+  std::vector<const Solver*> solvers;
+  if (options.solvers.empty()) {
+    solvers = registry.solvers();
+  } else {
+    for (const std::string& name : options.solvers) {
+      solvers.push_back(&registry.at(name));  // throws on unknown names
+    }
+  }
+
+  PortfolioResult portfolio;
+  portfolio.results.resize(solvers.size());
+
+  // The shared early-exit flag. Solvers see this instead of the caller's
+  // cancel flag, so a watcher thread (below) folds the caller's flag in
+  // while solvers run; it is also polled before each solver starts.
+  std::atomic<bool> stop{false};
+  const std::atomic<bool>* caller_cancel = request.budget.cancel;
+  std::atomic<bool> found_optimal{false};
+
+  auto run_one = [&](std::size_t index) {
+    if (caller_cancel && caller_cancel->load(std::memory_order_relaxed)) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+    if (stop.load(std::memory_order_relaxed)) {
+      SolveResult skipped;
+      skipped.solver = std::string(solvers[index]->name());
+      skipped.status = SolveStatus::BudgetExhausted;
+      skipped.detail = found_optimal.load(std::memory_order_relaxed)
+                           ? "skipped: the portfolio already holds an "
+                             "optimal result"
+                           : "skipped: portfolio cancelled";
+      portfolio.results[index] = std::move(skipped);
+      return;
+    }
+    SolveRequest per_solver = request;
+    per_solver.budget.cancel = &stop;
+    SolveResult result;
+    try {
+      result = solvers[index]->run(per_solver);
+    } catch (const std::exception& e) {
+      result.solver = std::string(solvers[index]->name());
+      result.status = SolveStatus::Inapplicable;
+      result.detail = std::string("solver threw: ") + e.what();
+    }
+    if (options.cancel_on_optimal && result.status == SolveStatus::Optimal) {
+      found_optimal.store(true, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+    }
+    portfolio.results[index] = std::move(result);
+  };
+
+  // Relay the caller's cancellation into the shared flag with bounded
+  // latency, preserving the SolveBudget.cancel contract for solvers that
+  // are already mid-run when the caller cancels.
+  std::atomic<bool> done{false};
+  std::thread watcher;
+  if (caller_cancel != nullptr) {
+    watcher = std::thread([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        if (caller_cancel->load(std::memory_order_relaxed)) {
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  if (options.parallel && solvers.size() > 1) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, options.max_threads != 0 ? options.max_threads
+                                    : std::thread::hardware_concurrency());
+    const std::size_t worker_count = std::min(hw, solvers.size());
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      workers.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < solvers.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (std::size_t i = 0; i < solvers.size(); ++i) run_one(i);
+  }
+  done.store(true, std::memory_order_relaxed);
+  if (watcher.joinable()) watcher.join();
+
+  for (std::size_t i = 0; i < portfolio.results.size(); ++i) {
+    const SolveResult& result = portfolio.results[i];
+    if (!result.has_trace()) continue;
+    if (!portfolio.has_best() ||
+        better(result, portfolio.results[portfolio.best_index])) {
+      portfolio.best_index = i;
+    }
+  }
+  return portfolio;
+}
+
+}  // namespace rbpeb

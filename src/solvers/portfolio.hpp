@@ -1,0 +1,54 @@
+// Portfolio solving: race registered solvers on one request and keep the
+// best verified trace.
+//
+// The costs being compared are all audited by the Verifier (api.hpp), so
+// "best" is trustworthy no matter which heuristic produced it. With
+// `parallel` the solvers run on std::threads; once one returns a provably
+// Optimal result the shared cancellation flag is raised so budget-aware
+// solvers (exact, local-search) abandon work that can no longer win.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/solvers/api.hpp"
+
+namespace rbpeb {
+
+struct PortfolioOptions {
+  /// Solver names to run; empty = every solver in the registry. Unknown
+  /// names throw PreconditionError up front.
+  std::vector<std::string> solvers;
+  /// Run solvers on worker threads (the Engine is shared read-only).
+  bool parallel = true;
+  /// Raise the shared cancel flag once an Optimal result lands, so
+  /// still-running solvers stop early; queued solvers are skipped.
+  bool cancel_on_optimal = true;
+  /// Worker-thread cap; 0 = hardware concurrency.
+  std::size_t max_threads = 0;
+};
+
+struct PortfolioResult {
+  /// One entry per requested solver, in request order. Solvers skipped by
+  /// the early exit report BudgetExhausted with an explanatory detail.
+  std::vector<SolveResult> results;
+  /// Index into `results` of the cheapest verified trace, or npos.
+  std::size_t best_index = static_cast<std::size_t>(-1);
+
+  bool has_best() const {
+    return best_index != static_cast<std::size_t>(-1);
+  }
+  const SolveResult& best() const;
+};
+
+/// Run the portfolio. Each solver sees `request` with the budget's cancel
+/// flag rewired to the portfolio's shared stop flag (combined with any
+/// caller-provided flag, which is polled between solver starts). The best
+/// result is the minimum verified cost over all returned traces, preferring
+/// Optimal status and earlier registration on ties.
+PortfolioResult solve_portfolio(
+    const SolveRequest& request, const PortfolioOptions& options = {},
+    const SolverRegistry& registry = SolverRegistry::instance());
+
+}  // namespace rbpeb

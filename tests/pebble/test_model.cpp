@@ -48,6 +48,23 @@ TEST(Model, CompcostEpsilonRange) {
   EXPECT_THROW(Model::compcost(3, 2), PreconditionError);
 }
 
+TEST(Model, FromNameRoundTripsEveryModel) {
+  for (const Model& m : all_models()) {
+    std::optional<Model> parsed = Model::from_name(m.name());
+    ASSERT_TRUE(parsed.has_value()) << m.name();
+    EXPECT_EQ(parsed->kind(), m.kind());
+    EXPECT_EQ(parsed->name(), m.name());
+    EXPECT_EQ(parsed->epsilon(), m.epsilon());
+  }
+}
+
+TEST(Model, FromNameRejectsUnknownNames) {
+  EXPECT_FALSE(Model::from_name("").has_value());
+  EXPECT_FALSE(Model::from_name("Base").has_value());
+  EXPECT_FALSE(Model::from_name("one-shot").has_value());
+  EXPECT_FALSE(Model::from_name("hong-kung").has_value());
+}
+
 TEST(Model, AllModelsOrderAndNames) {
   const auto& models = all_models();
   ASSERT_EQ(models.size(), 4u);

@@ -1,0 +1,254 @@
+// The unified solver API: registry behavior and a full applicability ×
+// workload × model matrix in which every returned trace must survive the
+// Verifier and every reported cost must equal the verifier's audited total.
+#include "src/solvers/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gadgets/tradeoff_chain.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace rbpeb {
+namespace {
+
+Dag chain_dag(std::size_t n) {
+  DagBuilder b;
+  b.add_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+TEST(SolverRegistry, ListsAtLeastEightBuiltins) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  EXPECT_GE(registry.size(), 8u);
+  for (const char* name :
+       {"greedy", "greedy-fewest-blue", "greedy-red-ratio", "topo", "exact",
+        "peephole", "held-karp", "chain", "group-greedy", "local-search",
+        "exhaustive-order"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+    EXPECT_EQ(registry.at(name).name(), name);
+  }
+}
+
+TEST(SolverRegistry, UnknownNameIsNullOrThrows) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  EXPECT_EQ(registry.find("no-such-solver"), nullptr);
+  EXPECT_THROW(registry.at("no-such-solver"), PreconditionError);
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry registry;
+  register_builtin_solvers(registry);
+  EXPECT_THROW(register_builtin_solvers(registry), PreconditionError);
+}
+
+TEST(SolverRegistry, PrivateRegistriesAreIndependent) {
+  SolverRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  register_builtin_solvers(registry);
+  EXPECT_EQ(registry.size(), SolverRegistry::instance().size());
+}
+
+// ---- the workload × model × solver matrix -------------------------------
+
+struct MatrixCase {
+  std::string workload;
+  std::size_t model_index;
+};
+
+void PrintTo(const MatrixCase& c, std::ostream* os) {
+  *os << c.workload << "_" << all_models()[c.model_index].name();
+}
+
+class ApiMatrix : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  Dag make_dag() const {
+    const std::string& w = GetParam().workload;
+    if (w == "chain") return chain_dag(8);
+    if (w == "tree") return make_tree_reduction_dag(4).dag;
+    return make_matmul_dag(2).dag;  // 2×2 matmul, 20 nodes
+  }
+  const Model& model() const { return all_models()[GetParam().model_index]; }
+};
+
+TEST_P(ApiMatrix, EveryApplicableSolverVerifiesAndReportsAuditedCost) {
+  Dag dag = make_dag();
+  Engine engine(dag, model(), min_red_pebbles(dag) + 1);
+  SolveRequest request;
+  request.engine = &engine;
+  // Keep the exact solver quick: on the 20-node matmul it exhausts this
+  // budget (a legal outcome the matrix also exercises) instead of spending
+  // minutes proving an optimum.
+  request.budget.max_states = 40'000;
+  request.budget.max_iterations = 200;
+
+  for (const Solver* solver : SolverRegistry::instance().solvers()) {
+    SolveResult result = solver->run(request);
+    EXPECT_EQ(result.solver, solver->name());
+    switch (result.status) {
+      case SolveStatus::Optimal:
+      case SolveStatus::Heuristic: {
+        ASSERT_TRUE(result.has_trace()) << result.solver;
+        VerifyResult vr = verify_or_throw(engine, *result.trace);
+        EXPECT_EQ(result.cost, vr.total) << result.solver;
+        break;
+      }
+      case SolveStatus::BudgetExhausted:
+        // Only the state-budgeted exact search may run out here.
+        EXPECT_EQ(result.solver, "exact");
+        EXPECT_FALSE(result.detail.empty());
+        break;
+      case SolveStatus::Inapplicable:
+        // No group structure in the request: all group/chain solvers sit
+        // out; nothing else may.
+        EXPECT_TRUE(result.solver == "held-karp" || result.solver == "chain" ||
+                    result.solver == "group-greedy" ||
+                    result.solver == "local-search" ||
+                    result.solver == "exhaustive-order")
+            << result.solver << ": " << result.detail;
+        break;
+    }
+  }
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (const std::string& w : {"chain", "tree", "matmul2"}) {
+    for (std::size_t m = 0; m < all_models().size(); ++m) {
+      cases.push_back({w, m});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ApiMatrix,
+                         ::testing::ValuesIn(matrix_cases()),
+                         [](const auto& info) {
+                           return info.param.workload + "_" +
+                                  std::string(
+                                      all_models()[info.param.model_index]
+                                          .name());
+                         });
+
+// ---- group-structured requests ------------------------------------------
+
+class ApiGroupMatrix : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const Model& model() const { return all_models()[GetParam()]; }
+};
+
+TEST_P(ApiGroupMatrix, GroupSolversVerifyOnTheTradeoffChain) {
+  TradeoffChain chain = make_tradeoff_chain({.d = 3, .length = 4});
+  Engine engine(chain.instance.dag, model(), chain.instance.red_limit);
+  SolveRequest request;
+  request.engine = &engine;
+  request.groups = &chain.instance;
+  request.chain = &chain;
+  request.budget.max_states = 40'000;
+  request.budget.max_iterations = 300;
+
+  Rational exhaustive_cost;
+  bool exhaustive_ran = false;
+  std::vector<std::pair<std::string, Rational>> order_solver_costs;
+  for (const Solver* solver : SolverRegistry::instance().solvers()) {
+    SolveResult result = solver->run(request);
+    if (!result.ok()) continue;
+    VerifyResult vr = verify_or_throw(engine, *result.trace);
+    EXPECT_EQ(result.cost, vr.total) << result.solver;
+    if (result.solver == "exhaustive-order") {
+      exhaustive_cost = result.cost;
+      exhaustive_ran = true;
+    }
+    if (result.solver == "group-greedy" || result.solver == "held-karp" ||
+        result.solver == "local-search") {
+      order_solver_costs.emplace_back(result.solver, result.cost);
+    }
+  }
+  // All group/chain solvers must be applicable on this instance.
+  ASSERT_TRUE(exhaustive_ran);
+  ASSERT_EQ(order_solver_costs.size(), 3u);
+  // Exhaustive search over visit orders lower-bounds every other
+  // order-family solver.
+  for (const auto& [name, cost] : order_solver_costs) {
+    EXPECT_LE(exhaustive_cost, cost) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ApiGroupMatrix,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const auto& info) {
+                           return std::string(
+                               all_models()[info.param].name());
+                         });
+
+// ---- conventions through the API ----------------------------------------
+
+TEST(ApiConventions, BridgedSolversVerifyUnderHongKungConvention) {
+  Dag dag = make_tree_reduction_dag(4).dag;
+  Engine engine(dag, Model::oneshot(), 3,
+                PebblingConvention{.sources_start_blue = true,
+                                  .sinks_end_blue = true});
+  SolveRequest request;
+  request.engine = &engine;
+  for (const char* name : {"greedy", "topo", "exact", "peephole"}) {
+    SolveResult result = SolverRegistry::instance().at(name).run(request);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.detail;
+    VerifyResult vr = verify_or_throw(engine, *result.trace);
+    EXPECT_EQ(result.cost, vr.total) << name;
+    // Four leaves must be loaded from their pre-placed blue pebbles and the
+    // root stored, so the cost is at least 5.
+    EXPECT_GE(result.cost, Rational(5)) << name;
+  }
+}
+
+TEST(ApiStats, ResultCarriesAuditBreakdown) {
+  Dag dag = chain_dag(6);
+  Engine engine(dag, Model::oneshot(), 2);
+  SolveRequest request;
+  request.engine = &engine;
+  SolveResult result = SolverRegistry::instance().at("greedy").run(request);
+  ASSERT_TRUE(result.ok());
+  for (const char* key :
+       {"loads", "stores", "computes", "deletes", "transfers", "moves",
+        "peak_red", "rule", "eviction"}) {
+    EXPECT_TRUE(result.stats.contains(key)) << key;
+  }
+  EXPECT_EQ(result.stats.at("computes"), "6");
+}
+
+TEST(ApiOptions, MalformedOptionThrows) {
+  Dag dag = chain_dag(4);
+  Engine engine(dag, Model::oneshot(), 2);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["seed"] = "not-a-number";
+  EXPECT_THROW(SolverRegistry::instance().at("greedy").run(request),
+               PreconditionError);
+  request.options.clear();
+  request.options["rule"] = "no-such-rule";
+  EXPECT_THROW(SolverRegistry::instance().at("greedy").run(request),
+               PreconditionError);
+}
+
+TEST(ApiOptions, GreedyRuleOptionMatchesDedicatedRegistration) {
+  Dag dag = make_matmul_dag(2).dag;
+  Engine engine(dag, Model::oneshot(), 4);
+  SolveRequest by_option;
+  by_option.engine = &engine;
+  by_option.options["rule"] = "fewest-blue-inputs";
+  SolveResult a = SolverRegistry::instance().at("greedy").run(by_option);
+  SolveRequest fixed;
+  fixed.engine = &engine;
+  SolveResult b =
+      SolverRegistry::instance().at("greedy-fewest-blue").run(fixed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace rbpeb

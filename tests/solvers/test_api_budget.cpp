@@ -1,0 +1,185 @@
+// SolveBudget semantics through the API: state limits, deadlines and
+// cancellation come back as BudgetExhausted results — never exceptions —
+// and a portfolio degrades gracefully to the best heuristic trace.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/verifier.hpp"
+#include "src/solvers/api.hpp"
+#include "src/solvers/portfolio.hpp"
+#include "src/workloads/matmul.hpp"
+
+namespace rbpeb {
+namespace {
+
+TEST(ApiBudget, ExactReturnsBudgetExhaustedInsteadOfThrowing) {
+  MatMulDag mm = make_matmul_dag(2);  // 20 nodes: far beyond 10 states
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.max_states = 10;
+  SolveResult result;
+  EXPECT_NO_THROW(result = SolverRegistry::instance().at("exact").run(request));
+  EXPECT_EQ(result.status, SolveStatus::BudgetExhausted);
+  EXPECT_FALSE(result.has_trace());
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(ApiBudget, MaxStatesOptionOverridesBudget) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.max_states = 2'000'000;
+  request.options["max-states"] = "10";
+  SolveResult result = SolverRegistry::instance().at("exact").run(request);
+  EXPECT_EQ(result.status, SolveStatus::BudgetExhausted);
+}
+
+TEST(ApiBudget, ExpiredDeadlineStopsBeforeTheSolveStarts) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.deadline = std::chrono::steady_clock::now() -
+                            std::chrono::milliseconds(1);
+  for (const char* name : {"exact", "greedy", "topo"}) {
+    SolveResult result = SolverRegistry::instance().at(name).run(request);
+    EXPECT_EQ(result.status, SolveStatus::BudgetExhausted) << name;
+  }
+}
+
+TEST(ApiBudget, CancellationFlagStopsTheExactSearch) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  std::atomic<bool> cancel{true};
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.cancel = &cancel;
+  SolveResult result = SolverRegistry::instance().at("exact").run(request);
+  EXPECT_EQ(result.status, SolveStatus::BudgetExhausted);
+}
+
+TEST(ApiBudget, PortfolioFallsBackToTheBestHeuristicTrace) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.max_states = 10;  // exact cannot finish
+  PortfolioOptions options;
+  options.solvers = {"exact", "greedy", "greedy-fewest-blue", "topo"};
+  PortfolioResult portfolio = solve_portfolio(request, options);
+  ASSERT_EQ(portfolio.results.size(), 4u);
+  EXPECT_EQ(portfolio.results[0].status, SolveStatus::BudgetExhausted);
+  ASSERT_TRUE(portfolio.has_best());
+  const SolveResult& best = portfolio.best();
+  EXPECT_EQ(best.status, SolveStatus::Heuristic);
+  VerifyResult vr = verify_or_throw(engine, *best.trace);
+  EXPECT_EQ(best.cost, vr.total);
+  // Best means best: no other returned trace is cheaper.
+  for (const SolveResult& result : portfolio.results) {
+    if (result.has_trace()) EXPECT_LE(best.cost, result.cost);
+  }
+}
+
+TEST(ApiBudget, SequentialAndParallelPortfoliosAgreeOnTheBestCost) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.max_states = 10;
+  PortfolioOptions sequential;
+  sequential.solvers = {"exact", "greedy", "greedy-red-ratio", "topo"};
+  sequential.parallel = false;
+  PortfolioOptions parallel = sequential;
+  parallel.parallel = true;
+  Rational a = solve_portfolio(request, sequential).best().cost;
+  Rational b = solve_portfolio(request, parallel).best().cost;
+  EXPECT_EQ(a, b);
+}
+
+TEST(ApiBudget, PortfolioEarlyExitSkipsQueuedSolversAfterAnOptimum) {
+  // A tiny chain: exact finishes instantly and, in sequential order, every
+  // solver queued after it is skipped.
+  DagBuilder b;
+  b.add_nodes(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Dag dag = b.build();
+  Engine engine(dag, Model::oneshot(), 3);
+  SolveRequest request;
+  request.engine = &engine;
+  PortfolioOptions options;
+  options.solvers = {"exact", "local-search"};  // local-search queued after
+  options.parallel = false;
+  options.cancel_on_optimal = true;
+  PortfolioResult portfolio = solve_portfolio(request, options);
+  ASSERT_EQ(portfolio.results.size(), 2u);
+  EXPECT_EQ(portfolio.results[0].status, SolveStatus::Optimal);
+  EXPECT_EQ(portfolio.results[1].status, SolveStatus::BudgetExhausted);
+  EXPECT_EQ(portfolio.best().solver, "exact");
+}
+
+TEST(ApiBudget, CallerCancellationReachesSolversAlreadyRunning) {
+  // The portfolio rewires budgets to its internal stop flag; a watcher
+  // thread must still relay the caller's flag to a solver mid-run. Without
+  // the relay, exact would grind through its full 2M-state budget here.
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  std::atomic<bool> cancel{false};
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.store(true);
+  });
+  PortfolioOptions options;
+  options.solvers = {"exact"};
+  PortfolioResult portfolio = solve_portfolio(request, options);
+  canceller.join();
+  ASSERT_EQ(portfolio.results.size(), 1u);
+  EXPECT_EQ(portfolio.results[0].status, SolveStatus::BudgetExhausted);
+}
+
+TEST(ApiBudget, CallerCancellationSkipsEverySolver) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  std::atomic<bool> cancel{true};
+  SolveRequest request;
+  request.engine = &engine;
+  request.budget.cancel = &cancel;
+  PortfolioOptions options;
+  options.solvers = {"greedy", "topo"};
+  options.parallel = false;
+  PortfolioResult portfolio = solve_portfolio(request, options);
+  EXPECT_FALSE(portfolio.has_best());
+  for (const SolveResult& result : portfolio.results) {
+    EXPECT_EQ(result.status, SolveStatus::BudgetExhausted);
+  }
+}
+
+TEST(ApiBudget, LocalSearchHonorsIterationBudget) {
+  TradeoffChain chain = make_tradeoff_chain({.d = 3, .length = 4});
+  Engine engine(chain.instance.dag, Model::oneshot(),
+                chain.instance.red_limit);
+  SolveRequest request;
+  request.engine = &engine;
+  request.groups = &chain.instance;
+  request.budget.max_iterations = 3;
+  SolveResult result =
+      SolverRegistry::instance().at("local-search").run(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.stats.at("iterations"), "3");
+  VerifyResult vr = verify_or_throw(engine, *result.trace);
+  EXPECT_EQ(result.cost, vr.total);
+}
+
+}  // namespace
+}  // namespace rbpeb

@@ -1,14 +1,21 @@
 // rbpeb_cli — command-line front end for the pebbling laboratory.
 //
 // Usage:
-//   rbpeb_cli solve <dag-file> <R> [--model base|oneshot|nodel|compcost]
-//                                  [--solver greedy|topo|exact]
-//                                  [--trace <out-file>] [--dot <out-file>]
-//   rbpeb_cli verify <dag-file> <R> <trace-file> [--model ...]
+//   rbpeb_cli list-solvers
+//   rbpeb_cli solve <dag-file> <R>
+//       [--model base|oneshot|nodel|compcost] [--solver NAME|portfolio]
+//       [--opt key=value]... [--budget-states N] [--budget-iterations N]
+//       [--budget-ms N] [--jobs N] [--sources-blue] [--sinks-blue]
+//       [--trace <out-file>] [--dot <out-file>]
+//   rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]
+//       [--sources-blue] [--sinks-blue]
 //   rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> | tree <leaves>
 //
-// DAG files use the rbpeb text format (first line: node count; then one
-// "from to" edge per line). `gen` writes such a file to stdout.
+// Solvers are resolved through the SolverRegistry, so `--solver` accepts
+// anything `list-solvers` prints; `portfolio` races them all and keeps the
+// best verified trace. DAG files use the rbpeb text format (first line:
+// node count; then one "from to" edge per line). `gen` writes such a file
+// to stdout.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,10 +26,10 @@
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/trace_io.hpp"
 #include "src/pebble/verifier.hpp"
-#include "src/solvers/exact.hpp"
-#include "src/solvers/greedy.hpp"
-#include "src/solvers/topo_baseline.hpp"
+#include "src/solvers/api.hpp"
+#include "src/solvers/portfolio.hpp"
 #include "src/support/check.hpp"
+#include "src/support/table.hpp"
 #include "src/workloads/fft.hpp"
 #include "src/workloads/matmul.hpp"
 #include "src/workloads/stencil.hpp"
@@ -35,12 +42,16 @@ using namespace rbpeb;
 [[noreturn]] void usage() {
   std::cerr <<
       "usage:\n"
-      "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S]"
-      " [--trace F] [--dot F]\n"
+      "  rbpeb_cli list-solvers\n"
+      "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S|portfolio]\n"
+      "            [--opt k=v]... [--budget-states N] [--budget-iterations N]\n"
+      "            [--budget-ms N] [--jobs N] [--sources-blue] [--sinks-blue]\n"
+      "            [--trace F] [--dot F]\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
+      "            [--sources-blue] [--sinks-blue]\n"
       "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
       " tree <leaves>\n"
-      "models: base oneshot nodel compcost; solvers: greedy topo exact\n";
+      "models: base oneshot nodel compcost; solvers: see list-solvers\n";
   std::exit(2);
 }
 
@@ -55,12 +66,29 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-Model parse_model(const std::string& name) {
-  for (const Model& m : all_models()) {
-    if (m.name() == name) return m;
+/// Flags shared by solve and verify.
+struct CommonFlags {
+  Model model = Model::oneshot();
+  PebblingConvention convention;
+};
+
+/// Consume a common flag at args[i] (advancing i past its value); false when
+/// the flag is not one of ours.
+bool parse_common_flag(const std::vector<std::string>& args, std::size_t& i,
+                       CommonFlags& flags) {
+  if (args[i] == "--model" && i + 1 < args.size()) {
+    flags.model = solver_options::parse_model(args[++i]);
+    return true;
   }
-  std::cerr << "unknown model '" << name << "'\n";
-  std::exit(2);
+  if (args[i] == "--sources-blue") {
+    flags.convention.sources_start_blue = true;
+    return true;
+  }
+  if (args[i] == "--sinks-blue") {
+    flags.convention.sinks_end_blue = true;
+    return true;
+  }
+  return false;
 }
 
 void print_audit(const Engine& engine, const VerifyResult& vr) {
@@ -75,16 +103,53 @@ void print_audit(const Engine& engine, const VerifyResult& vr) {
             << '\n';
 }
 
+std::string format_elapsed(std::chrono::microseconds us) {
+  std::ostringstream os;
+  os << us.count() / 1000.0 << " ms";
+  return os.str();
+}
+
+int cmd_list_solvers() {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  Table table("Registered solvers (" + std::to_string(registry.size()) + ")");
+  table.set_header({"name", "description"});
+  for (const Solver* solver : registry.solvers()) {
+    table.add_row({std::string(solver->name()),
+                   std::string(solver->description())});
+  }
+  table.add_note("solve --solver portfolio races them all and keeps the");
+  table.add_note("best verified trace");
+  std::cout << table;
+  return 0;
+}
+
 int cmd_solve(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   Dag dag = from_text(read_file(args[0]));
   std::size_t r = std::stoul(args[1]);
-  Model model = Model::oneshot();
-  std::string solver = "greedy";
+  CommonFlags flags;
+  std::string solver_name = "greedy";
   std::string trace_out, dot_out;
+  SolverOptions options;
+  SolveBudget budget;
+  std::size_t jobs = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
-    if (args[i] == "--model" && i + 1 < args.size()) model = parse_model(args[++i]);
-    else if (args[i] == "--solver" && i + 1 < args.size()) solver = args[++i];
+    if (parse_common_flag(args, i, flags)) continue;
+    else if (args[i] == "--solver" && i + 1 < args.size()) solver_name = args[++i];
+    else if (args[i] == "--opt" && i + 1 < args.size()) {
+      std::string kv = args[++i];
+      auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) usage();
+      options[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+    else if (args[i] == "--budget-states" && i + 1 < args.size())
+      budget.max_states = std::stoul(args[++i]);
+    else if (args[i] == "--budget-iterations" && i + 1 < args.size())
+      budget.max_iterations = std::stoul(args[++i]);
+    else if (args[i] == "--budget-ms" && i + 1 < args.size())
+      budget.with_wall_clock_ms(std::stol(args[++i]));
+    else if (args[i] == "--jobs" && i + 1 < args.size())
+      jobs = std::stoul(args[++i]);
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
     else if (args[i] == "--dot" && i + 1 < args.size()) dot_out = args[++i];
     else usage();
@@ -93,21 +158,52 @@ int cmd_solve(const std::vector<std::string>& args) {
   std::cout << "DAG: " << dag.node_count() << " nodes, " << dag.edge_count()
             << " edges, Δ = " << dag.max_indegree() << " (min R = "
             << min_red_pebbles(dag) << ")\n";
-  Engine engine(dag, model, r);
-  Trace trace;
-  if (solver == "greedy") trace = solve_greedy(engine);
-  else if (solver == "topo") trace = solve_topo_baseline(engine);
-  else if (solver == "exact") trace = solve_exact(engine).trace;
-  else usage();
+  Engine engine(dag, flags.model, r, flags.convention);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options = std::move(options);
+  request.budget = budget;
 
-  VerifyResult vr = verify(engine, trace);
-  std::cout << "model:      " << model.name() << ", solver: " << solver
-            << '\n';
+  const SolverRegistry& registry = SolverRegistry::instance();
+  SolveResult best;
+  if (solver_name == "portfolio") {
+    PortfolioOptions popts;
+    popts.max_threads = jobs;
+    popts.parallel = jobs != 1;
+    PortfolioResult portfolio = solve_portfolio(request, popts, registry);
+    Table table("Portfolio over " +
+                std::to_string(portfolio.results.size()) + " solvers");
+    table.set_header({"solver", "status", "cost", "time", "notes"});
+    for (const SolveResult& result : portfolio.results) {
+      table.add_row({result.solver, to_string(result.status),
+                     result.has_trace() ? result.cost.str() : "-",
+                     format_elapsed(result.elapsed), result.detail});
+    }
+    std::cout << table << '\n';
+    if (!portfolio.has_best()) {
+      std::cerr << "no solver produced a verified trace\n";
+      return 1;
+    }
+    best = portfolio.best();
+    std::cout << "winner:     " << best.solver << " ("
+              << to_string(best.status) << ")\n";
+  } else {
+    best = registry.at(solver_name).run(request);
+    std::cout << "model:      " << flags.model.name() << ", solver: "
+              << best.solver << ", status: " << to_string(best.status)
+              << " (" << format_elapsed(best.elapsed) << ")\n";
+    if (!best.has_trace()) {
+      std::cerr << "no trace: " << best.detail << '\n';
+      return 1;
+    }
+  }
+
+  VerifyResult vr = verify(engine, *best.trace);
   print_audit(engine, vr);
 
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
-    out << trace_to_text(trace);
+    out << trace_to_text(*best.trace);
     std::cout << "trace written to " << trace_out << '\n';
   }
   if (!dot_out.empty()) {
@@ -123,12 +219,11 @@ int cmd_verify(const std::vector<std::string>& args) {
   Dag dag = from_text(read_file(args[0]));
   std::size_t r = std::stoul(args[1]);
   Trace trace = trace_from_text(read_file(args[2]));
-  Model model = Model::oneshot();
+  CommonFlags flags;
   for (std::size_t i = 3; i < args.size(); ++i) {
-    if (args[i] == "--model" && i + 1 < args.size()) model = parse_model(args[++i]);
-    else usage();
+    if (!parse_common_flag(args, i, flags)) usage();
   }
-  Engine engine(dag, model, r);
+  Engine engine(dag, flags.model, r, flags.convention);
   VerifyResult vr = verify(engine, trace);
   print_audit(engine, vr);
   return vr.ok() ? 0 : 1;
@@ -160,6 +255,7 @@ int main(int argc, char** argv) {
   try {
     std::string cmd = args[0];
     args.erase(args.begin());
+    if (cmd == "list-solvers") return cmd_list_solvers();
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "gen") return cmd_gen(args);
