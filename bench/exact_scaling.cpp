@@ -1,0 +1,205 @@
+// Exact-solver scaling: Dijkstra vs A* on the ≤21-node suite, and the
+// workloads beyond Dijkstra's cap that only A* can prove optimal.
+//
+// Two claims are measured and logged to a JSON report (default
+// BENCH_exact_astar.json, or argv[1]):
+//  * on every instance both searches finish, they agree on the optimal cost
+//    and A* expands fewer states — the admissible per-state bounds of
+//    bounds.hpp are doing real work, not just matching Dijkstra;
+//  * A* proves optima on 25+-node workloads where Dijkstra is inapplicable
+//    outright (its 64-bit packed-state cap stops at 21 nodes).
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/pebble/bounds.hpp"
+#include "src/solvers/exact.hpp"
+#include "src/solvers/exact_astar.hpp"
+#include "src/support/table.hpp"
+#include "src/workloads/chain.hpp"
+#include "src/workloads/pyramid.hpp"
+#include "src/workloads/random_layered.hpp"
+#include "src/workloads/stencil.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace {
+
+using namespace rbpeb;
+
+struct Instance {
+  std::string name;
+  Dag dag;
+  /// Models to run; empty = all four. The 15-node tree under base/compcost
+  /// costs minutes of Dijkstra per run — correctness there is the
+  /// differential tests' job, not a bench's.
+  std::vector<std::string> models;
+
+  bool runs(const Model& model) const {
+    if (models.empty()) return true;
+    return std::find(models.begin(), models.end(), model.name()) !=
+           models.end();
+  }
+};
+
+struct RunOutcome {
+  bool solved = false;
+  std::string cost;  // "-" when unsolved
+  std::size_t expanded = 0;
+};
+
+RunOutcome run_search(bool astar, const Engine& engine,
+                      std::size_t max_states) {
+  ExactSearchStats stats;
+  std::optional<ExactResult> result =
+      astar ? try_solve_exact_astar(engine, max_states, {}, &stats)
+            : try_solve_exact(engine, max_states, {}, &stats);
+  RunOutcome out;
+  out.solved = result.has_value();
+  out.cost = out.solved ? result->cost.str() : "-";
+  out.expanded = out.solved ? result->states_expanded : stats.states_expanded;
+  return out;
+}
+
+std::string json_str(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_exact_astar.json";
+  constexpr std::size_t kSuiteBudget = 3'000'000;
+  constexpr std::size_t kLargeBudget = 4'000'000;
+
+  std::vector<Instance> suite;
+  suite.push_back({"chain16", make_chain_dag(16), {}});
+  suite.push_back({"pyramid4", make_pyramid_dag(4).dag, {}});      // 10 nodes
+  suite.push_back({"tree8", make_tree_reduction_dag(8).dag,        // 15 nodes
+                   {"oneshot", "nodel"}});
+  suite.push_back({"stencil3x4", make_stencil1d_dag(3, 4).dag, {}});  // 15
+  for (std::uint64_t seed : {1, 2, 3}) {
+    suite.push_back({"layered3x3_s" + std::to_string(seed),
+                     make_random_layered_dag({.layers = 3, .width = 3,
+                                              .indegree = 2, .seed = seed}),
+                     {}});
+  }
+
+  std::ostringstream suite_json;
+  Table table("Exact search: Dijkstra vs A* (suite budget " +
+              std::to_string(kSuiteBudget) + " states)");
+  table.set_header({"instance", "model", "n", "R", "cost", "dijkstra",
+                    "astar", "ratio"});
+  std::size_t total_dijkstra = 0;
+  std::size_t total_astar = 0;
+  std::size_t mismatches = 0;
+  bool first = true;
+  for (const Instance& instance : suite) {
+    const std::size_t r = min_red_pebbles(instance.dag);
+    for (const Model& model : all_models()) {
+      if (!instance.runs(model)) continue;
+      Engine engine(instance.dag, model, r);
+      RunOutcome dijkstra = run_search(false, engine, kSuiteBudget);
+      RunOutcome astar = run_search(true, engine, kSuiteBudget);
+      if (dijkstra.solved && astar.solved && dijkstra.cost != astar.cost) {
+        ++mismatches;  // the differential tests make this unreachable
+      }
+      total_dijkstra += dijkstra.expanded;
+      total_astar += astar.expanded;
+      table.add_row(
+          {instance.name, model.name(),
+           std::to_string(instance.dag.node_count()), std::to_string(r),
+           astar.cost, std::to_string(dijkstra.expanded),
+           std::to_string(astar.expanded),
+           dijkstra.expanded > 0
+               ? format_double(static_cast<double>(astar.expanded) /
+                                   static_cast<double>(dijkstra.expanded),
+                               3)
+               : "-"});
+      if (!first) suite_json << ",\n";
+      first = false;
+      suite_json << "    {\"instance\": " << json_str(instance.name)
+                 << ", \"model\": " << json_str(model.name())
+                 << ", \"nodes\": " << instance.dag.node_count()
+                 << ", \"r\": " << r
+                 << ", \"cost\": " << json_str(astar.cost)
+                 << ", \"dijkstra_expanded\": " << dijkstra.expanded
+                 << ", \"dijkstra_solved\": "
+                 << (dijkstra.solved ? "true" : "false")
+                 << ", \"astar_expanded\": " << astar.expanded
+                 << ", \"astar_solved\": " << (astar.solved ? "true" : "false")
+                 << "}";
+    }
+  }
+  std::cout << table << '\n';
+  std::cout << "total expansions: dijkstra=" << total_dijkstra
+            << " astar=" << total_astar << " (ratio "
+            << format_double(static_cast<double>(total_astar) /
+                                 static_cast<double>(total_dijkstra),
+                             3)
+            << ")\n\n";
+
+  // ---- beyond the Dijkstra cap -------------------------------------------
+  struct LargeCase {
+    std::string name;
+    Dag dag;
+    Model model;
+  };
+  std::vector<LargeCase> large;
+  large.push_back({"chain30", make_chain_dag(30), Model::oneshot()});
+  large.push_back({"chain30", make_chain_dag(30), Model::compcost()});
+  large.push_back({"layered13x2", make_random_layered_dag(
+                                      {.layers = 13, .width = 2,
+                                       .indegree = 2, .seed = 3}),
+                   Model::nodel()});
+  large.push_back({"layered13x2", make_random_layered_dag(
+                                      {.layers = 13, .width = 2,
+                                       .indegree = 2, .seed = 3}),
+                   Model::oneshot()});
+  large.push_back({"stencil3x8", make_stencil1d_dag(3, 8).dag,
+                   Model::oneshot()});
+
+  Table large_table("Beyond the 21-node Dijkstra cap (A* only, budget " +
+                    std::to_string(kLargeBudget) + " states)");
+  large_table.set_header({"instance", "model", "n", "R", "status", "cost",
+                          "expanded"});
+  std::ostringstream large_json;
+  std::size_t large_solved = 0;
+  first = true;
+  for (const LargeCase& c : large) {
+    const std::size_t r = min_red_pebbles(c.dag);
+    Engine engine(c.dag, c.model, r);
+    RunOutcome astar = run_search(true, engine, kLargeBudget);
+    if (astar.solved) ++large_solved;
+    large_table.add_row({c.name, c.model.name(),
+                         std::to_string(c.dag.node_count()),
+                         std::to_string(r),
+                         astar.solved ? "optimal" : "budget-exhausted",
+                         astar.cost, std::to_string(astar.expanded)});
+    if (!first) large_json << ",\n";
+    first = false;
+    large_json << "    {\"instance\": " << json_str(c.name)
+               << ", \"model\": " << json_str(c.model.name())
+               << ", \"nodes\": " << c.dag.node_count() << ", \"r\": " << r
+               << ", \"solved\": " << (astar.solved ? "true" : "false")
+               << ", \"cost\": " << json_str(astar.cost)
+               << ", \"expanded\": " << astar.expanded << "}";
+  }
+  large_table.add_note("every instance here is inapplicable to --solver");
+  large_table.add_note("exact: its packed state caps at 21 nodes");
+  std::cout << large_table << '\n';
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"exact_astar\",\n"
+      << "  \"suite_budget_states\": " << kSuiteBudget << ",\n"
+      << "  \"suite\": [\n" << suite_json.str() << "\n  ],\n"
+      << "  \"totals\": {\"dijkstra_expanded\": " << total_dijkstra
+      << ", \"astar_expanded\": " << total_astar
+      << ", \"cost_mismatches\": " << mismatches << "},\n"
+      << "  \"large_budget_states\": " << kLargeBudget << ",\n"
+      << "  \"beyond_dijkstra_cap\": [\n" << large_json.str() << "\n  ]\n}\n";
+  std::cout << "report written to " << out_path << '\n';
+  return mismatches == 0 && large_solved > 0 ? 0 : 1;
+}

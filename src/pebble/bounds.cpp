@@ -47,6 +47,14 @@ Rational cost_lower_bound(const Dag& dag, const Model& model,
   return Rational(0);
 }
 
+std::optional<Rational> state_cost_lower_bound(const Engine& engine,
+                                               const GameState& state) {
+  StateBoundEvaluator evaluator(engine);
+  std::optional<std::int64_t> scaled = evaluator.lower_bound_scaled(state);
+  if (!scaled) return std::nullopt;
+  return Rational(*scaled, engine.model().epsilon().den());
+}
+
 std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model) {
   const std::size_t n = dag.node_count();
   const std::size_t delta = dag.max_indegree();

@@ -1,7 +1,14 @@
-// Closed-form bounds from Sections 3 and 4 of the paper, as checkable code.
+// Closed-form bounds from Sections 3 and 4 of the paper, as checkable code,
+// plus per-state admissible lower bounds that drive the exact-astar solver.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "src/graph/dag.hpp"
+#include "src/pebble/engine.hpp"
 #include "src/pebble/model.hpp"
 
 namespace rbpeb {
@@ -26,5 +33,139 @@ Rational cost_lower_bound(const Dag& dag, const Model& model,
 /// oneshot / nodel / compcost models: O(Δ·n) (paper, Lemma 1). Returns the
 /// explicit constant used in the proof so tests can assert against it.
 std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model);
+
+// ---- per-state bounds ----------------------------------------------------
+//
+// The Lemma-1-style counting arguments above bound whole pebblings; the
+// evaluator below restates them *per configuration*, which is exactly an
+// admissible A* heuristic: a lower bound on the cost of completing the game
+// from the given state. The bound charges, per node, moves that every
+// completing continuation must still make:
+//
+//  * an empty node whose value is needed can only ever gain its first pebble
+//    through Compute (Load requires blue, Store requires red), so the
+//    "requirement closure" — empty sinks, plus, recursively, the empty
+//    predecessors of every node in the closure — each owe one computation
+//    (ε in compcost; recursion is the "remaining ε·uncomputed-nodes" term);
+//  * a blue node feeding a closure node must become red again: a Load
+//    (cost 1) when recomputing it is impossible (oneshot after its one
+//    computation, or a Hong–Kung blue source), else min(1, ε) — the "blue
+//    input loads still owed";
+//  * in nodel, pebbles are forever: everything pebbled now plus the closure
+//    will still be pebbled at the end, at most R of it red, so at least
+//    (pebbled + closure) − R − (current blue) stores remain — the
+//    "unmaterialized value transfers";
+//  * under the sinks-end-blue convention every non-blue sink owes a store
+//    (taking the max against the nodel term: both bound the same stores).
+//
+// Each charged move targets a distinct node, so the sum is admissible. The
+// evaluator also proves some states dead: in oneshot a needed value that was
+// computed and then deleted is gone for good, as is an empty Hong–Kung
+// source (uncomputable and unloadable) — callers get nullopt and may prune.
+
+/// Reusable per-state bound evaluator (holds scratch; not thread-safe).
+/// Templated over anything with color(NodeId)/was_computed(NodeId) so the
+/// A* search can evaluate packed states without materializing a GameState.
+class StateBoundEvaluator {
+ public:
+  explicit StateBoundEvaluator(const Engine& engine)
+      : engine_(&engine),
+        eps_num_(engine.model().epsilon().num()),
+        eps_den_(engine.model().epsilon().den()) {}
+
+  /// Lower bound on the remaining completion cost in scaled units of
+  /// 1/ε.den() (see scaled_move_cost); nullopt when the state provably
+  /// cannot be completed. Zero at every complete state.
+  template <class StateLike>
+  std::optional<std::int64_t> lower_bound_scaled(const StateLike& state) {
+    const Dag& dag = engine_->dag();
+    const Model& model = engine_->model();
+    const PebblingConvention& conv = engine_->convention();
+    const std::size_t n = dag.node_count();
+    mark_.assign(n, 0);
+    stack_.clear();
+
+    auto seed = [&](NodeId v) {
+      if (mark_[v] == 0) {
+        mark_[v] = 1;
+        stack_.push_back(v);
+      }
+    };
+
+    std::int64_t bound = 0;
+    std::int64_t sink_stores_owed = 0;
+    for (NodeId s : dag.sinks()) {
+      const PebbleColor c = state.color(s);
+      if (conv.sinks_end_blue) {
+        if (c == PebbleColor::Blue) continue;
+        ++sink_stores_owed;  // blue only ever arrives via Store
+        if (c == PebbleColor::None) seed(s);
+      } else if (c == PebbleColor::None) {
+        seed(s);
+      }
+    }
+
+    // Requirement closure: every member is empty and must be computed.
+    std::int64_t closure_size = 0;
+    while (!stack_.empty()) {
+      const NodeId v = stack_.back();
+      stack_.pop_back();
+      if (!model.allows_recompute() && state.was_computed(v)) {
+        return std::nullopt;  // oneshot: the needed value is lost forever
+      }
+      if (conv.sources_start_blue && dag.is_source(v)) {
+        return std::nullopt;  // uncomputable and, with no pebble, unloadable
+      }
+      bound += eps_num_;
+      ++closure_size;
+      for (NodeId p : dag.predecessors(v)) {
+        const PebbleColor c = state.color(p);
+        if (c == PebbleColor::Red || mark_[p] != 0) continue;
+        if (c == PebbleColor::None) {
+          seed(p);
+          continue;
+        }
+        // Blue input: must become red again at least once. Counted once per
+        // node; mark value 2 keeps it out of the closure accounting.
+        mark_[p] = 2;
+        bool recompute_ok =
+            model.allows_recompute() || !state.was_computed(p);
+        if (conv.sources_start_blue && dag.is_source(p)) recompute_ok = false;
+        bound += recompute_ok ? std::min(eps_num_, eps_den_) : eps_den_;
+      }
+    }
+
+    std::int64_t stores_owed = sink_stores_owed;
+    if (model.kind() == ModelKind::Nodel) {
+      // No deletions: currently pebbled nodes and the closure all hold
+      // pebbles at the end, at most R of them red. Stores minus loads equals
+      // the net blue growth, so stores >= final_blue - current_blue.
+      std::int64_t pebbled = 0;
+      std::int64_t blue = 0;
+      for (std::size_t v = 0; v < n; ++v) {
+        const PebbleColor c = state.color(static_cast<NodeId>(v));
+        if (c != PebbleColor::None) ++pebbled;
+        if (c == PebbleColor::Blue) ++blue;
+      }
+      const std::int64_t final_pebbled = pebbled + closure_size;
+      const std::int64_t r = static_cast<std::int64_t>(engine_->red_limit());
+      // Max, not sum: this and the sink term lower-bound the same stores.
+      stores_owed = std::max(stores_owed, final_pebbled - r - blue);
+    }
+    return bound + stores_owed * eps_den_;
+  }
+
+ private:
+  const Engine* engine_;
+  std::int64_t eps_num_;
+  std::int64_t eps_den_;
+  std::vector<std::uint8_t> mark_;
+  std::vector<NodeId> stack_;
+};
+
+/// One-shot convenience wrapper over StateBoundEvaluator, in model-cost
+/// units. nullopt when `state` provably cannot be completed under `engine`.
+std::optional<Rational> state_cost_lower_bound(const Engine& engine,
+                                               const GameState& state);
 
 }  // namespace rbpeb

@@ -34,6 +34,20 @@ Rational Model::total(const Cost& cost) const {
   return t;
 }
 
+std::int64_t scaled_move_cost(const Model& model, MoveType type) {
+  const Rational eps = model.epsilon();
+  switch (type) {
+    case MoveType::Load:
+    case MoveType::Store:
+      return eps.den();
+    case MoveType::Compute:
+      return eps.num();
+    case MoveType::Delete:
+      return 0;
+  }
+  return 0;
+}
+
 const std::vector<Model>& all_models() {
   static const std::vector<Model> models = {
       Model::base(), Model::oneshot(), Model::nodel(), Model::compcost()};

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/pebble/cost.hpp"
+#include "src/pebble/move.hpp"
 
 namespace rbpeb {
 
@@ -68,5 +69,12 @@ class Model {
 /// All four models with default parameters (ε = 1/100), in paper order.
 /// Convenient for parameterized tests and benches.
 const std::vector<Model>& all_models();
+
+/// Integer cost of one move in units of 1/ε.den(): a transfer costs ε.den(),
+/// a computation ε.num(), a deletion 0. Exact for every model (ε = 0/1
+/// outside compcost, so transfers cost 1 and computes are free there). The
+/// exact searches run entirely in these scaled units so priorities stay
+/// integral; divide by ε.den() to recover the model cost.
+std::int64_t scaled_move_cost(const Model& model, MoveType type);
 
 }  // namespace rbpeb

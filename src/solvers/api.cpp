@@ -10,6 +10,7 @@
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/chain_solver.hpp"
 #include "src/solvers/exact.hpp"
+#include "src/solvers/exact_astar.hpp"
 #include "src/solvers/greedy.hpp"
 #include "src/solvers/held_karp.hpp"
 #include "src/solvers/local_search.hpp"
@@ -156,8 +157,43 @@ std::optional<std::string> Solver::why_inapplicable(
   return std::nullopt;
 }
 
+std::vector<std::string_view> Solver::option_keys(
+    const SolveRequest* request) const {
+  (void)request;
+  return {};
+}
+
+SolverOptions Solver::supported_options(const SolverOptions& options,
+                                        const SolveRequest* request) const {
+  const std::vector<std::string_view> keys = option_keys(request);
+  SolverOptions narrowed;
+  for (const auto& [key, value] : options) {
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+      narrowed.emplace(key, value);
+    }
+  }
+  return narrowed;
+}
+
+void Solver::validate_options(const SolveRequest& request) const {
+  const std::vector<std::string_view> keys = option_keys(&request);
+  for (const auto& [key, value] : request.options) {
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    std::ostringstream os;
+    os << "solver '" << name() << "' does not accept option '" << key << "'";
+    if (keys.empty()) {
+      os << "; it takes no options";
+    } else {
+      os << "; accepted keys:";
+      for (std::string_view k : keys) os << ' ' << k;
+    }
+    throw PreconditionError(os.str());
+  }
+}
+
 SolveResult Solver::run(const SolveRequest& request) const {
   RBPEB_REQUIRE(request.engine != nullptr, "SolveRequest.engine is required");
+  validate_options(request);
   const auto start = std::chrono::steady_clock::now();
   SolveResult result;
   if (auto reason = why_inapplicable(request)) {
@@ -260,6 +296,13 @@ class GreedySolver final : public Solver {
   std::string_view name() const override { return name_; }
   std::string_view description() const override { return description_; }
 
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    if (fixed_rule_) return {"eviction", "eager-delete", "seed"};
+    return {"rule", "eviction", "eager-delete", "seed"};
+  }
+
  protected:
   SolveResult do_solve(const SolveRequest& request) const override {
     GreedyOptions options;
@@ -296,6 +339,12 @@ class TopoSolver final : public Solver {
     return "topological-order baseline with lazy eviction ((2Δ+1)·n bound)";
   }
 
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"eviction", "eager-delete", "seed"};
+  }
+
  protected:
   SolveResult do_solve(const SolveRequest& request) const override {
     OrderedOptions options;
@@ -313,37 +362,60 @@ class TopoSolver final : public Solver {
   }
 };
 
-/// Dijkstra over game configurations: provably optimal, exponential.
-class ExactSolver final : public Solver {
+/// Shared adapter for the two exhaustive configuration-graph searches:
+/// budget plumbing, partial stats on exhaustion, and drained-graph handling
+/// are identical; only the search routine and node cap differ.
+class ExactSearchSolver : public Solver {
  public:
-  std::string_view name() const override { return "exact"; }
-  std::string_view description() const override {
-    return "optimal pebbling via Dijkstra over configurations (≤ 21 nodes)";
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"max-states"};
   }
 
   std::optional<std::string> why_inapplicable(
       const SolveRequest& request) const override {
     const std::size_t n = request.engine->dag().node_count();
-    if (n > 21) {
-      return "DAG has " + std::to_string(n) +
-             " nodes; exact search supports at most 21";
+    if (n > node_cap()) {
+      return "DAG has " + std::to_string(n) + " nodes; " +
+             std::string(name()) + " supports at most " +
+             std::to_string(node_cap());
     }
     return std::nullopt;
   }
 
  protected:
+  virtual std::size_t node_cap() const = 0;
+  virtual std::optional<ExactResult> search(const Engine& engine,
+                                            std::size_t max_states,
+                                            const StopPredicate& should_stop,
+                                            ExactSearchStats& stats) const = 0;
+
   SolveResult do_solve(const SolveRequest& request) const override {
     const std::size_t max_states =
         so::get_size(request.options, "max-states", request.budget.max_states);
     const SolveBudget budget = request.budget;
-    auto solved = try_solve_exact(*request.engine, max_states,
-                                  [budget] { return budget.interrupted(); });
+    ExactSearchStats search_stats;
+    auto solved = search(*request.engine, max_states,
+                         [budget] { return budget.interrupted(); },
+                         search_stats);
     if (!solved) {
       SolveResult result =
-          fail(SolveStatus::BudgetExhausted,
-               "state budget (" + std::to_string(max_states) +
-                   ") exhausted or deadline/cancellation hit before an "
-                   "optimum was proven");
+          search_stats.termination == ExactTermination::Exhausted
+              ? fail(SolveStatus::Inapplicable,
+                     "configuration graph exhausted without reaching a "
+                     "complete state; the instance admits no pebbling under "
+                     "these rules")
+              : fail(SolveStatus::BudgetExhausted,
+                     search_stats.termination == ExactTermination::StateBudget
+                         ? "state budget (" + std::to_string(max_states) +
+                               ") exhausted before an optimum was proven"
+                         : "deadline or cancellation hit before an optimum "
+                           "was proven");
+      // Partial progress still gets reported: how far the search got is
+      // exactly what a caller tuning budgets needs to see.
+      result.stats["states_expanded"] =
+          std::to_string(search_stats.states_expanded);
       result.stats["max_states"] = std::to_string(max_states);
       return result;
     }
@@ -353,6 +425,43 @@ class ExactSolver final : public Solver {
         request, std::move(solved->trace), SolveStatus::Optimal,
         {{"states_expanded", std::to_string(solved->states_expanded)}},
         /*bridge_conventions=*/false);
+  }
+};
+
+/// Dijkstra over game configurations: provably optimal, exponential.
+class ExactSolver final : public ExactSearchSolver {
+ public:
+  std::string_view name() const override { return "exact"; }
+  std::string_view description() const override {
+    return "optimal pebbling via Dijkstra over configurations (≤ 21 nodes)";
+  }
+
+ protected:
+  std::size_t node_cap() const override { return 21; }
+  std::optional<ExactResult> search(const Engine& engine,
+                                    std::size_t max_states,
+                                    const StopPredicate& should_stop,
+                                    ExactSearchStats& stats) const override {
+    return try_solve_exact(engine, max_states, should_stop, &stats);
+  }
+};
+
+/// A* over packed configurations with the bounds.hpp admissible heuristic.
+class ExactAstarSolver final : public ExactSearchSolver {
+ public:
+  std::string_view name() const override { return "exact-astar"; }
+  std::string_view description() const override {
+    return "optimal pebbling via A* with admissible per-state bounds and a "
+           "bucket queue (≤ 42 nodes)";
+  }
+
+ protected:
+  std::size_t node_cap() const override { return kExactAstarMaxNodes; }
+  std::optional<ExactResult> search(const Engine& engine,
+                                    std::size_t max_states,
+                                    const StopPredicate& should_stop,
+                                    ExactSearchStats& stats) const override {
+    return try_solve_exact_astar(engine, max_states, should_stop, &stats);
   }
 };
 
@@ -366,6 +475,33 @@ class PeepholeSolver final : public Solver {
   std::string_view description() const override {
     return "inner solver (opt inner=NAME, default greedy) plus "
            "verification-guided peephole cleanup";
+  }
+
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    // Its own keys plus the inner solver's: options meant for the inner
+    // solver arrive through the same set. With a request in hand the inner
+    // solver is known, so only *its* keys pass — a key some third solver
+    // would accept is as silently-ignored as a typo and fails the same way.
+    // Without a request (a portfolio probing what could ever be routed),
+    // every registered solver's keys count.
+    std::vector<std::string_view> keys = {"inner", "max-passes"};
+    auto add_keys_of = [&](const Solver* solver) {
+      if (solver == nullptr || solver == this) return;
+      for (std::string_view key : solver->option_keys()) {
+        if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+          keys.push_back(key);
+        }
+      }
+    };
+    if (request != nullptr) {
+      const std::string inner(
+          so::get(request->options, "inner").value_or("greedy"));
+      add_keys_of(registry_->find(inner));  // unknown inner: why_inapplicable
+    } else {
+      for (const Solver* solver : registry_->solvers()) add_keys_of(solver);
+    }
+    return keys;
   }
 
   std::optional<std::string> why_inapplicable(
@@ -385,7 +521,10 @@ class PeepholeSolver final : public Solver {
   SolveResult do_solve(const SolveRequest& request) const override {
     const std::string inner(
         so::get(request.options, "inner").value_or("greedy"));
-    SolveResult base = registry_->at(inner).run(request);
+    const Solver& inner_solver = registry_->at(inner);
+    SolveRequest inner_request = request;
+    inner_request.options = inner_solver.supported_options(request.options);
+    SolveResult base = inner_solver.run(inner_request);
     // A BudgetExhausted inner run may still carry a verified best-so-far
     // trace (local-search does); optimize whatever trace exists.
     if (!base.has_trace()) {
@@ -544,6 +683,12 @@ class LocalSearchSolver final : public Solver {
            "seed=N, cooling=X)";
   }
 
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"iterations", "seed", "cooling", "initial-temperature"};
+  }
+
   std::optional<std::string> why_inapplicable(
       const SolveRequest& request) const override {
     return require_groups(request);
@@ -688,6 +833,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
       GreedyRule::RedRatio));
   registry.add(std::make_unique<TopoSolver>());
   registry.add(std::make_unique<ExactSolver>());
+  registry.add(std::make_unique<ExactAstarSolver>());
   registry.add(std::make_unique<PeepholeSolver>(registry));
   registry.add(std::make_unique<HeldKarpSolver>());
   registry.add(std::make_unique<ChainSolver>());

@@ -65,8 +65,11 @@ struct SolveBudget {
   bool interrupted() const { return cancelled() || past_deadline(); }
 };
 
-/// String-keyed solver options (from the CLI's --opt k=v). Keys a solver
-/// does not know are ignored, so one option set can serve a whole portfolio.
+/// String-keyed solver options (from the CLI's --opt k=v). Every solver
+/// declares the keys it reads (Solver::option_keys) and run() rejects
+/// anything else, so a typo like rulee=lru fails loudly instead of silently
+/// running defaults. One option set can still serve a whole portfolio:
+/// solve_portfolio narrows it per solver via Solver::supported_options.
 using SolverOptions = std::map<std::string, std::string, std::less<>>;
 
 /// Everything a solver may look at. `engine` is required; `groups` and
@@ -107,6 +110,19 @@ class Solver {
   virtual std::string_view name() const = 0;
   virtual std::string_view description() const = 0;
 
+  /// The option keys this solver reads from SolveRequest.options. run()
+  /// throws PreconditionError (naming this list) for any key outside it.
+  /// Delegating solvers (peephole) accept different keys depending on which
+  /// inner solver the request selects, hence the optional request context;
+  /// plain solvers ignore it.
+  virtual std::vector<std::string_view> option_keys(
+      const SolveRequest* request = nullptr) const;
+
+  /// The subset of `options` this solver accepts — what the portfolio and
+  /// delegating solvers (peephole) forward from a shared option set.
+  SolverOptions supported_options(const SolverOptions& options,
+                                  const SolveRequest* request = nullptr) const;
+
   /// nullopt when the solver can run on `request`; otherwise a
   /// human-readable reason (missing group structure, too many nodes, …).
   virtual std::optional<std::string> why_inapplicable(
@@ -138,6 +154,11 @@ class Solver {
 
   /// A traceless result (Inapplicable or BudgetExhausted).
   SolveResult fail(SolveStatus status, std::string detail) const;
+
+ private:
+  /// Throws PreconditionError when the request holds an option key outside
+  /// option_keys(&request), listing the accepted keys.
+  void validate_options(const SolveRequest& request) const;
 };
 
 /// Name-indexed solver collection. Holds and owns one instance per solver;
@@ -168,10 +189,11 @@ class SolverRegistry {
   std::vector<std::unique_ptr<Solver>> solvers_;
 };
 
-/// Register every built-in adapter (greedy ×3 rules, topo, exact, peephole,
-/// held-karp, chain, group-greedy, local-search, exhaustive-order) into
-/// `registry`. Called once by SolverRegistry::instance(); exposed so tests
-/// can build private registries.
+/// Register every built-in adapter (greedy ×3 rules, topo, exact,
+/// exact-astar, peephole, held-karp, chain, group-greedy, local-search,
+/// exhaustive-order) into `registry`. Called once by
+/// SolverRegistry::instance(); exposed so tests can build private
+/// registries.
 void register_builtin_solvers(SolverRegistry& registry);
 
 /// Option-parsing helpers shared by the adapters and the CLI. All throw

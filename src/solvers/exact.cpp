@@ -31,22 +31,6 @@ GameState decode(std::uint64_t key, std::size_t n) {
   return state;
 }
 
-/// Integer cost of one move, scaled so that a transfer costs eps_den and a
-/// computation costs eps_num (exact for every model).
-std::int64_t move_cost_scaled(const Model& model, MoveType type) {
-  const Rational eps = model.epsilon();
-  switch (type) {
-    case MoveType::Load:
-    case MoveType::Store:
-      return eps.den();
-    case MoveType::Compute:
-      return eps.num();
-    case MoveType::Delete:
-      return 0;
-  }
-  return 0;
-}
-
 struct QueueEntry {
   std::int64_t cost;
   std::uint64_t key;
@@ -62,11 +46,19 @@ struct ParentLink {
 
 std::optional<ExactResult> try_solve_exact(const Engine& engine,
                                            std::size_t max_states,
-                                           const StopPredicate& should_stop) {
+                                           const StopPredicate& should_stop,
+                                           ExactSearchStats* stats) {
   const Dag& dag = engine.dag();
   const std::size_t n = dag.node_count();
   RBPEB_REQUIRE(n <= 21, "solve_exact supports at most 21 nodes");
   const Model& model = engine.model();
+
+  ExactSearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  auto give_up = [&](ExactTermination why) {
+    stats->termination = why;
+    return std::nullopt;
+  };
 
   std::unordered_map<std::uint64_t, std::int64_t> dist;
   std::unordered_map<std::uint64_t, ParentLink> parent;
@@ -77,7 +69,7 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
   dist[start_key] = 0;
   pq.push({0, start_key});
 
-  std::size_t expanded = 0;
+  std::size_t& expanded = stats->states_expanded;
   while (!pq.empty()) {
     auto [cost, key] = pq.top();
     pq.pop();
@@ -100,13 +92,16 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
       // Scaled units are 1/eps_den (eps_den == 1 outside compcost).
       result.cost = Rational(cost, model.epsilon().den());
       result.states_expanded = expanded;
+      stats->termination = ExactTermination::Solved;
       return result;
     }
-    ++expanded;
-    if (expanded > max_states) return std::nullopt;
-    if (should_stop && (expanded & 0x3FFu) == 0 && should_stop()) {
-      return std::nullopt;
+    if (expanded >= max_states) return give_up(ExactTermination::StateBudget);
+    // Polled before the very first expansion too: an already-expired
+    // deadline must not burn a whole poll interval of expansions first.
+    if (should_stop && (expanded & 0x3Fu) == 0 && should_stop()) {
+      return give_up(ExactTermination::Stopped);
     }
+    ++expanded;
 
     for (std::size_t v = 0; v < n; ++v) {
       NodeId node = static_cast<NodeId>(v);
@@ -118,7 +113,7 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
         Cost scratch;
         engine.apply(next, move, scratch);
         std::uint64_t next_key = encode(next);
-        std::int64_t next_cost = cost + move_cost_scaled(model, type);
+        std::int64_t next_cost = cost + scaled_move_cost(model, type);
         auto [entry, inserted] = dist.try_emplace(next_key, next_cost);
         if (!inserted && entry->second <= next_cost) continue;
         entry->second = next_cost;
@@ -127,16 +122,22 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
       }
     }
   }
-  // The configuration graph always contains a complete state reachable from
-  // the empty one when R >= Δ+1 (Section 3), which Engine enforces.
-  RBPEB_ENSURE(false, "exhausted configuration graph without completion");
-  return std::nullopt;
+  // The configuration graph of a well-posed instance always contains a
+  // complete state reachable from the start (Section 3); a drained queue
+  // means the instance admits no pebbling at all. Surfaced as a status so
+  // the API can report it instead of aborting the process.
+  return give_up(ExactTermination::Exhausted);
 }
 
 ExactResult solve_exact(const Engine& engine, std::size_t max_states) {
-  auto result = try_solve_exact(engine, max_states);
+  ExactSearchStats stats;
+  auto result = try_solve_exact(engine, max_states, {}, &stats);
   if (!result) {
-    throw InvariantError("solve_exact exceeded its state budget");
+    throw InvariantError(
+        stats.termination == ExactTermination::Exhausted
+            ? "solve_exact exhausted the configuration graph without "
+              "reaching a complete state"
+            : "solve_exact exceeded its state budget");
   }
   return std::move(*result);
 }

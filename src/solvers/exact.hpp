@@ -24,20 +24,38 @@ struct ExactResult {
   std::size_t states_expanded = 0;
 };
 
-/// Cooperative interruption hook: polled periodically during the search;
-/// returning true abandons the run (deadline or cancellation from a solve
-/// budget). An empty function never stops.
+/// Why an exact search ended.
+enum class ExactTermination {
+  Solved,       ///< An optimum was found and proven.
+  StateBudget,  ///< max_states expansions without a proven optimum.
+  Stopped,      ///< The should_stop hook fired (deadline or cancellation).
+  Exhausted,    ///< Configuration graph drained with no complete state.
+};
+
+/// Partial progress of an exact search, filled in even when the search does
+/// not finish — a budget-exhausted SolveResult still reports how far it got.
+struct ExactSearchStats {
+  std::size_t states_expanded = 0;
+  ExactTermination termination = ExactTermination::Solved;
+};
+
+/// Cooperative interruption hook: polled on entry and then every 64
+/// expansions; returning true abandons the run (deadline or cancellation
+/// from a solve budget). An empty function never stops.
 using StopPredicate = std::function<bool()>;
 
 /// Solve optimally. Throws PreconditionError if the DAG has more than 21
-/// nodes (the packed-state limit) and InvariantError if `max_states` is
-/// exceeded before an optimum is proven.
+/// nodes (the 64-bit packed-state limit; exact_astar.hpp goes to 42) and
+/// InvariantError if `max_states` is exceeded before an optimum is proven.
 ExactResult solve_exact(const Engine& engine, std::size_t max_states = 2'000'000);
 
 /// Like solve_exact but returns nullopt instead of throwing when the state
-/// budget is exhausted or `should_stop` fires.
+/// budget is exhausted, `should_stop` fires, or the configuration graph
+/// drains without a complete state (an instance no pebbling can finish).
+/// When `stats` is non-null it is always filled, success or not.
 std::optional<ExactResult> try_solve_exact(const Engine& engine,
                                            std::size_t max_states = 2'000'000,
-                                           const StopPredicate& should_stop = {});
+                                           const StopPredicate& should_stop = {},
+                                           ExactSearchStats* stats = nullptr);
 
 }  // namespace rbpeb

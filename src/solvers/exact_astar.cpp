@@ -1,0 +1,186 @@
+#include "src/solvers/exact_astar.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/pebble/bounds.hpp"
+#include "src/solvers/packed_state.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+/// Dial-style bucket priority queue over small integer f-values. push is
+/// O(1); pop scans forward from a cursor. The admissible bound is not
+/// guaranteed consistent, so a reinsertion may land below the cursor — the
+/// cursor simply moves back, which a monotone Dial queue would forbid but
+/// costs nothing here.
+template <typename Item>
+class BucketQueue {
+ public:
+  explicit BucketQueue(std::size_t bucket_count) : buckets_(bucket_count) {}
+
+  void push(std::int64_t priority, Item item) {
+    const auto f = static_cast<std::size_t>(priority);
+    buckets_[f].push_back(std::move(item));
+    if (f < cursor_) cursor_ = f;
+    ++size_;
+  }
+
+  std::pair<std::int64_t, Item> pop() {
+    while (buckets_[cursor_].empty()) ++cursor_;
+    Item item = std::move(buckets_[cursor_].back());
+    buckets_[cursor_].pop_back();
+    --size_;
+    return {static_cast<std::int64_t>(cursor_), std::move(item)};
+  }
+
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::vector<std::vector<Item>> buckets_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+template <typename Word>
+std::optional<ExactResult> astar_impl(const Engine& engine,
+                                      std::size_t max_states,
+                                      const StopPredicate& should_stop,
+                                      ExactSearchStats& stats) {
+  using Packed = BasicPackedState<Word>;
+  const Dag& dag = engine.dag();
+  const Model& model = engine.model();
+  const std::size_t n = dag.node_count();
+  const std::int64_t eps_num = model.epsilon().num();
+  const std::int64_t eps_den = model.epsilon().den();
+
+  auto give_up = [&](ExactTermination why) {
+    stats.termination = why;
+    return std::nullopt;
+  };
+
+  // No optimal pebbling costs more than the Section 3 universal bound; the
+  // extra 2n transfers cover the Appendix C bridging moves (one load per
+  // source, one store per sink) a non-default convention can add. Anything
+  // priced beyond this ceiling is dropped, which also caps the bucket count.
+  const auto sn = static_cast<std::int64_t>(n);
+  const auto delta = static_cast<std::int64_t>(dag.max_indegree());
+  const std::int64_t ceiling =
+      (2 * delta + 1) * sn * eps_den + sn * eps_num + 2 * sn * eps_den;
+
+  struct Entry {
+    std::int64_t g;
+    Word parent;
+    Move via;
+  };
+  std::unordered_map<Word, Entry, PackedKeyHash> table;
+  struct QueueItem {
+    Word key;
+    std::int64_t g;  ///< g at push time; stale when it no longer matches.
+  };
+  BucketQueue<QueueItem> queue(static_cast<std::size_t>(ceiling) + 1);
+
+  StateBoundEvaluator bound(engine);
+
+  const GameState start_state = engine.initial_state();
+  const Packed start = Packed::from_state(start_state);
+  std::optional<std::int64_t> start_h = bound.lower_bound_scaled(start);
+  if (!start_h) return give_up(ExactTermination::Exhausted);
+  table.emplace(start.raw(), Entry{0, start.raw(), Move{MoveType::Load, 0}});
+  queue.push(*start_h, {start.raw(), 0});
+
+  std::size_t& expanded = stats.states_expanded;
+  while (!queue.empty()) {
+    auto [f, item] = queue.pop();
+    (void)f;
+    const auto it = table.find(item.key);
+    if (it->second.g != item.g) continue;  // stale: a cheaper path superseded it
+    const std::int64_t g = item.g;
+    const Packed current(item.key);
+    // One O(n) unpack per expansion; neighbors below are derived in O(1).
+    GameState state = current.to_state(n);
+    if (engine.is_complete(state)) {
+      std::vector<Move> reversed;
+      Word cursor = item.key;
+      while (cursor != start.raw()) {
+        const Entry& link = table.at(cursor);
+        reversed.push_back(link.via);
+        cursor = link.parent;
+      }
+      ExactResult result;
+      for (std::size_t i = reversed.size(); i-- > 0;) {
+        result.trace.push(reversed[i]);
+      }
+      result.cost = Rational(g, eps_den);
+      result.states_expanded = expanded;
+      stats.termination = ExactTermination::Solved;
+      return result;
+    }
+    if (expanded >= max_states) return give_up(ExactTermination::StateBudget);
+    // Entry check included (expanded == 0): an expired deadline stops the
+    // search before it burns a poll interval of expansions.
+    if (should_stop && (expanded & 0x3Fu) == 0 && should_stop()) {
+      return give_up(ExactTermination::Stopped);
+    }
+    ++expanded;
+
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      for (MoveType type : {MoveType::Load, MoveType::Store, MoveType::Compute,
+                            MoveType::Delete}) {
+        const Move move{type, node};
+        if (!engine.is_legal(state, move)) continue;
+        const Packed next = current.apply(move);
+        const std::int64_t next_g = g + scaled_move_cost(model, type);
+        auto [entry, inserted] = table.try_emplace(
+            next.raw(), Entry{next_g, item.key, move});
+        if (!inserted) {
+          if (entry->second.g <= next_g) continue;
+          entry->second = {next_g, item.key, move};
+        }
+        std::optional<std::int64_t> h = bound.lower_bound_scaled(next);
+        if (!h) continue;          // provably dead: prune
+        const std::int64_t next_f = next_g + *h;
+        if (next_f > ceiling) continue;  // no optimum lives beyond the bound
+        queue.push(next_f, {next.raw(), next_g});
+      }
+    }
+  }
+  return give_up(ExactTermination::Exhausted);
+}
+
+}  // namespace
+
+std::optional<ExactResult> try_solve_exact_astar(
+    const Engine& engine, std::size_t max_states,
+    const StopPredicate& should_stop, ExactSearchStats* stats) {
+  const std::size_t n = engine.dag().node_count();
+  RBPEB_REQUIRE(n <= kExactAstarMaxNodes,
+                "solve_exact_astar supports at most 42 nodes");
+  ExactSearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (n <= PackedState64::max_nodes()) {
+    return astar_impl<std::uint64_t>(engine, max_states, should_stop, *stats);
+  }
+  return astar_impl<unsigned __int128>(engine, max_states, should_stop,
+                                       *stats);
+}
+
+ExactResult solve_exact_astar(const Engine& engine, std::size_t max_states) {
+  ExactSearchStats stats;
+  auto result = try_solve_exact_astar(engine, max_states, {}, &stats);
+  if (!result) {
+    throw InvariantError(
+        stats.termination == ExactTermination::Exhausted
+            ? "solve_exact_astar exhausted the reachable configuration "
+              "graph without a complete state"
+            : "solve_exact_astar exceeded its state budget");
+  }
+  return std::move(*result);
+}
+
+}  // namespace rbpeb

@@ -1,0 +1,53 @@
+// Exact optimal pebbling via A* with admissible per-state lower bounds.
+//
+// Same configuration-graph search as exact.hpp's Dijkstra, but informed:
+// each generated state is priced at g + h where h is the admissible
+// completion bound of bounds.hpp (remaining ε·uncomputed work in compcost,
+// unmaterialized value transfers in nodel, blue-input loads still owed in
+// all models), so the frontier leans toward completions and provably-dead
+// states (oneshot values lost forever) are pruned outright. Three further
+// engineering changes over the Dijkstra baseline:
+//
+//  * states are 3-bit-packed words (packed_state.hpp) updated incrementally
+//    per move — O(1) per generated neighbor instead of the O(n)
+//    copy + re-encode — with an __uint128_t wide path that lifts the node
+//    cap from 21 to 42;
+//  * the priority queue is a Dial/bucket queue: move costs only take the
+//    values {0, ε.num, ε.den} in scaled units, so priorities are small
+//    integers bounded by the Section 3 universal cost bound and a binary
+//    heap (plus its stale-entry churn) is overkill;
+//  * any state whose f-value exceeds the universal upper bound (plus the
+//    Appendix C convention-bridging slack) is dropped — no optimal pebbling
+//    lives beyond it.
+//
+// The differential harness in tests/solvers/test_exact_astar.cpp proves the
+// returned cost equals Dijkstra's on every ≤21-node instance; beyond 21
+// nodes this solver is the repo's only ground truth.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/pebble/engine.hpp"
+#include "src/solvers/exact.hpp"
+
+namespace rbpeb {
+
+/// Node cap of the A* search: 42 nodes × 3 bits fit an __uint128_t key.
+inline constexpr std::size_t kExactAstarMaxNodes = 42;
+
+/// Solve optimally. Throws PreconditionError beyond kExactAstarMaxNodes
+/// nodes and InvariantError if `max_states` is exceeded before an optimum
+/// is proven.
+ExactResult solve_exact_astar(const Engine& engine,
+                              std::size_t max_states = 2'000'000);
+
+/// Like solve_exact_astar but returns nullopt instead of throwing when the
+/// state budget is exhausted, `should_stop` fires, or the reachable
+/// configuration graph drains without a complete state. When `stats` is
+/// non-null it is always filled, success or not.
+std::optional<ExactResult> try_solve_exact_astar(
+    const Engine& engine, std::size_t max_states = 2'000'000,
+    const StopPredicate& should_stop = {}, ExactSearchStats* stats = nullptr);
+
+}  // namespace rbpeb

@@ -41,6 +41,23 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
     }
   }
 
+  // One option set serves the whole race: each solver receives only the
+  // keys it accepts (run() rejects the rest). A key no racing solver
+  // accepts is a typo, not a narrowing matter — fail it loudly up front.
+  for (const auto& [key, value] : request.options) {
+    const bool accepted = std::any_of(
+        solvers.begin(), solvers.end(),
+        [&key = key, &request](const Solver* solver) {
+          const auto keys = solver->option_keys(&request);
+          return std::find(keys.begin(), keys.end(), key) != keys.end();
+        });
+    if (!accepted) {
+      throw PreconditionError("option '" + key +
+                              "' is not accepted by any solver in the "
+                              "portfolio");
+    }
+  }
+
   PortfolioResult portfolio;
   portfolio.results.resize(solvers.size());
 
@@ -68,6 +85,8 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
     }
     SolveRequest per_solver = request;
     per_solver.budget.cancel = &stop;
+    per_solver.options =
+        solvers[index]->supported_options(request.options, &request);
     SolveResult result;
     try {
       result = solvers[index]->run(per_solver);

@@ -1,0 +1,14 @@
+#include "src/workloads/chain.hpp"
+
+#include "src/graph/dag_builder.hpp"
+
+namespace rbpeb {
+
+Dag make_chain_dag(std::size_t n) {
+  DagBuilder b;
+  b.add_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+}  // namespace rbpeb

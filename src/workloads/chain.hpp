@@ -1,0 +1,16 @@
+// Path DAG — the simplest workload: node i feeds node i+1.
+//
+// A chain pebbles with R = 2 and zero transfers in every deleting model (a
+// two-pebble window slides to the sink), which makes it the canonical
+// sanity instance for solvers and the cheapest way to scale node counts
+// past the exact searches' caps without blowing up the state space.
+#pragma once
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb {
+
+/// The path 0 → 1 → … → n−1. Δ = 1; one source, one sink (for n ≥ 1).
+Dag make_chain_dag(std::size_t n);
+
+}  // namespace rbpeb

@@ -5,6 +5,7 @@
 
 #include "src/graph/dag_builder.hpp"
 #include "src/pebble/verifier.hpp"
+#include "src/solvers/exact.hpp"
 #include "src/solvers/topo_baseline.hpp"
 #include "src/workloads/random_layered.hpp"
 
@@ -79,6 +80,94 @@ TEST_P(BoundsHoldOnRandomDags, BaselineWithinUniversalBounds) {
     std::size_t length_bound = optimal_length_upper_bound(dag, model);
     EXPECT_LE(trace.size(), length_bound) << model.name();
   }
+}
+
+// ---- per-state bounds (the exact-astar heuristic) ------------------------
+
+// The defining property of an admissible heuristic: along an *optimal*
+// trace, the bound at every intermediate state never exceeds the true
+// remaining cost (total optimum minus cost already paid).
+TEST(StateBounds, AdmissibleAlongOptimalTraces) {
+  Dag dag = make_random_layered_dag({.layers = 3, .width = 3, .indegree = 2,
+                                     .seed = 4});
+  for (const Model& model : all_models()) {
+    const std::size_t r = min_red_pebbles(dag);
+    Engine engine(dag, model, r);
+    ExactResult optimal = solve_exact(engine);
+    GameState state = engine.initial_state();
+    Cost paid;
+    for (const Move& move : optimal.trace) {
+      std::optional<Rational> bound = state_cost_lower_bound(engine, state);
+      ASSERT_TRUE(bound.has_value()) << model.name();
+      EXPECT_LE(*bound, optimal.cost - model.total(paid)) << model.name();
+      engine.apply(state, move, paid);
+    }
+    EXPECT_EQ(state_cost_lower_bound(engine, state), Rational(0))
+        << model.name() << ": nonzero bound at a complete state";
+  }
+}
+
+// At the empty start the per-state bound dominates the whole-instance bound
+// of cost_lower_bound (it sees the same counting arguments and more).
+TEST(StateBounds, AtLeastTheGlobalLowerBoundAtTheStart) {
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 4, .indegree = 2,
+                                     .seed = 7});
+  for (const Model& model : all_models()) {
+    const std::size_t r = min_red_pebbles(dag);
+    Engine engine(dag, model, r);
+    std::optional<Rational> bound =
+        state_cost_lower_bound(engine, engine.initial_state());
+    ASSERT_TRUE(bound.has_value()) << model.name();
+    EXPECT_GE(*bound, cost_lower_bound(dag, model, r)) << model.name();
+  }
+}
+
+// Oneshot dead ends are detected: compute a needed value, delete it, and no
+// completion exists any more — the evaluator reports infeasibility.
+TEST(StateBounds, DetectsValuesLostForeverInOneshot) {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  Dag dag = b.build();
+  Engine engine(dag, Model::oneshot(), 2);
+  GameState state = engine.initial_state();
+  Cost cost;
+  engine.apply(state, compute(0), cost);
+  engine.apply(state, erase(0), cost);
+  EXPECT_EQ(state_cost_lower_bound(engine, state), std::nullopt);
+  // The same configuration is perfectly recoverable in the base model.
+  Engine base_engine(dag, Model::base(), 2);
+  EXPECT_TRUE(state_cost_lower_bound(base_engine, state).has_value());
+}
+
+// An empty Hong–Kung source is unloadable and uncomputable.
+TEST(StateBounds, DetectsDeletedBlueSourcesUnderHongKung) {
+  DagBuilder b;
+  b.add_nodes(2);
+  b.add_edge(0, 1);
+  Dag dag = b.build();
+  Engine engine(dag, Model::base(), 2,
+                PebblingConvention{.sources_start_blue = true});
+  GameState state = engine.initial_state();
+  Cost cost;
+  engine.apply(state, erase(0), cost);
+  EXPECT_EQ(state_cost_lower_bound(engine, state), std::nullopt);
+}
+
+TEST(StateBounds, CountsBlueInputLoadsOwedUnderHongKung) {
+  // Two blue sources feeding one sink: each must be loaded (sources are not
+  // computable under the convention), and the sink computed.
+  DagBuilder b;
+  b.add_nodes(3);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  Dag dag = b.build();
+  Engine engine(dag, Model::compcost(), 3,
+                PebblingConvention{.sources_start_blue = true});
+  std::optional<Rational> bound =
+      state_cost_lower_bound(engine, engine.initial_state());
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, Rational(2) + Rational(1, 100));
 }
 
 TEST(Bounds, BaseModelHasNoLengthBound) {

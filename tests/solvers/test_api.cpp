@@ -6,30 +6,23 @@
 #include <gtest/gtest.h>
 
 #include "src/gadgets/tradeoff_chain.hpp"
-#include "src/graph/dag_builder.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/verifier.hpp"
 #include "src/support/check.hpp"
+#include "src/workloads/chain.hpp"
 #include "src/workloads/matmul.hpp"
 #include "src/workloads/tree_reduction.hpp"
 
 namespace rbpeb {
 namespace {
 
-Dag chain_dag(std::size_t n) {
-  DagBuilder b;
-  b.add_nodes(n);
-  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
-  return b.build();
-}
-
 TEST(SolverRegistry, ListsAtLeastEightBuiltins) {
   const SolverRegistry& registry = SolverRegistry::instance();
   EXPECT_GE(registry.size(), 8u);
   for (const char* name :
        {"greedy", "greedy-fewest-blue", "greedy-red-ratio", "topo", "exact",
-        "peephole", "held-karp", "chain", "group-greedy", "local-search",
-        "exhaustive-order"}) {
+        "exact-astar", "peephole", "held-karp", "chain", "group-greedy",
+        "local-search", "exhaustive-order"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
     EXPECT_EQ(registry.at(name).name(), name);
   }
@@ -69,7 +62,7 @@ class ApiMatrix : public ::testing::TestWithParam<MatrixCase> {
  protected:
   Dag make_dag() const {
     const std::string& w = GetParam().workload;
-    if (w == "chain") return chain_dag(8);
+    if (w == "chain") return make_chain_dag(8);
     if (w == "tree") return make_tree_reduction_dag(4).dag;
     return make_matmul_dag(2).dag;  // 2×2 matmul, 20 nodes
   }
@@ -99,9 +92,12 @@ TEST_P(ApiMatrix, EveryApplicableSolverVerifiesAndReportsAuditedCost) {
         break;
       }
       case SolveStatus::BudgetExhausted:
-        // Only the state-budgeted exact search may run out here.
-        EXPECT_EQ(result.solver, "exact");
+        // Only the state-budgeted exact searches may run out here — and
+        // when they do, partial progress is still reported.
+        EXPECT_TRUE(result.solver == "exact" || result.solver == "exact-astar")
+            << result.solver;
         EXPECT_FALSE(result.detail.empty());
+        EXPECT_TRUE(result.stats.contains("states_expanded")) << result.solver;
         break;
       case SolveStatus::Inapplicable:
         // No group structure in the request: all group/chain solvers sit
@@ -195,7 +191,8 @@ TEST(ApiConventions, BridgedSolversVerifyUnderHongKungConvention) {
                                   .sinks_end_blue = true});
   SolveRequest request;
   request.engine = &engine;
-  for (const char* name : {"greedy", "topo", "exact", "peephole"}) {
+  for (const char* name :
+       {"greedy", "topo", "exact", "exact-astar", "peephole"}) {
     SolveResult result = SolverRegistry::instance().at(name).run(request);
     ASSERT_TRUE(result.ok()) << name << ": " << result.detail;
     VerifyResult vr = verify_or_throw(engine, *result.trace);
@@ -207,7 +204,7 @@ TEST(ApiConventions, BridgedSolversVerifyUnderHongKungConvention) {
 }
 
 TEST(ApiStats, ResultCarriesAuditBreakdown) {
-  Dag dag = chain_dag(6);
+  Dag dag = make_chain_dag(6);
   Engine engine(dag, Model::oneshot(), 2);
   SolveRequest request;
   request.engine = &engine;
@@ -222,7 +219,7 @@ TEST(ApiStats, ResultCarriesAuditBreakdown) {
 }
 
 TEST(ApiOptions, MalformedOptionThrows) {
-  Dag dag = chain_dag(4);
+  Dag dag = make_chain_dag(4);
   Engine engine(dag, Model::oneshot(), 2);
   SolveRequest request;
   request.engine = &engine;
@@ -232,6 +229,58 @@ TEST(ApiOptions, MalformedOptionThrows) {
   request.options.clear();
   request.options["rule"] = "no-such-rule";
   EXPECT_THROW(SolverRegistry::instance().at("greedy").run(request),
+               PreconditionError);
+}
+
+TEST(ApiOptions, UnknownOptionKeyFailsWithAcceptedList) {
+  Dag dag = make_chain_dag(4);
+  Engine engine(dag, Model::oneshot(), 2);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["rulee"] = "lru";  // the classic typo: silently ran defaults
+  try {
+    SolverRegistry::instance().at("greedy").run(request);
+    FAIL() << "expected PreconditionError for an unknown option key";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rulee"), std::string::npos);
+    EXPECT_NE(what.find("rule"), std::string::npos);
+    EXPECT_NE(what.find("eviction"), std::string::npos);
+  }
+  // A key another solver accepts is still unknown to this one.
+  request.options.clear();
+  request.options["iterations"] = "5";
+  EXPECT_THROW(SolverRegistry::instance().at("greedy").run(request),
+               PreconditionError);
+}
+
+TEST(ApiOptions, OptionlessSolversRejectEveryKey) {
+  Dag dag = make_chain_dag(4);
+  Engine engine(dag, Model::oneshot(), 2);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["seed"] = "1";
+  EXPECT_THROW(SolverRegistry::instance().at("chain").run(request),
+               PreconditionError);
+}
+
+TEST(ApiOptions, PeepholeForwardsOnlyTheInnerSolversKeys) {
+  // rule targets the inner greedy; max-passes targets peephole itself. The
+  // combination must pass validation at both layers.
+  Dag dag = make_matmul_dag(2).dag;
+  Engine engine(dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["inner"] = "greedy";
+  request.options["rule"] = "red-ratio";
+  request.options["max-passes"] = "2";
+  SolveResult result = SolverRegistry::instance().at("peephole").run(request);
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.stats.at("inner"), "greedy");
+  // A key only a *different* inner solver would read is rejected, not
+  // silently dropped: with inner=greedy, "iterations" tunes nothing.
+  request.options["iterations"] = "50";
+  EXPECT_THROW(SolverRegistry::instance().at("peephole").run(request),
                PreconditionError);
 }
 

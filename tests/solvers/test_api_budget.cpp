@@ -12,6 +12,7 @@
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/api.hpp"
 #include "src/solvers/portfolio.hpp"
+#include "src/support/check.hpp"
 #include "src/workloads/matmul.hpp"
 
 namespace rbpeb {
@@ -163,6 +164,36 @@ TEST(ApiBudget, CallerCancellationSkipsEverySolver) {
   for (const SolveResult& result : portfolio.results) {
     EXPECT_EQ(result.status, SolveStatus::BudgetExhausted);
   }
+}
+
+TEST(ApiBudget, PortfolioNarrowsASharedOptionSetPerSolver) {
+  // One option set serves the whole race: "rule" belongs to greedy alone and
+  // must not trip the strict per-solver validation of exact/topo.
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["rule"] = "red-ratio";
+  request.budget.max_states = 10;
+  PortfolioOptions options;
+  options.solvers = {"exact", "greedy", "topo"};
+  options.parallel = false;
+  PortfolioResult portfolio = solve_portfolio(request, options);
+  ASSERT_TRUE(portfolio.has_best());
+  EXPECT_EQ(portfolio.results[0].status, SolveStatus::BudgetExhausted);
+  EXPECT_EQ(portfolio.results[1].status, SolveStatus::Heuristic);
+  EXPECT_EQ(portfolio.results[1].stats.at("rule"), "red-ratio");
+}
+
+TEST(ApiBudget, PortfolioRejectsKeysNoRacingSolverAccepts) {
+  MatMulDag mm = make_matmul_dag(2);
+  Engine engine(mm.dag, Model::oneshot(), 4);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["rulee"] = "lru";
+  PortfolioOptions options;
+  options.solvers = {"greedy", "topo"};
+  EXPECT_THROW(solve_portfolio(request, options), PreconditionError);
 }
 
 TEST(ApiBudget, LocalSearchHonorsIterationBudget) {

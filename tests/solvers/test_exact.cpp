@@ -7,22 +7,16 @@
 #include "src/solvers/greedy.hpp"
 #include "src/solvers/topo_baseline.hpp"
 #include "src/support/check.hpp"
+#include "src/workloads/chain.hpp"
 #include "src/workloads/pyramid.hpp"
 #include "src/workloads/random_layered.hpp"
 
 namespace rbpeb {
 namespace {
 
-Dag chain(std::size_t n) {
-  DagBuilder b;
-  b.add_nodes(n);
-  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
-  return b.build();
-}
-
 TEST(Exact, ChainCostsZeroTransfers) {
   for (const Model& model : all_models()) {
-    Dag dag = chain(5);
+    Dag dag = make_chain_dag(5);
     Engine engine(dag, model, 2);
     ExactResult result = solve_exact(engine);
     VerifyResult vr = verify_or_throw(engine, result.trace);

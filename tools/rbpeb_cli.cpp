@@ -194,6 +194,11 @@ int cmd_solve(const std::vector<std::string>& args) {
               << " (" << format_elapsed(best.elapsed) << ")\n";
     if (!best.has_trace()) {
       std::cerr << "no trace: " << best.detail << '\n';
+      // Partial progress (states_expanded, max_states, …) still tells the
+      // user how to size the next budget.
+      for (const auto& [key, value] : best.stats) {
+        std::cerr << "  " << key << ": " << value << '\n';
+      }
       return 1;
     }
   }
