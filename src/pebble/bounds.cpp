@@ -1,7 +1,9 @@
 #include "src/pebble/bounds.hpp"
 
+#include <bit>
 #include <limits>
 
+#include "src/graph/dag_algorithms.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
@@ -45,6 +47,116 @@ Rational cost_lower_bound(const Dag& dag, const Model& model,
   }
   RBPEB_ENSURE(false, "unreachable");
   return Rational(0);
+}
+
+std::int64_t universal_search_ceiling_scaled(const Dag& dag,
+                                             const Model& model) {
+  const auto n = static_cast<std::int64_t>(dag.node_count());
+  const auto delta = static_cast<std::int64_t>(dag.max_indegree());
+  const std::int64_t eps_num = model.epsilon().num();
+  const std::int64_t eps_den = model.epsilon().den();
+  return (2 * delta + 1) * n * eps_den + n * eps_num + 2 * n * eps_den;
+}
+
+StateBoundEvaluator::StateBoundEvaluator(const Engine& engine)
+    : engine_(&engine),
+      eps_num_(engine.model().epsilon().num()),
+      eps_den_(engine.model().epsilon().den()) {
+  const Dag& dag = engine.dag();
+  const std::size_t n = dag.node_count();
+  if (n > kMaskMaxNodes) return;  // generic path only; no caches to build
+  pred_mask_.assign(n, 0);
+  cone_mask_.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId node = static_cast<NodeId>(v);
+    for (NodeId p : dag.predecessors(node)) {
+      pred_mask_[v] |= std::uint64_t{1} << p;
+    }
+    if (dag.is_sink(node)) sinks_mask_ |= std::uint64_t{1} << v;
+    if (dag.is_source(node)) sources_mask_ |= std::uint64_t{1} << v;
+  }
+  // Ancestor cones compose along a topological order: by the time v is
+  // visited every predecessor's cone is final.
+  for (NodeId v : topological_order(dag)) {
+    std::uint64_t cone = std::uint64_t{1} << v;
+    for (NodeId p : dag.predecessors(v)) cone |= cone_mask_[p];
+    cone_mask_[v] = cone;
+  }
+}
+
+std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
+    const StateMasks& state) {
+  const Model& model = engine_->model();
+  const PebblingConvention& conv = engine_->convention();
+  const std::uint64_t pebbled = state.pebbled();
+  const std::uint64_t empty = ~pebbled;  // junk above bit n never enters
+
+  // Seeds plus the stores owed by non-blue sinks under the blue convention.
+  std::int64_t sink_stores_owed = 0;
+  if (conv.sinks_end_blue) {
+    sink_stores_owed =
+        std::popcount(sinks_mask_ & ~state.blue);  // blue arrives via Store
+  }
+  std::uint64_t frontier = sinks_mask_ & empty;
+
+  // Requirement closure, composed from the construction-time caches: a
+  // frontier node whose whole ancestor cone is pebble-free contributes its
+  // cached cone in one OR (every such ancestor is empty, hence also owed a
+  // computation, and none of them can have blue inputs); anything else
+  // advances one cached predecessor word at a time.
+  std::uint64_t closure = 0;
+  std::uint64_t blue_inputs = 0;
+  while (frontier != 0) {
+    const int v = std::countr_zero(frontier);
+    frontier &= frontier - 1;
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if ((closure & bit) != 0) continue;
+    const std::uint64_t cone = cone_mask_[static_cast<std::size_t>(v)];
+    if ((cone & pebbled) == 0) {
+      closure |= cone;
+      continue;
+    }
+    closure |= bit;
+    const std::uint64_t preds = pred_mask_[static_cast<std::size_t>(v)];
+    blue_inputs |= preds & state.blue;
+    frontier |= preds & empty & ~closure;
+  }
+
+  // Dead states: a needed oneshot value already spent, or a needed (hence
+  // empty) Hong–Kung source — uncomputable and, with no pebble, unloadable.
+  if (!model.allows_recompute() && (closure & state.computed) != 0) {
+    return std::nullopt;
+  }
+  if (conv.sources_start_blue && (closure & sources_mask_) != 0) {
+    return std::nullopt;
+  }
+
+  std::int64_t bound =
+      static_cast<std::int64_t>(std::popcount(closure)) * eps_num_;
+  // Blue inputs that can never be recomputed owe a full Load; the rest owe
+  // whichever of reload / recompute is cheaper.
+  std::uint64_t no_recompute = 0;
+  if (!model.allows_recompute()) no_recompute |= state.computed;
+  if (conv.sources_start_blue) no_recompute |= sources_mask_;
+  bound += static_cast<std::int64_t>(std::popcount(blue_inputs & no_recompute)) *
+           eps_den_;
+  bound +=
+      static_cast<std::int64_t>(std::popcount(blue_inputs & ~no_recompute)) *
+      std::min(eps_num_, eps_den_);
+
+  std::int64_t stores_owed = sink_stores_owed;
+  if (model.kind() == ModelKind::Nodel) {
+    // No deletions: currently pebbled nodes and the closure all hold pebbles
+    // at the end, at most R of them red. Stores minus loads equals the net
+    // blue growth, so stores >= final_blue - current_blue.
+    const std::int64_t final_pebbled =
+        std::popcount(pebbled) + std::popcount(closure);
+    const std::int64_t r = static_cast<std::int64_t>(engine_->red_limit());
+    const std::int64_t blue = std::popcount(state.blue);
+    // Max, not sum: this and the sink term lower-bound the same stores.
+    stores_owed = std::max(stores_owed, final_pebbled - r - blue);
+  }
+  return bound + stores_owed * eps_den_;
 }
 
 std::optional<Rational> state_cost_lower_bound(const Engine& engine,

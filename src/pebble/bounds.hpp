@@ -1,5 +1,5 @@
 // Closed-form bounds from Sections 3 and 4 of the paper, as checkable code,
-// plus per-state admissible lower bounds that drive the exact-astar solver.
+// plus per-state admissible lower bounds that drive the exact searches.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +28,15 @@ Rational universal_cost_upper_bound(const Dag& dag, const Model& model);
 ///  * compcost: ε · (#non-source nodes) (each must be computed at least once).
 Rational cost_lower_bound(const Dag& dag, const Model& model,
                           std::size_t red_limit);
+
+/// The exact searches' pruning ceiling in scaled units of 1/ε.den() (see
+/// scaled_move_cost): the Section 3 universal bound plus 2n transfers
+/// covering the Appendix C bridging moves (one load per source, one store
+/// per sink) a non-default convention can add. No optimal pebbling prices
+/// beyond it — exact-astar and hda-astar drop anything that does, and size
+/// their Dial bucket queues to it, so the one formula must serve both.
+std::int64_t universal_search_ceiling_scaled(const Dag& dag,
+                                             const Model& model);
 
 /// Upper bound on the number of moves in an *optimal* pebbling in the
 /// oneshot / nodel / compcost models: O(Δ·n) (paper, Lemma 1). Returns the
@@ -63,21 +72,99 @@ std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model);
 // computed and then deleted is gone for good, as is an empty Hong–Kung
 // source (uncomputable and unloadable) — callers get nullopt and may prune.
 
-/// Reusable per-state bound evaluator (holds scratch; not thread-safe).
-/// Templated over anything with color(NodeId)/was_computed(NodeId) so the
-/// A* search can evaluate packed states without materializing a GameState.
+/// Reusable per-state bound evaluator (holds scratch; not thread-safe —
+/// searches hold one per worker). Templated over anything with
+/// color(NodeId)/was_computed(NodeId) so the exact searches can evaluate
+/// packed states without materializing a GameState.
+///
+/// The requirement closure is memoized structurally: construction caches,
+/// per node, the bitmask of its predecessors and of its whole ancestor cone
+/// (the node's closure in the all-empty configuration). Per state the
+/// closure is then *composed* from those masks — a frontier node whose
+/// entire cone is pebble-free folds its cached cone in with one OR instead
+/// of a fresh graph walk, and everything else advances one cached
+/// predecessor word at a time. No per-evaluation O(n) mark-clearing, no
+/// edge-list chasing. DAGs beyond 64 nodes (no exact search goes there; the
+/// packed-state searches cap at 42) fall back to the original walk.
 class StateBoundEvaluator {
  public:
-  explicit StateBoundEvaluator(const Engine& engine)
-      : engine_(&engine),
-        eps_num_(engine.model().epsilon().num()),
-        eps_den_(engine.model().epsilon().den()) {}
+  /// Largest DAG the mask-composed fast path handles.
+  static constexpr std::size_t kMaskMaxNodes = 64;
+
+  explicit StateBoundEvaluator(const Engine& engine);
+
+  /// One configuration as node-indexed bitmasks (bit v = node v), the form
+  /// the fast path consumes. A search computes a parent's masks once per
+  /// expansion and derives each neighbor's in O(1) via apply().
+  struct StateMasks {
+    std::uint64_t red = 0;
+    std::uint64_t blue = 0;
+    std::uint64_t computed = 0;
+
+    std::uint64_t pebbled() const { return red | blue; }
+
+    template <class StateLike>
+    static StateMasks from(const StateLike& state, std::size_t node_count) {
+      StateMasks m;
+      for (std::size_t v = 0; v < node_count; ++v) {
+        const NodeId node = static_cast<NodeId>(v);
+        const std::uint64_t bit = std::uint64_t{1} << v;
+        switch (state.color(node)) {
+          case PebbleColor::Red: m.red |= bit; break;
+          case PebbleColor::Blue: m.blue |= bit; break;
+          case PebbleColor::None: break;
+        }
+        if (state.was_computed(node)) m.computed |= bit;
+      }
+      return m;
+    }
+
+    /// The successor configuration's masks after a *legal* move — mirrors
+    /// BasicPackedState::apply / Engine::apply bit for bit.
+    void apply(const Move& move) {
+      const std::uint64_t bit = std::uint64_t{1} << move.node;
+      switch (move.type) {
+        case MoveType::Load:
+          red |= bit;
+          blue &= ~bit;
+          break;
+        case MoveType::Store:
+          blue |= bit;
+          red &= ~bit;
+          break;
+        case MoveType::Compute:
+          red |= bit;
+          blue &= ~bit;
+          computed |= bit;
+          break;
+        case MoveType::Delete:
+          red &= ~bit;
+          blue &= ~bit;
+          break;
+      }
+    }
+  };
 
   /// Lower bound on the remaining completion cost in scaled units of
   /// 1/ε.den() (see scaled_move_cost); nullopt when the state provably
   /// cannot be completed. Zero at every complete state.
   template <class StateLike>
   std::optional<std::int64_t> lower_bound_scaled(const StateLike& state) {
+    const std::size_t n = engine_->dag().node_count();
+    if (n <= kMaskMaxNodes) {
+      return lower_bound_scaled(StateMasks::from(state, n));
+    }
+    return lower_bound_generic(state);
+  }
+
+  /// The mask fast path, callable directly by searches that maintain masks
+  /// incrementally. Requires node_count() <= kMaskMaxNodes.
+  std::optional<std::int64_t> lower_bound_scaled(const StateMasks& state);
+
+  /// The original mark-and-walk evaluation, kept as the >64-node fallback
+  /// and as the reference the mask path is differentially tested against.
+  template <class StateLike>
+  std::optional<std::int64_t> lower_bound_generic(const StateLike& state) {
     const Dag& dag = engine_->dag();
     const Model& model = engine_->model();
     const PebblingConvention& conv = engine_->convention();
@@ -159,6 +246,14 @@ class StateBoundEvaluator {
   const Engine* engine_;
   std::int64_t eps_num_;
   std::int64_t eps_den_;
+
+  // Structural caches for the mask path (empty beyond kMaskMaxNodes nodes).
+  std::vector<std::uint64_t> pred_mask_;  ///< predecessors of v
+  std::vector<std::uint64_t> cone_mask_;  ///< v plus all of its ancestors
+  std::uint64_t sinks_mask_ = 0;
+  std::uint64_t sources_mask_ = 0;
+
+  // Scratch for the generic path.
   std::vector<std::uint8_t> mark_;
   std::vector<NodeId> stack_;
 };

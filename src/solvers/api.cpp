@@ -12,6 +12,7 @@
 #include "src/solvers/exact.hpp"
 #include "src/solvers/exact_astar.hpp"
 #include "src/solvers/greedy.hpp"
+#include "src/solvers/hda/hda_astar.hpp"
 #include "src/solvers/held_karp.hpp"
 #include "src/solvers/local_search.hpp"
 #include "src/solvers/peephole.hpp"
@@ -362,9 +363,10 @@ class TopoSolver final : public Solver {
   }
 };
 
-/// Shared adapter for the two exhaustive configuration-graph searches:
-/// budget plumbing, partial stats on exhaustion, and drained-graph handling
-/// are identical; only the search routine and node cap differ.
+/// Shared adapter for the exhaustive configuration-graph searches: budget
+/// plumbing, partial stats on exhaustion, and drained-graph handling are
+/// identical; only the search routine, node cap, and (for the parallel
+/// search) thread use differ.
 class ExactSearchSolver : public Solver {
  public:
   std::vector<std::string_view> option_keys(
@@ -386,7 +388,7 @@ class ExactSearchSolver : public Solver {
 
  protected:
   virtual std::size_t node_cap() const = 0;
-  virtual std::optional<ExactResult> search(const Engine& engine,
+  virtual std::optional<ExactResult> search(const SolveRequest& request,
                                             std::size_t max_states,
                                             const StopPredicate& should_stop,
                                             ExactSearchStats& stats) const = 0;
@@ -396,7 +398,7 @@ class ExactSearchSolver : public Solver {
         so::get_size(request.options, "max-states", request.budget.max_states);
     const SolveBudget budget = request.budget;
     ExactSearchStats search_stats;
-    auto solved = search(*request.engine, max_states,
+    auto solved = search(request, max_states,
                          [budget] { return budget.interrupted(); },
                          search_stats);
     if (!solved) {
@@ -438,11 +440,11 @@ class ExactSolver final : public ExactSearchSolver {
 
  protected:
   std::size_t node_cap() const override { return 21; }
-  std::optional<ExactResult> search(const Engine& engine,
+  std::optional<ExactResult> search(const SolveRequest& request,
                                     std::size_t max_states,
                                     const StopPredicate& should_stop,
                                     ExactSearchStats& stats) const override {
-    return try_solve_exact(engine, max_states, should_stop, &stats);
+    return try_solve_exact(*request.engine, max_states, should_stop, &stats);
   }
 };
 
@@ -457,11 +459,52 @@ class ExactAstarSolver final : public ExactSearchSolver {
 
  protected:
   std::size_t node_cap() const override { return kExactAstarMaxNodes; }
-  std::optional<ExactResult> search(const Engine& engine,
+  std::optional<ExactResult> search(const SolveRequest& request,
                                     std::size_t max_states,
                                     const StopPredicate& should_stop,
                                     ExactSearchStats& stats) const override {
-    return try_solve_exact_astar(engine, max_states, should_stop, &stats);
+    return try_solve_exact_astar(*request.engine, max_states, should_stop,
+                                 &stats);
+  }
+};
+
+/// Hash-distributed A* across worker threads — the same optimality proof as
+/// exact-astar, pushed by every core the budget grants (budget.threads, or
+/// the `threads` option; 0 = hardware concurrency).
+class HdaAstarSolver final : public ExactSearchSolver {
+ public:
+  std::string_view name() const override { return "hda-astar"; }
+  std::string_view description() const override {
+    return "parallel optimal pebbling via hash-distributed A* over sharded "
+           "closed tables (opt threads=N, ≤ 42 nodes)";
+  }
+
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"max-states", "threads"};
+  }
+
+ protected:
+  std::size_t node_cap() const override { return kHdaAstarMaxNodes; }
+
+  static std::size_t resolved_threads(const SolveRequest& request) {
+    return hda_resolve_threads(
+        so::get_size(request.options, "threads", request.budget.threads));
+  }
+
+  std::optional<ExactResult> search(const SolveRequest& request,
+                                    std::size_t max_states,
+                                    const StopPredicate& should_stop,
+                                    ExactSearchStats& stats) const override {
+    return try_solve_hda_astar(*request.engine, resolved_threads(request),
+                               max_states, should_stop, &stats);
+  }
+
+  SolveResult do_solve(const SolveRequest& request) const override {
+    SolveResult result = ExactSearchSolver::do_solve(request);
+    result.stats["threads"] = std::to_string(resolved_threads(request));
+    return result;
   }
 };
 
@@ -834,6 +877,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(std::make_unique<TopoSolver>());
   registry.add(std::make_unique<ExactSolver>());
   registry.add(std::make_unique<ExactAstarSolver>());
+  registry.add(std::make_unique<HdaAstarSolver>());
   registry.add(std::make_unique<PeepholeSolver>(registry));
   registry.add(std::make_unique<HeldKarpSolver>());
   registry.add(std::make_unique<ChainSolver>());

@@ -46,6 +46,11 @@ struct SolveBudget {
   /// Iterations an iterative solver may run when the request's options do
   /// not say otherwise.
   std::size_t max_iterations = 2'000;
+  /// Worker threads a parallel solver (hda-astar) may spread one solve
+  /// across; 0 = hardware concurrency. The portfolio fills this with its
+  /// whole core budget so a parallel solver gets the machine, not one
+  /// racing slot.
+  std::size_t threads = 0;
   /// Wall-clock deadline; unset = none.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// External cancellation flag (not owned); set to true to abandon the
@@ -190,8 +195,8 @@ class SolverRegistry {
 };
 
 /// Register every built-in adapter (greedy ×3 rules, topo, exact,
-/// exact-astar, peephole, held-karp, chain, group-greedy, local-search,
-/// exhaustive-order) into `registry`. Called once by
+/// exact-astar, hda-astar, peephole, held-karp, chain, group-greedy,
+/// local-search, exhaustive-order) into `registry`. Called once by
 /// SolverRegistry::instance(); exposed so tests can build private
 /// registries.
 void register_builtin_solvers(SolverRegistry& registry);

@@ -1,0 +1,47 @@
+// Dial-style bucket priority queue over small integer priorities, shared by
+// the exact searches (sequential A* and each HDA* shard).
+//
+// Move costs only take the values {0, ε.num, ε.den} in scaled units, so
+// f-values are small integers bounded by the Section 3 universal cost bound
+// — a binary heap (plus its stale-entry churn) is overkill. push is O(1);
+// pop scans forward from a cursor. The admissible bound is not guaranteed
+// consistent, so a reinsertion may land below the cursor — the cursor simply
+// moves back, which a monotone Dial queue would forbid but costs nothing
+// here.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rbpeb {
+
+template <typename Item>
+class BucketQueue {
+ public:
+  explicit BucketQueue(std::size_t bucket_count) : buckets_(bucket_count) {}
+
+  void push(std::int64_t priority, Item item) {
+    const auto f = static_cast<std::size_t>(priority);
+    buckets_[f].push_back(std::move(item));
+    if (f < cursor_) cursor_ = f;
+    ++size_;
+  }
+
+  std::pair<std::int64_t, Item> pop() {
+    while (buckets_[cursor_].empty()) ++cursor_;
+    Item item = std::move(buckets_[cursor_].back());
+    buckets_[cursor_].pop_back();
+    --size_;
+    return {static_cast<std::int64_t>(cursor_), std::move(item)};
+  }
+
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::vector<std::vector<Item>> buckets_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rbpeb

@@ -55,6 +55,7 @@ std::optional<ExactResult> try_solve_exact(const Engine& engine,
 
   ExactSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  *stats = {};  // a reused struct must not accumulate across calls
   auto give_up = [&](ExactTermination why) {
     stats->termination = why;
     return std::nullopt;

@@ -6,45 +6,13 @@
 #include <vector>
 
 #include "src/pebble/bounds.hpp"
+#include "src/solvers/bucket_queue.hpp"
 #include "src/solvers/packed_state.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
 
 namespace {
-
-/// Dial-style bucket priority queue over small integer f-values. push is
-/// O(1); pop scans forward from a cursor. The admissible bound is not
-/// guaranteed consistent, so a reinsertion may land below the cursor — the
-/// cursor simply moves back, which a monotone Dial queue would forbid but
-/// costs nothing here.
-template <typename Item>
-class BucketQueue {
- public:
-  explicit BucketQueue(std::size_t bucket_count) : buckets_(bucket_count) {}
-
-  void push(std::int64_t priority, Item item) {
-    const auto f = static_cast<std::size_t>(priority);
-    buckets_[f].push_back(std::move(item));
-    if (f < cursor_) cursor_ = f;
-    ++size_;
-  }
-
-  std::pair<std::int64_t, Item> pop() {
-    while (buckets_[cursor_].empty()) ++cursor_;
-    Item item = std::move(buckets_[cursor_].back());
-    buckets_[cursor_].pop_back();
-    --size_;
-    return {static_cast<std::int64_t>(cursor_), std::move(item)};
-  }
-
-  bool empty() const { return size_ == 0; }
-
- private:
-  std::vector<std::vector<Item>> buckets_;
-  std::size_t cursor_ = 0;
-  std::size_t size_ = 0;
-};
 
 template <typename Word>
 std::optional<ExactResult> astar_impl(const Engine& engine,
@@ -55,7 +23,6 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   const Dag& dag = engine.dag();
   const Model& model = engine.model();
   const std::size_t n = dag.node_count();
-  const std::int64_t eps_num = model.epsilon().num();
   const std::int64_t eps_den = model.epsilon().den();
 
   auto give_up = [&](ExactTermination why) {
@@ -63,14 +30,9 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     return std::nullopt;
   };
 
-  // No optimal pebbling costs more than the Section 3 universal bound; the
-  // extra 2n transfers cover the Appendix C bridging moves (one load per
-  // source, one store per sink) a non-default convention can add. Anything
-  // priced beyond this ceiling is dropped, which also caps the bucket count.
-  const auto sn = static_cast<std::int64_t>(n);
-  const auto delta = static_cast<std::int64_t>(dag.max_indegree());
-  const std::int64_t ceiling =
-      (2 * delta + 1) * sn * eps_den + sn * eps_num + 2 * sn * eps_den;
+  // Anything priced beyond the universal ceiling is dropped — no optimal
+  // pebbling lives there — which also caps the bucket count.
+  const std::int64_t ceiling = universal_search_ceiling_scaled(dag, model);
 
   struct Entry {
     std::int64_t g;
@@ -101,8 +63,11 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     if (it->second.g != item.g) continue;  // stale: a cheaper path superseded it
     const std::int64_t g = item.g;
     const Packed current(item.key);
-    // One O(n) unpack per expansion; neighbors below are derived in O(1).
+    // One O(n) unpack per expansion; neighbors below are derived in O(1) —
+    // packed keys and bound masks alike.
     GameState state = current.to_state(n);
+    const StateBoundEvaluator::StateMasks masks =
+        StateBoundEvaluator::StateMasks::from(current, n);
     if (engine.is_complete(state)) {
       std::vector<Move> reversed;
       Word cursor = item.key;
@@ -142,7 +107,9 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
           if (entry->second.g <= next_g) continue;
           entry->second = {next_g, item.key, move};
         }
-        std::optional<std::int64_t> h = bound.lower_bound_scaled(next);
+        StateBoundEvaluator::StateMasks next_masks = masks;
+        next_masks.apply(move);
+        std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
         if (!h) continue;          // provably dead: prune
         const std::int64_t next_f = next_g + *h;
         if (next_f > ceiling) continue;  // no optimum lives beyond the bound
@@ -163,6 +130,7 @@ std::optional<ExactResult> try_solve_exact_astar(
                 "solve_exact_astar supports at most 42 nodes");
   ExactSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  *stats = {};  // a reused struct must not accumulate across calls
   if (n <= PackedState64::max_nodes()) {
     return astar_impl<std::uint64_t>(engine, max_states, should_stop, *stats);
   }

@@ -1,0 +1,351 @@
+#include "src/solvers/hda/hda_astar.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/pebble/bounds.hpp"
+#include "src/solvers/hda/shard.hpp"
+#include "src/solvers/hda/termination.hpp"
+#include "src/solvers/packed_state.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+namespace {
+
+using hda::kRouteBatchSize;
+using hda::Mailbox;
+using hda::SafraRing;
+using hda::Shard;
+using hda::StateMsg;
+using hda::WorkerLedger;
+
+/// Shared search context: everything the workers coordinate through.
+template <typename Word>
+struct SearchContext {
+  explicit SearchContext(std::size_t workers, std::size_t bucket_count,
+                         std::int64_t no_incumbent)
+      : ring(workers), incumbent(no_incumbent) {
+    shards.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      shards.push_back(std::make_unique<Shard<Word>>(bucket_count));
+    }
+  }
+
+  Shard<Word>& shard(std::size_t i) { return *shards[i]; }
+
+  std::vector<std::unique_ptr<Shard<Word>>> shards;  // mailboxes pin them
+  SafraRing ring;
+
+  /// Scaled g of the best complete state seen; pruning anything priced at or
+  /// above it is what turns quiescence into an optimality certificate. A
+  /// stale (higher) read only delays a prune, so relaxed loads suffice.
+  std::atomic<std::int64_t> incumbent;
+  std::mutex goal_mutex;
+  Word goal_key{};
+  bool has_goal = false;
+
+  /// Exact global expansion count; workers reserve one ticket per expansion,
+  /// so the state budget lands on the same count at any thread count.
+  std::atomic<std::size_t> expanded{0};
+
+  std::atomic<bool> abort{false};
+  std::atomic<int> abort_why{-1};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void abort_with(ExactTermination why) {
+    int expected = -1;
+    abort_why.compare_exchange_strong(expected, static_cast<int>(why),
+                                      std::memory_order_relaxed);
+    abort.store(true, std::memory_order_release);
+  }
+};
+
+template <typename Word>
+void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
+                std::size_t wid, std::size_t max_states,
+                const StopPredicate& should_stop) {
+  using Packed = BasicPackedState<Word>;
+  const Dag& dag = engine.dag();
+  const Model& model = engine.model();
+  const std::size_t n = dag.node_count();
+  const std::size_t workers = ctx.shards.size();
+  Shard<Word>& self = ctx.shard(wid);
+
+  StateBoundEvaluator bound(engine);
+  WorkerLedger ledger;
+  std::vector<std::vector<StateMsg<Word>>> out(workers);
+  std::vector<StateMsg<Word>> inbox;
+  std::size_t local_expanded = 0;
+  std::size_t idle_spins = 0;
+
+  // Relax one priced state into this shard's table/queue. Messages losing to
+  // an equal-or-better path, or priced at or above the incumbent, die here.
+  auto accept = [&](const StateMsg<Word>& m) {
+    if (m.f >= ctx.incumbent.load(std::memory_order_relaxed)) return;
+    auto [entry, inserted] = self.table.try_emplace(
+        m.key, typename Shard<Word>::Entry{m.g, m.parent, m.via});
+    if (!inserted) {
+      if (entry->second.g <= m.g) return;
+      entry->second = {m.g, m.parent, m.via};
+    }
+    self.queue.push(m.f, {m.key, m.g});
+  };
+
+  // Route a generated state to its owner: same-shard states relax in place,
+  // the rest ride per-target batches. Credit counts at enqueue so an
+  // in-flight message is always covered by its sender (termination.hpp).
+  // Batching amortizes the mailbox lock under load; with the local queue
+  // drained this expansion is the last local work, so ship immediately —
+  // on serial instances (chains) the whole search is such hand-offs and
+  // latency, not lock traffic, is the cost that matters.
+  auto route = [&](StateMsg<Word> m) {
+    const std::size_t target = hda::owner_of(m.key, workers);
+    if (target == wid) {
+      accept(m);
+      return;
+    }
+    out[target].push_back(m);
+    ++ledger.credit;
+    if (out[target].size() >= kRouteBatchSize || self.queue.empty()) {
+      ctx.shard(target).mailbox.deliver(out[target]);
+      out[target].clear();
+    }
+  };
+
+  auto flush_all = [&] {
+    for (std::size_t t = 0; t < workers; ++t) {
+      if (!out[t].empty()) {
+        ctx.shard(t).mailbox.deliver(out[t]);
+        out[t].clear();
+      }
+    }
+  };
+
+  while (true) {
+    if (ctx.abort.load(std::memory_order_acquire)) break;
+    if (ctx.ring.certified()) break;
+
+    // Incoming states first: they may undercut what the local queue holds.
+    if (self.mailbox.drain(inbox) > 0) {
+      ledger.credit -= static_cast<std::int64_t>(inbox.size());
+      ledger.black = true;
+      idle_spins = 0;
+      for (const StateMsg<Word>& m : inbox) accept(m);
+    }
+
+    if (self.queue.empty()) {
+      // Idle: push any straggler batches out (unflushed credit would keep
+      // the ring from ever certifying), then offer the token. A worker that
+      // stays starved backs off to a short sleep — on an oversubscribed
+      // machine, yield-spinning idlers would otherwise steal most of the
+      // busy workers' cycles.
+      flush_all();
+      if (!self.mailbox.empty()) continue;
+      if (ctx.ring.try_pass(wid, ledger)) break;
+      if (++idle_spins > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    idle_spins = 0;
+
+    auto [f, item] = self.queue.pop();
+    const auto it = self.table.find(item.key);
+    if (it->second.g != item.g) continue;  // stale: a cheaper path superseded it
+    if (f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
+    const std::int64_t g = item.g;
+    const Packed current(item.key);
+    // One O(n) unpack per expansion; neighbors below are derived in O(1) —
+    // packed keys and bound masks alike.
+    GameState state = current.to_state(n);
+    if (engine.is_complete(state)) {
+      const std::lock_guard<std::mutex> lock(ctx.goal_mutex);
+      if (!ctx.has_goal || g < ctx.incumbent.load(std::memory_order_relaxed)) {
+        ctx.has_goal = true;
+        ctx.goal_key = item.key;
+        ctx.incumbent.store(g, std::memory_order_relaxed);
+      }
+      continue;  // never expanded: no completion extends a complete state for free
+    }
+    // Entry poll included (local_expanded == 0): an expired deadline stops
+    // this worker before it burns a poll interval of expansions.
+    if (should_stop && (local_expanded & 0x3Fu) == 0 && should_stop()) {
+      ctx.abort_with(ExactTermination::Stopped);
+      break;
+    }
+    const std::size_t ticket =
+        ctx.expanded.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= max_states) {
+      ctx.expanded.fetch_sub(1, std::memory_order_relaxed);
+      ctx.abort_with(ExactTermination::StateBudget);
+      break;
+    }
+    ++local_expanded;
+
+    const StateBoundEvaluator::StateMasks masks =
+        StateBoundEvaluator::StateMasks::from(current, n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      for (MoveType type : {MoveType::Load, MoveType::Store, MoveType::Compute,
+                            MoveType::Delete}) {
+        const Move move{type, node};
+        if (!engine.is_legal(state, move)) continue;
+        const Packed next = current.apply(move);
+        const std::int64_t next_g = g + scaled_move_cost(model, type);
+        StateBoundEvaluator::StateMasks next_masks = masks;
+        next_masks.apply(move);
+        std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
+        if (!h) continue;  // provably dead: prune
+        const std::int64_t next_f = next_g + *h;
+        if (next_f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
+        route({next.raw(), item.key, next_g, next_f, move});
+      }
+    }
+  }
+}
+
+template <typename Word>
+std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
+                                    std::size_t max_states,
+                                    const StopPredicate& should_stop,
+                                    ExactSearchStats& stats) {
+  using Packed = BasicPackedState<Word>;
+  const Dag& dag = engine.dag();
+  const Model& model = engine.model();
+  const std::size_t n = dag.node_count();
+  const std::int64_t eps_den = model.epsilon().den();
+
+  auto give_up = [&](ExactTermination why) {
+    stats.termination = why;
+    return std::nullopt;
+  };
+
+  // The incumbent starts one past the universal ceiling, so "f >= incumbent"
+  // subsumes the ceiling prune of the sequential A* until a real complete
+  // state undercuts it.
+  const std::int64_t ceiling = universal_search_ceiling_scaled(dag, model);
+
+  SearchContext<Word> ctx(workers, static_cast<std::size_t>(ceiling) + 1,
+                          /*no_incumbent=*/ceiling + 1);
+
+  const GameState start_state = engine.initial_state();
+  const Packed start = Packed::from_state(start_state);
+  {
+    StateBoundEvaluator bound(engine);
+    std::optional<std::int64_t> start_h = bound.lower_bound_scaled(start);
+    if (!start_h) return give_up(ExactTermination::Exhausted);
+    // Seed the owner shard before any worker exists; thread creation
+    // publishes it.
+    Shard<Word>& home = ctx.shard(hda::owner_of(start.raw(), workers));
+    home.table.emplace(start.raw(), typename Shard<Word>::Entry{
+                                        0, start.raw(), Move{MoveType::Load, 0}});
+    home.queue.push(*start_h, {start.raw(), 0});
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        hda_worker<Word>(engine, ctx, w, max_states, should_stop);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(ctx.error_mutex);
+          if (!ctx.error) ctx.error = std::current_exception();
+        }
+        ctx.abort_with(ExactTermination::Stopped);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  stats.states_expanded = ctx.expanded.load(std::memory_order_relaxed);
+  if (ctx.error) std::rethrow_exception(ctx.error);
+  if (ctx.abort.load(std::memory_order_acquire)) {
+    return give_up(
+        static_cast<ExactTermination>(ctx.abort_why.load(std::memory_order_relaxed)));
+  }
+  if (!ctx.has_goal) return give_up(ExactTermination::Exhausted);
+
+  // Quiescence proved nothing open prices below the incumbent, so the chain
+  // of tree edges behind goal_key is an optimal pebbling. Every entry lives
+  // in its key's owner shard; all shards are safely readable after the join.
+  std::vector<Move> reversed;
+  Word cursor = ctx.goal_key;
+  while (cursor != start.raw()) {
+    const typename Shard<Word>::Entry& link =
+        ctx.shard(hda::owner_of(cursor, workers)).table.at(cursor);
+    reversed.push_back(link.via);
+    cursor = link.parent;
+  }
+  ExactResult result;
+  for (std::size_t i = reversed.size(); i-- > 0;) {
+    result.trace.push(reversed[i]);
+  }
+  result.cost = Rational(ctx.incumbent.load(std::memory_order_relaxed), eps_den);
+  result.states_expanded = stats.states_expanded;
+  stats.termination = ExactTermination::Solved;
+  return result;
+}
+
+}  // namespace
+
+std::size_t hda_resolve_threads(std::size_t threads) {
+  RBPEB_REQUIRE(threads <= kHdaAstarMaxThreads,
+                "hda-astar supports at most " +
+                    std::to_string(kHdaAstarMaxThreads) + " threads");
+  if (threads != 0) return threads;
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  // The hw fallback honors the same cap explicit requests are checked
+  // against; a >256-thread machine gets the cap, not a throw or a bypass.
+  return std::clamp<std::size_t>(hw, 1, kHdaAstarMaxThreads);
+}
+
+std::optional<ExactResult> try_solve_hda_astar(const Engine& engine,
+                                               std::size_t threads,
+                                               std::size_t max_states,
+                                               const StopPredicate& should_stop,
+                                               ExactSearchStats* stats) {
+  const std::size_t n = engine.dag().node_count();
+  RBPEB_REQUIRE(n <= kHdaAstarMaxNodes,
+                "solve_hda_astar supports at most 42 nodes");
+  const std::size_t workers = hda_resolve_threads(threads);
+  ExactSearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = {};
+  if (n <= PackedState64::max_nodes()) {
+    return hda_impl<std::uint64_t>(engine, workers, max_states, should_stop,
+                                   *stats);
+  }
+  return hda_impl<unsigned __int128>(engine, workers, max_states, should_stop,
+                                     *stats);
+}
+
+ExactResult solve_hda_astar(const Engine& engine, std::size_t threads,
+                            std::size_t max_states) {
+  ExactSearchStats stats;
+  auto result = try_solve_hda_astar(engine, threads, max_states, {}, &stats);
+  if (!result) {
+    throw InvariantError(
+        stats.termination == ExactTermination::Exhausted
+            ? "solve_hda_astar exhausted the reachable configuration graph "
+              "without a complete state"
+            : "solve_hda_astar exceeded its state budget");
+  }
+  return std::move(*result);
+}
+
+}  // namespace rbpeb

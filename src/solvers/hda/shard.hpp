@@ -1,0 +1,99 @@
+// One worker's slice of the hash-distributed A* search.
+//
+// HDA* (hash-distributed A*) partitions the configuration space by key hash:
+// each worker thread *owns* the shard of states whose hash lands on it, and
+// it alone touches that shard's closed/open table and Dial bucket queue — no
+// locks on the search structures themselves. Generated neighbors that hash
+// elsewhere travel as StateMsg batches through the owner's MPSC mailbox, the
+// only synchronized structure, kept cold by sender-side batching.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pebble/move.hpp"
+#include "src/solvers/bucket_queue.hpp"
+#include "src/solvers/packed_state.hpp"
+
+namespace rbpeb::hda {
+
+/// Messages a sender accumulates per target before taking the mailbox lock.
+inline constexpr std::size_t kRouteBatchSize = 64;
+
+/// A generated state en route to its owner shard: everything the owner needs
+/// to relax it — key, priced path (g, f = g + h), and the tree edge for the
+/// eventual path reconstruction.
+template <typename Word>
+struct StateMsg {
+  Word key;
+  Word parent;
+  std::int64_t g;
+  std::int64_t f;
+  Move via;
+};
+
+/// Multi-producer single-consumer mailbox. Senders append whole batches
+/// under the mutex; the owner drains by swapping the inbox out. Both sides
+/// hold the lock for O(batch) pointer moves, never per-message.
+template <typename Word>
+class Mailbox {
+ public:
+  void deliver(std::vector<StateMsg<Word>>& batch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inbox_.insert(inbox_.end(), batch.begin(), batch.end());
+  }
+
+  /// Swap the inbox into `out` (previous contents discarded); returns the
+  /// number of messages received.
+  std::size_t drain(std::vector<StateMsg<Word>>& out) {
+    out.clear();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(inbox_);
+    return out.size();
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inbox_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StateMsg<Word>> inbox_;
+};
+
+/// The per-worker search state. Only the owning worker reads or writes
+/// `table` and `queue`; `mailbox` is the one cross-thread door.
+template <typename Word>
+struct Shard {
+  /// Closed/open-table entry: best known g and the tree edge achieving it.
+  struct Entry {
+    std::int64_t g;
+    Word parent;
+    Move via;
+  };
+
+  /// Open-queue item; stale once `g` no longer matches the table.
+  struct OpenItem {
+    Word key;
+    std::int64_t g;
+  };
+
+  explicit Shard(std::size_t bucket_count) : queue(bucket_count) {}
+
+  std::unordered_map<Word, Entry, PackedKeyHash> table;
+  BucketQueue<OpenItem> queue;
+  Mailbox<Word> mailbox;
+};
+
+/// Stable state→owner map: upper hash bits, so shard choice stays
+/// independent of the table's own (low-bits-leaning) bucket indexing.
+template <typename Word>
+std::size_t owner_of(Word key, std::size_t workers) {
+  return static_cast<std::size_t>(PackedKeyHash{}(key) >> 32) % workers;
+}
+
+}  // namespace rbpeb::hda

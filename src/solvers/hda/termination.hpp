@@ -1,0 +1,87 @@
+// Distributed termination detection for the HDA* workers: Safra's token-ring
+// algorithm (EWD 998) over shared memory.
+//
+// Quiescence — every worker idle with an empty queue and mailbox, and no
+// state message still in flight — is exactly the HDA* optimality condition:
+// expansion never stops while any state prices below the incumbent, so a
+// quiescent ring proves the globally cheapest open f-value ≥ incumbent and
+// the incumbent is optimal (or, with no incumbent, that the reachable
+// configuration graph is exhausted).
+//
+// The ring detects quiescence with message counting, not barriers:
+//  * every worker keeps a credit (messages sent − messages received) and
+//    turns black when it receives, both worker-local (a worker folds only
+//    its own ledger, and only while holding the token);
+//  * an idle worker holding the token adds its credit, stains the token
+//    with its color, whitens itself, and passes on;
+//  * the initiator (worker 0) certifies termination only after a full round
+//    in which nobody went black and the summed credit is zero — a white
+//    round over a ring with zero outstanding credit means no message was,
+//    is, or can again be in flight.
+// A message observed "in flight" is always covered by its sender's credit
+// (senders count at enqueue, before the mailbox sees the batch), so the sum
+// can only reach zero when the system is truly drained; Safra's staining
+// rule rules out the receive-then-whiten race.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rbpeb::hda {
+
+/// Per-worker message accounting, owned and mutated by that worker alone.
+struct WorkerLedger {
+  std::int64_t credit = 0;  ///< messages sent minus messages received
+  bool black = false;       ///< received a message since the last token pass
+};
+
+/// The token ring. One instance is shared by all workers of a search; the
+/// token's fields are plain because only the holder touches them — the
+/// release store / acquire load pair on `holder_` hands them off.
+class SafraRing {
+ public:
+  explicit SafraRing(std::size_t workers) : workers_(workers) {}
+
+  /// True once the ring has certified global quiescence.
+  bool certified() const { return done_.load(std::memory_order_acquire); }
+
+  /// Called by worker `i` whenever it is idle (empty queue, empty mailbox,
+  /// all outgoing batches flushed). Folds the ledger in and passes the token
+  /// when worker `i` holds it; a no-op otherwise. Returns certified().
+  bool try_pass(std::size_t i, WorkerLedger& ledger) {
+    if (done_.load(std::memory_order_acquire)) return true;
+    if (holder_.load(std::memory_order_acquire) != i) return false;
+    if (i == 0) {
+      // Evaluate the completed round: a white round whose total credit
+      // (token plus the initiator's own) is zero certifies quiescence.
+      if (round_active_ && !token_black_ && !ledger.black &&
+          token_count_ + ledger.credit == 0) {
+        done_.store(true, std::memory_order_release);
+        return true;
+      }
+      round_active_ = true;
+      token_count_ = 0;
+      token_black_ = false;
+      ledger.black = false;
+      holder_.store(workers_ > 1 ? 1 : 0, std::memory_order_release);
+    } else {
+      token_count_ += ledger.credit;
+      token_black_ |= ledger.black;
+      ledger.black = false;
+      holder_.store((i + 1) % workers_, std::memory_order_release);
+    }
+    return done_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t workers_;
+  std::atomic<std::size_t> holder_{0};
+  std::atomic<bool> done_{false};
+  // Token state; guarded by holding the token (see class comment).
+  std::int64_t token_count_ = 0;
+  bool token_black_ = false;
+  bool round_active_ = false;
+};
+
+}  // namespace rbpeb::hda

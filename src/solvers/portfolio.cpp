@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/solvers/hda/hda_astar.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
@@ -61,6 +62,19 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
   PortfolioResult portfolio;
   portfolio.results.resize(solvers.size());
 
+  // The portfolio's core budget. A thread-aware solver (hda-astar) whose
+  // request left budget.threads unset is granted all of it — the whole
+  // machine behind one exact solve beats one racing slot, and the transient
+  // oversubscription is cheap: racers either finish fast or are cancelled
+  // the moment an optimal result lands. The grant is clamped to the
+  // solver-side thread cap: an absurd --jobs is a pool-sizing choice here,
+  // not a per-solver request, and must not knock hda-astar out of the race.
+  const std::size_t core_budget = std::max<std::size_t>(
+      1, options.max_threads != 0
+             ? options.max_threads
+             : std::thread::hardware_concurrency());
+  const std::size_t thread_grant = std::min(core_budget, kHdaAstarMaxThreads);
+
   // The shared early-exit flag. Solvers see this instead of the caller's
   // cancel flag, so a watcher thread (below) folds the caller's flag in
   // while solvers run; it is also polled before each solver starts.
@@ -85,6 +99,9 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
     }
     SolveRequest per_solver = request;
     per_solver.budget.cancel = &stop;
+    if (per_solver.budget.threads == 0) {
+      per_solver.budget.threads = thread_grant;
+    }
     per_solver.options =
         solvers[index]->supported_options(request.options, &request);
     SolveResult result;
@@ -120,10 +137,7 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
   }
 
   if (options.parallel && solvers.size() > 1) {
-    const std::size_t hw = std::max<std::size_t>(
-        1, options.max_threads != 0 ? options.max_threads
-                                    : std::thread::hardware_concurrency());
-    const std::size_t worker_count = std::min(hw, solvers.size());
+    const std::size_t worker_count = std::min(core_budget, solvers.size());
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> workers;
     workers.reserve(worker_count);

@@ -25,7 +25,10 @@ struct PortfolioOptions {
   /// Raise the shared cancel flag once an Optimal result lands, so
   /// still-running solvers stop early; queued solvers are skipped.
   bool cancel_on_optimal = true;
-  /// Worker-thread cap; 0 = hardware concurrency.
+  /// Worker-thread cap; 0 = hardware concurrency. Also granted, as
+  /// SolveBudget::threads, to every racing solver whose request left the
+  /// field unset — so a thread-aware solver (hda-astar) puts the whole core
+  /// budget behind one exact solve instead of occupying one racing slot.
   std::size_t max_threads = 0;
 };
 

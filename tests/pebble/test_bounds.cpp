@@ -7,6 +7,7 @@
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/exact.hpp"
 #include "src/solvers/topo_baseline.hpp"
+#include "src/support/rng.hpp"
 #include "src/workloads/random_layered.hpp"
 
 namespace rbpeb {
@@ -168,6 +169,46 @@ TEST(StateBounds, CountsBlueInputLoadsOwedUnderHongKung) {
       state_cost_lower_bound(engine, engine.initial_state());
   ASSERT_TRUE(bound.has_value());
   EXPECT_EQ(*bound, Rational(2) + Rational(1, 100));
+}
+
+// The memoized mask path (cached per-node cones composed per state) must
+// price every reachable configuration exactly like the original walk it
+// replaced — dead-state verdicts included. Random walks visit states with
+// arbitrary pebble mixtures, where the cone-jump shortcut can and cannot
+// fire.
+TEST(StateBounds, MaskCompositionMatchesTheGenericWalk) {
+  Dag dag = make_random_layered_dag({.layers = 4, .width = 4, .indegree = 2,
+                                     .seed = 13});
+  for (const Model& model : all_models()) {
+    for (bool sources_blue : {false, true}) {
+      for (bool sinks_blue : {false, true}) {
+        Engine engine(dag, model, min_red_pebbles(dag),
+                      PebblingConvention{.sources_start_blue = sources_blue,
+                                         .sinks_end_blue = sinks_blue});
+        StateBoundEvaluator evaluator(engine);
+        Rng rng(17);
+        GameState state = engine.initial_state();
+        Cost cost;
+        for (int step = 0; step < 150; ++step) {
+          const auto masks = StateBoundEvaluator::StateMasks::from(
+              state, dag.node_count());
+          EXPECT_EQ(evaluator.lower_bound_scaled(masks),
+                    evaluator.lower_bound_generic(state))
+              << model.name() << " step " << step;
+          std::vector<Move> legal;
+          for (std::size_t v = 0; v < dag.node_count(); ++v) {
+            for (MoveType type : {MoveType::Load, MoveType::Store,
+                                  MoveType::Compute, MoveType::Delete}) {
+              Move move{type, static_cast<NodeId>(v)};
+              if (engine.is_legal(state, move)) legal.push_back(move);
+            }
+          }
+          if (legal.empty()) break;
+          engine.apply(state, legal[rng.next_below(legal.size())], cost);
+        }
+      }
+    }
+  }
 }
 
 TEST(Bounds, BaseModelHasNoLengthBound) {

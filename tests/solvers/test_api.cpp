@@ -21,8 +21,8 @@ TEST(SolverRegistry, ListsAtLeastEightBuiltins) {
   EXPECT_GE(registry.size(), 8u);
   for (const char* name :
        {"greedy", "greedy-fewest-blue", "greedy-red-ratio", "topo", "exact",
-        "exact-astar", "peephole", "held-karp", "chain", "group-greedy",
-        "local-search", "exhaustive-order"}) {
+        "exact-astar", "hda-astar", "peephole", "held-karp", "chain",
+        "group-greedy", "local-search", "exhaustive-order"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
     EXPECT_EQ(registry.at(name).name(), name);
   }
@@ -94,7 +94,9 @@ TEST_P(ApiMatrix, EveryApplicableSolverVerifiesAndReportsAuditedCost) {
       case SolveStatus::BudgetExhausted:
         // Only the state-budgeted exact searches may run out here — and
         // when they do, partial progress is still reported.
-        EXPECT_TRUE(result.solver == "exact" || result.solver == "exact-astar")
+        EXPECT_TRUE(result.solver == "exact" ||
+                    result.solver == "exact-astar" ||
+                    result.solver == "hda-astar")
             << result.solver;
         EXPECT_FALSE(result.detail.empty());
         EXPECT_TRUE(result.stats.contains("states_expanded")) << result.solver;

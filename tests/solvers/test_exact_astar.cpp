@@ -237,6 +237,26 @@ TEST(AstarApi, TrySolveFillsStatsOnBudgetExhaustion) {
   EXPECT_EQ(stats.states_expanded, 10u);
 }
 
+// "When stats is non-null it is always filled" means filled fresh: a reused
+// struct must not accumulate, or a second identical solve starts its budget
+// check pre-spent and falsely reports BudgetExhausted.
+TEST(AstarApi, ReusedStatsStructDoesNotAccumulateAcrossCalls) {
+  Dag dag = make_chain_dag(8);
+  Engine engine(dag, Model::oneshot(), 2);
+  ExactSearchStats stats;
+  auto first = try_solve_exact_astar(engine, 2'000'000, {}, &stats);
+  ASSERT_TRUE(first.has_value());
+  const std::size_t once = stats.states_expanded;
+  // A budget the first solve fits must fit the second identical solve too.
+  ASSERT_TRUE(try_solve_exact_astar(engine, once + 1, {}, &stats).has_value());
+  EXPECT_EQ(stats.states_expanded, once);
+  auto dijkstra = try_solve_exact(engine, 2'000'000, {}, &stats);
+  ASSERT_TRUE(dijkstra.has_value());
+  const std::size_t dijkstra_once = stats.states_expanded;
+  ASSERT_TRUE(try_solve_exact(engine, dijkstra_once + 1, {}, &stats).has_value());
+  EXPECT_EQ(stats.states_expanded, dijkstra_once);
+}
+
 TEST(AstarApi, ExpiredDeadlineStopsBeforeAnyExpansion) {
   Dag dag = make_random_layered_dag({.layers = 3, .width = 4, .indegree = 2,
                                      .seed = 6});

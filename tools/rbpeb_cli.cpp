@@ -5,7 +5,8 @@
 //   rbpeb_cli solve <dag-file> <R>
 //       [--model base|oneshot|nodel|compcost] [--solver NAME|portfolio]
 //       [--opt key=value]... [--budget-states N] [--budget-iterations N]
-//       [--budget-ms N] [--jobs N] [--sources-blue] [--sinks-blue]
+//       [--budget-ms N] [--budget-threads N] [--jobs N]
+//       [--sources-blue] [--sinks-blue]
 //       [--trace <out-file>] [--dot <out-file>]
 //   rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]
 //       [--sources-blue] [--sinks-blue]
@@ -45,8 +46,8 @@ using namespace rbpeb;
       "  rbpeb_cli list-solvers\n"
       "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S|portfolio]\n"
       "            [--opt k=v]... [--budget-states N] [--budget-iterations N]\n"
-      "            [--budget-ms N] [--jobs N] [--sources-blue] [--sinks-blue]\n"
-      "            [--trace F] [--dot F]\n"
+      "            [--budget-ms N] [--budget-threads N] [--jobs N]\n"
+      "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
       "            [--sources-blue] [--sinks-blue]\n"
       "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
@@ -148,6 +149,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       budget.max_iterations = std::stoul(args[++i]);
     else if (args[i] == "--budget-ms" && i + 1 < args.size())
       budget.with_wall_clock_ms(std::stol(args[++i]));
+    else if (args[i] == "--budget-threads" && i + 1 < args.size())
+      budget.threads = std::stoul(args[++i]);
     else if (args[i] == "--jobs" && i + 1 < args.size())
       jobs = std::stoul(args[++i]);
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
