@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/graph/dag_algorithms.hpp"
+#include "src/solvers/bigstate/pdb.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
@@ -64,24 +65,58 @@ StateBoundEvaluator::StateBoundEvaluator(const Engine& engine)
       eps_den_(engine.model().epsilon().den()) {
   const Dag& dag = engine.dag();
   const std::size_t n = dag.node_count();
-  if (n > kMaskMaxNodes) return;  // generic path only; no caches to build
-  pred_mask_.assign(n, 0);
-  cone_mask_.assign(n, 0);
+  if (n <= kMaskMaxNodes) {
+    pred_mask_.assign(n, 0);
+    cone_mask_.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      for (NodeId p : dag.predecessors(node)) {
+        pred_mask_[v] |= std::uint64_t{1} << p;
+      }
+      if (dag.is_sink(node)) sinks_mask_ |= std::uint64_t{1} << v;
+      if (dag.is_source(node)) sources_mask_ |= std::uint64_t{1} << v;
+    }
+    // Ancestor cones compose along a topological order: by the time v is
+    // visited every predecessor's cone is final.
+    for (NodeId v : topological_order(dag)) {
+      std::uint64_t cone = std::uint64_t{1} << v;
+      for (NodeId p : dag.predecessors(v)) cone |= cone_mask_[p];
+      cone_mask_[v] = cone;
+    }
+    // Fall through: the wide caches are built for every n ≤ 128, because the
+    // variable-width searches use WideStateMasks even on small instances
+    // (one mask type per search instantiation).
+  }
+  if (n > kWideMaskMaxNodes) return;  // generic path only; no caches to build
+  // ≤128 nodes: the same caches over two-word masks.
+  pred_mask2_.assign(n, WideMask{});
+  cone_mask2_.assign(n, WideMask{});
   for (std::size_t v = 0; v < n; ++v) {
     const NodeId node = static_cast<NodeId>(v);
     for (NodeId p : dag.predecessors(node)) {
-      pred_mask_[v] |= std::uint64_t{1} << p;
+      pred_mask2_[v][p >> 6] |= std::uint64_t{1} << (p & 63);
     }
-    if (dag.is_sink(node)) sinks_mask_ |= std::uint64_t{1} << v;
-    if (dag.is_source(node)) sources_mask_ |= std::uint64_t{1} << v;
+    if (dag.is_sink(node)) sinks_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    if (dag.is_source(node)) {
+      sources_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
   }
-  // Ancestor cones compose along a topological order: by the time v is
-  // visited every predecessor's cone is final.
   for (NodeId v : topological_order(dag)) {
-    std::uint64_t cone = std::uint64_t{1} << v;
-    for (NodeId p : dag.predecessors(v)) cone |= cone_mask_[p];
-    cone_mask_[v] = cone;
+    WideMask cone{};
+    cone[v >> 6] = std::uint64_t{1} << (v & 63);
+    for (NodeId p : dag.predecessors(v)) {
+      for (std::size_t w = 0; w < cone.size(); ++w) {
+        cone[w] |= cone_mask2_[p][w];
+      }
+    }
+    cone_mask2_[v] = cone;
   }
+}
+
+template <class FieldFn>
+std::optional<std::int64_t> StateBoundEvaluator::pdb_floor(
+    FieldFn&& field) const {
+  return pdb_->sum_scaled(field);
 }
 
 std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
@@ -156,7 +191,128 @@ std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
     // Max, not sum: this and the sink term lower-bound the same stores.
     stores_owed = std::max(stores_owed, final_pebbled - r - blue);
   }
-  return bound + stores_owed * eps_den_;
+  std::int64_t total = bound + stores_owed * eps_den_;
+  if (pdb_ != nullptr) {
+    auto floor = pdb_floor([&](NodeId v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      unsigned f = (state.red & bit) != 0 ? 1u
+                   : (state.blue & bit) != 0 ? 2u
+                                             : 0u;
+      if ((state.computed & bit) != 0) f |= 4u;
+      return f;
+    });
+    if (!floor) return std::nullopt;  // some projection cannot complete
+    total = std::max(total, *floor);
+  }
+  return total;
+}
+
+std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
+    const WideStateMasks& state) {
+  const Model& model = engine_->model();
+  const PebblingConvention& conv = engine_->convention();
+  constexpr std::size_t kWords = WideStateMasks::kWords;
+
+  WideMask pebbled, empty;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    pebbled[w] = state.red[w] | state.blue[w];
+    empty[w] = ~pebbled[w];  // junk above bit n never enters
+  }
+
+  // Seeds plus the stores owed by non-blue sinks under the blue convention.
+  std::int64_t sink_stores_owed = 0;
+  WideMask frontier;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (conv.sinks_end_blue) {
+      sink_stores_owed += std::popcount(sinks_mask2_[w] & ~state.blue[w]);
+    }
+    frontier[w] = sinks_mask2_[w] & empty[w];
+  }
+
+  // Requirement closure composed from the two-word caches — the same
+  // whole-cone jumps and per-predecessor-word advances as the one-word path.
+  WideMask closure{};
+  WideMask blue_inputs{};
+  while ((frontier[0] | frontier[1]) != 0) {
+    const std::size_t w = frontier[0] != 0 ? 0 : 1;
+    const int b = std::countr_zero(frontier[w]);
+    frontier[w] &= frontier[w] - 1;
+    const std::size_t v = (w << 6) | static_cast<std::size_t>(b);
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    if ((closure[w] & bit) != 0) continue;
+    const WideMask& cone = cone_mask2_[v];
+    bool cone_unpebbled = true;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      if ((cone[i] & pebbled[i]) != 0) cone_unpebbled = false;
+    }
+    if (cone_unpebbled) {
+      for (std::size_t i = 0; i < kWords; ++i) closure[i] |= cone[i];
+      continue;
+    }
+    closure[w] |= bit;
+    const WideMask& preds = pred_mask2_[v];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      blue_inputs[i] |= preds[i] & state.blue[i];
+      frontier[i] |= preds[i] & empty[i] & ~closure[i];
+    }
+  }
+
+  // Dead states: a needed oneshot value already spent, or a needed (hence
+  // empty) Hong–Kung source — uncomputable and, with no pebble, unloadable.
+  std::int64_t closure_count = 0;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (!model.allows_recompute() && (closure[w] & state.computed[w]) != 0) {
+      return std::nullopt;
+    }
+    if (conv.sources_start_blue && (closure[w] & sources_mask2_[w]) != 0) {
+      return std::nullopt;
+    }
+    closure_count += std::popcount(closure[w]);
+  }
+
+  std::int64_t bound = closure_count * eps_num_;
+  // Blue inputs that can never be recomputed owe a full Load; the rest owe
+  // whichever of reload / recompute is cheaper.
+  for (std::size_t w = 0; w < kWords; ++w) {
+    std::uint64_t no_recompute = 0;
+    if (!model.allows_recompute()) no_recompute |= state.computed[w];
+    if (conv.sources_start_blue) no_recompute |= sources_mask2_[w];
+    bound += static_cast<std::int64_t>(
+                 std::popcount(blue_inputs[w] & no_recompute)) *
+             eps_den_;
+    bound += static_cast<std::int64_t>(
+                 std::popcount(blue_inputs[w] & ~no_recompute)) *
+             std::min(eps_num_, eps_den_);
+  }
+
+  std::int64_t stores_owed = sink_stores_owed;
+  if (model.kind() == ModelKind::Nodel) {
+    std::int64_t pebbled_count = 0;
+    std::int64_t blue_count = 0;
+    for (std::size_t w = 0; w < kWords; ++w) {
+      pebbled_count += std::popcount(pebbled[w]);
+      blue_count += std::popcount(state.blue[w]);
+    }
+    const std::int64_t final_pebbled = pebbled_count + closure_count;
+    const std::int64_t r = static_cast<std::int64_t>(engine_->red_limit());
+    // Max, not sum: this and the sink term lower-bound the same stores.
+    stores_owed = std::max(stores_owed, final_pebbled - r - blue_count);
+  }
+  std::int64_t total = bound + stores_owed * eps_den_;
+  if (pdb_ != nullptr) {
+    auto floor = pdb_floor([&](NodeId v) {
+      const std::size_t w = v >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+      unsigned f = (state.red[w] & bit) != 0 ? 1u
+                   : (state.blue[w] & bit) != 0 ? 2u
+                                                : 0u;
+      if ((state.computed[w] & bit) != 0) f |= 4u;
+      return f;
+    });
+    if (!floor) return std::nullopt;  // some projection cannot complete
+    total = std::max(total, *floor);
+  }
+  return total;
 }
 
 std::optional<Rational> state_cost_lower_bound(const Engine& engine,

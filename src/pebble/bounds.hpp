@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "src/pebble/model.hpp"
 
 namespace rbpeb {
+
+class PatternDatabase;  // solvers/bigstate/pdb.hpp
 
 /// Minimum red-pebble budget for which any pebbling exists: Δ + 1
 /// (paper, Section 3). Zero for the empty DAG, 1 for an edgeless DAG.
@@ -84,12 +87,21 @@ std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model);
 /// entire cone is pebble-free folds its cached cone in with one OR instead
 /// of a fresh graph walk, and everything else advances one cached
 /// predecessor word at a time. No per-evaluation O(n) mark-clearing, no
-/// edge-list chasing. DAGs beyond 64 nodes (no exact search goes there; the
-/// packed-state searches cap at 42) fall back to the original walk.
+/// edge-list chasing. DAGs of 65–128 nodes (the bigstate searches) run the
+/// same composition over two-word masks (WideStateMasks); beyond 128 the
+/// original walk remains.
+///
+/// attach_pdb folds an additive pattern database (solvers/bigstate/pdb.hpp)
+/// into both mask paths: the returned bound becomes
+/// max(counting_bounds, pdb_sum), still admissible since each side is, and
+/// a state either side proves dead stays dead.
 class StateBoundEvaluator {
  public:
-  /// Largest DAG the mask-composed fast path handles.
+  /// Largest DAG the one-word mask-composed fast path handles.
   static constexpr std::size_t kMaskMaxNodes = 64;
+
+  /// Largest DAG the two-word (WideStateMasks) fast path handles.
+  static constexpr std::size_t kWideMaskMaxNodes = 128;
 
   explicit StateBoundEvaluator(const Engine& engine);
 
@@ -145,6 +157,60 @@ class StateBoundEvaluator {
     }
   };
 
+  /// Two-word sibling of StateMasks for DAGs of 65–128 nodes (bit v of
+  /// word v/64 = node v). Same contract: a search computes a parent's masks
+  /// once per expansion and derives each neighbor's in O(1) via apply().
+  struct WideStateMasks {
+    static constexpr std::size_t kWords = 2;
+    std::array<std::uint64_t, kWords> red{};
+    std::array<std::uint64_t, kWords> blue{};
+    std::array<std::uint64_t, kWords> computed{};
+
+    template <class StateLike>
+    static WideStateMasks from(const StateLike& state,
+                               std::size_t node_count) {
+      WideStateMasks m;
+      for (std::size_t v = 0; v < node_count; ++v) {
+        const NodeId node = static_cast<NodeId>(v);
+        const std::size_t w = v >> 6;
+        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+        switch (state.color(node)) {
+          case PebbleColor::Red: m.red[w] |= bit; break;
+          case PebbleColor::Blue: m.blue[w] |= bit; break;
+          case PebbleColor::None: break;
+        }
+        if (state.was_computed(node)) m.computed[w] |= bit;
+      }
+      return m;
+    }
+
+    /// The successor configuration's masks after a *legal* move — mirrors
+    /// StateMasks::apply word-for-word on the word holding the node.
+    void apply(const Move& move) {
+      const std::size_t w = move.node >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (move.node & 63);
+      switch (move.type) {
+        case MoveType::Load:
+          red[w] |= bit;
+          blue[w] &= ~bit;
+          break;
+        case MoveType::Store:
+          blue[w] |= bit;
+          red[w] &= ~bit;
+          break;
+        case MoveType::Compute:
+          red[w] |= bit;
+          blue[w] &= ~bit;
+          computed[w] |= bit;
+          break;
+        case MoveType::Delete:
+          red[w] &= ~bit;
+          blue[w] &= ~bit;
+          break;
+      }
+    }
+  };
+
   /// Lower bound on the remaining completion cost in scaled units of
   /// 1/ε.den() (see scaled_move_cost); nullopt when the state provably
   /// cannot be completed. Zero at every complete state.
@@ -154,12 +220,26 @@ class StateBoundEvaluator {
     if (n <= kMaskMaxNodes) {
       return lower_bound_scaled(StateMasks::from(state, n));
     }
+    if (n <= kWideMaskMaxNodes) {
+      return lower_bound_scaled(WideStateMasks::from(state, n));
+    }
     return lower_bound_generic(state);
   }
 
   /// The mask fast path, callable directly by searches that maintain masks
   /// incrementally. Requires node_count() <= kMaskMaxNodes.
   std::optional<std::int64_t> lower_bound_scaled(const StateMasks& state);
+
+  /// The two-word fast path. Requires node_count() <= kWideMaskMaxNodes.
+  /// Differentially tested against lower_bound_generic in
+  /// tests/pebble/test_bounds.cpp.
+  std::optional<std::int64_t> lower_bound_scaled(const WideStateMasks& state);
+
+  /// Fold an additive pattern database into the mask paths: bounds become
+  /// max(counting_bounds, pdb_sum). `pdb` must outlive the evaluator (or a
+  /// detach via attach_pdb(nullptr)). Ignored by the >128-node generic
+  /// path, which no pattern database covers.
+  void attach_pdb(const PatternDatabase* pdb) { pdb_ = pdb; }
 
   /// The original mark-and-walk evaluation, kept as the >64-node fallback
   /// and as the reference the mask path is differentially tested against.
@@ -243,15 +323,29 @@ class StateBoundEvaluator {
   }
 
  private:
+  using WideMask = std::array<std::uint64_t, WideStateMasks::kWords>;
+
+  /// The pattern-database floor for the current configuration, read through
+  /// `field(v)` (the node's 3-bit color|computed field). nullopt = dead.
+  template <class FieldFn>
+  std::optional<std::int64_t> pdb_floor(FieldFn&& field) const;
+
   const Engine* engine_;
   std::int64_t eps_num_;
   std::int64_t eps_den_;
+  const PatternDatabase* pdb_ = nullptr;
 
   // Structural caches for the mask path (empty beyond kMaskMaxNodes nodes).
   std::vector<std::uint64_t> pred_mask_;  ///< predecessors of v
   std::vector<std::uint64_t> cone_mask_;  ///< v plus all of its ancestors
   std::uint64_t sinks_mask_ = 0;
   std::uint64_t sources_mask_ = 0;
+
+  // Two-word caches for 65–128-node DAGs (empty otherwise).
+  std::vector<WideMask> pred_mask2_;
+  std::vector<WideMask> cone_mask2_;
+  WideMask sinks_mask2_{};
+  WideMask sources_mask2_{};
 
   // Scratch for the generic path.
   std::vector<std::uint8_t> mark_;

@@ -8,6 +8,7 @@
 
 #include "src/gadgets/transforms.hpp"
 #include "src/pebble/verifier.hpp"
+#include "src/solvers/bigstate/pdb.hpp"
 #include "src/solvers/chain_solver.hpp"
 #include "src/solvers/exact.hpp"
 #include "src/solvers/exact_astar.hpp"
@@ -366,13 +367,16 @@ class TopoSolver final : public Solver {
 /// Shared adapter for the exhaustive configuration-graph searches: budget
 /// plumbing, partial stats on exhaustion, and drained-graph handling are
 /// identical; only the search routine, node cap, and (for the parallel
-/// search) thread use differ.
+/// search) thread use differ. The informed searches (bigstate() true)
+/// additionally honor the memory budget, pattern-database options, and
+/// greedy incumbent seeding.
 class ExactSearchSolver : public Solver {
  public:
   std::vector<std::string_view> option_keys(
       const SolveRequest* request) const override {
     (void)request;
-    return {"max-states"};
+    if (!bigstate()) return {"max-states"};
+    return {"max-states", "pdb", "pdb-pattern", "incumbent"};
   }
 
   std::optional<std::string> why_inapplicable(
@@ -388,45 +392,154 @@ class ExactSearchSolver : public Solver {
 
  protected:
   virtual std::size_t node_cap() const = 0;
+  /// True for the informed searches that ride the bigstate subsystem
+  /// (variable-width states, PDB heuristics, memory-budgeted tables).
+  virtual bool bigstate() const { return true; }
   virtual std::optional<ExactResult> search(const SolveRequest& request,
-                                            std::size_t max_states,
-                                            const StopPredicate& should_stop,
+                                            const ExactSearchOptions& options,
                                             ExactSearchStats& stats) const = 0;
 
   SolveResult do_solve(const SolveRequest& request) const override {
-    const std::size_t max_states =
-        so::get_size(request.options, "max-states", request.budget.max_states);
     const SolveBudget budget = request.budget;
+    ExactSearchOptions sopt;
+    sopt.max_states =
+        so::get_size(request.options, "max-states", budget.max_states);
+    sopt.should_stop = [budget] { return budget.interrupted(); };
+    if (bigstate()) {
+      sopt.max_memory_bytes = budget.max_memory_bytes;
+      sopt.pdb = parse_pdb_mode(request.options);
+      sopt.pdb_pattern_size = so::get_size(request.options, "pdb-pattern", 0);
+      if (sopt.pdb_pattern_size > PatternDatabase::kMaxPatternSize) {
+        throw PreconditionError(
+            "option 'pdb-pattern': pattern width must be between 1 and " +
+            std::to_string(PatternDatabase::kMaxPatternSize) + "; got " +
+            std::to_string(sopt.pdb_pattern_size));
+      }
+      if (want_incumbent_seed(request)) {
+        sopt.seed = greedy_incumbent_seed(request);
+      }
+    }
     ExactSearchStats search_stats;
-    auto solved = search(request, max_states,
-                         [budget] { return budget.interrupted(); },
-                         search_stats);
-    if (!solved) {
-      SolveResult result =
-          search_stats.termination == ExactTermination::Exhausted
-              ? fail(SolveStatus::Inapplicable,
-                     "configuration graph exhausted without reaching a "
-                     "complete state; the instance admits no pebbling under "
-                     "these rules")
-              : fail(SolveStatus::BudgetExhausted,
-                     search_stats.termination == ExactTermination::StateBudget
-                         ? "state budget (" + std::to_string(max_states) +
-                               ") exhausted before an optimum was proven"
-                         : "deadline or cancellation hit before an optimum "
-                           "was proven");
+    auto solved = search(request, sopt, search_stats);
+    const bool failed = !solved.has_value();
+    auto fill_common_stats = [&](SolveResult& result) {
+      result.stats["max_states"] = std::to_string(sopt.max_states);
+      if (!bigstate()) return;
+      result.stats["table_bytes"] = std::to_string(search_stats.table_bytes);
+      // On failure a seeded trace is what the caller gets back, so that is
+      // its provenance; a failed search proved nothing.
+      result.stats["incumbent_source"] =
+          !sopt.seed ? "none"
+                     : (search_stats.seed_won || failed ? "greedy" : "search");
+      if (search_stats.threads_used != 0) {
+        result.stats["threads_used"] =
+            std::to_string(search_stats.threads_used);
+      }
+    };
+    if (failed) {
+      std::string detail;
+      SolveStatus status = SolveStatus::BudgetExhausted;
+      switch (search_stats.termination) {
+        case ExactTermination::Exhausted:
+          status = SolveStatus::Inapplicable;
+          detail =
+              "configuration graph exhausted without reaching a complete "
+              "state; the instance admits no pebbling under these rules";
+          break;
+        case ExactTermination::StateBudget:
+          detail = "state budget (" + std::to_string(sopt.max_states) +
+                   ") exhausted before an optimum was proven";
+          break;
+        case ExactTermination::MemoryBudget:
+          detail = "memory budget (" +
+                   std::to_string(sopt.max_memory_bytes) +
+                   " bytes) exhausted before an optimum was proven";
+          break;
+        default:
+          detail =
+              "deadline or cancellation hit before an optimum was proven";
+      }
+      SolveResult result;
+      if (sopt.seed && status == SolveStatus::BudgetExhausted) {
+        // The verified seed trace is a legal complete pebbling — return it
+        // as the best-so-far rather than discarding it (BudgetExhausted is
+        // documented as "a best-so-far trace may exist").
+        result = make_result(request, std::move(sopt.seed->trace), status, {},
+                             /*bridge_conventions=*/false);
+        result.detail = detail + "; returning the heuristic incumbent seed";
+      } else {
+        result = fail(status, std::move(detail));
+      }
       // Partial progress still gets reported: how far the search got is
       // exactly what a caller tuning budgets needs to see.
       result.stats["states_expanded"] =
           std::to_string(search_stats.states_expanded);
-      result.stats["max_states"] = std::to_string(max_states);
+      fill_common_stats(result);
       return result;
     }
     // The engine itself enforces the convention here — no bridging needed,
     // and the optimality claim stands for the exact rules requested.
-    return make_result(
+    SolveResult result = make_result(
         request, std::move(solved->trace), SolveStatus::Optimal,
         {{"states_expanded", std::to_string(solved->states_expanded)}},
         /*bridge_conventions=*/false);
+    fill_common_stats(result);
+    return result;
+  }
+
+ private:
+  static PdbMode parse_pdb_mode(const SolverOptions& options) {
+    const auto value = so::get(options, "pdb");
+    if (!value || *value == "auto") return PdbMode::Auto;
+    if (*value == "on") return PdbMode::On;
+    if (*value == "off") return PdbMode::Off;
+    throw PreconditionError("option 'pdb': expected auto, on, or off; got '" +
+                            std::string(*value) + "'");
+  }
+
+  /// Whether to run a heuristic upfront and seed the incumbent: explicit
+  /// incumbent=greedy always, incumbent=auto (the default) exactly past the
+  /// fixed-width cap — where speculative expansion hurts most and where
+  /// smaller instances must keep their expansion counts bit-for-bit.
+  bool want_incumbent_seed(const SolveRequest& request) const {
+    const auto value = so::get(request.options, "incumbent");
+    const std::string_view mode = value.value_or("auto");
+    if (mode == "greedy") return true;
+    if (mode == "none") return false;
+    if (mode != "auto") {
+      throw PreconditionError(
+          "option 'incumbent': expected auto, greedy, or none; got '" +
+          std::string(mode) + "'");
+    }
+    return request.engine->dag().node_count() > kExactAstarFixedMaxNodes;
+  }
+
+  /// Run the plain greedy solver on the same request (verified and bridged
+  /// to the requested convention by its own adapter) and turn its trace
+  /// into an incumbent seed. nullopt when greedy produces no usable trace.
+  static std::optional<IncumbentSeed> greedy_incumbent_seed(
+      const SolveRequest& request) {
+    const GreedySolver greedy("greedy", "incumbent seeder", std::nullopt);
+    SolveRequest seed_request;
+    seed_request.engine = request.engine;
+    seed_request.budget = request.budget;  // honors deadline / cancellation
+    SolveResult heuristic;
+    try {
+      heuristic = greedy.run(seed_request);
+    } catch (const std::exception&) {
+      return std::nullopt;  // a failed seeder must not fail the search
+    }
+    if (!heuristic.has_trace()) return std::nullopt;
+    const Rational cost = heuristic.cost;
+    const std::int64_t eps_den = request.engine->model().epsilon().den();
+    // Verified totals are integer multiples of 1/ε.den(), so the scaled
+    // form is exact.
+    RBPEB_ENSURE(eps_den % cost.den() == 0,
+                 "verified cost is not a multiple of 1/eps.den()");
+    IncumbentSeed seed;
+    seed.trace = std::move(*heuristic.trace);
+    seed.g_scaled = cost.num() * (eps_den / cost.den());
+    return seed;
   }
 };
 
@@ -440,31 +553,33 @@ class ExactSolver final : public ExactSearchSolver {
 
  protected:
   std::size_t node_cap() const override { return 21; }
+  bool bigstate() const override { return false; }
   std::optional<ExactResult> search(const SolveRequest& request,
-                                    std::size_t max_states,
-                                    const StopPredicate& should_stop,
+                                    const ExactSearchOptions& options,
                                     ExactSearchStats& stats) const override {
-    return try_solve_exact(*request.engine, max_states, should_stop, &stats);
+    return try_solve_exact(*request.engine, options.max_states,
+                           options.should_stop, &stats);
   }
 };
 
-/// A* over packed configurations with the bounds.hpp admissible heuristic.
+/// A* over packed configurations with the bounds.hpp admissible heuristic,
+/// reinforced past 42 nodes by the bigstate subsystem (variable-width
+/// states, pattern databases, memory-budgeted tables, incumbent seeding).
 class ExactAstarSolver final : public ExactSearchSolver {
  public:
   std::string_view name() const override { return "exact-astar"; }
   std::string_view description() const override {
-    return "optimal pebbling via A* with admissible per-state bounds and a "
-           "bucket queue (≤ 42 nodes)";
+    return "optimal pebbling via A* with admissible per-state bounds, "
+           "pattern databases past 42 nodes, and a bucket queue (≤ 128 "
+           "nodes)";
   }
 
  protected:
   std::size_t node_cap() const override { return kExactAstarMaxNodes; }
   std::optional<ExactResult> search(const SolveRequest& request,
-                                    std::size_t max_states,
-                                    const StopPredicate& should_stop,
+                                    const ExactSearchOptions& options,
                                     ExactSearchStats& stats) const override {
-    return try_solve_exact_astar(*request.engine, max_states, should_stop,
-                                 &stats);
+    return try_solve_exact_astar(*request.engine, options, &stats);
   }
 };
 
@@ -476,13 +591,15 @@ class HdaAstarSolver final : public ExactSearchSolver {
   std::string_view name() const override { return "hda-astar"; }
   std::string_view description() const override {
     return "parallel optimal pebbling via hash-distributed A* over sharded "
-           "closed tables (opt threads=N, ≤ 42 nodes)";
+           "closed tables (opt threads=N, ≤ 128 nodes)";
   }
 
   std::vector<std::string_view> option_keys(
       const SolveRequest* request) const override {
-    (void)request;
-    return {"max-states", "threads"};
+    std::vector<std::string_view> keys =
+        ExactSearchSolver::option_keys(request);
+    keys.push_back("threads");
+    return keys;
   }
 
  protected:
@@ -494,11 +611,10 @@ class HdaAstarSolver final : public ExactSearchSolver {
   }
 
   std::optional<ExactResult> search(const SolveRequest& request,
-                                    std::size_t max_states,
-                                    const StopPredicate& should_stop,
+                                    const ExactSearchOptions& options,
                                     ExactSearchStats& stats) const override {
     return try_solve_hda_astar(*request.engine, resolved_threads(request),
-                               max_states, should_stop, &stats);
+                               options, &stats);
   }
 
   SolveResult do_solve(const SolveRequest& request) const override {

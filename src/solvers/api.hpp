@@ -51,6 +51,11 @@ struct SolveBudget {
   /// whole core budget so a parallel solver gets the machine, not one
   /// racing slot.
   std::size_t threads = 0;
+  /// Byte cap on a solver's dominant search structure (the exact searches'
+  /// closed tables; hda-astar splits it across shards); 0 = unlimited.
+  /// Exceeding it ends the solve as BudgetExhausted with partial stats —
+  /// never an OOM kill. CLI: --budget-memory.
+  std::size_t max_memory_bytes = 0;
   /// Wall-clock deadline; unset = none.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// External cancellation flag (not owned); set to true to abandon the

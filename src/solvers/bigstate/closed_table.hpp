@@ -1,0 +1,157 @@
+// Memory-budgeted closed/open table for the exact searches.
+//
+// The closed table dwarfs every other search structure well before the key
+// width does — each expanded or generated state holds a key, its best g, and
+// a tree edge — so "how big may the search get" is a question about this
+// table, not about max_states. ClosedTable answers it in bytes:
+//
+//  * open addressing with linear probing over a flat slot array — one
+//    allocation, no per-node boxes, so the byte accounting below is exact
+//    rather than an estimate of allocator behavior;
+//  * byte-accounted: bytes() = slot array + any heap spill of stored
+//    variable-width keys (VarPackedState beyond 42 nodes). A table built
+//    with a budget refuses — via InsertStatus::OutOfMemory, never an
+//    allocation failure — any insert or growth that would exceed it, which
+//    the searches surface as a graceful BudgetExhausted with partial stats;
+//  * keyed through the packed-state protocol (Packed::Key, hash_key,
+//    key_heap_bytes), so one implementation serves the 64-bit, __uint128_t,
+//    and variable-width searches, sequential and per-HDA*-shard alike.
+//
+// Growth doubles the slot array; the budget check is against the steady
+// state footprint after growth (rehashing transiently holds old + new
+// arrays — callers budgeting close to physical memory should leave that
+// headroom). Entries are never removed, so entry pointers stay valid until
+// the next insert.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/pebble/move.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+template <typename Packed>
+class ClosedTable {
+ public:
+  using Key = typename Packed::Key;
+
+  /// Best known path to a state: its cost and the tree edge achieving it.
+  struct Entry {
+    std::int64_t g = 0;
+    Key parent{};
+    Move via{MoveType::Load, 0};
+  };
+
+  enum class InsertStatus {
+    Inserted,     ///< Fresh key; entry holds the supplied path.
+    Found,        ///< Key already present; entry holds the *existing* path.
+    OutOfMemory,  ///< Memory budget blocks the insert; table unchanged.
+  };
+
+  struct InsertResult {
+    Entry* entry = nullptr;  ///< null iff status == OutOfMemory
+    InsertStatus status = InsertStatus::OutOfMemory;
+  };
+
+  /// `max_bytes` caps bytes(); 0 = unlimited.
+  explicit ClosedTable(std::size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Insert `key` with the supplied path unless present; on Found the caller
+  /// decides whether its path improves the entry. Pointers are valid until
+  /// the next try_emplace.
+  InsertResult try_emplace(const Key& key, std::int64_t g, const Key& parent,
+                           Move via) {
+    if (slots_.empty() || (size_ + 1) * 4 >= slots_.size() * 3) {
+      if (!grow()) return {nullptr, InsertStatus::OutOfMemory};
+    }
+    std::size_t i = Packed::hash_key(key) & mask_;
+    while (slots_[i].occupied) {
+      if (slots_[i].key == key) {
+        return {&slots_[i].entry, InsertStatus::Found};
+      }
+      i = (i + 1) & mask_;
+    }
+    const std::size_t extra =
+        Packed::key_heap_bytes(key) + Packed::key_heap_bytes(parent);
+    if (max_bytes_ != 0 && bytes() + extra > max_bytes_) {
+      return {nullptr, InsertStatus::OutOfMemory};
+    }
+    slots_[i].key = key;
+    slots_[i].entry = Entry{g, parent, via};
+    slots_[i].occupied = true;
+    heap_bytes_ += extra;
+    ++size_;
+    return {&slots_[i].entry, InsertStatus::Inserted};
+  }
+
+  /// nullptr when absent.
+  Entry* find(const Key& key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = Packed::hash_key(key) & mask_;
+    while (slots_[i].occupied) {
+      if (slots_[i].key == key) return &slots_[i].entry;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  const Entry* find(const Key& key) const {
+    return const_cast<ClosedTable*>(this)->find(key);
+  }
+
+  /// Like find but the key must be present (path reconstruction walks only
+  /// keys the search inserted).
+  const Entry& at(const Key& key) const {
+    const Entry* entry = find(key);
+    RBPEB_ENSURE(entry != nullptr, "ClosedTable::at: key not present");
+    return *entry;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Exact current footprint: slot array plus heap spill of stored keys.
+  std::size_t bytes() const {
+    return slots_.capacity() * sizeof(Slot) + heap_bytes_;
+  }
+
+  std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Slot {
+    Key key{};
+    Entry entry{};
+    bool occupied = false;
+  };
+
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  bool grow() {
+    const std::size_t new_cap =
+        slots_.empty() ? kInitialSlots : slots_.size() * 2;
+    if (max_bytes_ != 0 &&
+        new_cap * sizeof(Slot) + heap_bytes_ > max_bytes_) {
+      return false;
+    }
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    for (Slot& slot : old) {
+      if (!slot.occupied) continue;
+      std::size_t i = Packed::hash_key(slot.key) & mask_;
+      while (slots_[i].occupied) i = (i + 1) & mask_;
+      slots_[i] = std::move(slot);
+    }
+    return true;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t heap_bytes_ = 0;
+  std::size_t max_bytes_ = 0;
+};
+
+}  // namespace rbpeb

@@ -1,0 +1,240 @@
+#include "src/solvers/bigstate/pdb.hpp"
+
+#include <algorithm>
+
+#include "src/graph/dag_algorithms.hpp"
+#include "src/pebble/bounds.hpp"
+#include "src/solvers/bucket_queue.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb {
+
+std::vector<std::vector<NodeId>> partition_into_patterns(
+    const Dag& dag, std::size_t max_pattern_size) {
+  const std::size_t cap =
+      std::clamp<std::size_t>(max_pattern_size, 1,
+                              PatternDatabase::kMaxPatternSize);
+  const std::size_t n = dag.node_count();
+  std::vector<std::vector<NodeId>> patterns;
+  std::vector<std::size_t> pattern_of(n, static_cast<std::size_t>(-1));
+  for (NodeId v : topological_order(dag)) {
+    // Count how many of v's direct predecessors each open pattern holds;
+    // joining the densest one keeps ancestor cones together, which is where
+    // the pebbling interaction the heuristic should see lives.
+    std::size_t best = static_cast<std::size_t>(-1);
+    std::size_t best_preds = 0;
+    for (NodeId p : dag.predecessors(v)) {
+      const std::size_t candidate = pattern_of[p];
+      if (patterns[candidate].size() >= cap) continue;
+      std::size_t preds_here = 0;
+      for (NodeId q : dag.predecessors(v)) {
+        if (pattern_of[q] == candidate) ++preds_here;
+      }
+      if (preds_here > best_preds) {
+        best_preds = preds_here;
+        best = candidate;
+      }
+    }
+    if (best == static_cast<std::size_t>(-1)) {
+      // No predecessor pattern has room (or v is a source): reuse the most
+      // recently opened pattern when it has room — fewer, fuller patterns
+      // mean fewer table lookups per evaluation — else open a fresh one.
+      if (!patterns.empty() && patterns.back().size() < cap) {
+        best = patterns.size() - 1;
+      } else {
+        patterns.emplace_back();
+        best = patterns.size() - 1;
+      }
+    }
+    pattern_of[v] = best;
+    patterns[best].push_back(v);
+  }
+  return patterns;
+}
+
+namespace {
+
+/// 3-bit field of position `i` inside a packed projection index.
+inline unsigned field_at(std::size_t index, std::size_t i) {
+  return static_cast<unsigned>((index >> (3 * i)) & 7u);
+}
+
+inline std::size_t with_field(std::size_t index, std::size_t i, unsigned f) {
+  const std::size_t shift = 3 * i;
+  return (index & ~(std::size_t{7} << shift)) |
+         (static_cast<std::size_t>(f) << shift);
+}
+
+/// Colors are 2 bits; 3 never occurs in a real projection. Indices holding
+/// it are skipped outright.
+inline bool valid_index(std::size_t index, std::size_t p) {
+  for (std::size_t i = 0; i < p; ++i) {
+    if ((field_at(index, i) & 3u) == 3u) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PatternDatabase::PatternDatabase(const Engine& engine,
+                                 std::size_t max_pattern_size) {
+  const Dag& dag = engine.dag();
+  const std::size_t size =
+      max_pattern_size == 0 ? kDefaultPatternSize : max_pattern_size;
+  std::vector<std::vector<NodeId>> node_sets =
+      partition_into_patterns(dag, size);
+  const std::int64_t cost_cap =
+      universal_search_ceiling_scaled(dag, engine.model());
+  patterns_.resize(node_sets.size());
+  for (std::size_t p = 0; p < node_sets.size(); ++p) {
+    Pattern& pattern = patterns_[p];
+    pattern.nodes = std::move(node_sets[p]);
+    const std::size_t width = pattern.nodes.size();
+    pattern.pred_positions.resize(width);
+    pattern.is_source.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const NodeId v = pattern.nodes[i];
+      pattern.is_source[i] = dag.is_source(v);
+      if (dag.is_sink(v)) pattern.sink_positions.push_back(i);
+      for (NodeId u : dag.predecessors(v)) {
+        for (std::size_t j = 0; j < width; ++j) {
+          if (pattern.nodes[j] == u) pattern.pred_positions[i].push_back(j);
+        }
+      }
+    }
+    build_pattern(engine, pattern, cost_cap);
+    table_bytes_ += pattern.completion.size() * sizeof(std::int32_t);
+  }
+}
+
+void PatternDatabase::build_pattern(const Engine& engine, Pattern& pattern,
+                                    std::int64_t cost_cap) {
+  const Model& model = engine.model();
+  const PebblingConvention& conv = engine.convention();
+  const std::size_t p = pattern.nodes.size();
+  const std::size_t table_size = std::size_t{1} << (3 * p);
+  const std::int64_t r = static_cast<std::int64_t>(engine.red_limit());
+  const std::int64_t eps_num = model.epsilon().num();
+  const std::int64_t eps_den = model.epsilon().den();
+
+  auto red_in_pattern = [&](std::size_t index) {
+    std::int64_t red = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if ((field_at(index, i) & 3u) ==
+          static_cast<unsigned>(PebbleColor::Red)) {
+        ++red;
+      }
+    }
+    return red;
+  };
+
+  // Forward legality of a move on position `i` in abstract state `index`:
+  // every constraint of Engine::why_illegal that only mentions nodes of the
+  // pattern. A concrete-legal move on the node is always abstract-legal on
+  // the projection, which is what makes the table admissible.
+  auto legal = [&](std::size_t index, std::size_t i, MoveType type) {
+    const unsigned f = field_at(index, i);
+    const auto color = static_cast<PebbleColor>(f & 3u);
+    switch (type) {
+      case MoveType::Load:
+        return color == PebbleColor::Blue && red_in_pattern(index) < r;
+      case MoveType::Store:
+        return color == PebbleColor::Red;
+      case MoveType::Compute: {
+        if (conv.sources_start_blue && pattern.is_source[i]) return false;
+        if (!model.allows_recompute() && (f & 4u) != 0) return false;
+        if (color == PebbleColor::Red) return false;
+        for (std::size_t j : pattern.pred_positions[i]) {
+          if ((field_at(index, j) & 3u) !=
+              static_cast<unsigned>(PebbleColor::Red)) {
+            return false;
+          }
+        }
+        return red_in_pattern(index) < r;
+      }
+      case MoveType::Delete:
+        return model.allows_delete() && color != PebbleColor::None;
+    }
+    return false;
+  };
+
+  auto is_goal = [&](std::size_t index) {
+    for (std::size_t i : pattern.sink_positions) {
+      const auto color = static_cast<PebbleColor>(field_at(index, i) & 3u);
+      if (conv.sinks_end_blue ? color != PebbleColor::Blue
+                              : color == PebbleColor::None) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Backward Dijkstra from every complete projection over move pre-images.
+  // Distances clamp at cost_cap (an underestimate, so still admissible —
+  // and never reached in practice: cost_cap is the Section 3 universal
+  // ceiling for the whole DAG).
+  pattern.completion.assign(table_size, kUnreachable);
+  BucketQueue<std::uint32_t> queue(static_cast<std::size_t>(cost_cap) + 1);
+  for (std::size_t index = 0; index < table_size; ++index) {
+    if (!valid_index(index, p)) continue;
+    if (is_goal(index)) {
+      pattern.completion[index] = 0;
+      queue.push(0, static_cast<std::uint32_t>(index));
+    }
+  }
+
+  auto relax = [&](std::size_t pre, MoveType type, std::size_t i,
+                   std::int64_t d, std::int64_t cost) {
+    if (!legal(pre, i, type)) return;
+    const std::int64_t nd = std::min(d + cost, cost_cap);
+    std::int32_t& entry = pattern.completion[pre];
+    if (entry != kUnreachable && entry <= nd) return;
+    entry = static_cast<std::int32_t>(nd);
+    queue.push(nd, static_cast<std::uint32_t>(pre));
+  };
+
+  while (!queue.empty()) {
+    auto [d, popped] = queue.pop();
+    const auto index = static_cast<std::size_t>(popped);
+    if (pattern.completion[index] != d) continue;  // stale duplicate
+    for (std::size_t i = 0; i < p; ++i) {
+      const unsigned f = field_at(index, i);
+      const unsigned computed = f & 4u;
+      switch (static_cast<PebbleColor>(f & 3u)) {
+        case PebbleColor::Red:
+          // Load lands on Red from Blue, computed untouched.
+          relax(with_field(index, i,
+                           static_cast<unsigned>(PebbleColor::Blue) | computed),
+                MoveType::Load, i, d, eps_den);
+          if (computed != 0) {
+            // Compute lands on Red+computed from None or Blue, either prior
+            // computed flag (legal() enforces the oneshot rule).
+            for (unsigned prior_color :
+                 {static_cast<unsigned>(PebbleColor::None),
+                  static_cast<unsigned>(PebbleColor::Blue)}) {
+              for (unsigned prior_computed : {0u, 4u}) {
+                relax(with_field(index, i, prior_color | prior_computed),
+                      MoveType::Compute, i, d, eps_num);
+              }
+            }
+          }
+          break;
+        case PebbleColor::Blue:
+          relax(with_field(index, i,
+                           static_cast<unsigned>(PebbleColor::Red) | computed),
+                MoveType::Store, i, d, eps_den);
+          break;
+        case PebbleColor::None:
+          for (unsigned prior_color :
+               {static_cast<unsigned>(PebbleColor::Red),
+                static_cast<unsigned>(PebbleColor::Blue)}) {
+            relax(with_field(index, i, prior_color | computed),
+                  MoveType::Delete, i, d, 0);
+          }
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace rbpeb

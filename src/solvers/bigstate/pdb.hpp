@@ -1,0 +1,134 @@
+// Additive pattern databases — abstraction heuristics for the big-instance
+// exact searches.
+//
+// Past ~42 nodes the counting bounds of bounds.hpp stop paying for
+// themselves: they see owed computations and transfers but nothing of the
+// *interaction* between them, and the informed searches drown in plausible
+// mid-game states. Pattern databases recover guidance the standard way
+// (Culberson–Schaeffer; additive PDBs à la Felner et al.): project the game
+// onto small disjoint node sets and solve each projection exactly, once.
+//
+//  * The DAG's nodes are partitioned into patterns of at most
+//    kMaxPatternSize nodes by a greedy cone-respecting partitioner: nodes
+//    join, in topological order, the pattern holding most of their direct
+//    predecessors (ancestor cones stay together, which is where pebbling
+//    interaction lives), opening a new pattern only when none has room.
+//  * For each pattern P the *abstract game* keeps only the 3-bit fields of
+//    P's nodes. Moves on nodes outside P are free; moves on v ∈ P keep
+//    every constraint expressible inside P (blue/red preconditions,
+//    preds-in-P red for Compute, |red ∩ P| within the budget R, the oneshot
+//    and nodel rules, the Hong–Kung source/sink conventions). Any legal
+//    concrete completion, restricted to its moves on P, is therefore a
+//    legal abstract completion of the projected state with exactly the cost
+//    those moves contribute.
+//  * A backward Dijkstra from all complete abstract states (the shared Dial
+//    BucketQueue over pre-images) fills one flat 8^|P| table per pattern
+//    with the optimal abstract completion cost of every projection.
+//
+// Each concrete move is charged to exactly one pattern (moves touch one
+// node; patterns are disjoint), so the per-pattern optimal completion costs
+// SUM to an admissible heuristic — and an unreachable abstract entry proves
+// the concrete state dead (no completion's projection would exist), which
+// the searches prune outright. At complete concrete states every projection
+// is an abstract goal, so the sum is 0 as admissibility requires.
+//
+// StateBoundEvaluator::attach_pdb folds the sum in as
+// max(counting_bounds, pdb_sum); tests/solvers/test_bigstate.cpp checks
+// admissibility against exhaustively solved instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/pebble/engine.hpp"
+
+namespace rbpeb {
+
+/// Disjoint node patterns covering the whole DAG, each of size at most
+/// `max_pattern_size` (clamped to PatternDatabase::kMaxPatternSize). Nodes
+/// are assigned in topological order to the pattern holding most of their
+/// direct predecessors, so ancestor cones stay together.
+std::vector<std::vector<NodeId>> partition_into_patterns(
+    const Dag& dag, std::size_t max_pattern_size);
+
+class PatternDatabase {
+ public:
+  /// Hard cap on pattern width: 8 nodes → 8^8 = 16.7M abstract states per
+  /// table, the largest build that stays sub-second.
+  static constexpr std::size_t kMaxPatternSize = 8;
+
+  /// Default width: 8^6 = 262144 entries (1 MiB) per pattern.
+  static constexpr std::size_t kDefaultPatternSize = 6;
+
+  /// Entry meaning "no abstract completion exists" — any concrete state
+  /// projecting onto it is provably dead.
+  static constexpr std::int32_t kUnreachable = -1;
+
+  /// Build the database for `engine`'s instance: partition, then solve each
+  /// abstract configuration graph exactly. `max_pattern_size` of 0 means
+  /// kDefaultPatternSize. Read-only (and thread-safe) afterwards.
+  explicit PatternDatabase(const Engine& engine,
+                           std::size_t max_pattern_size = 0);
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+
+  const std::vector<NodeId>& pattern_nodes(std::size_t p) const {
+    return patterns_[p].nodes;
+  }
+
+  /// Total bytes held by the completion tables.
+  std::size_t table_bytes() const { return table_bytes_; }
+
+  /// The additive heuristic in scaled units of 1/ε.den(): the sum over
+  /// patterns of the optimal abstract completion cost of the state's
+  /// projection. `field(v)` must return the node's 3-bit configuration
+  /// field (color | computed << 2). nullopt when some projection is
+  /// unreachable — the state is provably dead.
+  template <class FieldFn>
+  std::optional<std::int64_t> sum_scaled(FieldFn&& field) const {
+    std::int64_t total = 0;
+    for (const Pattern& pattern : patterns_) {
+      std::size_t index = 0;
+      for (std::size_t i = 0; i < pattern.nodes.size(); ++i) {
+        index |= static_cast<std::size_t>(field(pattern.nodes[i]) & 7u)
+                 << (3 * i);
+      }
+      const std::int32_t d = pattern.completion[index];
+      if (d == kUnreachable) return std::nullopt;
+      total += d;
+    }
+    return total;
+  }
+
+  /// sum_scaled over anything with color(NodeId)/was_computed(NodeId).
+  template <class StateLike>
+  std::optional<std::int64_t> lower_bound_scaled(const StateLike& state) const {
+    return sum_scaled([&](NodeId v) {
+      unsigned f = static_cast<unsigned>(state.color(v));
+      if (state.was_computed(v)) f |= 4u;
+      return f;
+    });
+  }
+
+ private:
+  struct Pattern {
+    std::vector<NodeId> nodes;
+    /// Per position: which earlier/later positions are direct predecessors
+    /// of this node inside the pattern.
+    std::vector<std::vector<std::size_t>> pred_positions;
+    std::vector<bool> is_source;  ///< in the whole DAG, per position
+    std::vector<std::size_t> sink_positions;  ///< DAG sinks inside P
+    /// Optimal abstract completion cost per 3-bit-packed projection index,
+    /// kUnreachable where no completion exists.
+    std::vector<std::int32_t> completion;
+  };
+
+  void build_pattern(const Engine& engine, Pattern& pattern,
+                     std::int64_t cost_cap);
+
+  std::vector<Pattern> patterns_;
+  std::size_t table_bytes_ = 0;
+};
+
+}  // namespace rbpeb

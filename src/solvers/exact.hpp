@@ -26,10 +26,11 @@ struct ExactResult {
 
 /// Why an exact search ended.
 enum class ExactTermination {
-  Solved,       ///< An optimum was found and proven.
-  StateBudget,  ///< max_states expansions without a proven optimum.
-  Stopped,      ///< The should_stop hook fired (deadline or cancellation).
-  Exhausted,    ///< Configuration graph drained with no complete state.
+  Solved,        ///< An optimum was found and proven.
+  StateBudget,   ///< max_states expansions without a proven optimum.
+  Stopped,       ///< The should_stop hook fired (deadline or cancellation).
+  Exhausted,     ///< Configuration graph drained with no complete state.
+  MemoryBudget,  ///< The closed table hit max_memory_bytes.
 };
 
 /// Partial progress of an exact search, filled in even when the search does
@@ -37,12 +38,57 @@ enum class ExactTermination {
 struct ExactSearchStats {
   std::size_t states_expanded = 0;
   ExactTermination termination = ExactTermination::Solved;
+  /// Peak closed-table footprint in bytes (A* searches; summed over shards
+  /// for hda-astar). Zero for searches that do not account memory (exact).
+  std::size_t table_bytes = 0;
+  /// Workers the search actually ran (hda-astar; includes the automatic
+  /// sequential fallback on serial instances). Zero elsewhere.
+  std::size_t threads_used = 0;
+  /// True when the search proved the seeded incumbent optimal and returned
+  /// its trace instead of one of its own.
+  bool seed_won = false;
 };
 
 /// Cooperative interruption hook: polled on entry and then every 64
 /// expansions; returning true abandons the run (deadline or cancellation
 /// from a solve budget). An empty function never stops.
 using StopPredicate = std::function<bool()>;
+
+/// A verified heuristic pebbling seeding an informed search's incumbent:
+/// the search prunes every state pricing at or above `g_scaled` from move
+/// one and, should nothing cheaper exist, returns `trace` itself with a
+/// proof of its optimality (quiescence below the seed's cost).
+struct IncumbentSeed {
+  Trace trace;
+  std::int64_t g_scaled = 0;  ///< verified cost in units of 1/ε.den()
+};
+
+/// Whether an informed search consults an additive pattern database
+/// (solvers/bigstate/pdb.hpp). Auto enables it exactly where the counting
+/// bounds stop carrying the search: past the 42-node fixed-width cap — so
+/// smaller instances keep their expansion counts bit-for-bit.
+enum class PdbMode { Auto, On, Off };
+
+/// Knobs of the informed searches (exact-astar, hda-astar) beyond the plain
+/// state budget. Defaults reproduce the historical behavior on ≤42-node
+/// instances exactly.
+struct ExactSearchOptions {
+  /// Configuration-graph states the search may expand.
+  std::size_t max_states = 2'000'000;
+  /// Closed-table byte cap (per search; hda-astar splits it evenly across
+  /// its shards). 0 = unlimited. Exceeding it ends the search with
+  /// ExactTermination::MemoryBudget and partial stats — never an OOM kill.
+  std::size_t max_memory_bytes = 0;
+  PdbMode pdb = PdbMode::Auto;
+  /// Pattern width for PdbMode::On/Auto; 0 = PatternDatabase default.
+  std::size_t pdb_pattern_size = 0;
+  /// Optional incumbent seed (see IncumbentSeed).
+  std::optional<IncumbentSeed> seed;
+  StopPredicate should_stop;
+  /// Testing hook: run the variable-width state path even on instances the
+  /// fixed-width words cover, to differentially compare the two.
+  bool force_var_state = false;
+};
 
 /// Solve optimally. Throws PreconditionError if the DAG has more than 21
 /// nodes (the 64-bit packed-state limit; exact_astar.hpp goes to 42) and

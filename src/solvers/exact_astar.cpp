@@ -1,78 +1,110 @@
 #include "src/solvers/exact_astar.hpp"
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/pebble/bounds.hpp"
+#include "src/solvers/bigstate/closed_table.hpp"
+#include "src/solvers/bigstate/pdb.hpp"
+#include "src/solvers/bigstate/var_state.hpp"
 #include "src/solvers/bucket_queue.hpp"
 #include "src/solvers/packed_state.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
 
+static_assert(kExactAstarMaxNodes == StateBoundEvaluator::kWideMaskMaxNodes,
+              "the search cap is the wide-mask bound cap");
+static_assert(kExactAstarFixedMaxNodes == PackedState128::max_nodes(),
+              "the fixed-width cap is the __uint128_t packing limit");
+
 namespace {
 
-template <typename Word>
+template <typename Packed, typename Masks>
 std::optional<ExactResult> astar_impl(const Engine& engine,
-                                      std::size_t max_states,
-                                      const StopPredicate& should_stop,
+                                      const ExactSearchOptions& opt,
                                       ExactSearchStats& stats) {
-  using Packed = BasicPackedState<Word>;
+  using Key = typename Packed::Key;
   const Dag& dag = engine.dag();
   const Model& model = engine.model();
   const std::size_t n = dag.node_count();
   const std::int64_t eps_den = model.epsilon().den();
-
-  auto give_up = [&](ExactTermination why) {
-    stats.termination = why;
-    return std::nullopt;
-  };
+  const StopPredicate& should_stop = opt.should_stop;
 
   // Anything priced beyond the universal ceiling is dropped — no optimal
-  // pebbling lives there — which also caps the bucket count.
+  // pebbling lives there — which also caps the bucket count. A seeded
+  // incumbent tightens the same prune: nothing pricing at or above a known
+  // completion's cost can beat it.
   const std::int64_t ceiling = universal_search_ceiling_scaled(dag, model);
+  const std::int64_t incumbent =
+      opt.seed ? std::min(ceiling + 1, opt.seed->g_scaled) : ceiling + 1;
 
-  struct Entry {
-    std::int64_t g;
-    Word parent;
-    Move via;
-  };
-  std::unordered_map<Word, Entry, PackedKeyHash> table;
+  ClosedTable<Packed> table(opt.max_memory_bytes);
   struct QueueItem {
-    Word key;
+    Key key;
     std::int64_t g;  ///< g at push time; stale when it no longer matches.
   };
   BucketQueue<QueueItem> queue(static_cast<std::size_t>(ceiling) + 1);
 
+  std::optional<PatternDatabase> pdb;
+  if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
   StateBoundEvaluator bound(engine);
+  if (pdb) bound.attach_pdb(&*pdb);
+
+  auto give_up = [&](ExactTermination why) {
+    stats.termination = why;
+    stats.table_bytes = table.bytes();
+    return std::nullopt;
+  };
+  // Nothing prices below the seed, so the seed is optimal — return it.
+  auto seed_wins = [&]() {
+    stats.termination = ExactTermination::Solved;
+    stats.table_bytes = table.bytes();
+    stats.seed_won = true;
+    ExactResult result;
+    result.trace = opt.seed->trace;
+    result.cost = Rational(opt.seed->g_scaled, eps_den);
+    result.states_expanded = stats.states_expanded;
+    return result;
+  };
 
   const GameState start_state = engine.initial_state();
   const Packed start = Packed::from_state(start_state);
   std::optional<std::int64_t> start_h = bound.lower_bound_scaled(start);
-  if (!start_h) return give_up(ExactTermination::Exhausted);
-  table.emplace(start.raw(), Entry{0, start.raw(), Move{MoveType::Load, 0}});
-  queue.push(*start_h, {start.raw(), 0});
+  if (!start_h) {
+    // A verified seed proves the instance completable, so a dead start can
+    // only mean no completion prices below the seed.
+    if (opt.seed) return seed_wins();
+    return give_up(ExactTermination::Exhausted);
+  }
+  if (*start_h >= incumbent) {
+    if (opt.seed) return seed_wins();
+    return give_up(ExactTermination::Exhausted);
+  }
+  if (table.try_emplace(start.key(), 0, start.key(), Move{MoveType::Load, 0})
+          .status == ClosedTable<Packed>::InsertStatus::OutOfMemory) {
+    return give_up(ExactTermination::MemoryBudget);
+  }
+  queue.push(*start_h, {start.key(), 0});
 
   std::size_t& expanded = stats.states_expanded;
   while (!queue.empty()) {
     auto [f, item] = queue.pop();
     (void)f;
-    const auto it = table.find(item.key);
-    if (it->second.g != item.g) continue;  // stale: a cheaper path superseded it
+    const auto* entry = table.find(item.key);
+    if (entry->g != item.g) continue;  // stale: a cheaper path superseded it
     const std::int64_t g = item.g;
-    const Packed current(item.key);
+    const Packed current = Packed::from_key(item.key, n);
     // One O(n) unpack per expansion; neighbors below are derived in O(1) —
     // packed keys and bound masks alike.
     GameState state = current.to_state(n);
-    const StateBoundEvaluator::StateMasks masks =
-        StateBoundEvaluator::StateMasks::from(current, n);
+    const Masks masks = Masks::from(current, n);
     if (engine.is_complete(state)) {
       std::vector<Move> reversed;
-      Word cursor = item.key;
-      while (cursor != start.raw()) {
-        const Entry& link = table.at(cursor);
+      Key cursor = item.key;
+      while (!(cursor == start.key())) {
+        const auto& link = table.at(cursor);
         reversed.push_back(link.via);
         cursor = link.parent;
       }
@@ -83,9 +115,12 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
       result.cost = Rational(g, eps_den);
       result.states_expanded = expanded;
       stats.termination = ExactTermination::Solved;
+      stats.table_bytes = table.bytes();
       return result;
     }
-    if (expanded >= max_states) return give_up(ExactTermination::StateBudget);
+    if (expanded >= opt.max_states) {
+      return give_up(ExactTermination::StateBudget);
+    }
     // Entry check included (expanded == 0): an expired deadline stops the
     // search before it burns a poll interval of expansions.
     if (should_stop && (expanded & 0x3Fu) == 0 && should_stop()) {
@@ -101,52 +136,78 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
         if (!engine.is_legal(state, move)) continue;
         const Packed next = current.apply(move);
         const std::int64_t next_g = g + scaled_move_cost(model, type);
-        auto [entry, inserted] = table.try_emplace(
-            next.raw(), Entry{next_g, item.key, move});
-        if (!inserted) {
-          if (entry->second.g <= next_g) continue;
-          entry->second = {next_g, item.key, move};
+        auto emplaced =
+            table.try_emplace(next.key(), next_g, item.key, move);
+        if (emplaced.status ==
+            ClosedTable<Packed>::InsertStatus::OutOfMemory) {
+          return give_up(ExactTermination::MemoryBudget);
         }
-        StateBoundEvaluator::StateMasks next_masks = masks;
+        if (emplaced.status == ClosedTable<Packed>::InsertStatus::Found) {
+          if (emplaced.entry->g <= next_g) continue;
+          *emplaced.entry = {next_g, item.key, move};
+        }
+        Masks next_masks = masks;
         next_masks.apply(move);
         std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
         if (!h) continue;          // provably dead: prune
         const std::int64_t next_f = next_g + *h;
-        if (next_f > ceiling) continue;  // no optimum lives beyond the bound
-        queue.push(next_f, {next.raw(), next_g});
+        if (next_f >= incumbent) continue;  // no winner lives beyond it
+        queue.push(next_f, {next.key(), next_g});
       }
     }
   }
+  if (opt.seed) return seed_wins();
   return give_up(ExactTermination::Exhausted);
 }
 
 }  // namespace
 
 std::optional<ExactResult> try_solve_exact_astar(
-    const Engine& engine, std::size_t max_states,
-    const StopPredicate& should_stop, ExactSearchStats* stats) {
+    const Engine& engine, const ExactSearchOptions& options,
+    ExactSearchStats* stats) {
   const std::size_t n = engine.dag().node_count();
   RBPEB_REQUIRE(n <= kExactAstarMaxNodes,
-                "solve_exact_astar supports at most 42 nodes");
+                "solve_exact_astar supports at most 128 nodes");
   ExactSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = {};  // a reused struct must not accumulate across calls
-  if (n <= PackedState64::max_nodes()) {
-    return astar_impl<std::uint64_t>(engine, max_states, should_stop, *stats);
+  using Masks1 = StateBoundEvaluator::StateMasks;
+  if (!options.force_var_state && n <= PackedState64::max_nodes()) {
+    return astar_impl<PackedState64, Masks1>(engine, options, *stats);
   }
-  return astar_impl<unsigned __int128>(engine, max_states, should_stop,
-                                       *stats);
+  if (!options.force_var_state && n <= PackedState128::max_nodes()) {
+    return astar_impl<PackedState128, Masks1>(engine, options, *stats);
+  }
+  // Variable-width states; wide masks cover every n ≤ 128 and price
+  // identically to the one-word path, so a forced run matches bit-for-bit.
+  return astar_impl<VarPackedState, StateBoundEvaluator::WideStateMasks>(
+      engine, options, *stats);
+}
+
+std::optional<ExactResult> try_solve_exact_astar(
+    const Engine& engine, std::size_t max_states,
+    const StopPredicate& should_stop, ExactSearchStats* stats) {
+  ExactSearchOptions options;
+  options.max_states = max_states;
+  options.should_stop = should_stop;
+  return try_solve_exact_astar(engine, options, stats);
 }
 
 ExactResult solve_exact_astar(const Engine& engine, std::size_t max_states) {
   ExactSearchStats stats;
   auto result = try_solve_exact_astar(engine, max_states, {}, &stats);
   if (!result) {
-    throw InvariantError(
-        stats.termination == ExactTermination::Exhausted
-            ? "solve_exact_astar exhausted the reachable configuration "
-              "graph without a complete state"
-            : "solve_exact_astar exceeded its state budget");
+    switch (stats.termination) {
+      case ExactTermination::Exhausted:
+        throw InvariantError(
+            "solve_exact_astar exhausted the reachable configuration graph "
+            "without a complete state");
+      case ExactTermination::MemoryBudget:
+        throw InvariantError(
+            "solve_exact_astar exceeded its memory budget");
+      default:
+        throw InvariantError("solve_exact_astar exceeded its state budget");
+    }
   }
   return std::move(*result);
 }

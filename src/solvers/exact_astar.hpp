@@ -5,13 +5,24 @@
 // completion bound of bounds.hpp (remaining ε·uncomputed work in compcost,
 // unmaterialized value transfers in nodel, blue-input loads still owed in
 // all models), so the frontier leans toward completions and provably-dead
-// states (oneshot values lost forever) are pruned outright. Three further
-// engineering changes over the Dijkstra baseline:
+// states (oneshot values lost forever) are pruned outright. Engineering
+// over the Dijkstra baseline:
 //
-//  * states are 3-bit-packed words (packed_state.hpp) updated incrementally
-//    per move — O(1) per generated neighbor instead of the O(n)
-//    copy + re-encode — with an __uint128_t wide path that lifts the node
-//    cap from 21 to 42;
+//  * states are 3-bit-packed and updated incrementally per move — O(1) per
+//    generated neighbor. Up to 42 nodes they are single machine words
+//    (packed_state.hpp: 64-bit ≤ 21, __uint128_t ≤ 42); beyond that the
+//    search dispatches to the variable-width VarPackedState
+//    (bigstate/var_state.hpp), which lifts the cap to 128 nodes. The
+//    dispatch is runtime-only: ≤42-node instances keep the fixed-width
+//    fast path bit-for-bit, costs and expansion counts unchanged;
+//  * the closed table is byte-accounted (bigstate/closed_table.hpp): an
+//    ExactSearchOptions::max_memory_bytes cap ends the search gracefully
+//    with MemoryBudget and partial stats instead of an OOM kill;
+//  * past 42 nodes the bound is reinforced by additive pattern databases
+//    (bigstate/pdb.hpp) as max(counting_bounds, pdb_sum), and an optional
+//    IncumbentSeed (a verified heuristic trace) prunes everything pricing
+//    at or above its cost from move one — if nothing cheaper exists the
+//    seed itself is returned, proven optimal;
 //  * the priority queue is a Dial/bucket queue: move costs only take the
 //    values {0, ε.num, ε.den} in scaled units, so priorities are small
 //    integers bounded by the Section 3 universal cost bound and a binary
@@ -21,8 +32,9 @@
 //    lives beyond it.
 //
 // The differential harness in tests/solvers/test_exact_astar.cpp proves the
-// returned cost equals Dijkstra's on every ≤21-node instance; beyond 21
-// nodes this solver is the repo's only ground truth.
+// returned cost equals Dijkstra's on every ≤21-node instance, and
+// tests/solvers/test_bigstate.cpp proves the variable-width path identical
+// (costs and expansions) to the fixed-width one on instances both can run.
 #pragma once
 
 #include <cstddef>
@@ -33,12 +45,31 @@
 
 namespace rbpeb {
 
-/// Node cap of the A* search: 42 nodes × 3 bits fit an __uint128_t key.
-inline constexpr std::size_t kExactAstarMaxNodes = 42;
+/// Node cap of the fixed-width fast path: 42 nodes × 3 bits fit an
+/// __uint128_t key. Beyond it the variable-width bigstate path runs.
+inline constexpr std::size_t kExactAstarFixedMaxNodes = 42;
+
+/// Node cap of the A* search overall — the two-word wide-mask limit of
+/// StateBoundEvaluator (asserted equal in exact_astar.cpp).
+inline constexpr std::size_t kExactAstarMaxNodes = 128;
+
+/// Whether a search with these options consults a pattern database: On
+/// always, Auto exactly past the fixed-width cap — so ≤42-node expansion
+/// counts stay bit-for-bit. One definition serves exact-astar and
+/// hda-astar; they must never diverge on when the heuristic applies.
+inline bool bigstate_pdb_enabled(const ExactSearchOptions& options,
+                                 std::size_t node_count) {
+  switch (options.pdb) {
+    case PdbMode::On: return true;
+    case PdbMode::Off: return false;
+    case PdbMode::Auto: return node_count > kExactAstarFixedMaxNodes;
+  }
+  return false;
+}
 
 /// Solve optimally. Throws PreconditionError beyond kExactAstarMaxNodes
-/// nodes and InvariantError if `max_states` is exceeded before an optimum
-/// is proven.
+/// nodes and InvariantError if the state budget is exceeded before an
+/// optimum is proven.
 ExactResult solve_exact_astar(const Engine& engine,
                               std::size_t max_states = 2'000'000);
 
@@ -49,5 +80,11 @@ ExactResult solve_exact_astar(const Engine& engine,
 std::optional<ExactResult> try_solve_exact_astar(
     const Engine& engine, std::size_t max_states = 2'000'000,
     const StopPredicate& should_stop = {}, ExactSearchStats* stats = nullptr);
+
+/// Full-options entry point: memory budget, pattern databases, incumbent
+/// seeding, and the forced variable-width testing path (ExactSearchOptions).
+std::optional<ExactResult> try_solve_exact_astar(
+    const Engine& engine, const ExactSearchOptions& options,
+    ExactSearchStats* stats = nullptr);
 
 }  // namespace rbpeb

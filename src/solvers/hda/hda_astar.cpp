@@ -12,13 +12,20 @@
 #include <utility>
 #include <vector>
 
+#include "src/graph/dag_algorithms.hpp"
 #include "src/pebble/bounds.hpp"
+#include "src/solvers/bigstate/pdb.hpp"
+#include "src/solvers/bigstate/var_state.hpp"
+#include "src/solvers/exact_astar.hpp"
 #include "src/solvers/hda/shard.hpp"
 #include "src/solvers/hda/termination.hpp"
 #include "src/solvers/packed_state.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb {
+
+static_assert(kHdaAstarMaxNodes == StateBoundEvaluator::kWideMaskMaxNodes,
+              "the search cap is the wide-mask bound cap");
 
 namespace {
 
@@ -30,20 +37,23 @@ using hda::StateMsg;
 using hda::WorkerLedger;
 
 /// Shared search context: everything the workers coordinate through.
-template <typename Word>
+template <typename Packed>
 struct SearchContext {
-  explicit SearchContext(std::size_t workers, std::size_t bucket_count,
-                         std::int64_t no_incumbent)
+  using Key = typename Packed::Key;
+
+  SearchContext(std::size_t workers, std::size_t bucket_count,
+                std::size_t table_bytes_each, std::int64_t no_incumbent)
       : ring(workers), incumbent(no_incumbent) {
     shards.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      shards.push_back(std::make_unique<Shard<Word>>(bucket_count));
+      shards.push_back(
+          std::make_unique<Shard<Packed>>(bucket_count, table_bytes_each));
     }
   }
 
-  Shard<Word>& shard(std::size_t i) { return *shards[i]; }
+  Shard<Packed>& shard(std::size_t i) { return *shards[i]; }
 
-  std::vector<std::unique_ptr<Shard<Word>>> shards;  // mailboxes pin them
+  std::vector<std::unique_ptr<Shard<Packed>>> shards;  // mailboxes pin them
   SafraRing ring;
 
   /// Scaled g of the best complete state seen; pruning anything priced at or
@@ -51,7 +61,7 @@ struct SearchContext {
   /// stale (higher) read only delays a prune, so relaxed loads suffice.
   std::atomic<std::int64_t> incumbent;
   std::mutex goal_mutex;
-  Word goal_key{};
+  Key goal_key{};
   bool has_goal = false;
 
   /// Exact global expansion count; workers reserve one ticket per expansion,
@@ -71,33 +81,37 @@ struct SearchContext {
   }
 };
 
-template <typename Word>
-void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
-                std::size_t wid, std::size_t max_states,
-                const StopPredicate& should_stop) {
-  using Packed = BasicPackedState<Word>;
+template <typename Packed, typename Masks>
+void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
+                const PatternDatabase* pdb, std::size_t wid,
+                std::size_t max_states, const StopPredicate& should_stop) {
   const Dag& dag = engine.dag();
   const Model& model = engine.model();
   const std::size_t n = dag.node_count();
   const std::size_t workers = ctx.shards.size();
-  Shard<Word>& self = ctx.shard(wid);
+  Shard<Packed>& self = ctx.shard(wid);
+  using Table = typename Shard<Packed>::Table;
 
   StateBoundEvaluator bound(engine);
+  if (pdb != nullptr) bound.attach_pdb(pdb);  // read-only, shared by workers
   WorkerLedger ledger;
-  std::vector<std::vector<StateMsg<Word>>> out(workers);
-  std::vector<StateMsg<Word>> inbox;
+  std::vector<std::vector<StateMsg<Packed>>> out(workers);
+  std::vector<StateMsg<Packed>> inbox;
   std::size_t local_expanded = 0;
   std::size_t idle_spins = 0;
 
   // Relax one priced state into this shard's table/queue. Messages losing to
   // an equal-or-better path, or priced at or above the incumbent, die here.
-  auto accept = [&](const StateMsg<Word>& m) {
+  auto accept = [&](const StateMsg<Packed>& m) {
     if (m.f >= ctx.incumbent.load(std::memory_order_relaxed)) return;
-    auto [entry, inserted] = self.table.try_emplace(
-        m.key, typename Shard<Word>::Entry{m.g, m.parent, m.via});
-    if (!inserted) {
-      if (entry->second.g <= m.g) return;
-      entry->second = {m.g, m.parent, m.via};
+    auto emplaced = self.table.try_emplace(m.key, m.g, m.parent, m.via);
+    if (emplaced.status == Table::InsertStatus::OutOfMemory) {
+      ctx.abort_with(ExactTermination::MemoryBudget);
+      return;
+    }
+    if (emplaced.status == Table::InsertStatus::Found) {
+      if (emplaced.entry->g <= m.g) return;
+      *emplaced.entry = {m.g, m.parent, m.via};
     }
     self.queue.push(m.f, {m.key, m.g});
   };
@@ -109,13 +123,13 @@ void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
   // drained this expansion is the last local work, so ship immediately —
   // on serial instances (chains) the whole search is such hand-offs and
   // latency, not lock traffic, is the cost that matters.
-  auto route = [&](StateMsg<Word> m) {
-    const std::size_t target = hda::owner_of(m.key, workers);
+  auto route = [&](StateMsg<Packed> m) {
+    const std::size_t target = hda::owner_of<Packed>(m.key, workers);
     if (target == wid) {
       accept(m);
       return;
     }
-    out[target].push_back(m);
+    out[target].push_back(std::move(m));
     ++ledger.credit;
     if (out[target].size() >= kRouteBatchSize || self.queue.empty()) {
       ctx.shard(target).mailbox.deliver(out[target]);
@@ -141,7 +155,7 @@ void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
       ledger.credit -= static_cast<std::int64_t>(inbox.size());
       ledger.black = true;
       idle_spins = 0;
-      for (const StateMsg<Word>& m : inbox) accept(m);
+      for (const StateMsg<Packed>& m : inbox) accept(m);
     }
 
     if (self.queue.empty()) {
@@ -163,11 +177,11 @@ void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
     idle_spins = 0;
 
     auto [f, item] = self.queue.pop();
-    const auto it = self.table.find(item.key);
-    if (it->second.g != item.g) continue;  // stale: a cheaper path superseded it
+    const auto* entry = self.table.find(item.key);
+    if (entry->g != item.g) continue;  // stale: a cheaper path superseded it
     if (f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
     const std::int64_t g = item.g;
-    const Packed current(item.key);
+    const Packed current = Packed::from_key(item.key, n);
     // One O(n) unpack per expansion; neighbors below are derived in O(1) —
     // packed keys and bound masks alike.
     GameState state = current.to_state(n);
@@ -195,8 +209,7 @@ void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
     }
     ++local_expanded;
 
-    const StateBoundEvaluator::StateMasks masks =
-        StateBoundEvaluator::StateMasks::from(current, n);
+    const Masks masks = Masks::from(current, n);
     for (std::size_t v = 0; v < n; ++v) {
       const NodeId node = static_cast<NodeId>(v);
       for (MoveType type : {MoveType::Load, MoveType::Store, MoveType::Compute,
@@ -205,54 +218,105 @@ void hda_worker(const Engine& engine, SearchContext<Word>& ctx,
         if (!engine.is_legal(state, move)) continue;
         const Packed next = current.apply(move);
         const std::int64_t next_g = g + scaled_move_cost(model, type);
-        StateBoundEvaluator::StateMasks next_masks = masks;
+        Masks next_masks = masks;
         next_masks.apply(move);
         std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
         if (!h) continue;  // provably dead: prune
         const std::int64_t next_f = next_g + *h;
         if (next_f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
-        route({next.raw(), item.key, next_g, next_f, move});
+        route({next.key(), item.key, next_g, next_f, move});
       }
     }
   }
 }
 
-template <typename Word>
+/// HDA* pays per-state routing latency; on an instance whose search frontier
+/// is a single state (level width 1 — chains), that is all it does. Fall
+/// back to one worker there: the sequential path costs nothing to detect
+/// and beats an 8-thread game of pass-the-parcel by orders of magnitude.
+bool serial_instance(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  if (n < 2) return true;
+  std::vector<std::size_t> width(longest_path_length(dag) + 1, 0);
+  for (std::size_t d : node_depths(dag)) {
+    if (++width[d] > 1) return false;
+  }
+  return true;
+}
+
+template <typename Packed, typename Masks>
 std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
-                                    std::size_t max_states,
-                                    const StopPredicate& should_stop,
+                                    const ExactSearchOptions& opt,
                                     ExactSearchStats& stats) {
-  using Packed = BasicPackedState<Word>;
+  using Key = typename Packed::Key;
   const Dag& dag = engine.dag();
   const Model& model = engine.model();
   const std::size_t n = dag.node_count();
   const std::int64_t eps_den = model.epsilon().den();
+  const StopPredicate& should_stop = opt.should_stop;
 
+  auto table_bytes_total = [&](SearchContext<Packed>& ctx) {
+    std::size_t total = 0;
+    for (const auto& shard : ctx.shards) total += shard->table.bytes();
+    return total;
+  };
   auto give_up = [&](ExactTermination why) {
     stats.termination = why;
     return std::nullopt;
   };
 
-  // The incumbent starts one past the universal ceiling, so "f >= incumbent"
-  // subsumes the ceiling prune of the sequential A* until a real complete
-  // state undercuts it.
+  // The incumbent starts one past the universal ceiling — or at the seed's
+  // verified cost, pruning speculation above a known completion from move
+  // one — so "f >= incumbent" subsumes the ceiling prune of the sequential
+  // A* until a real complete state undercuts it.
   const std::int64_t ceiling = universal_search_ceiling_scaled(dag, model);
+  const std::int64_t seeded_incumbent =
+      opt.seed ? std::min(ceiling + 1, opt.seed->g_scaled) : ceiling + 1;
 
-  SearchContext<Word> ctx(workers, static_cast<std::size_t>(ceiling) + 1,
-                          /*no_incumbent=*/ceiling + 1);
+  std::optional<PatternDatabase> pdb;
+  if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
+
+  SearchContext<Packed> ctx(
+      workers, static_cast<std::size_t>(ceiling) + 1,
+      opt.max_memory_bytes == 0 ? 0
+                                : std::max<std::size_t>(
+                                      1, opt.max_memory_bytes / workers),
+      seeded_incumbent);
+  stats.threads_used = workers;
+
+  // Nothing prices below the seed, so the seed is optimal — return it.
+  auto seed_wins = [&]() {
+    stats.termination = ExactTermination::Solved;
+    stats.table_bytes = table_bytes_total(ctx);
+    stats.seed_won = true;
+    ExactResult result;
+    result.trace = opt.seed->trace;
+    result.cost = Rational(opt.seed->g_scaled, eps_den);
+    result.states_expanded = stats.states_expanded;
+    return result;
+  };
 
   const GameState start_state = engine.initial_state();
   const Packed start = Packed::from_state(start_state);
   {
     StateBoundEvaluator bound(engine);
+    if (pdb) bound.attach_pdb(&*pdb);
     std::optional<std::int64_t> start_h = bound.lower_bound_scaled(start);
-    if (!start_h) return give_up(ExactTermination::Exhausted);
+    if (!start_h || *start_h >= seeded_incumbent) {
+      if (opt.seed) return seed_wins();
+      return give_up(ExactTermination::Exhausted);
+    }
     // Seed the owner shard before any worker exists; thread creation
     // publishes it.
-    Shard<Word>& home = ctx.shard(hda::owner_of(start.raw(), workers));
-    home.table.emplace(start.raw(), typename Shard<Word>::Entry{
-                                        0, start.raw(), Move{MoveType::Load, 0}});
-    home.queue.push(*start_h, {start.raw(), 0});
+    Shard<Packed>& home =
+        ctx.shard(hda::owner_of<Packed>(start.key(), workers));
+    if (home.table
+            .try_emplace(start.key(), 0, start.key(), Move{MoveType::Load, 0})
+            .status == Shard<Packed>::Table::InsertStatus::OutOfMemory) {
+      stats.table_bytes = table_bytes_total(ctx);
+      return give_up(ExactTermination::MemoryBudget);
+    }
+    home.queue.push(*start_h, {start.key(), 0});
   }
 
   std::vector<std::thread> threads;
@@ -260,7 +324,8 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       try {
-        hda_worker<Word>(engine, ctx, w, max_states, should_stop);
+        hda_worker<Packed, Masks>(engine, ctx, pdb ? &*pdb : nullptr, w,
+                                  opt.max_states, should_stop);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(ctx.error_mutex);
@@ -273,21 +338,27 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   for (std::thread& t : threads) t.join();
 
   stats.states_expanded = ctx.expanded.load(std::memory_order_relaxed);
+  stats.table_bytes = table_bytes_total(ctx);
   if (ctx.error) std::rethrow_exception(ctx.error);
   if (ctx.abort.load(std::memory_order_acquire)) {
-    return give_up(
-        static_cast<ExactTermination>(ctx.abort_why.load(std::memory_order_relaxed)));
+    return give_up(static_cast<ExactTermination>(
+        ctx.abort_why.load(std::memory_order_relaxed)));
   }
-  if (!ctx.has_goal) return give_up(ExactTermination::Exhausted);
+  if (!ctx.has_goal) {
+    // Quiescence with no goal: with a seed it proves nothing beats the
+    // seed; without one the reachable graph is exhausted.
+    if (opt.seed) return seed_wins();
+    return give_up(ExactTermination::Exhausted);
+  }
 
   // Quiescence proved nothing open prices below the incumbent, so the chain
   // of tree edges behind goal_key is an optimal pebbling. Every entry lives
   // in its key's owner shard; all shards are safely readable after the join.
   std::vector<Move> reversed;
-  Word cursor = ctx.goal_key;
-  while (cursor != start.raw()) {
-    const typename Shard<Word>::Entry& link =
-        ctx.shard(hda::owner_of(cursor, workers)).table.at(cursor);
+  Key cursor = ctx.goal_key;
+  while (!(cursor == start.key())) {
+    const auto& link =
+        ctx.shard(hda::owner_of<Packed>(cursor, workers)).table.at(cursor);
     reversed.push_back(link.via);
     cursor = link.parent;
   }
@@ -314,24 +385,37 @@ std::size_t hda_resolve_threads(std::size_t threads) {
   return std::clamp<std::size_t>(hw, 1, kHdaAstarMaxThreads);
 }
 
+std::optional<ExactResult> try_solve_hda_astar(
+    const Engine& engine, std::size_t threads,
+    const ExactSearchOptions& options, ExactSearchStats* stats) {
+  const std::size_t n = engine.dag().node_count();
+  RBPEB_REQUIRE(n <= kHdaAstarMaxNodes,
+                "solve_hda_astar supports at most 128 nodes");
+  std::size_t workers = hda_resolve_threads(threads);
+  if (workers > 1 && serial_instance(engine.dag())) workers = 1;
+  ExactSearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = {};
+  using Masks1 = StateBoundEvaluator::StateMasks;
+  if (!options.force_var_state && n <= PackedState64::max_nodes()) {
+    return hda_impl<PackedState64, Masks1>(engine, workers, options, *stats);
+  }
+  if (!options.force_var_state && n <= PackedState128::max_nodes()) {
+    return hda_impl<PackedState128, Masks1>(engine, workers, options, *stats);
+  }
+  return hda_impl<VarPackedState, StateBoundEvaluator::WideStateMasks>(
+      engine, workers, options, *stats);
+}
+
 std::optional<ExactResult> try_solve_hda_astar(const Engine& engine,
                                                std::size_t threads,
                                                std::size_t max_states,
                                                const StopPredicate& should_stop,
                                                ExactSearchStats* stats) {
-  const std::size_t n = engine.dag().node_count();
-  RBPEB_REQUIRE(n <= kHdaAstarMaxNodes,
-                "solve_hda_astar supports at most 42 nodes");
-  const std::size_t workers = hda_resolve_threads(threads);
-  ExactSearchStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  *stats = {};
-  if (n <= PackedState64::max_nodes()) {
-    return hda_impl<std::uint64_t>(engine, workers, max_states, should_stop,
-                                   *stats);
-  }
-  return hda_impl<unsigned __int128>(engine, workers, max_states, should_stop,
-                                     *stats);
+  ExactSearchOptions options;
+  options.max_states = max_states;
+  options.should_stop = should_stop;
+  return try_solve_hda_astar(engine, threads, options, stats);
 }
 
 ExactResult solve_hda_astar(const Engine& engine, std::size_t threads,
@@ -339,11 +423,16 @@ ExactResult solve_hda_astar(const Engine& engine, std::size_t threads,
   ExactSearchStats stats;
   auto result = try_solve_hda_astar(engine, threads, max_states, {}, &stats);
   if (!result) {
-    throw InvariantError(
-        stats.termination == ExactTermination::Exhausted
-            ? "solve_hda_astar exhausted the reachable configuration graph "
-              "without a complete state"
-            : "solve_hda_astar exceeded its state budget");
+    switch (stats.termination) {
+      case ExactTermination::Exhausted:
+        throw InvariantError(
+            "solve_hda_astar exhausted the reachable configuration graph "
+            "without a complete state");
+      case ExactTermination::MemoryBudget:
+        throw InvariantError("solve_hda_astar exceeded its memory budget");
+      default:
+        throw InvariantError("solve_hda_astar exceeded its state budget");
+    }
   }
   return std::move(*result);
 }

@@ -10,12 +10,22 @@
 //
 // Optimality is a theorem, not a race outcome: workers prune any state
 // priced at or above the incumbent (the cheapest complete state seen so
-// far), so expansion cannot stop while anything prices below it — when the
-// ring certifies quiescence, the globally cheapest open f-value is ≥ the
-// incumbent and the incumbent is provably optimal. hda-astar therefore
-// returns costs identical to exact-astar at any thread count, which
-// tests/solvers/test_hda_astar.cpp asserts differentially at 1, 2, and 8
-// threads.
+// far — or, when an IncumbentSeed is supplied, a verified heuristic trace
+// standing in from move one), so expansion cannot stop while anything
+// prices below it — when the ring certifies quiescence, the globally
+// cheapest open f-value is ≥ the incumbent and the incumbent is provably
+// optimal. hda-astar therefore returns costs identical to exact-astar at
+// any thread count, which tests/solvers/test_hda_astar.cpp asserts
+// differentially at 1, 2, and 8 threads.
+//
+// Scaling machinery shared with exact-astar (see ExactSearchOptions):
+// variable-width states past 42 nodes (up to 128), additive pattern
+// databases reinforcing the bound, and a memory budget split evenly across
+// the shard tables. One HDA*-specific wrinkle: on *serial* instances
+// (level width 1 — chains), hash-sharding degenerates into cross-thread
+// hand-offs of a single state, each paying mailbox plus wake latency, so
+// the search automatically falls back to one worker
+// (ExactSearchStats::threads_used reports the actual count).
 #pragma once
 
 #include <cstddef>
@@ -26,8 +36,9 @@
 
 namespace rbpeb {
 
-/// Node cap of the HDA* search: 42 nodes × 3 bits fit an __uint128_t key.
-inline constexpr std::size_t kHdaAstarMaxNodes = 42;
+/// Node cap of the HDA* search — the wide-mask bound cap, shared with
+/// exact-astar (42-node fixed-width fast path inside).
+inline constexpr std::size_t kHdaAstarMaxNodes = 128;
 
 /// Sanity cap on the worker count; a request beyond it is a typo, not a
 /// machine.
@@ -53,5 +64,11 @@ std::optional<ExactResult> try_solve_hda_astar(
     const Engine& engine, std::size_t threads = 0,
     std::size_t max_states = 2'000'000, const StopPredicate& should_stop = {},
     ExactSearchStats* stats = nullptr);
+
+/// Full-options entry point: memory budget (split across shards), pattern
+/// databases, incumbent seeding, forced variable-width path.
+std::optional<ExactResult> try_solve_hda_astar(
+    const Engine& engine, std::size_t threads,
+    const ExactSearchOptions& options, ExactSearchStats* stats = nullptr);
 
 }  // namespace rbpeb

@@ -6,17 +6,24 @@
 // locks on the search structures themselves. Generated neighbors that hash
 // elsewhere travel as StateMsg batches through the owner's MPSC mailbox, the
 // only synchronized structure, kept cold by sender-side batching.
+//
+// Everything is templated over the packed-state type (the fixed-width
+// BasicPackedState words or the variable-width VarPackedState of
+// bigstate/var_state.hpp); the shard table is the byte-accounted ClosedTable
+// so a memory budget divides evenly across workers. Shard ownership hashes
+// through Packed::hash_key — cached and incrementally maintained for
+// variable-width keys, so routing a neighbor never rescans it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "src/pebble/move.hpp"
+#include "src/solvers/bigstate/closed_table.hpp"
 #include "src/solvers/bucket_queue.hpp"
-#include "src/solvers/packed_state.hpp"
 
 namespace rbpeb::hda {
 
@@ -26,10 +33,10 @@ inline constexpr std::size_t kRouteBatchSize = 64;
 /// A generated state en route to its owner shard: everything the owner needs
 /// to relax it — key, priced path (g, f = g + h), and the tree edge for the
 /// eventual path reconstruction.
-template <typename Word>
+template <typename Packed>
 struct StateMsg {
-  Word key;
-  Word parent;
+  typename Packed::Key key;
+  typename Packed::Key parent;
   std::int64_t g;
   std::int64_t f;
   Move via;
@@ -38,17 +45,22 @@ struct StateMsg {
 /// Multi-producer single-consumer mailbox. Senders append whole batches
 /// under the mutex; the owner drains by swapping the inbox out. Both sides
 /// hold the lock for O(batch) pointer moves, never per-message.
-template <typename Word>
+template <typename Packed>
 class Mailbox {
  public:
-  void deliver(std::vector<StateMsg<Word>>& batch) {
+  /// Moves the batch's messages in (the caller clears it right after, and
+  /// variable-width keys own heap storage — copying them under the one
+  /// contended lock would put two allocations per message in the critical
+  /// section).
+  void deliver(std::vector<StateMsg<Packed>>& batch) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    inbox_.insert(inbox_.end(), batch.begin(), batch.end());
+    inbox_.insert(inbox_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
   }
 
   /// Swap the inbox into `out` (previous contents discarded); returns the
   /// number of messages received.
-  std::size_t drain(std::vector<StateMsg<Word>>& out) {
+  std::size_t drain(std::vector<StateMsg<Packed>>& out) {
     out.clear();
     const std::lock_guard<std::mutex> lock(mutex_);
     out.swap(inbox_);
@@ -62,38 +74,35 @@ class Mailbox {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<StateMsg<Word>> inbox_;
+  std::vector<StateMsg<Packed>> inbox_;
 };
 
 /// The per-worker search state. Only the owning worker reads or writes
 /// `table` and `queue`; `mailbox` is the one cross-thread door.
-template <typename Word>
+template <typename Packed>
 struct Shard {
-  /// Closed/open-table entry: best known g and the tree edge achieving it.
-  struct Entry {
-    std::int64_t g;
-    Word parent;
-    Move via;
-  };
+  using Table = ClosedTable<Packed>;
+  using Entry = typename Table::Entry;
 
   /// Open-queue item; stale once `g` no longer matches the table.
   struct OpenItem {
-    Word key;
+    typename Packed::Key key;
     std::int64_t g;
   };
 
-  explicit Shard(std::size_t bucket_count) : queue(bucket_count) {}
+  Shard(std::size_t bucket_count, std::size_t max_table_bytes)
+      : table(max_table_bytes), queue(bucket_count) {}
 
-  std::unordered_map<Word, Entry, PackedKeyHash> table;
+  Table table;
   BucketQueue<OpenItem> queue;
-  Mailbox<Word> mailbox;
+  Mailbox<Packed> mailbox;
 };
 
 /// Stable state→owner map: upper hash bits, so shard choice stays
-/// independent of the table's own (low-bits-leaning) bucket indexing.
-template <typename Word>
-std::size_t owner_of(Word key, std::size_t workers) {
-  return static_cast<std::size_t>(PackedKeyHash{}(key) >> 32) % workers;
+/// independent of the table's own (low-bits-leaning) slot indexing.
+template <typename Packed>
+std::size_t owner_of(const typename Packed::Key& key, std::size_t workers) {
+  return (Packed::hash_key(key) >> 32) % workers;
 }
 
 }  // namespace rbpeb::hda

@@ -35,8 +35,24 @@ class BasicPackedState {
     return sizeof(Word) * 8 / kBitsPerNode;
   }
 
+  /// The search-key protocol shared with VarPackedState (bigstate): a key
+  /// type the closed tables store, plus hashing and (heap) byte accounting.
+  /// Here the key is simply the word.
+  using Key = Word;
+
   BasicPackedState() = default;
   explicit BasicPackedState(Word bits) : bits_(bits) {}
+
+  Key key() const { return bits_; }
+
+  static BasicPackedState from_key(Key key, std::size_t /*node_count*/) {
+    return BasicPackedState(key);
+  }
+
+  static std::size_t hash_key(const Key& key);  // defined after PackedKeyHash
+
+  /// Fixed-width keys never spill to the heap.
+  static std::size_t key_heap_bytes(const Key&) { return 0; }
 
   static BasicPackedState from_state(const GameState& state) {
     BasicPackedState packed;
@@ -135,5 +151,10 @@ struct PackedKeyHash {
     return static_cast<std::size_t>(mix(lo ^ mix(hi)));
   }
 };
+
+template <typename Word>
+std::size_t BasicPackedState<Word>::hash_key(const Key& key) {
+  return PackedKeyHash{}(key);
+}
 
 }  // namespace rbpeb

@@ -211,6 +211,66 @@ TEST(StateBounds, MaskCompositionMatchesTheGenericWalk) {
   }
 }
 
+// The two-word wide-mask path (65–128-node DAGs, and the variable-width
+// searches at any size) must price exactly like the generic walk too —
+// including states whose closure spans both words — and, on DAGs the
+// one-word path also covers, like the one-word path.
+TEST(StateBounds, WideMaskCompositionMatchesTheGenericWalk) {
+  Dag big = make_random_layered_dag({.layers = 20, .width = 4, .indegree = 2,
+                                     .seed = 21});  // 80 nodes: wide only
+  ASSERT_GT(big.node_count(), StateBoundEvaluator::kMaskMaxNodes);
+  ASSERT_LE(big.node_count(), StateBoundEvaluator::kWideMaskMaxNodes);
+  Dag small = make_random_layered_dag({.layers = 4, .width = 4, .indegree = 2,
+                                       .seed = 13});  // 16 nodes: both paths
+  for (const Dag* dag : {&big, &small}) {
+    const std::size_t n = dag->node_count();
+    for (const Model& model : all_models()) {
+      for (bool sources_blue : {false, true}) {
+        for (bool sinks_blue : {false, true}) {
+          Engine engine(*dag, model, min_red_pebbles(*dag),
+                        PebblingConvention{.sources_start_blue = sources_blue,
+                                           .sinks_end_blue = sinks_blue});
+          StateBoundEvaluator evaluator(engine);
+          Rng rng(19);
+          GameState state = engine.initial_state();
+          auto wide = StateBoundEvaluator::WideStateMasks::from(state, n);
+          Cost cost;
+          for (int step = 0; step < 100; ++step) {
+            // The incrementally applied masks must equal a fresh re-encode.
+            const auto fresh =
+                StateBoundEvaluator::WideStateMasks::from(state, n);
+            ASSERT_EQ(wide.red, fresh.red) << step;
+            ASSERT_EQ(wide.blue, fresh.blue) << step;
+            ASSERT_EQ(wide.computed, fresh.computed) << step;
+            EXPECT_EQ(evaluator.lower_bound_scaled(wide),
+                      evaluator.lower_bound_generic(state))
+                << model.name() << " n=" << n << " step " << step;
+            if (n <= StateBoundEvaluator::kMaskMaxNodes) {
+              const auto narrow =
+                  StateBoundEvaluator::StateMasks::from(state, n);
+              EXPECT_EQ(evaluator.lower_bound_scaled(wide),
+                        evaluator.lower_bound_scaled(narrow))
+                  << model.name() << " step " << step;
+            }
+            std::vector<Move> legal;
+            for (std::size_t v = 0; v < n; ++v) {
+              for (MoveType type : {MoveType::Load, MoveType::Store,
+                                    MoveType::Compute, MoveType::Delete}) {
+                Move move{type, static_cast<NodeId>(v)};
+                if (engine.is_legal(state, move)) legal.push_back(move);
+              }
+            }
+            if (legal.empty()) break;
+            const Move move = legal[rng.next_below(legal.size())];
+            engine.apply(state, move, cost);
+            wide.apply(move);
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Bounds, BaseModelHasNoLengthBound) {
   DagBuilder b;
   b.add_nodes(2);

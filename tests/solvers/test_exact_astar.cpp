@@ -80,7 +80,11 @@ TEST(PackedState, IncrementalUpdatesMatchEngineTransitions128) {
 TEST(PackedState, WidthCapsMatchTheDocumentedLimits) {
   EXPECT_EQ(PackedState64::max_nodes(), 21u);
   EXPECT_EQ(PackedState128::max_nodes(), 42u);
-  EXPECT_EQ(kExactAstarMaxNodes, 42u);
+  EXPECT_EQ(kExactAstarFixedMaxNodes, 42u);
+  // Past the fixed-width words the variable-width bigstate path carries the
+  // search to the wide-mask bound cap.
+  EXPECT_EQ(kExactAstarMaxNodes, 128u);
+  EXPECT_EQ(kExactAstarMaxNodes, StateBoundEvaluator::kWideMaskMaxNodes);
 }
 
 // ---- differential harness ------------------------------------------------
@@ -196,9 +200,9 @@ TEST(AstarScale, SolvesA26NodeLayeredDagInNodel) {
   EXPECT_GE(result.cost, cost_lower_bound(dag, Model::nodel(), r));
 }
 
-TEST(AstarScale, RejectsDagsBeyond42Nodes) {
+TEST(AstarScale, RejectsDagsBeyondTheBigstateCap) {
   DagBuilder b;
-  b.add_nodes(43);
+  b.add_nodes(kExactAstarMaxNodes + 1);
   Dag dag = b.build();
   Engine engine(dag, Model::oneshot(), 1);
   EXPECT_THROW(solve_exact_astar(engine), PreconditionError);

@@ -124,9 +124,9 @@ TEST(HdaScale, MatchesExactAstarOnA26NodeLayeredDagInNodel) {
   EXPECT_EQ(parallel.cost, sequential.cost);
 }
 
-TEST(HdaScale, RejectsDagsBeyond42Nodes) {
+TEST(HdaScale, RejectsDagsBeyondTheBigstateCap) {
   DagBuilder b;
-  b.add_nodes(43);
+  b.add_nodes(kHdaAstarMaxNodes + 1);
   Dag dag = b.build();
   Engine engine(dag, Model::oneshot(), 1);
   EXPECT_THROW(solve_hda_astar(engine), PreconditionError);
@@ -134,6 +134,50 @@ TEST(HdaScale, RejectsDagsBeyond42Nodes) {
   request.engine = &engine;
   SolveResult result = SolverRegistry::instance().at("hda-astar").run(request);
   EXPECT_EQ(result.status, SolveStatus::Inapplicable);
+}
+
+TEST(HdaScale, SerialInstancesFallBackToOneWorker) {
+  // A chain's search frontier is one state; hash-sharding it across workers
+  // is all hand-off latency. The search must detect level width 1 and run
+  // sequentially no matter how many threads were granted.
+  Dag dag = make_chain_dag(30);
+  Engine engine(dag, Model::oneshot(), 2);
+  ExactSearchStats stats;
+  auto result = try_solve_hda_astar(engine, 8, 2'000'000, {}, &stats);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->cost, Rational(0));
+  EXPECT_EQ(stats.threads_used, 1u);
+  // A branching instance keeps its grant.
+  Dag tree = make_tree_reduction_dag(4).dag;
+  Engine tree_engine(tree, Model::oneshot(), 3);
+  ASSERT_TRUE(try_solve_hda_astar(tree_engine, 2, 2'000'000, {}, &stats)
+                  .has_value());
+  EXPECT_EQ(stats.threads_used, 2u);
+}
+
+TEST(HdaScale, ChainAtEightThreadsStaysWithin5xOfOneThread) {
+  // ROADMAP regression: chain30 solved in ~1 ms sequentially but took
+  // hundreds of ms at 8 threads before the serial fallback existed. With
+  // the fallback both land on the same code path, so 5x (plus a floor
+  // absorbing timer noise on millisecond runs) is generous.
+  Dag dag = make_chain_dag(30);
+  Engine engine(dag, Model::oneshot(), 2);
+  auto best_of = [&](std::size_t threads) {
+    double best_ms = 1e100;
+    for (int run = 0; run < 3; ++run) {
+      const auto start = std::chrono::steady_clock::now();
+      ExactResult result = solve_hda_astar(engine, threads);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      EXPECT_EQ(result.cost, Rational(0)) << threads;
+      best_ms = std::min(best_ms, ms);
+    }
+    return best_ms;
+  };
+  const double one = best_of(1);
+  const double eight = best_of(8);
+  EXPECT_LE(eight, std::max(5.0 * one, 50.0));
 }
 
 TEST(HdaScale, RejectsAbsurdThreadCounts) {

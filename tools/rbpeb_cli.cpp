@@ -5,8 +5,8 @@
 //   rbpeb_cli solve <dag-file> <R>
 //       [--model base|oneshot|nodel|compcost] [--solver NAME|portfolio]
 //       [--opt key=value]... [--budget-states N] [--budget-iterations N]
-//       [--budget-ms N] [--budget-threads N] [--jobs N]
-//       [--sources-blue] [--sinks-blue]
+//       [--budget-ms N] [--budget-threads N] [--budget-memory N[k|m|g]]
+//       [--jobs N] [--sources-blue] [--sinks-blue]
 //       [--trace <out-file>] [--dot <out-file>]
 //   rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]
 //       [--sources-blue] [--sinks-blue]
@@ -19,6 +19,7 @@
 // to stdout.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,7 +47,8 @@ using namespace rbpeb;
       "  rbpeb_cli list-solvers\n"
       "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S|portfolio]\n"
       "            [--opt k=v]... [--budget-states N] [--budget-iterations N]\n"
-      "            [--budget-ms N] [--budget-threads N] [--jobs N]\n"
+      "            [--budget-ms N] [--budget-threads N]\n"
+      "            [--budget-memory N[k|m|g]] [--jobs N]\n"
       "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
       "            [--sources-blue] [--sinks-blue]\n"
@@ -54,6 +56,32 @@ using namespace rbpeb;
       " tree <leaves>\n"
       "models: base oneshot nodel compcost; solvers: see list-solvers\n";
   std::exit(2);
+}
+
+/// "67108864", "64m", "2G" → bytes. Exits with usage() on malformed input.
+std::size_t parse_byte_count(const std::string& text) {
+  if (text.empty()) usage();
+  std::size_t multiplier = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': multiplier = std::size_t{1} << 10; break;
+    case 'm': case 'M': multiplier = std::size_t{1} << 20; break;
+    case 'g': case 'G': multiplier = std::size_t{1} << 30; break;
+    default: break;
+  }
+  if (multiplier != 1) digits.pop_back();
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    usage();
+  }
+  std::size_t value = 0;
+  try {
+    value = std::stoull(digits);
+  } catch (const std::out_of_range&) {
+    usage();
+  }
+  if (value > std::numeric_limits<std::size_t>::max() / multiplier) usage();
+  return value * multiplier;
 }
 
 std::string read_file(const std::string& path) {
@@ -151,6 +179,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       budget.with_wall_clock_ms(std::stol(args[++i]));
     else if (args[i] == "--budget-threads" && i + 1 < args.size())
       budget.threads = std::stoul(args[++i]);
+    else if (args[i] == "--budget-memory" && i + 1 < args.size())
+      budget.max_memory_bytes = parse_byte_count(args[++i]);
     else if (args[i] == "--jobs" && i + 1 < args.size())
       jobs = std::stoul(args[++i]);
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
