@@ -1,5 +1,5 @@
 // Bigstate scaling: how far past the old 42-node fixed-width cap the exact
-// layer now proves optima, and at what price.
+// layer now proves optima, and at what price — in RAM, and spilling.
 //
 // PR-2 (exact-astar) and PR-3 (hda-astar) capped at 42 nodes — 3 bits per
 // node exhausts an __uint128_t key. This bench drives both searches, on the
@@ -15,7 +15,13 @@
 //    boundary case;
 //  * peak closed-table bytes against the budget, plus hardware_concurrency
 //    (HDA* wall clock is machine-dependent; a single-core container's
-//    numbers must not be misread).
+//    numbers must not be misread);
+//  * the external-memory story: every case re-runs both searches under a
+//    tight 32 MiB budget (disk-backed, --budget-disk-equivalent 2 GiB).
+//    Before the spill subsystem those runs died as MemoryBudget dead-ends
+//    wherever the table outgrew 32 MiB; now they solve, with identical
+//    costs and (for the sequential search) identical expansion counts, and
+//    the report records spilled_states / spill_bytes / merge_passes.
 //
 // The exit code enforces correctness only: both searches must certify the
 // same cost on every instance they both solve. Unsolved instances (budget)
@@ -42,6 +48,10 @@ using namespace rbpeb;
 
 constexpr std::size_t kBudgetStates = 12'000'000;
 constexpr std::size_t kBudgetBytes = std::size_t{512} << 20;  // 512 MiB
+// The external-memory runs: a budget the bigger stencils genuinely exceed
+// in RAM, backed by a disk allowance no run comes close to.
+constexpr std::size_t kTightBudgetBytes = std::size_t{32} << 20;  // 32 MiB
+constexpr std::size_t kTightDiskBytes = std::size_t{2} << 30;     // 2 GiB
 
 struct Case {
   std::string name;
@@ -54,6 +64,9 @@ struct Run {
   std::string cost = "-";
   std::size_t expanded = 0;
   std::size_t table_bytes = 0;
+  std::size_t spilled_states = 0;
+  std::size_t spill_bytes = 0;
+  std::size_t merge_passes = 0;
   double ms = 0.0;
 };
 
@@ -68,6 +81,9 @@ Run timed(Solve&& solve) {
                .count();
   run.expanded = stats.states_expanded;
   run.table_bytes = stats.table_bytes;
+  run.spilled_states = stats.spilled_states;
+  run.spill_bytes = stats.spill_bytes;
+  run.merge_passes = stats.merge_passes;
   if (result) {
     run.solved = true;
     run.cost = result->cost.str();
@@ -85,6 +101,9 @@ std::string json_run(const std::string& solver, const Run& run) {
      << ", \"cost\": " << json_str(run.cost)
      << ", \"expanded\": " << run.expanded
      << ", \"table_bytes\": " << run.table_bytes
+     << ", \"spilled_states\": " << run.spilled_states
+     << ", \"spill_bytes\": " << run.spill_bytes
+     << ", \"merge_passes\": " << run.merge_passes
      << ", \"ms\": " << format_double(run.ms, 1) << "}";
   return os.str();
 }
@@ -114,7 +133,8 @@ int main(int argc, char** argv) {
               std::to_string(kBudgetBytes >> 20) + " MiB, " +
               std::to_string(hw) + " hardware threads)");
   table.set_header({"instance", "model", "n", "R", "cost", "astar ms",
-                    "astar exp", "hda ms", "hda exp", "table MiB"});
+                    "astar exp", "hda ms", "hda exp", "table MiB",
+                    "spill@32m ms", "spill MiB"});
 
   std::ostringstream cases_json;
   bool first_case = true;
@@ -122,6 +142,8 @@ int main(int argc, char** argv) {
   std::size_t unsolved = 0;
   std::size_t nodes_proved_optimal = 0;
   std::size_t peak_table_bytes = 0;
+  std::size_t tight_solved = 0;
+  std::size_t tight_spilled = 0;
 
   for (const Case& c : cases) {
     const std::size_t r = min_red_pebbles(c.dag);
@@ -136,8 +158,22 @@ int main(int argc, char** argv) {
     Run hda = timed([&](ExactSearchStats& stats) {
       return try_solve_hda_astar(engine, 0, options, &stats);
     });
+    // The same instances under the tight budget: pre-spill these were
+    // MemoryBudget dead-ends wherever the table outgrew 32 MiB.
+    ExactSearchOptions tight = options;
+    tight.max_memory_bytes = kTightBudgetBytes;
+    tight.max_disk_bytes = kTightDiskBytes;
+    Run astar_spill = timed([&](ExactSearchStats& stats) {
+      return try_solve_exact_astar(engine, tight, &stats);
+    });
+    Run hda_spill = timed([&](ExactSearchStats& stats) {
+      return try_solve_hda_astar(engine, 0, tight, &stats);
+    });
     if (!astar.solved) ++unsolved;
     if (!hda.solved) ++unsolved;
+    if (astar_spill.solved) ++tight_solved;
+    if (hda_spill.solved) ++tight_solved;
+    tight_spilled += astar_spill.spilled_states + hda_spill.spilled_states;
     if (astar.solved && hda.solved) {
       if (astar.cost != hda.cost) {
         ++mismatches;  // the differential tests make this unreachable
@@ -145,6 +181,13 @@ int main(int argc, char** argv) {
         nodes_proved_optimal =
             std::max(nodes_proved_optimal, c.dag.node_count());
       }
+    }
+    // Spilled costs must agree with the in-RAM optimum — the whole point.
+    if (astar_spill.solved && astar.solved && astar_spill.cost != astar.cost) {
+      ++mismatches;
+    }
+    if (hda_spill.solved && astar.solved && hda_spill.cost != astar.cost) {
+      ++mismatches;
     }
     peak_table_bytes = std::max({peak_table_bytes, astar.table_bytes,
                                  hda.table_bytes});
@@ -156,6 +199,12 @@ int main(int argc, char** argv) {
                    format_double(static_cast<double>(std::max(
                                      astar.table_bytes, hda.table_bytes)) /
                                      (1024.0 * 1024.0),
+                                 1),
+                   format_double(astar_spill.ms, 0),
+                   format_double(static_cast<double>(std::max(
+                                     astar_spill.spill_bytes,
+                                     hda_spill.spill_bytes)) /
+                                     (1024.0 * 1024.0),
                                  1)});
     if (!first_case) cases_json << ",\n";
     first_case = false;
@@ -164,22 +213,32 @@ int main(int argc, char** argv) {
                << ", \"nodes\": " << c.dag.node_count() << ", \"r\": " << r
                << ",\n      \"runs\": [\n        "
                << json_run("exact-astar", astar) << ",\n        "
-               << json_run("hda-astar", hda) << "\n      ]}";
+               << json_run("hda-astar", hda) << ",\n        "
+               << json_run("exact-astar@32m", astar_spill) << ",\n        "
+               << json_run("hda-astar@32m", hda_spill) << "\n      ]}";
   }
 
   table.add_note("every instance beyond 42 nodes was unreachable for the");
   table.add_note("PR-2/PR-3 fixed-width searches; costs must match across");
-  table.add_note("both searches (exit code enforces it)");
+  table.add_note("both searches and the spill@32m runs (exit enforces it);");
+  table.add_note("spill@32m re-proves each optimum in 32 MiB of RAM via");
+  table.add_note("external-memory duplicate detection");
   std::cout << table << '\n';
   std::cout << "hardware threads: " << hw
             << ", nodes proved optimal: " << nodes_proved_optimal
             << ", cost mismatches: " << mismatches
-            << ", unsolved: " << unsolved << '\n';
+            << ", unsolved: " << unsolved
+            << ", spill@32m solved: " << tight_solved
+            << " (spilled " << tight_spilled << " states)" << '\n';
 
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"bigstate\",\n"
       << "  \"budget_states\": " << kBudgetStates << ",\n"
       << "  \"budget_memory_bytes\": " << kBudgetBytes << ",\n"
+      << "  \"tight_budget_memory_bytes\": " << kTightBudgetBytes << ",\n"
+      << "  \"tight_budget_disk_bytes\": " << kTightDiskBytes << ",\n"
+      << "  \"tight_solved\": " << tight_solved << ",\n"
+      << "  \"tight_spilled_states\": " << tight_spilled << ",\n"
       << "  \"hardware_concurrency\": " << hw << ",\n"
       << "  \"nodes_proved_optimal\": " << nodes_proved_optimal << ",\n"
       << "  \"peak_table_bytes\": " << peak_table_bytes << ",\n"

@@ -376,7 +376,7 @@ class ExactSearchSolver : public Solver {
       const SolveRequest* request) const override {
     (void)request;
     if (!bigstate()) return {"max-states"};
-    return {"max-states", "pdb", "pdb-pattern", "incumbent"};
+    return {"max-states", "pdb", "pdb-pattern", "incumbent", "spill"};
   }
 
   std::optional<std::string> why_inapplicable(
@@ -407,6 +407,8 @@ class ExactSearchSolver : public Solver {
     sopt.should_stop = [budget] { return budget.interrupted(); };
     if (bigstate()) {
       sopt.max_memory_bytes = budget.max_memory_bytes;
+      sopt.max_disk_bytes = budget.max_disk_bytes;
+      parse_spill_option(request.options, sopt);
       sopt.pdb = parse_pdb_mode(request.options);
       sopt.pdb_pattern_size = so::get_size(request.options, "pdb-pattern", 0);
       if (sopt.pdb_pattern_size > PatternDatabase::kMaxPatternSize) {
@@ -426,6 +428,10 @@ class ExactSearchSolver : public Solver {
       result.stats["max_states"] = std::to_string(sopt.max_states);
       if (!bigstate()) return;
       result.stats["table_bytes"] = std::to_string(search_stats.table_bytes);
+      result.stats["spilled_states"] =
+          std::to_string(search_stats.spilled_states);
+      result.stats["spill_bytes"] = std::to_string(search_stats.spill_bytes);
+      result.stats["merge_passes"] = std::to_string(search_stats.merge_passes);
       // On failure a seeded trace is what the caller gets back, so that is
       // its provenance; a failed search proved nothing.
       result.stats["incumbent_source"] =
@@ -451,9 +457,26 @@ class ExactSearchSolver : public Solver {
                    ") exhausted before an optimum was proven";
           break;
         case ExactTermination::MemoryBudget:
-          detail = "memory budget (" +
-                   std::to_string(sopt.max_memory_bytes) +
+          detail = "memory budget (" + std::to_string(sopt.max_memory_bytes) +
                    " bytes) exhausted before an optimum was proven";
+          if (sopt.spill == SpillMode::Off) {
+            detail += "; spilling to disk was disabled (spill=off)";
+          } else if (sopt.max_disk_bytes != 0 &&
+                     !search_stats.spill_io_error) {
+            // With spilling on, this termination means the runs could not
+            // grow either — the disk budget is what actually stopped it.
+            detail += "; disk budget (" +
+                      std::to_string(sopt.max_disk_bytes) +
+                      " bytes) blocked further spilling (" +
+                      std::to_string(search_stats.spilled_states) +
+                      " states spilled)";
+          } else {
+            // Raising --budget-disk cannot fix this one: the filesystem
+            // itself refused the write.
+            detail += "; spilling to disk failed (disk full or I/O error; " +
+                      std::to_string(search_stats.spilled_states) +
+                      " states spilled)";
+          }
           break;
         default:
           detail =
@@ -488,6 +511,29 @@ class ExactSearchSolver : public Solver {
   }
 
  private:
+  /// --opt spill=auto|off|/path: auto spills to a fresh temp directory
+  /// whenever a memory budget is set, off restores the hard-stop budget
+  /// semantics, a directory path spills under it. The path form must
+  /// contain a '/' so typos (spill=on, spill=Auto) fail loudly instead of
+  /// silently creating a relative spill directory.
+  static void parse_spill_option(const SolverOptions& options,
+                                 ExactSearchOptions& sopt) {
+    const auto value = so::get(options, "spill");
+    if (!value || *value == "auto") {
+      sopt.spill = SpillMode::Auto;
+    } else if (*value == "off") {
+      sopt.spill = SpillMode::Off;
+    } else if (value->find('/') != std::string_view::npos) {
+      sopt.spill = SpillMode::Path;
+      sopt.spill_path = std::string(*value);
+    } else {
+      throw PreconditionError(
+          "option 'spill': expected auto, off, or a directory path "
+          "(containing '/'); got '" +
+          std::string(*value) + "'");
+    }
+  }
+
   static PdbMode parse_pdb_mode(const SolverOptions& options) {
     const auto value = so::get(options, "pdb");
     if (!value || *value == "auto") return PdbMode::Auto;

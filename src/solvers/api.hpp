@@ -52,10 +52,16 @@ struct SolveBudget {
   /// racing slot.
   std::size_t threads = 0;
   /// Byte cap on a solver's dominant search structure (the exact searches'
-  /// closed tables; hda-astar splits it across shards); 0 = unlimited.
-  /// Exceeding it ends the solve as BudgetExhausted with partial stats —
+  /// closed tables; hda-astar splits it across shards); 0 = unlimited. The
+  /// informed searches spill cold closed entries to disk when they hit it
+  /// (see max_disk_bytes and the `spill` option); with spilling off,
+  /// exceeding it ends the solve as BudgetExhausted with partial stats —
   /// never an OOM kill. CLI: --budget-memory.
   std::size_t max_memory_bytes = 0;
+  /// Byte cap on the disk spill runs backing a memory-budgeted exact
+  /// search (hda-astar splits it across shards); 0 = unlimited. Exceeding
+  /// it ends the solve as BudgetExhausted. CLI: --budget-disk.
+  std::size_t max_disk_bytes = 0;
   /// Wall-clock deadline; unset = none.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// External cancellation flag (not owned); set to true to abandon the

@@ -1,0 +1,21 @@
+#include "src/solvers/bigstate/ddd.hpp"
+
+namespace rbpeb {
+
+std::optional<bigstate::SpillDirectory> make_spill_directory(
+    const ExactSearchOptions& options) {
+  if (!bigstate_spill_enabled(options)) return std::nullopt;
+  switch (options.spill) {
+    case SpillMode::Auto:
+      return bigstate::SpillDirectory::create("");
+    case SpillMode::Path:
+      RBPEB_REQUIRE(!options.spill_path.empty(),
+                    "SpillMode::Path needs a non-empty spill_path");
+      return bigstate::SpillDirectory::create(options.spill_path);
+    case SpillMode::Off:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbpeb

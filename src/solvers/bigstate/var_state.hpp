@@ -185,6 +185,24 @@ class VarPackedState {
     return key.is_heap() ? key.word_count_ * sizeof(std::uint64_t) : 0;
   }
 
+  /// Serialized key width for the disk spill runs (bigstate/spill.hpp): the
+  /// word array, little-endian word order. Every key of one instance has
+  /// the same word count, so spill records are fixed-size.
+  static std::size_t key_serialized_bytes(std::size_t node_count) {
+    return words_for(node_count) * sizeof(std::uint64_t);
+  }
+
+  static void key_serialize(const Key& key, std::uint8_t* out) {
+    std::memcpy(out, key.words(), key.word_count_ * sizeof(std::uint64_t));
+  }
+
+  static Key key_deserialize(const std::uint8_t* in, std::size_t node_count) {
+    VarPackedState key(node_count);
+    std::memcpy(key.words(), in, key.word_count_ * sizeof(std::uint64_t));
+    key.hash_ = key.recompute_hash();
+    return key;
+  }
+
   // ---- introspection (tests, diagnostics) --------------------------------
 
   std::size_t word_count() const { return word_count_; }

@@ -38,6 +38,17 @@ class BucketQueue {
 
   bool empty() const { return size_ == 0; }
 
+  /// Current heap footprint: the bucket spine plus every bucket's capacity.
+  /// O(bucket count) — the searches sample it at their poll checkpoints to
+  /// charge the queue against the memory budget, not per push.
+  std::size_t bytes() const {
+    std::size_t total = buckets_.capacity() * sizeof(std::vector<Item>);
+    for (const std::vector<Item>& bucket : buckets_) {
+      total += bucket.capacity() * sizeof(Item);
+    }
+    return total;
+  }
+
  private:
   std::vector<std::vector<Item>> buckets_;
   std::size_t cursor_ = 0;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "src/pebble/engine.hpp"
 #include "src/pebble/trace.hpp"
@@ -47,6 +48,18 @@ struct ExactSearchStats {
   /// True when the search proved the seeded incumbent optimal and returned
   /// its trace instead of one of its own.
   bool seed_won = false;
+  /// Closed entries evicted to disk spill runs (cumulative; summed over
+  /// shards for hda-astar). Zero when the search never spilled.
+  std::size_t spilled_states = 0;
+  /// Bytes written to spill runs (cumulative, including compaction rewrites).
+  std::size_t spill_bytes = 0;
+  /// Delayed-duplicate-detection passes: batched reconciliations of fresh
+  /// states against the spill runs, plus run compactions.
+  std::size_t merge_passes = 0;
+  /// True when a spill write failed for I/O reasons (filesystem full or
+  /// erroring) rather than the disk budget — a MemoryBudget termination
+  /// then cannot be fixed by raising --budget-disk.
+  bool spill_io_error = false;
 };
 
 /// Cooperative interruption hook: polled on entry and then every 64
@@ -69,6 +82,13 @@ struct IncumbentSeed {
 /// smaller instances keep their expansion counts bit-for-bit.
 enum class PdbMode { Auto, On, Off };
 
+/// Whether a memory-budget hit spills cold closed entries to disk
+/// (solvers/bigstate/ddd.hpp) instead of ending the search. Auto spills to
+/// a fresh temporary directory whenever max_memory_bytes > 0; Off keeps the
+/// legacy behavior (a budget hit terminates with MemoryBudget); Path spills
+/// under ExactSearchOptions::spill_path. CLI: --opt spill=auto|off|/path.
+enum class SpillMode { Auto, Off, Path };
+
 /// Knobs of the informed searches (exact-astar, hda-astar) beyond the plain
 /// state budget. Defaults reproduce the historical behavior on ≤42-node
 /// instances exactly.
@@ -82,6 +102,19 @@ struct ExactSearchOptions {
   PdbMode pdb = PdbMode::Auto;
   /// Pattern width for PdbMode::On/Auto; 0 = PatternDatabase default.
   std::size_t pdb_pattern_size = 0;
+  /// External-memory duplicate detection (bigstate/ddd.hpp): when the
+  /// closed table hits max_memory_bytes, evict cold (lowest-g) entries to
+  /// sorted spill runs instead of terminating, and reconcile fresh states
+  /// against the runs in batched merge passes. Defaults to Auto (engaged
+  /// exactly when a memory budget is set); never touched when no budget is.
+  SpillMode spill = SpillMode::Auto;
+  /// Spill directory for SpillMode::Path (a unique subdirectory is created
+  /// and removed per search). Ignored otherwise.
+  std::string spill_path;
+  /// Byte cap on the spill runs on disk (per search; hda-astar splits it
+  /// across its shards like the memory budget). 0 = unlimited. Exceeding it
+  /// ends the search with ExactTermination::MemoryBudget. CLI: --budget-disk.
+  std::size_t max_disk_bytes = 0;
   /// Optional incumbent seed (see IncumbentSeed).
   std::optional<IncumbentSeed> seed;
   StopPredicate should_stop;

@@ -5,8 +5,9 @@
 #include <vector>
 
 #include "src/pebble/bounds.hpp"
-#include "src/solvers/bigstate/closed_table.hpp"
+#include "src/solvers/bigstate/ddd.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
+#include "src/solvers/bigstate/spill.hpp"
 #include "src/solvers/bigstate/var_state.hpp"
 #include "src/solvers/bucket_queue.hpp"
 #include "src/solvers/packed_state.hpp"
@@ -40,7 +41,14 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   const std::int64_t incumbent =
       opt.seed ? std::min(ceiling + 1, opt.seed->g_scaled) : ceiling + 1;
 
-  ClosedTable<Packed> table(opt.max_memory_bytes);
+  // The spill directory outlives the table reading/writing under it and is
+  // removed wholesale on every exit path, cancellation included.
+  std::optional<bigstate::SpillDirectory> spill_dir =
+      make_spill_directory(opt);
+  SpillingClosedTable<Packed> table(n, opt.max_memory_bytes,
+                                    spill_dir ? spill_dir->path() : "",
+                                    opt.max_disk_bytes);
+  using Table = SpillingClosedTable<Packed>;
   struct QueueItem {
     Key key;
     std::int64_t g;  ///< g at push time; stale when it no longer matches.
@@ -51,16 +59,27 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
   StateBoundEvaluator bound(engine);
   if (pdb) bound.attach_pdb(&*pdb);
+  // PDB tables and the bucket arrays live inside the same memory budget as
+  // the closed table; the queue share is refreshed at the poll checkpoints.
+  const std::size_t pdb_bytes = pdb ? pdb->table_bytes() : 0;
+  table.set_overhead_bytes(pdb_bytes + queue.bytes());
 
+  auto fill_spill_stats = [&] {
+    stats.table_bytes = table.bytes();
+    stats.spilled_states = table.spilled_states();
+    stats.spill_bytes = table.spill_bytes();
+    stats.merge_passes = table.merge_passes();
+    stats.spill_io_error = table.spill_io_error();
+  };
   auto give_up = [&](ExactTermination why) {
     stats.termination = why;
-    stats.table_bytes = table.bytes();
+    fill_spill_stats();
     return std::nullopt;
   };
   // Nothing prices below the seed, so the seed is optimal — return it.
   auto seed_wins = [&]() {
     stats.termination = ExactTermination::Solved;
-    stats.table_bytes = table.bytes();
+    fill_spill_stats();
     stats.seed_won = true;
     ExactResult result;
     result.trace = opt.seed->trace;
@@ -82,8 +101,8 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     if (opt.seed) return seed_wins();
     return give_up(ExactTermination::Exhausted);
   }
-  if (table.try_emplace(start.key(), 0, start.key(), Move{MoveType::Load, 0})
-          .status == ClosedTable<Packed>::InsertStatus::OutOfMemory) {
+  if (table.relax(start.key(), 0, start.key(), Move{MoveType::Load, 0}) ==
+      Table::Relax::OutOfMemory) {
     return give_up(ExactTermination::MemoryBudget);
   }
   queue.push(*start_h, {start.key(), 0});
@@ -92,8 +111,13 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   while (!queue.empty()) {
     auto [f, item] = queue.pop();
     (void)f;
-    const auto* entry = table.find(item.key);
-    if (entry->g != item.g) continue;  // stale: a cheaper path superseded it
+    // Expansion gate: stale-g check plus the delayed duplicate check
+    // against any spill runs — each (key, g) expands at most once.
+    const auto pop = table.begin_expansion(item.key, item.g);
+    if (pop == Table::Pop::OutOfMemory) {
+      return give_up(ExactTermination::MemoryBudget);
+    }
+    if (pop == Table::Pop::Skip) continue;
     const std::int64_t g = item.g;
     const Packed current = Packed::from_key(item.key, n);
     // One O(n) unpack per expansion; neighbors below are derived in O(1) —
@@ -101,6 +125,10 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     GameState state = current.to_state(n);
     const Masks masks = Masks::from(current, n);
     if (engine.is_complete(state)) {
+      // Settle unverified entries first: an evicted-then-regenerated
+      // ancestor's RAM entry could otherwise splice a worse tree edge
+      // into the optimal trace.
+      table.settle();
       std::vector<Move> reversed;
       Key cursor = item.key;
       while (!(cursor == start.key())) {
@@ -115,16 +143,20 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
       result.cost = Rational(g, eps_den);
       result.states_expanded = expanded;
       stats.termination = ExactTermination::Solved;
-      stats.table_bytes = table.bytes();
+      fill_spill_stats();
       return result;
     }
     if (expanded >= opt.max_states) {
       return give_up(ExactTermination::StateBudget);
     }
     // Entry check included (expanded == 0): an expired deadline stops the
-    // search before it burns a poll interval of expansions.
-    if (should_stop && (expanded & 0x3Fu) == 0 && should_stop()) {
-      return give_up(ExactTermination::Stopped);
+    // search before it burns a poll interval of expansions. The same
+    // checkpoint refreshes the queue's share of the memory budget.
+    if ((expanded & 0x3Fu) == 0) {
+      table.set_overhead_bytes(pdb_bytes + queue.bytes());
+      if (should_stop && should_stop()) {
+        return give_up(ExactTermination::Stopped);
+      }
     }
     ++expanded;
 
@@ -136,16 +168,11 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
         if (!engine.is_legal(state, move)) continue;
         const Packed next = current.apply(move);
         const std::int64_t next_g = g + scaled_move_cost(model, type);
-        auto emplaced =
-            table.try_emplace(next.key(), next_g, item.key, move);
-        if (emplaced.status ==
-            ClosedTable<Packed>::InsertStatus::OutOfMemory) {
+        const auto relaxed = table.relax(next.key(), next_g, item.key, move);
+        if (relaxed == Table::Relax::OutOfMemory) {
           return give_up(ExactTermination::MemoryBudget);
         }
-        if (emplaced.status == ClosedTable<Packed>::InsertStatus::Found) {
-          if (emplaced.entry->g <= next_g) continue;
-          *emplaced.entry = {next_g, item.key, move};
-        }
+        if (relaxed == Table::Relax::Stale) continue;
         Masks next_masks = masks;
         next_masks.apply(move);
         std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);

@@ -41,13 +41,17 @@ template <typename Packed>
 struct SearchContext {
   using Key = typename Packed::Key;
 
-  SearchContext(std::size_t workers, std::size_t bucket_count,
-                std::size_t table_bytes_each, std::int64_t no_incumbent)
+  SearchContext(std::size_t node_count, std::size_t workers,
+                std::size_t bucket_count, std::size_t table_bytes_each,
+                const std::vector<std::string>& spill_partitions,
+                std::size_t disk_bytes_each, std::int64_t no_incumbent)
       : ring(workers), incumbent(no_incumbent) {
     shards.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      shards.push_back(
-          std::make_unique<Shard<Packed>>(bucket_count, table_bytes_each));
+      shards.push_back(std::make_unique<Shard<Packed>>(
+          node_count, bucket_count, table_bytes_each,
+          spill_partitions.empty() ? std::string() : spill_partitions[i],
+          disk_bytes_each));
     }
   }
 
@@ -94,6 +98,11 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
 
   StateBoundEvaluator bound(engine);
   if (pdb != nullptr) bound.attach_pdb(pdb);  // read-only, shared by workers
+  // The shared PDB tables and this worker's bucket arrays are budgeted
+  // against this shard's table cap; the queue share refreshes per poll.
+  const std::size_t pdb_share =
+      pdb == nullptr ? 0 : pdb->table_bytes() / workers;
+  self.table.set_overhead_bytes(pdb_share + self.queue.bytes());
   WorkerLedger ledger;
   std::vector<std::vector<StateMsg<Packed>>> out(workers);
   std::vector<StateMsg<Packed>> inbox;
@@ -104,14 +113,15 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
   // an equal-or-better path, or priced at or above the incumbent, die here.
   auto accept = [&](const StateMsg<Packed>& m) {
     if (m.f >= ctx.incumbent.load(std::memory_order_relaxed)) return;
-    auto emplaced = self.table.try_emplace(m.key, m.g, m.parent, m.via);
-    if (emplaced.status == Table::InsertStatus::OutOfMemory) {
-      ctx.abort_with(ExactTermination::MemoryBudget);
-      return;
-    }
-    if (emplaced.status == Table::InsertStatus::Found) {
-      if (emplaced.entry->g <= m.g) return;
-      *emplaced.entry = {m.g, m.parent, m.via};
+    switch (self.table.relax(m.key, m.g, m.parent, m.via)) {
+      case Table::Relax::OutOfMemory:
+        ctx.abort_with(ExactTermination::MemoryBudget);
+        return;
+      case Table::Relax::Stale:
+        return;
+      case Table::Relax::Inserted:
+      case Table::Relax::Improved:
+        break;
     }
     self.queue.push(m.f, {m.key, m.g});
   };
@@ -177,8 +187,14 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
     idle_spins = 0;
 
     auto [f, item] = self.queue.pop();
-    const auto* entry = self.table.find(item.key);
-    if (entry->g != item.g) continue;  // stale: a cheaper path superseded it
+    // Expansion gate: stale-g check plus the delayed duplicate check
+    // against this shard's spill runs — each (key, g) expands at most once.
+    const auto pop_verdict = self.table.begin_expansion(item.key, item.g);
+    if (pop_verdict == Table::Pop::OutOfMemory) {
+      ctx.abort_with(ExactTermination::MemoryBudget);
+      break;
+    }
+    if (pop_verdict == Table::Pop::Skip) continue;
     if (f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
     const std::int64_t g = item.g;
     const Packed current = Packed::from_key(item.key, n);
@@ -195,10 +211,14 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
       continue;  // never expanded: no completion extends a complete state for free
     }
     // Entry poll included (local_expanded == 0): an expired deadline stops
-    // this worker before it burns a poll interval of expansions.
-    if (should_stop && (local_expanded & 0x3Fu) == 0 && should_stop()) {
-      ctx.abort_with(ExactTermination::Stopped);
-      break;
+    // this worker before it burns a poll interval of expansions. The same
+    // checkpoint refreshes the queue's share of the memory budget.
+    if ((local_expanded & 0x3Fu) == 0) {
+      self.table.set_overhead_bytes(pdb_share + self.queue.bytes());
+      if (should_stop && should_stop()) {
+        ctx.abort_with(ExactTermination::Stopped);
+        break;
+      }
     }
     const std::size_t ticket =
         ctx.expanded.fetch_add(1, std::memory_order_relaxed);
@@ -255,10 +275,19 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   const std::int64_t eps_den = model.epsilon().den();
   const StopPredicate& should_stop = opt.should_stop;
 
-  auto table_bytes_total = [&](SearchContext<Packed>& ctx) {
-    std::size_t total = 0;
-    for (const auto& shard : ctx.shards) total += shard->table.bytes();
-    return total;
+  auto fill_spill_stats = [&](SearchContext<Packed>& ctx) {
+    stats.table_bytes = 0;
+    stats.spilled_states = 0;
+    stats.spill_bytes = 0;
+    stats.merge_passes = 0;
+    stats.spill_io_error = false;
+    for (const auto& shard : ctx.shards) {
+      stats.table_bytes += shard->table.bytes();
+      stats.spilled_states += shard->table.spilled_states();
+      stats.spill_bytes += shard->table.spill_bytes();
+      stats.merge_passes += shard->table.merge_passes();
+      stats.spill_io_error |= shard->table.spill_io_error();
+    }
   };
   auto give_up = [&](ExactTermination why) {
     stats.termination = why;
@@ -276,18 +305,35 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   std::optional<PatternDatabase> pdb;
   if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
 
+  // One spill directory per search, one private partition per shard: run
+  // files stay single-owner, so the disk path needs no locks. Declared
+  // before the context so the shards' run files die first.
+  std::optional<bigstate::SpillDirectory> spill_dir =
+      make_spill_directory(opt);
+  std::vector<std::string> spill_partitions;
+  if (spill_dir) {
+    spill_partitions.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      spill_partitions.push_back(
+          spill_dir->partition("shard-" + std::to_string(w)));
+    }
+  }
   SearchContext<Packed> ctx(
-      workers, static_cast<std::size_t>(ceiling) + 1,
+      n, workers, static_cast<std::size_t>(ceiling) + 1,
       opt.max_memory_bytes == 0 ? 0
                                 : std::max<std::size_t>(
                                       1, opt.max_memory_bytes / workers),
+      spill_partitions,
+      opt.max_disk_bytes == 0
+          ? 0
+          : std::max<std::size_t>(1, opt.max_disk_bytes / workers),
       seeded_incumbent);
   stats.threads_used = workers;
 
   // Nothing prices below the seed, so the seed is optimal — return it.
   auto seed_wins = [&]() {
     stats.termination = ExactTermination::Solved;
-    stats.table_bytes = table_bytes_total(ctx);
+    fill_spill_stats(ctx);
     stats.seed_won = true;
     ExactResult result;
     result.trace = opt.seed->trace;
@@ -310,10 +356,10 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
     // publishes it.
     Shard<Packed>& home =
         ctx.shard(hda::owner_of<Packed>(start.key(), workers));
-    if (home.table
-            .try_emplace(start.key(), 0, start.key(), Move{MoveType::Load, 0})
-            .status == Shard<Packed>::Table::InsertStatus::OutOfMemory) {
-      stats.table_bytes = table_bytes_total(ctx);
+    if (home.table.relax(start.key(), 0, start.key(),
+                         Move{MoveType::Load, 0}) ==
+        Shard<Packed>::Table::Relax::OutOfMemory) {
+      fill_spill_stats(ctx);
       return give_up(ExactTermination::MemoryBudget);
     }
     home.queue.push(*start_h, {start.key(), 0});
@@ -338,7 +384,7 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   for (std::thread& t : threads) t.join();
 
   stats.states_expanded = ctx.expanded.load(std::memory_order_relaxed);
-  stats.table_bytes = table_bytes_total(ctx);
+  fill_spill_stats(ctx);
   if (ctx.error) std::rethrow_exception(ctx.error);
   if (ctx.abort.load(std::memory_order_acquire)) {
     return give_up(static_cast<ExactTermination>(
@@ -354,6 +400,9 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   // Quiescence proved nothing open prices below the incumbent, so the chain
   // of tree edges behind goal_key is an optimal pebbling. Every entry lives
   // in its key's owner shard; all shards are safely readable after the join.
+  // Settle each shard first: an evicted-then-regenerated ancestor's RAM
+  // entry could otherwise splice a worse tree edge into the optimal trace.
+  for (auto& shard : ctx.shards) shard->table.settle();
   std::vector<Move> reversed;
   Key cursor = ctx.goal_key;
   while (!(cursor == start.key())) {

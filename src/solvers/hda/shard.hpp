@@ -9,20 +9,25 @@
 //
 // Everything is templated over the packed-state type (the fixed-width
 // BasicPackedState words or the variable-width VarPackedState of
-// bigstate/var_state.hpp); the shard table is the byte-accounted ClosedTable
-// so a memory budget divides evenly across workers. Shard ownership hashes
-// through Packed::hash_key — cached and incrementally maintained for
-// variable-width keys, so routing a neighbor never rescans it.
+// bigstate/var_state.hpp); the shard table is the byte-accounted, spill-
+// capable SpillingClosedTable (bigstate/ddd.hpp) so a memory budget divides
+// evenly across workers — and so does the disk budget: each shard owns a
+// private spill partition (a subdirectory of the search's spill directory),
+// keeping run files single-owner and the workers lock-free on the disk
+// path. Shard ownership hashes through Packed::hash_key — cached and
+// incrementally maintained for variable-width keys, so routing a neighbor
+// never rescans it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/pebble/move.hpp"
-#include "src/solvers/bigstate/closed_table.hpp"
+#include "src/solvers/bigstate/ddd.hpp"
 #include "src/solvers/bucket_queue.hpp"
 
 namespace rbpeb::hda {
@@ -81,7 +86,7 @@ class Mailbox {
 /// `table` and `queue`; `mailbox` is the one cross-thread door.
 template <typename Packed>
 struct Shard {
-  using Table = ClosedTable<Packed>;
+  using Table = SpillingClosedTable<Packed>;
   using Entry = typename Table::Entry;
 
   /// Open-queue item; stale once `g` no longer matches the table.
@@ -90,8 +95,12 @@ struct Shard {
     std::int64_t g;
   };
 
-  Shard(std::size_t bucket_count, std::size_t max_table_bytes)
-      : table(max_table_bytes), queue(bucket_count) {}
+  /// `spill_dir` is this shard's private partition ("" = spilling off).
+  Shard(std::size_t node_count, std::size_t bucket_count,
+        std::size_t max_table_bytes, const std::string& spill_dir,
+        std::size_t max_disk_bytes)
+      : table(node_count, max_table_bytes, spill_dir, max_disk_bytes),
+        queue(bucket_count) {}
 
   Table table;
   BucketQueue<OpenItem> queue;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 
 #include "src/pebble/move.hpp"
@@ -53,6 +54,24 @@ class BasicPackedState {
 
   /// Fixed-width keys never spill to the heap.
   static std::size_t key_heap_bytes(const Key&) { return 0; }
+
+  /// Serialized key width for the disk spill runs (bigstate/spill.hpp): the
+  /// word itself, byte for byte. Identical for every key of one instance,
+  /// so spill records are fixed-size and binary-searchable.
+  static std::size_t key_serialized_bytes(std::size_t /*node_count*/) {
+    return sizeof(Word);
+  }
+
+  static void key_serialize(const Key& key, std::uint8_t* out) {
+    std::memcpy(out, &key, sizeof(Word));
+  }
+
+  static Key key_deserialize(const std::uint8_t* in,
+                             std::size_t /*node_count*/) {
+    Word key;
+    std::memcpy(&key, in, sizeof(Word));
+    return key;
+  }
 
   static BasicPackedState from_state(const GameState& state) {
     BasicPackedState packed;

@@ -13,7 +13,7 @@
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/api.hpp"
-#include "src/solvers/bigstate/closed_table.hpp"
+#include "src/solvers/bigstate/ddd.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
 #include "src/solvers/exact.hpp"
 #include "src/solvers/exact_astar.hpp"
@@ -273,21 +273,32 @@ TEST(PatternDatabase, FoldsIntoTheBoundEvaluatorAsAMax) {
 
 // ---- the memory-budgeted closed table ------------------------------------
 
-TEST(ClosedTable, InsertFindAndUpdateSemantics) {
-  ClosedTable<PackedState64> table;
-  auto first = table.try_emplace(7, 10, 3, Move{MoveType::Load, 1});
-  ASSERT_EQ(first.status, ClosedTable<PackedState64>::InsertStatus::Inserted);
-  auto again = table.try_emplace(7, 99, 4, Move{MoveType::Store, 2});
-  ASSERT_EQ(again.status, ClosedTable<PackedState64>::InsertStatus::Found);
-  EXPECT_EQ(again.entry->g, 10);  // caller decides whether to overwrite
-  *again.entry = {5, 4, Move{MoveType::Store, 2}};
+using Table64 = SpillingClosedTable<PackedState64>;
+using TableVar = SpillingClosedTable<VarPackedState>;
+
+/// A table with spilling disabled — the legacy ClosedTable semantics every
+/// unbudgeted (and spill=off) search still runs on.
+template <typename Packed>
+SpillingClosedTable<Packed> ram_only_table(std::size_t node_count,
+                                           std::size_t max_bytes) {
+  return SpillingClosedTable<Packed>(node_count, max_bytes, "", 0);
+}
+
+TEST(ClosedTable, RelaxAndLookupSemantics) {
+  Table64 table = ram_only_table<PackedState64>(21, 0);
+  EXPECT_EQ(table.relax(7, 10, 3, Move{MoveType::Load, 1}),
+            Table64::Relax::Inserted);
+  // A path no cheaper than the known one dies; a cheaper one re-opens.
+  EXPECT_EQ(table.relax(7, 99, 4, Move{MoveType::Store, 2}),
+            Table64::Relax::Stale);
+  EXPECT_EQ(table.at(7).g, 10);
+  EXPECT_EQ(table.relax(7, 5, 4, Move{MoveType::Store, 2}),
+            Table64::Relax::Improved);
   EXPECT_EQ(table.at(7).g, 5);
-  EXPECT_EQ(table.find(8), nullptr);
   EXPECT_EQ(table.size(), 1u);
   // Growth keeps every entry reachable.
   for (std::uint64_t k = 100; k < 3000; ++k) {
-    table.try_emplace(k, static_cast<std::int64_t>(k), 0,
-                      Move{MoveType::Load, 0});
+    table.relax(k, static_cast<std::int64_t>(k), 0, Move{MoveType::Load, 0});
   }
   EXPECT_EQ(table.size(), 2901u);
   EXPECT_EQ(table.at(7).g, 5);
@@ -295,18 +306,31 @@ TEST(ClosedTable, InsertFindAndUpdateSemantics) {
   EXPECT_GT(table.bytes(), 2901 * sizeof(std::uint64_t));
 }
 
-TEST(ClosedTable, RefusesInsertsBeyondTheByteBudget) {
-  ClosedTable<PackedState64> tiny(64);  // smaller than the initial slab
-  EXPECT_EQ(tiny.try_emplace(1, 0, 0, Move{MoveType::Load, 0}).status,
-            ClosedTable<PackedState64>::InsertStatus::OutOfMemory);
+TEST(ClosedTable, ExpansionGateFiresOncePerKeyAndG) {
+  Table64 table = ram_only_table<PackedState64>(21, 0);
+  table.relax(7, 10, 3, Move{MoveType::Load, 1});
+  EXPECT_EQ(table.begin_expansion(7, 12), Table64::Pop::Skip);  // stale g
+  EXPECT_EQ(table.begin_expansion(7, 10), Table64::Pop::Expand);
+  EXPECT_EQ(table.begin_expansion(7, 10), Table64::Pop::Skip);  // once only
+  // A strict improvement re-opens the state at its new g.
+  EXPECT_EQ(table.relax(7, 4, 3, Move{MoveType::Load, 1}),
+            Table64::Relax::Improved);
+  EXPECT_EQ(table.begin_expansion(7, 10), Table64::Pop::Skip);
+  EXPECT_EQ(table.begin_expansion(7, 4), Table64::Pop::Expand);
+}
+
+TEST(ClosedTable, RefusesInsertsBeyondTheByteBudgetWhenSpillIsOff) {
+  Table64 tiny = ram_only_table<PackedState64>(21, 64);  // below the slab
+  EXPECT_EQ(tiny.relax(1, 0, 0, Move{MoveType::Load, 0}),
+            Table64::Relax::OutOfMemory);
   EXPECT_EQ(tiny.size(), 0u);
 
-  ClosedTable<PackedState64> small(100'000);  // holds the slab, not a grow
+  // Holds the slab, not a grow.
+  Table64 small = ram_only_table<PackedState64>(21, 100'000);
   std::size_t inserted = 0;
   for (std::uint64_t k = 0; k < 10'000; ++k) {
-    auto result = small.try_emplace(k, 0, 0, Move{MoveType::Load, 0});
-    if (result.status ==
-        ClosedTable<PackedState64>::InsertStatus::OutOfMemory) {
+    if (small.relax(k, 0, 0, Move{MoveType::Load, 0}) ==
+        Table64::Relax::OutOfMemory) {
       break;
     }
     ++inserted;
@@ -316,41 +340,43 @@ TEST(ClosedTable, RefusesInsertsBeyondTheByteBudget) {
   EXPECT_LE(small.bytes(), 100'000u);
   // Everything inserted before the refusal is still there.
   EXPECT_EQ(small.size(), inserted);
-  EXPECT_NE(small.find(0), nullptr);
+  EXPECT_EQ(small.at(0).g, 0);
 }
 
 TEST(ClosedTable, AccountsHeapSpillOfVariableWidthKeys) {
   // Two tables, same slot layout: one stores an inline key, one a spilled
   // key; the byte difference must be exactly the key's (and its parent
   // copy's) heap words.
-  ClosedTable<VarPackedState> inline_table;
+  TableVar inline_table = ram_only_table<VarPackedState>(40, 0);
   VarPackedState inline_key(40);  // 2 words: fits the inline buffer
   ASSERT_EQ(VarPackedState::key_heap_bytes(inline_key), 0u);
-  inline_table.try_emplace(inline_key, 0, inline_key, Move{MoveType::Load, 0});
+  inline_table.relax(inline_key, 0, inline_key, Move{MoveType::Load, 0});
 
-  ClosedTable<VarPackedState> spill_table;
+  TableVar spill_table = ram_only_table<VarPackedState>(60, 0);
   VarPackedState key(60);  // 3 words: spills
   key.set_color(50, PebbleColor::Red);
-  auto result = spill_table.try_emplace(key, 1, key, Move{MoveType::Load, 0});
-  ASSERT_EQ(result.status, ClosedTable<VarPackedState>::InsertStatus::Inserted);
+  ASSERT_EQ(spill_table.relax(key, 1, key, Move{MoveType::Load, 0}),
+            TableVar::Relax::Inserted);
   EXPECT_GT(VarPackedState::key_heap_bytes(key), 0u);
   EXPECT_EQ(spill_table.bytes(),
             inline_table.bytes() + 2 * VarPackedState::key_heap_bytes(key));
   EXPECT_EQ(spill_table.at(key).g, 1);
 }
 
-TEST(MemoryBudget, SearchEndsGracefullyWithPartialStats) {
+TEST(MemoryBudget, SearchEndsGracefullyWithPartialStatsWhenSpillIsOff) {
   Dag dag = make_random_layered_dag({.layers = 3, .width = 4, .indegree = 2,
                                      .seed = 6});
   Engine engine(dag, Model::oneshot(), min_red_pebbles(dag));
   ExactSearchOptions options;
   options.max_memory_bytes = 100'000;  // a grow past the first slab trips it
+  options.spill = SpillMode::Off;      // spill would turn this into a solve
   ExactSearchStats stats;
   EXPECT_EQ(try_solve_exact_astar(engine, options, &stats), std::nullopt);
   EXPECT_EQ(stats.termination, ExactTermination::MemoryBudget);
   EXPECT_GT(stats.states_expanded, 0u);
   EXPECT_GT(stats.table_bytes, 0u);
   EXPECT_LE(stats.table_bytes, options.max_memory_bytes);
+  EXPECT_EQ(stats.spilled_states, 0u);
   // The HDA* shards split the same budget and trip the same way.
   EXPECT_EQ(try_solve_hda_astar(engine, 2, options, &stats), std::nullopt);
   EXPECT_EQ(stats.termination, ExactTermination::MemoryBudget);
@@ -363,10 +389,12 @@ TEST(MemoryBudget, ReportedThroughTheSolverApi) {
   SolveRequest request;
   request.engine = &engine;
   request.budget.max_memory_bytes = 100'000;
+  request.options["spill"] = "off";
   for (const char* name : {"exact-astar", "hda-astar"}) {
     SolveResult result = SolverRegistry::instance().at(name).run(request);
     EXPECT_EQ(result.status, SolveStatus::BudgetExhausted) << name;
     EXPECT_NE(result.detail.find("memory budget"), std::string::npos) << name;
+    EXPECT_NE(result.detail.find("spill=off"), std::string::npos) << name;
     ASSERT_TRUE(result.stats.contains("table_bytes")) << name;
     EXPECT_GT(std::stoull(result.stats.at("table_bytes")), 0u) << name;
   }
@@ -379,6 +407,7 @@ TEST(MemoryBudget, FlowsThroughThePortfolio) {
   SolveRequest request;
   request.engine = &engine;
   request.budget.max_memory_bytes = 100'000;
+  request.options["spill"] = "off";
   PortfolioOptions options;
   options.solvers = {"exact-astar", "greedy"};
   options.parallel = false;  // deterministic order for the assertion below
@@ -454,6 +483,18 @@ TEST(IncumbentSeed, BudgetExhaustionReturnsTheSeedAsBestSoFar) {
   EXPECT_EQ(verify_or_throw(engine, *result.trace).total, result.cost);
   EXPECT_EQ(result.stats.at("incumbent_source"), "greedy");
   EXPECT_NE(result.detail.find("incumbent seed"), std::string::npos);
+}
+
+TEST(MemoryBudget, SpillOptionTyposFailLoudly) {
+  // spill accepts auto, off, or a directory path (with a '/'); a typo like
+  // spill=on must not silently become a relative spill directory.
+  Dag dag = make_chain_dag(6);
+  Engine engine(dag, Model::oneshot(), 2);
+  SolveRequest request;
+  request.engine = &engine;
+  request.options["spill"] = "on";
+  EXPECT_THROW(SolverRegistry::instance().at("exact-astar").run(request),
+               PreconditionError);
 }
 
 TEST(PatternDatabase, OutOfRangePatternWidthFailsLoudly) {

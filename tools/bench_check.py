@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the BENCH_*.json reports.
+
+CI publishes three bench reports (exact_astar, hda_astar, bigstate) but a
+published number nobody checks is a number that silently regresses. This
+tool compares a freshly generated report against the committed baseline on
+the *deterministic* counters and fails on regression:
+
+  * costs are proven optima — they must be exactly equal;
+  * sequential expansion counts (exact-astar, Dijkstra, hda at 1 thread,
+    and the @32m spill runs of the sequential search) are deterministic —
+    more expansions than the baseline is a regression, fewer is an
+    improvement worth a baseline refresh (reported, not failed);
+  * solved/proven counters (nodes_proved_optimal, tight_solved, per-case
+    solved flags) may only go up;
+  * wall-clock milliseconds are machine-dependent — printed for context,
+    never gated.
+
+A separate mode asserts the hda-astar scaling claim on multi-core runners
+(ROADMAP: "CI's multi-core runners are where the scaling claim is
+checked"): on the width-4 workloads, 8 threads must not be slower than 1.
+
+Usage:
+  bench_check.py compare --fresh NEW.json --baseline OLD.json
+  bench_check.py scaling BENCH_hda_astar.json [--tolerance 1.0]
+
+Exit status: 0 clean, 1 regression, 2 bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+failures = []
+notes = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+def note(msg):
+    notes.append(msg)
+
+
+def check_cost(where, fresh, baseline):
+    if fresh != baseline:
+        fail(f"{where}: cost changed {baseline!r} -> {fresh!r} "
+             "(proven optima must be identical)")
+
+
+def check_counter_le(where, name, fresh, baseline):
+    """Deterministic work counter: more than baseline is a regression."""
+    if fresh > baseline:
+        fail(f"{where}: {name} regressed {baseline} -> {fresh}")
+    elif fresh < baseline:
+        note(f"{where}: {name} improved {baseline} -> {fresh} "
+             "(consider refreshing the baseline)")
+
+
+def check_counter_ge(where, name, fresh, baseline):
+    """Achievement counter (solved/proven): less than baseline regresses."""
+    if fresh < baseline:
+        fail(f"{where}: {name} regressed {baseline} -> {fresh}")
+    elif fresh > baseline:
+        note(f"{where}: {name} improved {baseline} -> {fresh} "
+             "(consider refreshing the baseline)")
+
+
+def index_cases(cases, *keys):
+    indexed = {}
+    for case in cases:
+        indexed[tuple(case.get(k) for k in keys)] = case
+    return indexed
+
+
+def compare_exact_astar(fresh, baseline):
+    fresh_suite = index_cases(fresh["suite"], "instance", "model")
+    base_suite = index_cases(baseline["suite"], "instance", "model")
+    for key, base in base_suite.items():
+        where = f"exact_astar suite {key}"
+        new = fresh_suite.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        for solver in ("dijkstra", "astar"):
+            if base.get(f"{solver}_solved") and not new.get(f"{solver}_solved"):
+                fail(f"{where}: {solver} no longer solves")
+            if base.get(f"{solver}_solved") and new.get(f"{solver}_solved"):
+                check_counter_le(where, f"{solver}_expanded",
+                                 new[f"{solver}_expanded"],
+                                 base[f"{solver}_expanded"])
+        if base.get("astar_solved") and new.get("astar_solved"):
+            check_cost(where, new["cost"], base["cost"])
+    totals_f, totals_b = fresh["totals"], baseline["totals"]
+    check_counter_le("exact_astar totals", "astar_expanded",
+                     totals_f["astar_expanded"], totals_b["astar_expanded"])
+    if totals_f["cost_mismatches"] != 0:
+        fail("exact_astar totals: cost_mismatches "
+             f"{totals_f['cost_mismatches']} != 0")
+    fresh_large = index_cases(fresh["beyond_dijkstra_cap"],
+                              "instance", "model")
+    for key, base in index_cases(baseline["beyond_dijkstra_cap"],
+                                 "instance", "model").items():
+        where = f"exact_astar beyond-cap {key}"
+        new = fresh_large.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        if base["solved"] and not new["solved"]:
+            fail(f"{where}: no longer solves within the budget")
+        if base["solved"] and new["solved"]:
+            check_cost(where, new["cost"], base["cost"])
+            check_counter_le(where, "expanded",
+                             new["expanded"], base["expanded"])
+
+
+def compare_hda_astar(fresh, baseline):
+    if fresh["cost_mismatches"] != 0:
+        fail(f"hda_astar: cost_mismatches {fresh['cost_mismatches']} != 0")
+    fresh_cases = index_cases(fresh["cases"], "instance", "model")
+    for key, base in index_cases(baseline["cases"],
+                                 "instance", "model").items():
+        where = f"hda_astar {key}"
+        new = fresh_cases.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        check_cost(where, new["astar_cost"], base["astar_cost"])
+        check_counter_le(where, "astar_expanded",
+                         new["astar_expanded"], base["astar_expanded"])
+        base_runs = {r["threads"]: r for r in base["runs"]}
+        for run in new["runs"]:
+            run_where = f"{where} @{run['threads']}t"
+            base_run = base_runs.get(run["threads"])
+            if base_run is None:
+                continue
+            if base_run["solved"] and not run["solved"]:
+                fail(f"{run_where}: no longer solves")
+            if run["solved"]:
+                check_cost(run_where, run["cost"], new["astar_cost"])
+            # Only the single-worker run is deterministic; multi-thread
+            # expansion counts depend on incumbent timing.
+            if run["threads"] == 1 and run["solved"] and base_run["solved"]:
+                check_counter_le(run_where, "expanded",
+                                 run["expanded"], base_run["expanded"])
+            note(f"{run_where}: wall {base_run.get('ms', '?')} -> "
+                 f"{run.get('ms', '?')} ms (informational)")
+
+
+def compare_bigstate(fresh, baseline):
+    if fresh["cost_mismatches"] != 0:
+        fail(f"bigstate: cost_mismatches {fresh['cost_mismatches']} != 0")
+    check_counter_ge("bigstate", "nodes_proved_optimal",
+                     fresh["nodes_proved_optimal"],
+                     baseline["nodes_proved_optimal"])
+    check_counter_le("bigstate", "unsolved",
+                     fresh["unsolved"], baseline["unsolved"])
+    if "tight_solved" in baseline:
+        check_counter_ge("bigstate", "tight_solved",
+                         fresh.get("tight_solved", 0),
+                         baseline["tight_solved"])
+    fresh_cases = index_cases(fresh["cases"], "instance", "model")
+    for key, base in index_cases(baseline["cases"],
+                                 "instance", "model").items():
+        where = f"bigstate {key}"
+        new = fresh_cases.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        base_runs = {r["solver"]: r for r in base["runs"]}
+        new_runs = {r["solver"]: r for r in new["runs"]}
+        for solver, base_run in base_runs.items():
+            run_where = f"{where} {solver}"
+            run = new_runs.get(solver)
+            if run is None:
+                fail(f"{run_where}: run disappeared from the fresh report")
+                continue
+            if base_run["solved"] and not run["solved"]:
+                fail(f"{run_where}: no longer solves within the budget")
+            if base_run["solved"] and run["solved"]:
+                check_cost(run_where, run["cost"], base_run["cost"])
+                # Sequential searches are deterministic, spilled or not;
+                # hda expansion counts vary with thread interleaving.
+                if solver.startswith("exact-astar"):
+                    check_counter_le(run_where, "expanded",
+                                     run["expanded"], base_run["expanded"])
+            note(f"{run_where}: wall {base_run.get('ms', '?')} -> "
+                 f"{run.get('ms', '?')} ms (informational)")
+
+
+COMPARATORS = {
+    "exact_astar": compare_exact_astar,
+    "hda_astar": compare_hda_astar,
+    "bigstate": compare_bigstate,
+}
+
+
+def cmd_compare(args):
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    kind = baseline.get("bench")
+    if fresh.get("bench") != kind:
+        print(f"error: bench kinds differ: fresh={fresh.get('bench')!r} "
+              f"baseline={kind!r}", file=sys.stderr)
+        return 2
+    comparator = COMPARATORS.get(kind)
+    if comparator is None:
+        print(f"error: unknown bench kind {kind!r}", file=sys.stderr)
+        return 2
+    comparator(fresh, baseline)
+    return report(f"compare {kind}")
+
+
+def cmd_scaling(args):
+    with open(args.report) as f:
+        fresh = json.load(f)
+    hw = fresh.get("hardware_concurrency", 0)
+    if hw <= 1:
+        print(f"scaling: hardware_concurrency={hw}; single-core runner, "
+              "nothing to assert")
+        return 0
+    checked = 0
+    for case in fresh["cases"]:
+        if case.get("r") != 4:
+            continue  # the scaling claim is made on the width-4 workloads
+        runs = {r["threads"]: r for r in case["runs"]}
+        one, eight = runs.get(1), runs.get(8)
+        if not one or not eight or not one["solved"] or not eight["solved"]:
+            fail(f"scaling {case['instance']}/{case['model']}: missing or "
+                 "unsolved 1t/8t run")
+            continue
+        checked += 1
+        limit = one["ms"] * args.tolerance
+        if eight["ms"] > limit:
+            fail(f"scaling {case['instance']}/{case['model']}: 8-thread wall "
+                 f"{eight['ms']} ms exceeds 1-thread {one['ms']} ms "
+                 f"(x{args.tolerance:.2f} tolerance) on a {hw}-core runner")
+        else:
+            note(f"scaling {case['instance']}/{case['model']}: "
+                 f"8t {eight['ms']} ms vs 1t {one['ms']} ms — ok")
+    if checked == 0:
+        fail("scaling: no width-4 (r=4) workloads found to check")
+    return report("scaling")
+
+
+def report(what):
+    for n in notes:
+        print(f"note: {n}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        print(f"bench_check {what}: {len(failures)} regression(s)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_check {what}: clean")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    compare = sub.add_parser("compare", help="fresh report vs baseline")
+    compare.add_argument("--fresh", required=True)
+    compare.add_argument("--baseline", required=True)
+    compare.set_defaults(func=cmd_compare)
+    scaling = sub.add_parser("scaling", help="assert hda multi-core scaling")
+    scaling.add_argument("report")
+    scaling.add_argument("--tolerance", type=float, default=1.0,
+                         help="8t wall may be up to TOL x 1t wall (default 1.0)")
+    scaling.set_defaults(func=cmd_scaling)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

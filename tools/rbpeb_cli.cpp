@@ -6,7 +6,7 @@
 //       [--model base|oneshot|nodel|compcost] [--solver NAME|portfolio]
 //       [--opt key=value]... [--budget-states N] [--budget-iterations N]
 //       [--budget-ms N] [--budget-threads N] [--budget-memory N[k|m|g]]
-//       [--jobs N] [--sources-blue] [--sinks-blue]
+//       [--budget-disk N[k|m|g]] [--jobs N] [--sources-blue] [--sinks-blue]
 //       [--trace <out-file>] [--dot <out-file>]
 //   rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]
 //       [--sources-blue] [--sinks-blue]
@@ -48,7 +48,8 @@ using namespace rbpeb;
       "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S|portfolio]\n"
       "            [--opt k=v]... [--budget-states N] [--budget-iterations N]\n"
       "            [--budget-ms N] [--budget-threads N]\n"
-      "            [--budget-memory N[k|m|g]] [--jobs N]\n"
+      "            [--budget-memory N[k|m|g]] [--budget-disk N[k|m|g]]\n"
+      "            [--jobs N]\n"
       "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
       "            [--sources-blue] [--sinks-blue]\n"
@@ -181,6 +182,8 @@ int cmd_solve(const std::vector<std::string>& args) {
       budget.threads = std::stoul(args[++i]);
     else if (args[i] == "--budget-memory" && i + 1 < args.size())
       budget.max_memory_bytes = parse_byte_count(args[++i]);
+    else if (args[i] == "--budget-disk" && i + 1 < args.size())
+      budget.max_disk_bytes = parse_byte_count(args[++i]);
     else if (args[i] == "--jobs" && i + 1 < args.size())
       jobs = std::stoul(args[++i]);
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
