@@ -1,0 +1,189 @@
+#include "src/serve/canonical.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb::serve {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche mix every hash below is built from.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-DEPENDENT combination (sequences, tuples).
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ mix(v));
+}
+
+std::uint64_t hash_string(std::string_view text, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;  // FNV offset, then mix
+  for (const char c : text) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return mix(h);
+}
+
+/// Order-INDEPENDENT accumulator: the multiset-hash primitive that makes
+/// every DAG ingredient relabeling-invariant (sum and xor of element hashes
+/// commute; the count breaks sum/xor cancellation games).
+struct MultisetHash {
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  std::size_t count = 0;
+
+  void add(std::uint64_t value) {
+    const std::uint64_t m = mix(value);
+    sum += m;
+    xored ^= m;
+    ++count;
+  }
+
+  std::uint64_t digest() const {
+    return mix(sum ^ mix(xored) ^ mix(count));
+  }
+};
+
+std::size_t distinct_count(const std::vector<std::uint64_t>& colors) {
+  std::unordered_set<std::uint64_t> seen(colors.begin(), colors.end());
+  return seen.size();
+}
+
+/// One WL round: each node folds its own color with the multisets of its
+/// predecessor and successor colors (kept distinct — direction matters in a
+/// DAG). No node id ever enters a hash, which is the invariance proof.
+std::vector<std::uint64_t> wl_round(const Dag& dag,
+                                    const std::vector<std::uint64_t>& colors) {
+  const std::size_t n = dag.node_count();
+  std::vector<std::uint64_t> next(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId node = static_cast<NodeId>(v);
+    MultisetHash preds, succs;
+    for (NodeId u : dag.predecessors(node)) preds.add(colors[u]);
+    for (NodeId u : dag.successors(node)) succs.add(colors[u]);
+    next[v] =
+        combine(combine(combine(colors[v], preds.digest()), succs.digest()),
+                0xD6E8FEB86659FD93ULL);
+  }
+  return next;
+}
+
+/// Refine until the color partition stops splitting. Refinement is
+/// monotone (a round never merges classes), so a stable distinct-count
+/// means a stable partition.
+void refine_to_stability(const Dag& dag, std::vector<std::uint64_t>& colors) {
+  std::size_t distinct = distinct_count(colors);
+  for (std::size_t round = 0; round < dag.node_count(); ++round) {
+    colors = wl_round(dag, colors);
+    const std::size_t now = distinct_count(colors);
+    if (now == distinct) return;
+    distinct = now;
+  }
+}
+
+std::vector<std::uint64_t> initial_colors(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  std::vector<std::uint64_t> colors(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId node = static_cast<NodeId>(v);
+    colors[v] = combine(mix(dag.indegree(node)), dag.outdegree(node));
+  }
+  return colors;
+}
+
+}  // namespace
+
+CanonicalForm canonicalize(const Dag& dag) {
+  const std::size_t n = dag.node_count();
+  CanonicalForm form;
+
+  std::vector<std::uint64_t> colors = initial_colors(dag);
+  refine_to_stability(dag, colors);
+
+  // The hash uses the STABLE refinement colors only — individualization
+  // below makes id-dependent (best-effort) choices that must never leak
+  // into the relabeling-invariant fingerprint.
+  MultisetHash nodes, edges;
+  for (std::size_t v = 0; v < n; ++v) {
+    nodes.add(colors[v]);
+    for (NodeId u : dag.predecessors(static_cast<NodeId>(v))) {
+      edges.add(combine(colors[u], colors[v]));
+    }
+  }
+  form.dag_hash = combine(combine(combine(nodes.digest(), edges.digest()), n),
+                          dag.edge_count());
+
+  // Individualization-refinement for the canonical order: split one
+  // WL-equivalent class per round and re-refine. Inside a class the members
+  // are structurally indistinguishable to WL, so the pick is arbitrary up
+  // to (conjectured) automorphism — smallest original id keeps it
+  // deterministic, and a wrong conjecture costs an audit-fail miss in the
+  // cache, never a wrong answer.
+  while (distinct_count(colors) < n) {
+    std::uint64_t class_color = 0;
+    NodeId pick = kInvalidNode;
+    std::vector<std::size_t> members;  // of the smallest-colored split class
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t same = 0;
+      for (std::size_t u = 0; u < n; ++u) same += (colors[u] == colors[v]);
+      if (same < 2) continue;
+      if (pick == kInvalidNode || colors[v] < class_color ||
+          (colors[v] == class_color && v < pick)) {
+        class_color = colors[v];
+        pick = static_cast<NodeId>(v);
+      }
+    }
+    RBPEB_ENSURE(pick != kInvalidNode,
+                 "canonicalize: no splittable class despite duplicate colors");
+    colors[pick] = combine(colors[pick], 0xA24BAED4963EE407ULL);
+    refine_to_stability(dag, colors);
+  }
+
+  form.order.resize(n);
+  for (std::size_t v = 0; v < n; ++v) form.order[v] = static_cast<NodeId>(v);
+  std::sort(form.order.begin(), form.order.end(),
+            [&](NodeId a, NodeId b) {
+              if (colors[a] != colors[b]) return colors[a] < colors[b];
+              return a < b;  // unreachable unless two hashes collide
+            });
+  return form;
+}
+
+std::string instance_fingerprint(const CanonicalForm& form, const Model& model,
+                                 const PebblingConvention& convention,
+                                 std::size_t red_limit,
+                                 std::string_view solver,
+                                 const SolverOptions& options) {
+  const std::string option_string = canonical_option_string(options);
+  // Two independently-salted 64-bit digests: 128 bits against birthday
+  // collisions across a long-lived cache (and the audit behind them).
+  std::string fingerprint;
+  for (const std::uint64_t seed :
+       {0x8BADF00DDEADBEEFULL, 0x1234ABCD5678EF01ULL}) {
+    std::uint64_t h = mix(seed);
+    h = combine(h, form.dag_hash);
+    h = combine(h, hash_string(model.name(), seed));
+    h = combine(h, static_cast<std::uint64_t>(model.epsilon().num()));
+    h = combine(h, static_cast<std::uint64_t>(model.epsilon().den()));
+    h = combine(h, (convention.sources_start_blue ? 2u : 0u) |
+                       (convention.sinks_end_blue ? 1u : 0u));
+    h = combine(h, red_limit);
+    h = combine(h, hash_string(solver, seed));
+    h = combine(h, hash_string(option_string, seed));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    if (!fingerprint.empty()) fingerprint.push_back('-');
+    fingerprint += buf;
+  }
+  return fingerprint;
+}
+
+}  // namespace rbpeb::serve

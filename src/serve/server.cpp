@@ -1,0 +1,368 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "src/graph/dag_io.hpp"
+#include "src/pebble/trace_io.hpp"
+#include "src/serve/canonical.hpp"
+#include "src/solvers/portfolio.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb::serve {
+
+namespace {
+
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+std::string status_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal:
+      return "optimal";
+    case SolveStatus::Heuristic:
+      return "heuristic";
+    case SolveStatus::BudgetExhausted:
+      return "budget_exhausted";
+    case SolveStatus::Inapplicable:
+      return "inapplicable";
+  }
+  return "error";
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ServerStats::snapshot() const {
+  std::map<std::string, std::string> out;
+  const auto put = [&out](const char* key,
+                          const std::atomic<std::uint64_t>& value) {
+    out[key] = std::to_string(value.load(std::memory_order_relaxed));
+  };
+  put("received", received);
+  put("completed", completed);
+  put("rejected_queue_full", rejected_queue_full);
+  put("shed_deadline", shed_deadline);
+  put("cache_hits", cache_hits);
+  put("flight_hits", flight_hits);
+  put("solves", solves);
+  put("solved_ok", solved_ok);
+  put("audit_failures", audit_failures);
+  put("errors", errors);
+  return out;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr ? *options_.registry
+                                             : SolverRegistry::instance()),
+      cache_(options_.cache_bytes) {
+  std::size_t workers = options_.workers;
+  if (workers == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    workers = std::min<std::size_t>(hw, 8);
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<ResponseMessage> Server::submit(RequestMessage request) {
+  stats_.received.fetch_add(1, std::memory_order_relaxed);
+  QueuedRequest queued;
+  queued.request = std::move(request);
+  queued.arrival = Clock::now();
+  std::future<ResponseMessage> future = queued.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queue_.size() < options_.max_queue) {
+      queue_.push_back(std::move(queued));
+      queue_cv_.notify_one();
+      return future;
+    }
+  }
+  // Admission control: an overfull queue answers NOW with a structured
+  // rejection instead of queueing unbounded work behind a deadline it
+  // cannot meet. (A stopping server sheds the same way.)
+  stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+  ResponseMessage response;
+  response.id = queued.request.id;
+  response.status = "rejected";
+  response.detail = "server queue is full";
+  queued.promise.set_value(std::move(response));
+  stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+ResponseMessage Server::solve(RequestMessage request) {
+  return submit(std::move(request)).get();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    QueuedRequest queued;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      queued = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ResponseMessage response;
+    try {
+      response = handle(queued.request, queued.arrival);
+    } catch (const std::exception& e) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      response.id = queued.request.id;
+      response.status = "error";
+      response.detail = e.what();
+    }
+    response.id = queued.request.id;
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    queued.promise.set_value(std::move(response));
+  }
+}
+
+ResponseMessage Server::handle(const RequestMessage& request,
+                               Clock::time_point arrival) {
+  ResponseMessage response;
+  response.id = request.id;
+
+  // Deadline shedding: a queued request whose whole budget drained in the
+  // queue is answered `rejected` without burning a solver on it. The
+  // deadline is anchored at ARRIVAL throughout, so queue wait always counts
+  // against the caller's ms budget.
+  const std::int64_t deadline_ms = request.budget_ms != 0
+                                       ? request.budget_ms
+                                       : options_.default_deadline_ms;
+  const auto dispatch_time = Clock::now();
+  response.queue_us = elapsed_us(arrival, dispatch_time);
+  if (deadline_ms > 0 &&
+      dispatch_time >= arrival + std::chrono::milliseconds(deadline_ms)) {
+    stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+    response.status = "rejected";
+    response.detail = "deadline expired while queued";
+    return response;
+  }
+
+  // Malformed instances (bad DAG text, unknown model, R=0) are request
+  // errors, not server errors: report and move on.
+  const std::optional<Model> model = Model::from_name(request.model);
+  if (!model.has_value()) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    response.status = "error";
+    response.detail = "unknown model '" + request.model + "'";
+    return response;
+  }
+  Dag dag = [&] {
+    try {
+      return from_text(request.dag_text);
+    } catch (const std::exception& e) {
+      throw PreconditionError(std::string("bad dag: ") + e.what());
+    }
+  }();
+  const PebblingConvention convention{request.sources_blue,
+                                      request.sinks_blue};
+  const Engine engine(dag, *model, request.red_limit, convention);
+
+  const std::string solver_name =
+      request.solver.empty() ? options_.default_solver : request.solver;
+  if (solver_name != "portfolio" && registry_.find(solver_name) == nullptr) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    response.status = "error";
+    response.detail = "unknown solver '" + solver_name + "'";
+    return response;
+  }
+
+  const CanonicalForm form = canonicalize(dag);
+  const std::string fingerprint = instance_fingerprint(
+      form, *model, convention, request.red_limit, solver_name,
+      request.options);
+
+  // Fast path: the verified cache. lookup() audits before answering.
+  if (std::optional<CachedAnswer> cached =
+          cache_.lookup(fingerprint, engine, form)) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    response.status = status_string(cached->status);
+    response.cache = "hit";
+    response.solver = cached->solver;
+    response.cost = cached->cost.str();
+    response.trace_text = trace_to_text(cached->trace);
+    return response;
+  }
+
+  // Single-flight: exactly one solve per fingerprint at a time. The first
+  // miss becomes the leader; concurrent identical requests wait on its
+  // flight, then re-read the cache it populated. A follower whose leader
+  // failed (or whose answer was evicted under memory pressure) falls back
+  // to solving for itself — correctness never depends on the dedup.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(fingerprint);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_[fingerprint] = flight;
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+  if (!leader) {
+    {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->cv.wait(lock, [&flight] { return flight->done; });
+    }
+    if (std::optional<CachedAnswer> cached =
+            cache_.lookup(fingerprint, engine, form)) {
+      stats_.flight_hits.fetch_add(1, std::memory_order_relaxed);
+      response.status = status_string(cached->status);
+      response.cache = "flight";
+      response.solver = cached->solver;
+      response.cost = cached->cost.str();
+      response.trace_text = trace_to_text(cached->trace);
+      return response;
+    }
+    // Leader failed or the answer was already evicted: solve it ourselves,
+    // as a fresh leaderless dispatch (no flight — the herd has passed).
+    return dispatch_solve(request, engine, arrival);
+  }
+
+  // The leader MUST land the flight even when the solve throws, or its
+  // followers wait forever; they re-read the cache, find nothing, and solve
+  // for themselves.
+  const auto land_flight = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(fingerprint);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  };
+  ResponseMessage solved;
+  try {
+    solved = dispatch_solve(request, engine, arrival);
+    if (solved.status == "optimal" || solved.status == "heuristic") {
+      const SolveStatus status = solved.status == "optimal"
+                                     ? SolveStatus::Optimal
+                                     : SolveStatus::Heuristic;
+      cache_.insert(fingerprint, engine, form,
+                    trace_from_text(solved.trace_text), status, solved.solver);
+    }
+  } catch (...) {
+    land_flight();
+    throw;
+  }
+  land_flight();
+  return solved;
+}
+
+ResponseMessage Server::dispatch_solve(const RequestMessage& request,
+                                       const Engine& engine,
+                                       Clock::time_point arrival) {
+  ResponseMessage response;
+  response.id = request.id;
+  response.cache = "miss";
+
+  SolveRequest solve_request;
+  solve_request.engine = &engine;
+  solve_request.options = request.options;
+  solve_request.budget.max_states = request.budget_states != 0
+                                        ? request.budget_states
+                                        : options_.default_states;
+  if (request.budget_iterations != 0) {
+    solve_request.budget.max_iterations = request.budget_iterations;
+  }
+  solve_request.budget.max_memory_bytes = request.budget_memory;
+  solve_request.budget.max_disk_bytes = request.budget_disk;
+  const std::int64_t deadline_ms = request.budget_ms != 0
+                                       ? request.budget_ms
+                                       : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    // Anchored at arrival: time spent queued has already been spent.
+    solve_request.budget.deadline =
+        arrival + std::chrono::milliseconds(deadline_ms);
+  }
+
+  // Fair-share thread allocation: the configured core pool divided by the
+  // solves currently in flight, floored at one. Computed at dispatch — a
+  // long solve keeps its grant, new arrivals absorb the squeeze.
+  const std::size_t pool =
+      options_.solver_threads != 0
+          ? options_.solver_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t active =
+      1 + active_solves_.fetch_add(1, std::memory_order_relaxed);
+  solve_request.budget.threads =
+      request.budget_threads != 0 ? request.budget_threads
+                                  : std::max<std::size_t>(1, pool / active);
+
+  stats_.solves.fetch_add(1, std::memory_order_relaxed);
+  const auto solve_start = Clock::now();
+  SolveResult result;
+  try {
+    const std::string solver_name =
+        request.solver.empty() ? options_.default_solver : request.solver;
+    if (solver_name == "portfolio") {
+      PortfolioOptions popt;
+      popt.max_threads = solve_request.budget.threads;
+      result = flatten_portfolio(
+          solve_portfolio(solve_request, popt, registry_));
+    } else {
+      result = registry_.at(solver_name).run(solve_request);
+    }
+  } catch (...) {
+    active_solves_.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
+  active_solves_.fetch_sub(1, std::memory_order_relaxed);
+  response.solve_us = elapsed_us(solve_start, Clock::now());
+
+  response.status = status_string(result.status);
+  response.solver = result.solver;
+  response.detail = result.detail;
+  response.stats = std::move(result.stats);
+  if (result.has_trace()) {
+    response.cost = result.cost.str();
+    response.trace_text = trace_to_text(*result.trace);
+  }
+  if (result.ok()) {
+    stats_.solved_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+std::vector<std::string> Server::summary() const {
+  std::vector<std::string> lines;
+  for (const auto& [key, value] : stats_.snapshot()) {
+    lines.push_back(key + ": " + value);
+  }
+  const TraceCache::Stats cs = cache_.stats();
+  lines.push_back("cache_entries: " + std::to_string(cs.entries));
+  lines.push_back("cache_bytes: " + std::to_string(cs.bytes));
+  lines.push_back("cache_evictions: " + std::to_string(cs.evictions));
+  lines.push_back("cache_audit_failures: " +
+                  std::to_string(cs.audit_failures));
+  return lines;
+}
+
+}  // namespace rbpeb::serve

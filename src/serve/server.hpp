@@ -1,0 +1,151 @@
+// The rbpeb solve server: a bounded-queue worker pool turning a stream of
+// protocol requests into audited responses, amortizing repeated instances
+// through the verified trace cache.
+//
+// Request lifecycle:
+//
+//   submit() ──(queue full?)──► structured `rejected` response, immediately
+//      │
+//      ▼ bounded FIFO queue
+//   worker pops ──(deadline already passed?)──► `rejected` (shed, not solved)
+//      │
+//      ▼ canonicalize + fingerprint (canonical.hpp)
+//   trace cache lookup ──hit──► audited answer, no solve
+//      │ miss
+//      ▼ single-flight table ──someone already solving this fingerprint──►
+//      │                        wait for the leader, then re-read the cache
+//      ▼ leader
+//   dispatch to the registry / portfolio under the request's SolveBudget
+//   (deadline anchored at ARRIVAL, so queue wait counts against it), insert
+//   the audited answer into the cache, wake the followers.
+//
+// Admission control is structural, not advisory: the queue is bounded (an
+// overloaded server answers `rejected` instead of growing a hang), queued
+// requests whose deadline has passed are shed without solving, and the
+// solver-thread pool is fair-shared — each in-flight solve is granted
+// total_threads / active_solves cores (at least one) unless the request
+// pinned its own budget.threads. Single-flight deduplication collapses
+// concurrent identical requests into one solve: the followers block on the
+// leader's flight, then serve from the cache it populated.
+//
+// The server is a reentrant consumer of the solver layer: engines are
+// per-request locals, budgets are per-request values, and the only shared
+// mutable state (cache, flights, stats) is behind its own locks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.hpp"
+#include "src/serve/trace_cache.hpp"
+#include "src/solvers/api.hpp"
+
+namespace rbpeb::serve {
+
+struct ServerOptions {
+  /// Trace-cache byte budget (0 = unlimited).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// In-flight queue bound; a submit past it is rejected, never queued.
+  std::size_t max_queue = 256;
+  /// Worker threads consuming the queue; 0 = min(hardware, 8).
+  std::size_t workers = 0;
+  /// Core pool fair-shared across concurrent solves; 0 = hardware.
+  std::size_t solver_threads = 0;
+  /// Solver for requests that name none. "portfolio" races the registry.
+  std::string default_solver = "portfolio";
+  /// Deadline granted to requests that set no budget.ms (0 = none).
+  std::int64_t default_deadline_ms = 0;
+  /// Default state budget for requests that set none.
+  std::size_t default_states = 2'000'000;
+  /// Registry to resolve solvers against; nullptr = the global instance.
+  const SolverRegistry* registry = nullptr;
+};
+
+/// Aggregate counters, summarized on shutdown and exported per bench run.
+/// All monotone; read with snapshot().
+struct ServerStats {
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> shed_deadline{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> flight_hits{0};  ///< single-flight followers
+  std::atomic<std::uint64_t> solves{0};       ///< dispatched to a solver
+  std::atomic<std::uint64_t> solved_ok{0};    ///< came back with a trace
+  std::atomic<std::uint64_t> audit_failures{0};
+  std::atomic<std::uint64_t> errors{0};  ///< malformed requests
+
+  std::map<std::string, std::string> snapshot() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  ///< drains the queue, then joins the workers
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue one request. The future is fulfilled by a worker — or
+  /// immediately, with a `rejected` response, when the queue is full.
+  std::future<ResponseMessage> submit(RequestMessage request);
+
+  /// Convenience: submit and wait.
+  ResponseMessage solve(RequestMessage request);
+
+  const ServerStats& stats() const { return stats_; }
+  TraceCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Human-readable shutdown summary (one "key: value" line each).
+  std::vector<std::string> summary() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedRequest {
+    RequestMessage request;
+    std::promise<ResponseMessage> promise;
+    Clock::time_point arrival;
+  };
+
+  /// One in-flight solve for a fingerprint; followers wait on `done`.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  void worker_loop();
+  ResponseMessage handle(const RequestMessage& request,
+                         Clock::time_point arrival);
+  ResponseMessage dispatch_solve(const RequestMessage& request,
+                                 const Engine& engine,
+                                 Clock::time_point arrival);
+
+  const ServerOptions options_;
+  const SolverRegistry& registry_;
+  TraceCache cache_;
+  ServerStats stats_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedRequest> queue_;
+  bool stopping_ = false;
+
+  std::mutex flights_mutex_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<std::size_t> active_solves_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rbpeb::serve

@@ -1,0 +1,158 @@
+#include "src/serve/trace_cache.hpp"
+
+#include "src/pebble/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace rbpeb::serve {
+
+namespace {
+
+/// Map-independent storage overhead charged per entry: list/map node
+/// bookkeeping, the index key copy, struct padding. An estimate — the
+/// budget is an accounting discipline, not an allocator audit.
+constexpr std::size_t kEntryOverhead = 160;
+
+}  // namespace
+
+TraceCache::TraceCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::size_t TraceCache::entry_bytes(const Entry& entry) {
+  return entry.fingerprint.size() * 2  // entry copy + index key
+         + entry.order.size() * sizeof(NodeId)
+         + entry.trace.size() * sizeof(Move) + entry.solver.size() +
+         kEntryOverhead;
+}
+
+std::optional<CachedAnswer> TraceCache::lookup(
+    const std::string& fingerprint, const Engine& engine,
+    const CanonicalForm& request_form) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+
+  // Compose the entry→request isomorphism through the canonical positions:
+  // the entry's node at canonical position i is the request's node at the
+  // same position. A size mismatch can only mean a fingerprint collision
+  // between different-sized DAGs — an audit-fail, not a crash.
+  const std::size_t n = request_form.order.size();
+  std::optional<CachedAnswer> answer;
+  if (entry.order.size() == n) {
+    std::vector<NodeId> map(n, kInvalidNode);
+    for (std::size_t i = 0; i < n; ++i) {
+      map[entry.order[i]] = request_form.order[i];
+    }
+    Trace remapped;
+    for (const Move& move : entry.trace) {
+      remapped.push(Move{move.type, map[move.node]});
+    }
+    // The serve-side audit: nothing leaves the cache without replaying
+    // legally and completely under the REQUESTING engine. The cost served
+    // is the replay's, so a cached answer can never misreport.
+    const VerifyResult vr = verify(engine, remapped);
+    if (vr.ok()) {
+      answer = CachedAnswer{std::move(remapped), vr.total, entry.status,
+                            entry.solver};
+    }
+  }
+  if (!answer) {
+    // Poisoned or colliding entry: drop it so it cannot fail again, and
+    // let the request fall through to a fresh solve.
+    ++stats_.audit_failures;
+    ++stats_.misses;
+    erase_locked(it->second);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // most recently used
+  return answer;
+}
+
+bool TraceCache::insert(const std::string& fingerprint, const Engine& engine,
+                        const CanonicalForm& form, const Trace& trace,
+                        SolveStatus status, const std::string& solver) {
+  if (status != SolveStatus::Optimal && status != SolveStatus::Heuristic) {
+    return false;  // budget artifacts are not instance answers
+  }
+  // The insert-side audit, outside the lock: verification cost must not
+  // serialize the worker pool.
+  const VerifyResult vr = verify(engine, trace);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!vr.ok()) {
+    ++stats_.audit_failures;
+    ++stats_.rejected_inserts;
+    return false;
+  }
+  const auto existing = index_.find(fingerprint);
+  if (existing != index_.end()) {
+    // A concurrent identical solve won the race; keep the incumbent (both
+    // audited — there is nothing to choose between them).
+    lru_.splice(lru_.begin(), lru_, existing->second);
+    return false;
+  }
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.order = form.order;
+  entry.trace = trace;
+  entry.status = status;
+  entry.solver = solver;
+  entry.bytes = entry_bytes(entry);
+  if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
+    ++stats_.rejected_inserts;
+    return false;  // larger than the whole cache: caching it evicts everything
+  }
+  lru_.push_front(std::move(entry));
+  index_[fingerprint] = lru_.begin();
+  stats_.bytes += lru_.front().bytes;
+  ++stats_.insertions;
+  evict_to_fit_locked();
+  return true;
+}
+
+void TraceCache::evict_to_fit_locked() {
+  if (max_bytes_ == 0) return;
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    erase_locked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+void TraceCache::erase_locked(std::list<Entry>::iterator it) {
+  stats_.bytes -= it->bytes;
+  index_.erase(it->fingerprint);
+  lru_.erase(it);
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+bool TraceCache::corrupt_entry_for_test(const std::string& fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) return false;
+  Entry& entry = *it->second;
+  if (entry.trace.empty()) return false;
+  // Rebuild the trace with the first move's type flipped — guaranteed to
+  // change the replay (a Load-for-Compute swap is illegal or wrong-cost).
+  Trace corrupted;
+  bool first = true;
+  for (const Move& move : entry.trace) {
+    Move m = move;
+    if (first) {
+      m.type = m.type == MoveType::Load ? MoveType::Store : MoveType::Load;
+      first = false;
+    }
+    corrupted.push(m);
+  }
+  entry.trace = std::move(corrupted);
+  return true;
+}
+
+}  // namespace rbpeb::serve

@@ -1,0 +1,112 @@
+// The verified trace cache: a bounded, byte-accounted LRU over audited
+// pebbling answers, keyed by instance fingerprint (canonical.hpp).
+//
+// The cache never trusts itself. An entry is audited on INSERT (a trace that
+// does not replay legally and completely under its own engine is rejected
+// outright) and audited again on every SERVE: the stored trace — remapped
+// through the canonical orders when the requesting DAG is a relabeled
+// isomorph — is replayed through the Verifier under the *requesting* engine
+// before a byte of it leaves the cache. A failed replay (hash collision of
+// non-isomorphic instances, an automorphism the canonical order got wrong,
+// or a corrupted entry) is counted as an audit failure, the entry is
+// dropped, and the request falls through to a fresh solve. The cost served
+// is the replay's audited total, never a stored number — the same
+// "solvers cannot misreport" rule the solver API enforces, extended to the
+// cache.
+//
+// Only ok() answers are cached (Optimal / Heuristic): a BudgetExhausted
+// result is a property of one request's budget, not of the instance, and
+// the fingerprint deliberately excludes budgets. Optimality transfers
+// across a hit because the fingerprint pins everything the claim depends on
+// (instance up to isomorphism, model, ε, convention, R, solver, options).
+//
+// Byte accounting covers the fingerprint, the canonical order, the trace,
+// and a fixed per-entry overhead; inserting past the budget evicts from the
+// LRU tail first. All public methods are internally synchronized — the
+// serve worker pool shares one instance.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/pebble/engine.hpp"
+#include "src/pebble/trace.hpp"
+#include "src/serve/canonical.hpp"
+#include "src/solvers/api.hpp"
+
+namespace rbpeb::serve {
+
+/// A cache answer, already remapped into the requesting instance's node ids
+/// and re-audited under the requesting engine.
+struct CachedAnswer {
+  Trace trace;
+  Rational cost;  ///< the replay's audited total
+  SolveStatus status = SolveStatus::Heuristic;
+  std::string solver;  ///< who originally produced the trace
+};
+
+class TraceCache {
+ public:
+  /// `max_bytes` caps the accounted entry footprint (0 = unlimited).
+  explicit TraceCache(std::size_t max_bytes);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          ///< fingerprint absent
+    std::uint64_t audit_failures = 0;  ///< replay failed (serve or insert)
+    std::uint64_t insertions = 0;
+    std::uint64_t rejected_inserts = 0;  ///< failed the insert audit
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Serve `fingerprint` for the instance `engine`/`request_form` describes.
+  /// nullopt on a miss — including the audit-fail path, which also drops
+  /// the offending entry.
+  std::optional<CachedAnswer> lookup(const std::string& fingerprint,
+                                     const Engine& engine,
+                                     const CanonicalForm& request_form);
+
+  /// Offer an answer for caching. Audits `trace` under `engine` first and
+  /// refuses anything that does not replay legally and completely, plus
+  /// non-ok() statuses and entries larger than the whole budget. True when
+  /// the entry was stored.
+  bool insert(const std::string& fingerprint, const Engine& engine,
+              const CanonicalForm& form, const Trace& trace,
+              SolveStatus status, const std::string& solver);
+
+  Stats stats() const;
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Test hook: flip one move of the stored trace so the next lookup's
+  /// audit must reject it (tests/serve/test_trace_cache.cpp). False when
+  /// the fingerprint is not cached.
+  bool corrupt_entry_for_test(const std::string& fingerprint);
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::vector<NodeId> order;  ///< the entry instance's canonical order
+    Trace trace;                ///< in the entry instance's node ids
+    SolveStatus status = SolveStatus::Heuristic;
+    std::string solver;
+    std::size_t bytes = 0;
+  };
+
+  static std::size_t entry_bytes(const Entry& entry);
+  void evict_to_fit_locked();
+  void erase_locked(std::list<Entry>::iterator it);
+
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace rbpeb::serve

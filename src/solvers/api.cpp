@@ -431,6 +431,8 @@ class ExactSearchSolver : public Solver {
       result.stats["spilled_states"] =
           std::to_string(search_stats.spilled_states);
       result.stats["spill_bytes"] = std::to_string(search_stats.spill_bytes);
+      result.stats["spill_peak_bytes"] =
+          std::to_string(search_stats.spill_peak_bytes);
       result.stats["merge_passes"] = std::to_string(search_stats.merge_passes);
       // On failure a seeded trace is what the caller gets back, so that is
       // its provenance; a failed search proved nothing.
@@ -1021,6 +1023,20 @@ const SolverRegistry& SolverRegistry::instance() {
     return r;
   }();
   return *registry;
+}
+
+std::string canonical_option_string(const SolverOptions& options) {
+  // SolverOptions is an ordered map, so iteration order IS key order; the
+  // 0x1f separator cannot appear in CLI-supplied keys or values, so the
+  // serialization is injective.
+  std::string out;
+  for (const auto& [key, value] : options) {
+    if (!out.empty()) out.push_back('\x1f');
+    out += key;
+    out.push_back('=');
+    out += value;
+  }
+  return out;
 }
 
 void register_builtin_solvers(SolverRegistry& registry) {

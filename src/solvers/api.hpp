@@ -212,6 +212,13 @@ class SolverRegistry {
 /// registries.
 void register_builtin_solvers(SolverRegistry& registry);
 
+/// Canonical serialization of an option set: "k=v" pairs, sorted by key,
+/// joined with an unprintable separator (0x1f) no CLI-supplied key or value
+/// can contain a collision-free stand-in for. Two option sets serialize
+/// equal iff they are equal — the stable option fingerprint the serve
+/// layer's trace cache hashes into its request key.
+std::string canonical_option_string(const SolverOptions& options);
+
 /// Option-parsing helpers shared by the adapters and the CLI. All throw
 /// PreconditionError with the offending key and value on malformed input.
 namespace solver_options {

@@ -236,6 +236,9 @@ class SpillingClosedTable {
     return runs_ ? runs_->records_spilled() : 0;
   }
   std::size_t spill_bytes() const { return runs_ ? runs_->bytes_written() : 0; }
+  std::size_t spill_peak_bytes() const {
+    return runs_ ? runs_->peak_disk_bytes() : 0;
+  }
   std::size_t merge_passes() const { return runs_ ? runs_->merge_passes() : 0; }
   bool spill_io_error() const {
     return runs_ && runs_->last_failure() == bigstate::SpillFailure::Io;

@@ -77,7 +77,8 @@ inline bool valid_index(std::size_t index, std::size_t p) {
 }  // namespace
 
 PatternDatabase::PatternDatabase(const Engine& engine,
-                                 std::size_t max_pattern_size) {
+                                 std::size_t max_pattern_size,
+                                 const StopPredicate& should_stop) {
   const Dag& dag = engine.dag();
   const std::size_t size =
       max_pattern_size == 0 ? kDefaultPatternSize : max_pattern_size;
@@ -87,6 +88,7 @@ PatternDatabase::PatternDatabase(const Engine& engine,
       universal_search_ceiling_scaled(dag, engine.model());
   patterns_.resize(node_sets.size());
   for (std::size_t p = 0; p < node_sets.size(); ++p) {
+    if (aborted_) break;
     Pattern& pattern = patterns_[p];
     pattern.nodes = std::move(node_sets[p]);
     const std::size_t width = pattern.nodes.size();
@@ -102,13 +104,14 @@ PatternDatabase::PatternDatabase(const Engine& engine,
         }
       }
     }
-    build_pattern(engine, pattern, cost_cap);
+    build_pattern(engine, pattern, cost_cap, should_stop);
     table_bytes_ += pattern.completion.size() * sizeof(std::int32_t);
   }
 }
 
 void PatternDatabase::build_pattern(const Engine& engine, Pattern& pattern,
-                                    std::int64_t cost_cap) {
+                                    std::int64_t cost_cap,
+                                    const StopPredicate& should_stop) {
   const Model& model = engine.model();
   const PebblingConvention& conv = engine.convention();
   const std::size_t p = pattern.nodes.size();
@@ -175,7 +178,16 @@ void PatternDatabase::build_pattern(const Engine& engine, Pattern& pattern,
   // ceiling for the whole DAG).
   pattern.completion.assign(table_size, kUnreachable);
   BucketQueue<std::uint32_t> queue(static_cast<std::size_t>(cost_cap) + 1);
+  // The goal sweep and the Dijkstra below are the only unbounded loops in a
+  // PDB build; both poll the cooperative stop hook so a cancelled solve is
+  // never pinned behind an 8^8-entry table (the searches' poll cadence,
+  // scaled up — these iterations are far cheaper than an expansion).
+  constexpr std::size_t kStopPollMask = 0xFFFu;
   for (std::size_t index = 0; index < table_size; ++index) {
+    if ((index & kStopPollMask) == 0 && should_stop && should_stop()) {
+      aborted_ = true;
+      return;
+    }
     if (!valid_index(index, p)) continue;
     if (is_goal(index)) {
       pattern.completion[index] = 0;
@@ -193,7 +205,12 @@ void PatternDatabase::build_pattern(const Engine& engine, Pattern& pattern,
     queue.push(nd, static_cast<std::uint32_t>(pre));
   };
 
+  std::size_t pops = 0;
   while (!queue.empty()) {
+    if ((pops++ & kStopPollMask) == 0 && should_stop && should_stop()) {
+      aborted_ = true;
+      return;
+    }
     auto [d, popped] = queue.pop();
     const auto index = static_cast<std::size_t>(popped);
     if (pattern.completion[index] != d) continue;  // stale duplicate

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/pebble/engine.hpp"
+#include "src/solvers/exact.hpp"
 
 namespace rbpeb {
 
@@ -68,8 +69,19 @@ class PatternDatabase {
   /// Build the database for `engine`'s instance: partition, then solve each
   /// abstract configuration graph exactly. `max_pattern_size` of 0 means
   /// kDefaultPatternSize. Read-only (and thread-safe) afterwards.
+  ///
+  /// `should_stop` is the same cooperative hook the searches poll: an 8-node
+  /// pattern builds a 16.7M-entry table, long enough that an un-interruptible
+  /// build would pin a cancelled or past-deadline solve to a core. When it
+  /// fires mid-build the constructor returns early with build_aborted() set;
+  /// the tables are then incomplete and must not be consulted.
   explicit PatternDatabase(const Engine& engine,
-                           std::size_t max_pattern_size = 0);
+                           std::size_t max_pattern_size = 0,
+                           const StopPredicate& should_stop = {});
+
+  /// True when should_stop ended the build early — the caller must discard
+  /// the database and terminate with ExactTermination::Stopped.
+  bool build_aborted() const { return aborted_; }
 
   std::size_t pattern_count() const { return patterns_.size(); }
 
@@ -125,10 +137,11 @@ class PatternDatabase {
   };
 
   void build_pattern(const Engine& engine, Pattern& pattern,
-                     std::int64_t cost_cap);
+                     std::int64_t cost_cap, const StopPredicate& should_stop);
 
   std::vector<Pattern> patterns_;
   std::size_t table_bytes_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace rbpeb

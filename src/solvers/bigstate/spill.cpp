@@ -215,6 +215,7 @@ bool SpillRunSet::write_run(const std::uint8_t* records, std::size_t count) {
   if (!run->stream) return false;
   runs_.push_back(std::move(run));
   disk_bytes_ += bytes;
+  peak_disk_bytes_ = std::max(peak_disk_bytes_, disk_bytes_);
   bytes_written_ += bytes;
   return true;
 }
@@ -306,6 +307,10 @@ bool SpillRunSet::compact() {
   out.close();
   if (!out) return false;
   bytes_written_ += merged * rb;
+  // The compaction transient: the merged output coexists with every old run
+  // until drop_runs() below — the on-disk high-water mark this run set ever
+  // reaches, and what spill_peak_bytes reports for provisioning.
+  peak_disk_bytes_ = std::max(peak_disk_bytes_, disk_bytes_ + merged * rb);
   drop_runs();
   auto run = std::make_unique<Run>();
   run->path = path;

@@ -139,6 +139,12 @@ class SpillRunSet {
   std::size_t merge_passes() const { return merge_passes_; }
   /// Live bytes on disk right now.
   std::size_t disk_bytes() const { return disk_bytes_; }
+  /// High-water mark of bytes simultaneously on disk, compaction transients
+  /// included: while a compaction streams its merged output the old runs
+  /// are still live, so the peak can reach ~2x the steady-state footprint.
+  /// This is the number to provision (and admission-control) against, not
+  /// disk_bytes() (stats: spill_peak_bytes).
+  std::size_t peak_disk_bytes() const { return peak_disk_bytes_; }
 
   /// Cause of the last append_run failure (None if it never failed).
   SpillFailure last_failure() const { return last_failure_; }
@@ -183,6 +189,7 @@ class SpillRunSet {
   std::size_t bytes_written_ = 0;
   std::size_t merge_passes_ = 0;
   std::size_t disk_bytes_ = 0;
+  std::size_t peak_disk_bytes_ = 0;
   SpillFailure last_failure_ = SpillFailure::None;
   /// Reused by lookup() — one record per point probe, on the per-pop hot
   /// path of a spilled search. Single-owner class, so no races.

@@ -53,6 +53,11 @@ struct ExactSearchStats {
   std::size_t spilled_states = 0;
   /// Bytes written to spill runs (cumulative, including compaction rewrites).
   std::size_t spill_bytes = 0;
+  /// High-water mark of spill bytes simultaneously on disk, compaction
+  /// transients included (old runs coexist with the merged output until the
+  /// old files are removed — up to ~2x the steady state). Summed over shards
+  /// for hda-astar. The number to provision disk against per solve.
+  std::size_t spill_peak_bytes = 0;
   /// Delayed-duplicate-detection passes: batched reconciliations of fresh
   /// states against the spill runs, plus run compactions.
   std::size_t merge_passes = 0;

@@ -56,7 +56,13 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   BucketQueue<QueueItem> queue(static_cast<std::size_t>(ceiling) + 1);
 
   std::optional<PatternDatabase> pdb;
-  if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
+  if (bigstate_pdb_enabled(opt, n)) {
+    pdb.emplace(engine, opt.pdb_pattern_size, should_stop);
+    if (pdb->build_aborted()) {
+      stats.termination = ExactTermination::Stopped;
+      return std::nullopt;
+    }
+  }
   StateBoundEvaluator bound(engine);
   if (pdb) bound.attach_pdb(&*pdb);
   // PDB tables and the bucket arrays live inside the same memory budget as
@@ -68,6 +74,7 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     stats.table_bytes = table.bytes();
     stats.spilled_states = table.spilled_states();
     stats.spill_bytes = table.spill_bytes();
+    stats.spill_peak_bytes = table.spill_peak_bytes();
     stats.merge_passes = table.merge_passes();
     stats.spill_io_error = table.spill_io_error();
   };

@@ -279,12 +279,14 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
     stats.table_bytes = 0;
     stats.spilled_states = 0;
     stats.spill_bytes = 0;
+    stats.spill_peak_bytes = 0;
     stats.merge_passes = 0;
     stats.spill_io_error = false;
     for (const auto& shard : ctx.shards) {
       stats.table_bytes += shard->table.bytes();
       stats.spilled_states += shard->table.spilled_states();
       stats.spill_bytes += shard->table.spill_bytes();
+      stats.spill_peak_bytes += shard->table.spill_peak_bytes();
       stats.merge_passes += shard->table.merge_passes();
       stats.spill_io_error |= shard->table.spill_io_error();
     }
@@ -303,7 +305,10 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
       opt.seed ? std::min(ceiling + 1, opt.seed->g_scaled) : ceiling + 1;
 
   std::optional<PatternDatabase> pdb;
-  if (bigstate_pdb_enabled(opt, n)) pdb.emplace(engine, opt.pdb_pattern_size);
+  if (bigstate_pdb_enabled(opt, n)) {
+    pdb.emplace(engine, opt.pdb_pattern_size, should_stop);
+    if (pdb->build_aborted()) return give_up(ExactTermination::Stopped);
+  }
 
   // One spill directory per search, one private partition per shard: run
   // files stay single-owner, so the disk path needs no locks. Declared

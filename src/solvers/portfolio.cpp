@@ -28,6 +28,38 @@ bool better(const SolveResult& candidate, const SolveResult& incumbent) {
 
 }  // namespace
 
+SolveResult flatten_portfolio(PortfolioResult portfolio) {
+  std::size_t traces = 0;
+  for (const SolveResult& result : portfolio.results) {
+    traces += result.has_trace() ? 1 : 0;
+  }
+  if (portfolio.has_best()) {
+    SolveResult best = std::move(portfolio.results[portfolio.best_index]);
+    best.stats["portfolio_solvers"] = std::to_string(portfolio.results.size());
+    best.stats["portfolio_winner"] = best.solver;
+    best.stats["portfolio_traces"] = std::to_string(traces);
+    return best;
+  }
+  SolveResult failed;
+  failed.solver = "portfolio";
+  failed.status = SolveStatus::Inapplicable;
+  std::string detail = "no solver produced a verified trace";
+  for (const SolveResult& result : portfolio.results) {
+    // One BudgetExhausted racer means a bigger budget might still win, so
+    // the collapsed status must not claim the instance is unsolvable.
+    if (result.status == SolveStatus::BudgetExhausted) {
+      failed.status = SolveStatus::BudgetExhausted;
+    }
+    if (!result.detail.empty()) {
+      detail += "; " + result.solver + ": " + result.detail;
+    }
+  }
+  failed.detail = std::move(detail);
+  failed.stats["portfolio_solvers"] = std::to_string(portfolio.results.size());
+  failed.stats["portfolio_traces"] = "0";
+  return failed;
+}
+
 PortfolioResult solve_portfolio(const SolveRequest& request,
                                 const PortfolioOptions& options,
                                 const SolverRegistry& registry) {

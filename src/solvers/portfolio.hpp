@@ -54,4 +54,12 @@ PortfolioResult solve_portfolio(
     const SolveRequest& request, const PortfolioOptions& options = {},
     const SolverRegistry& registry = SolverRegistry::instance());
 
+/// Collapse a portfolio run into one SolveResult — what a caller treating
+/// "portfolio" as just another solver (the serve layer) consumes. The
+/// winner's result is returned with aggregate stats folded in
+/// (portfolio_solvers, portfolio_winner, portfolio_traces); with no
+/// verified trace the result is BudgetExhausted (or Inapplicable when every
+/// solver was) with the per-solver failure details joined.
+SolveResult flatten_portfolio(PortfolioResult portfolio);
+
 }  // namespace rbpeb

@@ -1,0 +1,170 @@
+// Canonicalization invariants (src/serve/canonical.hpp): the fingerprint
+// must be INVARIANT under node relabeling — a renumbered isomorph is the
+// same instance and must land on the same cache entry — and must SEPARATE
+// every request dimension that changes the answer: model, ε, convention
+// bits, R, solver, and options must all produce distinct fingerprints on
+// the same DAG.
+#include "src/serve/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/graph/dag_builder.hpp"
+#include "src/support/rng.hpp"
+#include "src/workloads/chain.hpp"
+#include "src/workloads/fft.hpp"
+#include "src/workloads/stencil.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace rbpeb::serve {
+namespace {
+
+/// Rebuild `dag` with node i renamed perm[i]; the edge set is the same
+/// relation, so the result is isomorphic by construction.
+Dag relabel(const Dag& dag, const std::vector<NodeId>& perm) {
+  DagBuilder builder;
+  builder.add_nodes(dag.node_count());
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (const NodeId succ : dag.successors(v)) {
+      builder.add_edge(perm[v], perm[succ]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<NodeId> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  rng.shuffle(perm);
+  return perm;
+}
+
+std::string fingerprint_of(const Dag& dag, const Model& model = Model::oneshot(),
+                           const PebblingConvention& convention = {},
+                           std::size_t r = 3,
+                           const std::string& solver = "portfolio",
+                           const SolverOptions& options = {}) {
+  return instance_fingerprint(canonicalize(dag), model, convention, r, solver,
+                              options);
+}
+
+TEST(Canonical, HashInvariantUnderRelabeling) {
+  const std::vector<Dag> dags = {
+      make_tree_reduction_dag(8).dag,   make_tree_reduction_dag(16).dag,
+      make_chain_dag(12),               make_fft_dag(8).dag,
+      make_stencil1d_dag(5, 3).dag,
+  };
+  Rng rng(42);
+  for (const Dag& dag : dags) {
+    const CanonicalForm original = canonicalize(dag);
+    const std::string original_fp = fingerprint_of(dag);
+    for (int round = 0; round < 8; ++round) {
+      const auto perm = random_permutation(dag.node_count(), rng);
+      const Dag shuffled = relabel(dag, perm);
+      const CanonicalForm relabeled = canonicalize(shuffled);
+      EXPECT_EQ(original.dag_hash, relabeled.dag_hash)
+          << "relabeling changed the WL hash (round " << round << ")";
+      EXPECT_EQ(original_fp, fingerprint_of(shuffled))
+          << "relabeling changed the fingerprint (round " << round << ")";
+    }
+  }
+}
+
+TEST(Canonical, OrderIsAPermutation) {
+  Rng rng(7);
+  const Dag dag = make_fft_dag(8).dag;
+  for (int round = 0; round < 4; ++round) {
+    const Dag shuffled =
+        relabel(dag, random_permutation(dag.node_count(), rng));
+    const CanonicalForm form = canonicalize(shuffled);
+    ASSERT_EQ(form.order.size(), shuffled.node_count());
+    std::set<NodeId> seen(form.order.begin(), form.order.end());
+    EXPECT_EQ(seen.size(), shuffled.node_count());
+  }
+}
+
+TEST(Canonical, OrderComposesToAnIsomorphismOnRegularWorkloads) {
+  // For the workloads the serve cache actually sees, individualization-
+  // refinement must produce orders that map entry nodes onto request nodes
+  // edge-preservingly — this is what lets a cached trace replay on a
+  // relabeled isomorph (the Verifier audit backstops any residue).
+  Rng rng(99);
+  const std::vector<Dag> dags = {make_tree_reduction_dag(8).dag,
+                                 make_fft_dag(4).dag,
+                                 make_stencil1d_dag(4, 3).dag};
+  for (const Dag& dag : dags) {
+    const CanonicalForm a = canonicalize(dag);
+    const Dag shuffled =
+        relabel(dag, random_permutation(dag.node_count(), rng));
+    const CanonicalForm b = canonicalize(shuffled);
+    ASSERT_EQ(a.order.size(), b.order.size());
+    // map a-node → b-node through canonical positions.
+    std::vector<NodeId> map(dag.node_count(), kInvalidNode);
+    for (std::size_t i = 0; i < a.order.size(); ++i) {
+      map[a.order[i]] = b.order[i];
+    }
+    std::size_t preserved = 0, edges = 0;
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      for (const NodeId succ : dag.successors(v)) {
+        ++edges;
+        preserved += shuffled.has_edge(map[v], map[succ]) ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(preserved, edges);
+  }
+}
+
+TEST(Canonical, DistinctDagsAlmostSurelyDistinctHashes) {
+  // Not isomorphic, so their hashes must differ (collision would cost an
+  // audited re-solve, not a wrong answer — but these easy separations are
+  // exactly what WL refinement distinguishes).
+  const std::vector<Dag> dags = {
+      make_tree_reduction_dag(8).dag, make_tree_reduction_dag(16).dag,
+      make_chain_dag(15),             make_chain_dag(16),
+      make_fft_dag(8).dag,            make_stencil1d_dag(5, 3).dag,
+  };
+  std::set<std::uint64_t> hashes;
+  for (const Dag& dag : dags) hashes.insert(canonicalize(dag).dag_hash);
+  EXPECT_EQ(hashes.size(), dags.size());
+}
+
+TEST(Canonical, FingerprintSeparatesEveryRequestDimension) {
+  const Dag dag = make_tree_reduction_dag(8).dag;
+  std::set<std::string> fingerprints;
+  const auto insert_unique = [&fingerprints](const std::string& fp) {
+    EXPECT_TRUE(fingerprints.insert(fp).second)
+        << "two distinct request dimensions collided on " << fp;
+  };
+  // Models — including two compcost parameterizations with different ε.
+  insert_unique(fingerprint_of(dag, Model::base()));
+  insert_unique(fingerprint_of(dag, Model::oneshot()));
+  insert_unique(fingerprint_of(dag, Model::nodel()));
+  insert_unique(fingerprint_of(dag, Model::compcost(1, 100)));
+  insert_unique(fingerprint_of(dag, Model::compcost(1, 10)));
+  // Convention bits.
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {true, false}));
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {false, true}));
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {true, true}));
+  // R.
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 4));
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 5));
+  // Solver.
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 3, "greedy"));
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 3, "exact"));
+  // Options (and option VALUES).
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 3, "greedy",
+                               {{"rule", "lru"}}));
+  insert_unique(fingerprint_of(dag, Model::oneshot(), {}, 3, "greedy",
+                               {{"rule", "mru"}}));
+}
+
+TEST(Canonical, FingerprintIsStableAcrossCalls) {
+  const Dag dag = make_fft_dag(8).dag;
+  EXPECT_EQ(fingerprint_of(dag), fingerprint_of(dag));
+}
+
+}  // namespace
+}  // namespace rbpeb::serve

@@ -1,0 +1,188 @@
+// Trace-cache behavior (src/serve/trace_cache.hpp): LRU eviction under the
+// byte budget, the serve-side audit rejecting a corrupted entry instead of
+// serving it, and — through a real Server — single-flight collapse of
+// concurrent identical requests into exactly one solve.
+#include "src/serve/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/graph/dag_io.hpp"
+#include "src/serve/server.hpp"
+#include "src/solvers/api.hpp"
+#include "src/workloads/chain.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace rbpeb::serve {
+namespace {
+
+/// A verified greedy answer for `dag` at `r` — raw material for cache
+/// entries.
+struct Answer {
+  Dag dag;
+  CanonicalForm form;
+  Trace trace;
+
+  explicit Answer(Dag d, std::size_t r) : dag(std::move(d)) {
+    form = canonicalize(dag);
+    const Engine engine(dag, Model::oneshot(), r);
+    SolveRequest request;
+    request.engine = &engine;
+    const SolveResult result =
+        SolverRegistry::instance().at("greedy").run(request);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.has_trace());
+    if (result.has_trace()) trace = *result.trace;
+  }
+};
+
+TEST(TraceCache, InsertThenLookupServesAuditedAnswer) {
+  const Answer answer(make_tree_reduction_dag(8).dag, 3);
+  const Engine engine(answer.dag, Model::oneshot(), 3);
+  TraceCache cache(1 << 20);
+  ASSERT_TRUE(cache.insert("fp", engine, answer.form, answer.trace,
+                           SolveStatus::Heuristic, "greedy"));
+  const auto hit = cache.lookup("fp", engine, answer.form);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->trace.size(), answer.trace.size());
+  EXPECT_EQ(hit->solver, "greedy");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().audit_failures, 0u);
+}
+
+TEST(TraceCache, RejectsNonAnswerStatuses) {
+  const Answer answer(make_chain_dag(8), 2);
+  const Engine engine(answer.dag, Model::oneshot(), 2);
+  TraceCache cache(1 << 20);
+  EXPECT_FALSE(cache.insert("fp", engine, answer.form, answer.trace,
+                            SolveStatus::BudgetExhausted, "greedy"));
+  EXPECT_FALSE(cache.insert("fp", engine, answer.form, answer.trace,
+                            SolveStatus::Inapplicable, "greedy"));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(TraceCache, InsertAuditRejectsIllegalTrace) {
+  const Answer answer(make_chain_dag(8), 2);
+  const Engine engine(answer.dag, Model::oneshot(), 2);
+  // A trace verified against the WRONG instance must fail the insert audit.
+  const Answer other(make_tree_reduction_dag(8).dag, 3);
+  const Engine other_engine(other.dag, Model::oneshot(), 3);
+  TraceCache cache(1 << 20);
+  EXPECT_FALSE(cache.insert("fp", other_engine, other.form, answer.trace,
+                            SolveStatus::Heuristic, "greedy"));
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+  EXPECT_EQ(cache.stats().audit_failures, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(TraceCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const Answer a(make_chain_dag(6), 2);
+  const Answer b(make_chain_dag(8), 2);
+  const Answer c(make_chain_dag(10), 2);
+  const Engine ea(a.dag, Model::oneshot(), 2);
+  const Engine eb(b.dag, Model::oneshot(), 2);
+  const Engine ec(c.dag, Model::oneshot(), 2);
+
+  // Size the budget from real entry footprints: room for two of the three.
+  TraceCache probe(0);
+  ASSERT_TRUE(probe.insert("a", ea, a.form, a.trace, SolveStatus::Heuristic,
+                           "greedy"));
+  ASSERT_TRUE(probe.insert("b", eb, b.form, b.trace, SolveStatus::Heuristic,
+                           "greedy"));
+  ASSERT_TRUE(probe.insert("c", ec, c.form, c.trace, SolveStatus::Heuristic,
+                           "greedy"));
+  const std::size_t three = probe.stats().bytes;
+  ASSERT_EQ(probe.stats().entries, 3u);
+  const std::size_t budget = three - 1;  // cannot hold all three
+
+  TraceCache cache(budget);
+  ASSERT_TRUE(
+      cache.insert("a", ea, a.form, a.trace, SolveStatus::Heuristic, "greedy"));
+  ASSERT_TRUE(
+      cache.insert("b", eb, b.form, b.trace, SolveStatus::Heuristic, "greedy"));
+  // Touch "a" so "b" becomes the LRU tail.
+  ASSERT_TRUE(cache.lookup("a", ea, a.form).has_value());
+  ASSERT_TRUE(
+      cache.insert("c", ec, c.form, c.trace, SolveStatus::Heuristic, "greedy"));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, budget);
+  // The recently-used "a" survived; the LRU "b" did not.
+  EXPECT_TRUE(cache.lookup("a", ea, a.form).has_value());
+  EXPECT_FALSE(cache.lookup("b", eb, b.form).has_value());
+}
+
+TEST(TraceCache, OversizedEntryIsRejectedOutright) {
+  const Answer answer(make_chain_dag(10), 2);
+  const Engine engine(answer.dag, Model::oneshot(), 2);
+  TraceCache cache(16);  // smaller than any entry
+  EXPECT_FALSE(cache.insert("fp", engine, answer.form, answer.trace,
+                            SolveStatus::Heuristic, "greedy"));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(TraceCache, ServeAuditRejectsCorruptedEntryAndDropsIt) {
+  const Answer answer(make_tree_reduction_dag(8).dag, 3);
+  const Engine engine(answer.dag, Model::oneshot(), 3);
+  TraceCache cache(1 << 20);
+  ASSERT_TRUE(cache.insert("fp", engine, answer.form, answer.trace,
+                           SolveStatus::Heuristic, "greedy"));
+  ASSERT_TRUE(cache.corrupt_entry_for_test("fp"));
+
+  // The corrupted trace must NOT be served: the pre-serve replay fails,
+  // the entry is dropped, and the request reads as a miss.
+  EXPECT_FALSE(cache.lookup("fp", engine, answer.form).has_value());
+  EXPECT_EQ(cache.stats().audit_failures, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The poisoned fingerprint is reusable: a fresh, legal insert serves.
+  ASSERT_TRUE(cache.insert("fp", engine, answer.form, answer.trace,
+                           SolveStatus::Heuristic, "greedy"));
+  EXPECT_TRUE(cache.lookup("fp", engine, answer.form).has_value());
+}
+
+TEST(TraceCache, SingleFlightCollapsesConcurrentIdenticalRequests) {
+  ServerOptions options;
+  options.workers = 4;
+  Server server(options);
+
+  const std::string dag_text = to_text(make_tree_reduction_dag(8).dag);
+  constexpr std::size_t kClients = 16;
+  std::vector<std::future<ResponseMessage>> futures;
+  futures.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    RequestMessage request;
+    request.id = "c" + std::to_string(i);
+    request.dag_text = dag_text;
+    request.red_limit = 3;
+    request.solver = "greedy";
+    futures.push_back(server.submit(std::move(request)));
+  }
+
+  std::string cost, trace;
+  for (auto& future : futures) {
+    const ResponseMessage response = future.get();
+    ASSERT_EQ(response.status, "heuristic") << response.detail;
+    ASSERT_FALSE(response.cost.empty());
+    if (cost.empty()) {
+      cost = response.cost;
+      trace = response.trace_text;
+    } else {
+      // Byte-identical answers, whether solved, flight-collapsed or cached.
+      EXPECT_EQ(response.cost, cost);
+      EXPECT_EQ(response.trace_text, trace);
+    }
+  }
+
+  // The collapse itself: one solve, everyone else served without one.
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.solves.load(), 1u);
+  EXPECT_EQ(stats.cache_hits.load() + stats.flight_hits.load(), kClients - 1);
+  EXPECT_EQ(stats.audit_failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rbpeb::serve

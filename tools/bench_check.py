@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Bench regression gate for the BENCH_*.json reports.
 
-CI publishes three bench reports (exact_astar, hda_astar, bigstate) but a
+CI publishes bench reports (exact_astar, hda_astar, bigstate, serve) but a
 published number nobody checks is a number that silently regresses. This
 tool compares a freshly generated report against the committed baseline on
 the *deterministic* counters and fails on regression:
@@ -14,7 +14,11 @@ the *deterministic* counters and fails on regression:
   * solved/proven counters (nodes_proved_optimal, tight_solved, per-case
     solved flags) may only go up;
   * wall-clock milliseconds are machine-dependent — printed for context,
-    never gated.
+    never gated;
+  * serve reports gate the verified-cache invariants: byte-identity
+    counters (cost/trace mismatches, audit failures) must be zero, hits and
+    solved may only rise, solves may only fall, and latency percentiles are
+    informational.
 
 A separate mode asserts the hda-astar scaling claim on multi-core runners
 (ROADMAP: "CI's multi-core runners are where the scaling claim is
@@ -189,10 +193,48 @@ def compare_bigstate(fresh, baseline):
                  f"{run.get('ms', '?')} ms (informational)")
 
 
+def compare_serve(fresh, baseline):
+    # Byte-identity counters are absolute: any nonzero value means a served
+    # answer differed from a cold solve, which the subsystem exists to
+    # forbid.
+    for counter in ("cost_mismatches", "trace_mismatches", "audit_failures"):
+        if fresh.get(counter, 0) != 0:
+            fail(f"serve: {counter} {fresh[counter]} != 0")
+    # Hits are deterministic (fixed seed, single-flight, no eviction):
+    # hit-rate and solved may only rise.
+    check_counter_ge("serve", "total_hits",
+                     fresh["total_hits"], baseline["total_hits"])
+    fresh_cases = index_cases(fresh["cases"], "clients")
+    for key, base in index_cases(baseline["cases"], "clients").items():
+        where = f"serve @{key[0]} clients"
+        new = fresh_cases.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        check_counter_ge(where, "hits", new["hits"], base["hits"])
+        check_counter_ge(where, "solved", new["solved"], base["solved"])
+        # More solves for the same traffic means the cache deduplicated
+        # less — a regression even when every request still succeeds.
+        check_counter_le(where, "solves", new["solves"], base["solves"])
+        note(f"{where}: p50 {base.get('p50_us', '?')} -> "
+             f"{new.get('p50_us', '?')} us, p99 {base.get('p99_us', '?')} -> "
+             f"{new.get('p99_us', '?')} us (informational)")
+    # Audited costs per instance: exactly equal, like every other bench.
+    fresh_instances = index_cases(fresh.get("instances", []), "instance")
+    for key, base in index_cases(baseline.get("instances", []),
+                                 "instance").items():
+        new = fresh_instances.get(key)
+        if new is None:
+            fail(f"serve instance {key}: disappeared from the fresh report")
+            continue
+        check_cost(f"serve instance {key}", new["cost"], base["cost"])
+
+
 COMPARATORS = {
     "exact_astar": compare_exact_astar,
     "hda_astar": compare_hda_astar,
     "bigstate": compare_bigstate,
+    "serve": compare_serve,
 }
 
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""CI smoke test: rbpeb_serve answers must match single-shot CLI answers.
+
+Drives the full serve pipeline the way a user would — JSONL requests piped
+through the rbpeb_serve binary — and diffs every response against the same
+instance solved cold by rbpeb_cli:
+
+  * costs must be exactly equal (both sides report Verifier-audited totals);
+  * for deterministic solvers the trace text must be byte-identical — a
+    cached answer is the cold answer, not a paraphrase of it;
+  * repeats (including a node-relabeled isomorph) must be served from the
+    cache: the summary's hit counters are asserted > 0, which is the CI
+    gate on the cache actually working.
+
+Usage: serve_smoke.py --build-dir BUILD [--keep DIR]
+Exit status: 0 clean, 1 mismatch/regression, 2 bad invocation.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def chain_dag(n):
+    return str(n) + "\n" + "\n".join(f"{i} {i+1}" for i in range(n - 1)) + "\n"
+
+
+def relabel(dag_text, seed=13):
+    """Deterministically renumber the DAG's nodes (same relation, new ids)."""
+    lines = dag_text.strip().split("\n")
+    n = int(lines[0])
+    # A fixed affine permutation: no RNG needed for determinism.
+    stride = 7 if n % 7 else 5
+    perm = [(i * stride + 3) % n for i in range(n)]
+    assert sorted(perm) == list(range(n))
+    edges = [tuple(map(int, line.split())) for line in lines[1:]]
+    out = [str(n)] + [f"{perm[a]} {perm[b]}" for a, b in edges]
+    return "\n".join(out) + "\n"
+
+
+def run_cli(cli, dag_path, r, solver, trace_path):
+    proc = subprocess.run(
+        [cli, "solve", dag_path, str(r), "--solver", solver,
+         "--trace", trace_path],
+        capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"rbpeb_cli solve {dag_path} r={r} {solver} failed: "
+             f"{proc.stderr.strip()}")
+        return None, None
+    match = re.search(r"total cost: (\S+)", proc.stdout)
+    if not match:
+        fail(f"rbpeb_cli output for {dag_path} has no audited cost")
+        return None, None
+    with open(trace_path) as f:
+        return match.group(1), f.read()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="directory holding rbpeb_serve and rbpeb_cli")
+    parser.add_argument("--keep", default=None,
+                        help="keep work files in DIR instead of a tempdir")
+    args = parser.parse_args()
+
+    serve = os.path.join(args.build_dir, "rbpeb_serve")
+    cli = os.path.join(args.build_dir, "rbpeb_cli")
+    for binary in (serve, cli):
+        if not os.path.exists(binary):
+            print(f"error: {binary} not found", file=sys.stderr)
+            return 2
+
+    work = args.keep or tempfile.mkdtemp(prefix="serve_smoke.")
+    os.makedirs(work, exist_ok=True)
+
+    def gen(*gen_args):
+        return subprocess.run([cli, "gen", *gen_args], capture_output=True,
+                              text=True, check=True).stdout
+
+    # Instance set: deterministic solvers so cold CLI answers are
+    # reproducible byte-for-byte; r chosen so every instance is feasible.
+    instances = [
+        ("tree8", gen("tree", "8"), 3, "greedy"),
+        ("tree16", gen("tree", "16"), 4, "peephole"),
+        ("fft4", gen("fft", "4"), 3, "exact-astar"),
+        ("chain10", chain_dag(10), 2, "exact"),
+    ]
+
+    # The request stream: every instance once, then every instance again
+    # (cache hits), then a relabeled isomorph of the first (a hit only if
+    # canonicalization works).
+    requests = []
+    for name, dag, r, solver in instances + instances:
+        requests.append({"id": name, "dag": dag, "r": r, "solver": solver})
+    requests.append({"id": "tree8-relabeled",
+                     "dag": relabel(instances[0][1]),
+                     "r": instances[0][2],
+                     "solver": instances[0][3]})
+
+    request_path = os.path.join(work, "requests.jsonl")
+    with open(request_path, "w") as f:
+        for request in requests:
+            f.write(json.dumps(request) + "\n")
+
+    response_path = os.path.join(work, "responses.jsonl")
+    proc = subprocess.run(
+        [serve, "--input", request_path, "--output", response_path],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"rbpeb_serve exited {proc.returncode}: {proc.stderr.strip()}")
+        return 1
+    summary = proc.stderr
+
+    with open(response_path) as f:
+        responses = [json.loads(line) for line in f if line.strip()]
+    if len(responses) != len(requests):
+        fail(f"{len(requests)} requests but {len(responses)} responses")
+        return 1
+
+    # Cold CLI answers, one per distinct instance.
+    cold = {}
+    for name, dag, r, solver in instances:
+        dag_path = os.path.join(work, f"{name}.dag")
+        with open(dag_path, "w") as f:
+            f.write(dag)
+        cost, trace = run_cli(cli, dag_path, r, solver,
+                              os.path.join(work, f"{name}.trace"))
+        if cost is not None:
+            cold[name] = (cost, trace)
+
+    hits = 0
+    for request, response in zip(requests, responses):
+        name = request["id"].split("-")[0]
+        where = f"request {request['id']}"
+        if response.get("status") not in ("optimal", "heuristic"):
+            fail(f"{where}: status {response.get('status')!r} "
+                 f"({response.get('detail', '')})")
+            continue
+        if response.get("cache") in ("hit", "flight"):
+            hits += 1
+        if name not in cold:
+            continue
+        cost, trace = cold[name]
+        if response.get("cost") != cost:
+            fail(f"{where}: served cost {response.get('cost')!r} != "
+                 f"cold CLI cost {cost!r}")
+        # Byte-identity only on the original labeling; the relabeled
+        # isomorph's trace is the same pebbling under renamed nodes.
+        if request["id"] == name and response.get("trace") != trace:
+            fail(f"{where}: served trace differs from the cold CLI trace")
+
+    if hits == 0:
+        fail("no request was served from the cache (hit-rate gate)")
+    relabeled = next(r for q, r in zip(requests, responses)
+                     if q["id"] == "tree8-relabeled")
+    if relabeled.get("cache") not in ("hit", "flight"):
+        fail("the relabeled isomorph missed the cache "
+             f"(cache={relabeled.get('cache')!r})")
+
+    print(summary, file=sys.stderr)
+    if failures:
+        print(f"serve_smoke: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"serve_smoke: clean ({len(responses)} responses, {hits} cache "
+          "hits, relabeled isomorph served from cache)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
