@@ -87,29 +87,62 @@ StateBoundEvaluator::StateBoundEvaluator(const Engine& engine)
     // variable-width searches use WideStateMasks even on small instances
     // (one mask type per search instantiation).
   }
-  if (n > kWideMaskMaxNodes) return;  // generic path only; no caches to build
-  // ≤128 nodes: the same caches over two-word masks.
-  pred_mask2_.assign(n, WideMask{});
-  cone_mask2_.assign(n, WideMask{});
+  if (n <= kWideMaskMaxNodes) {
+    // ≤128 nodes: the same caches over two-word masks.
+    pred_mask2_.assign(n, WideMask{});
+    cone_mask2_.assign(n, WideMask{});
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      for (NodeId p : dag.predecessors(node)) {
+        pred_mask2_[v][p >> 6] |= std::uint64_t{1} << (p & 63);
+      }
+      if (dag.is_sink(node)) {
+        sinks_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+      }
+      if (dag.is_source(node)) {
+        sources_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+      }
+    }
+    for (NodeId v : topological_order(dag)) {
+      WideMask cone{};
+      cone[v >> 6] = std::uint64_t{1} << (v & 63);
+      for (NodeId p : dag.predecessors(v)) {
+        for (std::size_t w = 0; w < cone.size(); ++w) {
+          cone[w] |= cone_mask2_[p][w];
+        }
+      }
+      cone_mask2_[v] = cone;
+    }
+  }
+  if (n > kVecMaskMaxNodes) return;  // generic path only past the vec cap
+  // Runtime-width caches, built for every n ≤ kVecMaskMaxNodes so a forced
+  // MaskVec run on a small instance can be compared against the fixed paths.
+  const std::size_t W = (n + 63) / 64;
+  maskv_words_ = W;
+  pred_maskv_.assign(n * W, 0);
+  cone_maskv_.assign(n * W, 0);
+  sinks_maskv_.assign(W, 0);
+  sources_maskv_.assign(W, 0);
+  scratchv_.assign(5 * W, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const NodeId node = static_cast<NodeId>(v);
     for (NodeId p : dag.predecessors(node)) {
-      pred_mask2_[v][p >> 6] |= std::uint64_t{1} << (p & 63);
+      pred_maskv_[v * W + (p >> 6)] |= std::uint64_t{1} << (p & 63);
     }
-    if (dag.is_sink(node)) sinks_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    if (dag.is_sink(node)) {
+      sinks_maskv_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
     if (dag.is_source(node)) {
-      sources_mask2_[v >> 6] |= std::uint64_t{1} << (v & 63);
+      sources_maskv_[v >> 6] |= std::uint64_t{1} << (v & 63);
     }
   }
   for (NodeId v : topological_order(dag)) {
-    WideMask cone{};
-    cone[v >> 6] = std::uint64_t{1} << (v & 63);
+    std::uint64_t* cone = &cone_maskv_[static_cast<std::size_t>(v) * W];
+    cone[v >> 6] |= std::uint64_t{1} << (v & 63);
     for (NodeId p : dag.predecessors(v)) {
-      for (std::size_t w = 0; w < cone.size(); ++w) {
-        cone[w] |= cone_mask2_[p][w];
-      }
+      const std::uint64_t* pcone = &cone_maskv_[static_cast<std::size_t>(p) * W];
+      for (std::size_t w = 0; w < W; ++w) cone[w] |= pcone[w];
     }
-    cone_mask2_[v] = cone;
   }
 }
 
@@ -307,6 +340,124 @@ std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
                    : (state.blue[w] & bit) != 0 ? 2u
                                                 : 0u;
       if ((state.computed[w] & bit) != 0) f |= 4u;
+      return f;
+    });
+    if (!floor) return std::nullopt;  // some projection cannot complete
+    total = std::max(total, *floor);
+  }
+  return total;
+}
+
+std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
+    const MaskVec& state) {
+  const Model& model = engine_->model();
+  const PebblingConvention& conv = engine_->convention();
+  const std::size_t W = maskv_words_;
+  RBPEB_REQUIRE(W != 0 && state.words() == W,
+                "MaskVec width must match the evaluator's DAG");
+
+  // Scratch planes: pebbled, empty, frontier, closure, blue_inputs.
+  std::uint64_t* pebbled = scratchv_.data();
+  std::uint64_t* empty = pebbled + W;
+  std::uint64_t* frontier = empty + W;
+  std::uint64_t* closure = frontier + W;
+  std::uint64_t* blue_inputs = closure + W;
+  for (std::size_t w = 0; w < W; ++w) {
+    pebbled[w] = state.red()[w] | state.blue()[w];
+    empty[w] = ~pebbled[w];  // junk above bit n never enters
+    closure[w] = 0;
+    blue_inputs[w] = 0;
+  }
+
+  // Seeds plus the stores owed by non-blue sinks under the blue convention.
+  std::int64_t sink_stores_owed = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    if (conv.sinks_end_blue) {
+      sink_stores_owed += std::popcount(sinks_maskv_[w] & ~state.blue()[w]);
+    }
+    frontier[w] = sinks_maskv_[w] & empty[w];
+  }
+
+  // Requirement closure composed from the runtime-width caches — the same
+  // whole-cone jumps and per-predecessor-word advances as the fixed paths,
+  // with the word scan generalized to W words.
+  for (;;) {
+    std::size_t w = 0;
+    while (w < W && frontier[w] == 0) ++w;
+    if (w == W) break;
+    const int b = std::countr_zero(frontier[w]);
+    frontier[w] &= frontier[w] - 1;
+    const std::size_t v = (w << 6) | static_cast<std::size_t>(b);
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    if ((closure[w] & bit) != 0) continue;
+    const std::uint64_t* cone = &cone_maskv_[v * W];
+    bool cone_unpebbled = true;
+    for (std::size_t i = 0; i < W; ++i) {
+      if ((cone[i] & pebbled[i]) != 0) cone_unpebbled = false;
+    }
+    if (cone_unpebbled) {
+      for (std::size_t i = 0; i < W; ++i) closure[i] |= cone[i];
+      continue;
+    }
+    closure[w] |= bit;
+    const std::uint64_t* preds = &pred_maskv_[v * W];
+    for (std::size_t i = 0; i < W; ++i) {
+      blue_inputs[i] |= preds[i] & state.blue()[i];
+      frontier[i] |= preds[i] & empty[i] & ~closure[i];
+    }
+  }
+
+  // Dead states: a needed oneshot value already spent, or a needed (hence
+  // empty) Hong–Kung source — uncomputable and, with no pebble, unloadable.
+  std::int64_t closure_count = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    if (!model.allows_recompute() &&
+        (closure[w] & state.computed()[w]) != 0) {
+      return std::nullopt;
+    }
+    if (conv.sources_start_blue && (closure[w] & sources_maskv_[w]) != 0) {
+      return std::nullopt;
+    }
+    closure_count += std::popcount(closure[w]);
+  }
+
+  std::int64_t bound = closure_count * eps_num_;
+  // Blue inputs that can never be recomputed owe a full Load; the rest owe
+  // whichever of reload / recompute is cheaper.
+  for (std::size_t w = 0; w < W; ++w) {
+    std::uint64_t no_recompute = 0;
+    if (!model.allows_recompute()) no_recompute |= state.computed()[w];
+    if (conv.sources_start_blue) no_recompute |= sources_maskv_[w];
+    bound += static_cast<std::int64_t>(
+                 std::popcount(blue_inputs[w] & no_recompute)) *
+             eps_den_;
+    bound += static_cast<std::int64_t>(
+                 std::popcount(blue_inputs[w] & ~no_recompute)) *
+             std::min(eps_num_, eps_den_);
+  }
+
+  std::int64_t stores_owed = sink_stores_owed;
+  if (model.kind() == ModelKind::Nodel) {
+    std::int64_t pebbled_count = 0;
+    std::int64_t blue_count = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      pebbled_count += std::popcount(pebbled[w]);
+      blue_count += std::popcount(state.blue()[w]);
+    }
+    const std::int64_t final_pebbled = pebbled_count + closure_count;
+    const std::int64_t r = static_cast<std::int64_t>(engine_->red_limit());
+    // Max, not sum: this and the sink term lower-bound the same stores.
+    stores_owed = std::max(stores_owed, final_pebbled - r - blue_count);
+  }
+  std::int64_t total = bound + stores_owed * eps_den_;
+  if (pdb_ != nullptr) {
+    auto floor = pdb_floor([&](NodeId v) {
+      const std::size_t w = v >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+      unsigned f = (state.red()[w] & bit) != 0 ? 1u
+                   : (state.blue()[w] & bit) != 0 ? 2u
+                                                  : 0u;
+      if ((state.computed()[w] & bit) != 0) f |= 4u;
       return f;
     });
     if (!floor) return std::nullopt;  // some projection cannot complete

@@ -88,8 +88,9 @@ std::size_t optimal_length_upper_bound(const Dag& dag, const Model& model);
 /// of a fresh graph walk, and everything else advances one cached
 /// predecessor word at a time. No per-evaluation O(n) mark-clearing, no
 /// edge-list chasing. DAGs of 65–128 nodes (the bigstate searches) run the
-/// same composition over two-word masks (WideStateMasks); beyond 128 the
-/// original walk remains.
+/// same composition over two-word masks (WideStateMasks); 129 to
+/// kVecMaskMaxNodes nodes run it over runtime-width masks (MaskVec); only
+/// beyond that does the original walk remain.
 ///
 /// attach_pdb folds an additive pattern database (solvers/bigstate/pdb.hpp)
 /// into both mask paths: the returned bound becomes
@@ -102,6 +103,11 @@ class StateBoundEvaluator {
 
   /// Largest DAG the two-word (WideStateMasks) fast path handles.
   static constexpr std::size_t kWideMaskMaxNodes = 128;
+
+  /// Largest DAG the runtime-width (MaskVec) path handles — the cap the
+  /// variable-width searches inherit. Beyond it only the generic walk
+  /// remains (no structural caches are built).
+  static constexpr std::size_t kVecMaskMaxNodes = 1024;
 
   explicit StateBoundEvaluator(const Engine& engine);
 
@@ -211,6 +217,130 @@ class StateBoundEvaluator {
     }
   };
 
+  /// Runtime-width sibling of StateMasks / WideStateMasks for DAGs past 128
+  /// nodes (bit v of word v/64 = node v, same layout, width chosen at
+  /// construction). The three planes live in one allocation — red words,
+  /// then blue, then computed — inline while each plane fits two words
+  /// (n ≤ 128, the differential-test regime) and on the heap beyond. Same
+  /// contract as the fixed-width types: a search computes a parent's masks
+  /// once per expansion and derives each neighbor's in O(1) via apply().
+  class MaskVec {
+   public:
+    /// Words per plane the inline buffer covers (mirrors WideStateMasks).
+    static constexpr std::size_t kInlineWords = 2;
+
+    MaskVec() = default;
+    explicit MaskVec(std::size_t node_count)
+        : words_(static_cast<std::uint32_t>((node_count + 63) / 64)) {
+      std::uint64_t* w = allocate();
+      std::fill(w, w + 3 * words_, std::uint64_t{0});
+    }
+    MaskVec(const MaskVec& o) : words_(o.words_) {
+      std::uint64_t* w = allocate();
+      std::copy(o.data(), o.data() + 3 * words_, w);
+    }
+    MaskVec(MaskVec&& o) noexcept : words_(o.words_) {
+      if (on_heap()) {
+        heap_ = o.heap_;
+        o.words_ = 0;
+      } else {
+        std::copy(o.inline_, o.inline_ + 3 * words_, inline_);
+      }
+    }
+    MaskVec& operator=(const MaskVec& o) {
+      if (this != &o) {
+        release();
+        words_ = o.words_;
+        std::uint64_t* w = allocate();
+        std::copy(o.data(), o.data() + 3 * words_, w);
+      }
+      return *this;
+    }
+    MaskVec& operator=(MaskVec&& o) noexcept {
+      if (this != &o) {
+        release();
+        words_ = o.words_;
+        if (on_heap()) {
+          heap_ = o.heap_;
+          o.words_ = 0;
+        } else {
+          std::copy(o.inline_, o.inline_ + 3 * words_, inline_);
+        }
+      }
+      return *this;
+    }
+    ~MaskVec() { release(); }
+
+    std::size_t words() const { return words_; }
+    std::uint64_t* red() { return data(); }
+    std::uint64_t* blue() { return data() + words_; }
+    std::uint64_t* computed() { return data() + 2 * words_; }
+    const std::uint64_t* red() const { return data(); }
+    const std::uint64_t* blue() const { return data() + words_; }
+    const std::uint64_t* computed() const { return data() + 2 * words_; }
+
+    template <class StateLike>
+    static MaskVec from(const StateLike& state, std::size_t node_count) {
+      MaskVec m(node_count);
+      for (std::size_t v = 0; v < node_count; ++v) {
+        const NodeId node = static_cast<NodeId>(v);
+        const std::size_t w = v >> 6;
+        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+        switch (state.color(node)) {
+          case PebbleColor::Red: m.red()[w] |= bit; break;
+          case PebbleColor::Blue: m.blue()[w] |= bit; break;
+          case PebbleColor::None: break;
+        }
+        if (state.was_computed(node)) m.computed()[w] |= bit;
+      }
+      return m;
+    }
+
+    /// The successor configuration's masks after a *legal* move — mirrors
+    /// WideStateMasks::apply word-for-word on the word holding the node.
+    void apply(const Move& move) {
+      const std::size_t w = move.node >> 6;
+      const std::uint64_t bit = std::uint64_t{1} << (move.node & 63);
+      switch (move.type) {
+        case MoveType::Load:
+          red()[w] |= bit;
+          blue()[w] &= ~bit;
+          break;
+        case MoveType::Store:
+          blue()[w] |= bit;
+          red()[w] &= ~bit;
+          break;
+        case MoveType::Compute:
+          red()[w] |= bit;
+          blue()[w] &= ~bit;
+          computed()[w] |= bit;
+          break;
+        case MoveType::Delete:
+          red()[w] &= ~bit;
+          blue()[w] &= ~bit;
+          break;
+      }
+    }
+
+   private:
+    bool on_heap() const { return words_ > kInlineWords; }
+    std::uint64_t* data() { return on_heap() ? heap_ : inline_; }
+    const std::uint64_t* data() const { return on_heap() ? heap_ : inline_; }
+    std::uint64_t* allocate() {
+      if (on_heap()) heap_ = new std::uint64_t[3 * words_];
+      return data();
+    }
+    void release() {
+      if (on_heap()) delete[] heap_;
+    }
+
+    std::uint32_t words_ = 0;  ///< words per plane
+    union {
+      std::uint64_t inline_[3 * kInlineWords];
+      std::uint64_t* heap_;
+    };
+  };
+
   /// Lower bound on the remaining completion cost in scaled units of
   /// 1/ε.den() (see scaled_move_cost); nullopt when the state provably
   /// cannot be completed. Zero at every complete state.
@@ -223,6 +353,9 @@ class StateBoundEvaluator {
     if (n <= kWideMaskMaxNodes) {
       return lower_bound_scaled(WideStateMasks::from(state, n));
     }
+    if (n <= kVecMaskMaxNodes) {
+      return lower_bound_scaled(MaskVec::from(state, n));
+    }
     return lower_bound_generic(state);
   }
 
@@ -234,6 +367,12 @@ class StateBoundEvaluator {
   /// Differentially tested against lower_bound_generic in
   /// tests/pebble/test_bounds.cpp.
   std::optional<std::int64_t> lower_bound_scaled(const WideStateMasks& state);
+
+  /// The runtime-width path. Requires node_count() <= kVecMaskMaxNodes and
+  /// state.words() == (node_count()+63)/64. Differentially tested against
+  /// the fixed-width paths and lower_bound_generic in
+  /// tests/solvers/test_maskvec.cpp.
+  std::optional<std::int64_t> lower_bound_scaled(const MaskVec& state);
 
   /// Fold an additive pattern database into the mask paths: bounds become
   /// max(counting_bounds, pdb_sum). `pdb` must outlive the evaluator (or a
@@ -346,6 +485,19 @@ class StateBoundEvaluator {
   std::vector<WideMask> cone_mask2_;
   WideMask sinks_mask2_{};
   WideMask sources_mask2_{};
+
+  // Runtime-width caches, built for every n ≤ kVecMaskMaxNodes (the small
+  // sizes too, so a forced MaskVec run can be differentially compared
+  // against the fixed-width paths). Flat node-major layout: node v's mask
+  // is the W = maskv_words_ words starting at v * W.
+  std::size_t maskv_words_ = 0;
+  std::vector<std::uint64_t> pred_maskv_;
+  std::vector<std::uint64_t> cone_maskv_;
+  std::vector<std::uint64_t> sinks_maskv_;
+  std::vector<std::uint64_t> sources_maskv_;
+  // Scratch planes for the runtime-width evaluation (one evaluator per
+  // search worker; not thread-safe, like the rest of the scratch).
+  std::vector<std::uint64_t> scratchv_;
 
   // Scratch for the generic path.
   std::vector<std::uint8_t> mark_;

@@ -352,6 +352,10 @@ std::string ResponseMessage::to_json() const {
   if (!solver.empty()) os << ",\"solver\":" << json_quote(solver);
   if (!cost.empty()) os << ",\"cost\":" << json_quote(cost);
   if (!trace_text.empty()) os << ",\"trace\":" << json_quote(trace_text);
+  if (!epsilon.empty()) os << ",\"epsilon\":" << json_quote(epsilon);
+  if (!lower_bound.empty()) {
+    os << ",\"lower_bound\":" << json_quote(lower_bound);
+  }
   if (!detail.empty()) os << ",\"detail\":" << json_quote(detail);
   os << ",\"queue_us\":" << queue_us << ",\"solve_us\":" << solve_us;
   if (!stats.empty()) {

@@ -98,6 +98,13 @@ struct ResponseMessage {
   std::string solver;
   std::string cost;        ///< audited Rational::str(); empty without a trace
   std::string trace_text;  ///< trace_to_text form; empty without a trace
+  /// Suboptimality certificate, when the answer carries one (anytime
+  /// solves, fresh or cached): exact Rational::str() renderings of ε and
+  /// the proved lower bound, satisfying cost ≤ (1+ε)·lower_bound. Both
+  /// empty otherwise. "0" epsilon with status heuristic cannot occur — a
+  /// zero-ε certificate is reported as status optimal.
+  std::string epsilon;
+  std::string lower_bound;
   std::string detail;
   std::map<std::string, std::string> stats;
   std::int64_t queue_us = 0;  ///< admission-to-dispatch wait

@@ -194,15 +194,25 @@ ResponseMessage Server::handle(const RequestMessage& request,
       form, *model, convention, request.red_limit, solver_name,
       request.options);
 
-  // Fast path: the verified cache. lookup() audits before answering.
+  const auto fill_cached = [](ResponseMessage& out,
+                              const CachedAnswer& cached) {
+    out.status = status_string(cached.status);
+    out.solver = cached.solver;
+    out.cost = cached.cost.str();
+    out.trace_text = trace_to_text(cached.trace);
+    if (cached.certificate) {
+      out.epsilon = cached.certificate->epsilon.str();
+      out.lower_bound = cached.certificate->lower_bound.str();
+    }
+  };
+
+  // Fast path: the verified cache. lookup() audits before answering —
+  // certificate inequality included for certified entries.
   if (std::optional<CachedAnswer> cached =
           cache_.lookup(fingerprint, engine, form)) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    response.status = status_string(cached->status);
+    fill_cached(response, *cached);
     response.cache = "hit";
-    response.solver = cached->solver;
-    response.cost = cached->cost.str();
-    response.trace_text = trace_to_text(cached->trace);
     return response;
   }
 
@@ -232,11 +242,8 @@ ResponseMessage Server::handle(const RequestMessage& request,
     if (std::optional<CachedAnswer> cached =
             cache_.lookup(fingerprint, engine, form)) {
       stats_.flight_hits.fetch_add(1, std::memory_order_relaxed);
-      response.status = status_string(cached->status);
+      fill_cached(response, *cached);
       response.cache = "flight";
-      response.solver = cached->solver;
-      response.cost = cached->cost.str();
-      response.trace_text = trace_to_text(cached->trace);
       return response;
     }
     // Leader failed or the answer was already evicted: solve it ourselves,
@@ -260,13 +267,18 @@ ResponseMessage Server::handle(const RequestMessage& request,
   };
   ResponseMessage solved;
   try {
-    solved = dispatch_solve(request, engine, arrival);
+    std::optional<SolveCertificate> certificate;
+    solved = dispatch_solve(request, engine, arrival, &certificate);
     if (solved.status == "optimal" || solved.status == "heuristic") {
       const SolveStatus status = solved.status == "optimal"
                                      ? SolveStatus::Optimal
                                      : SolveStatus::Heuristic;
+      // insert() re-audits the certificate against its own replay cost; a
+      // certified answer that fails the inequality is refused, not cached
+      // with the guarantee stripped.
       cache_.insert(fingerprint, engine, form,
-                    trace_from_text(solved.trace_text), status, solved.solver);
+                    trace_from_text(solved.trace_text), status, solved.solver,
+                    certificate);
     }
   } catch (...) {
     land_flight();
@@ -276,9 +288,10 @@ ResponseMessage Server::handle(const RequestMessage& request,
   return solved;
 }
 
-ResponseMessage Server::dispatch_solve(const RequestMessage& request,
-                                       const Engine& engine,
-                                       Clock::time_point arrival) {
+ResponseMessage Server::dispatch_solve(
+    const RequestMessage& request, const Engine& engine,
+    Clock::time_point arrival,
+    std::optional<SolveCertificate>* certificate_out) {
   ResponseMessage response;
   response.id = request.id;
   response.cache = "miss";
@@ -345,6 +358,11 @@ ResponseMessage Server::dispatch_solve(const RequestMessage& request,
     response.cost = result.cost.str();
     response.trace_text = trace_to_text(*result.trace);
   }
+  if (result.certificate) {
+    response.epsilon = result.certificate->epsilon.str();
+    response.lower_bound = result.certificate->lower_bound.str();
+  }
+  if (certificate_out != nullptr) *certificate_out = result.certificate;
   if (result.ok()) {
     stats_.solved_ok.fetch_add(1, std::memory_order_relaxed);
   }

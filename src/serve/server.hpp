@@ -127,9 +127,14 @@ class Server {
   void worker_loop();
   ResponseMessage handle(const RequestMessage& request,
                          Clock::time_point arrival);
-  ResponseMessage dispatch_solve(const RequestMessage& request,
-                                 const Engine& engine,
-                                 Clock::time_point arrival);
+  /// `certificate_out`, when non-null, receives the solve's suboptimality
+  /// certificate (nullopt if the answer carried none) — the leader passes
+  /// it through to the cache insert so the structured Rationals survive
+  /// rather than being re-parsed from the response strings.
+  ResponseMessage dispatch_solve(
+      const RequestMessage& request, const Engine& engine,
+      Clock::time_point arrival,
+      std::optional<SolveCertificate>* certificate_out = nullptr);
 
   const ServerOptions options_;
   const SolverRegistry& registry_;

@@ -20,7 +20,7 @@ std::size_t TraceCache::entry_bytes(const Entry& entry) {
   return entry.fingerprint.size() * 2  // entry copy + index key
          + entry.order.size() * sizeof(NodeId)
          + entry.trace.size() * sizeof(Move) + entry.solver.size() +
-         kEntryOverhead;
+         (entry.certificate ? sizeof(SolveCertificate) : 0) + kEntryOverhead;
 }
 
 std::optional<CachedAnswer> TraceCache::lookup(
@@ -50,12 +50,16 @@ std::optional<CachedAnswer> TraceCache::lookup(
       remapped.push(Move{move.type, map[move.node]});
     }
     // The serve-side audit: nothing leaves the cache without replaying
-    // legally and completely under the REQUESTING engine. The cost served
-    // is the replay's, so a cached answer can never misreport.
+    // legally and completely under the REQUESTING engine — and, for
+    // certified-suboptimal entries, without the certificate inequality
+    // re-checking against the replay's cost. The cost served is the
+    // replay's, so a cached answer can never misreport.
     const VerifyResult vr = verify(engine, remapped);
-    if (vr.ok()) {
+    const bool certificate_ok =
+        !entry.certificate || certificate_holds(*entry.certificate, vr.total);
+    if (vr.ok() && certificate_ok) {
       answer = CachedAnswer{std::move(remapped), vr.total, entry.status,
-                            entry.solver};
+                            entry.solver, entry.certificate};
     }
   }
   if (!answer) {
@@ -73,15 +77,20 @@ std::optional<CachedAnswer> TraceCache::lookup(
 
 bool TraceCache::insert(const std::string& fingerprint, const Engine& engine,
                         const CanonicalForm& form, const Trace& trace,
-                        SolveStatus status, const std::string& solver) {
+                        SolveStatus status, const std::string& solver,
+                        const std::optional<SolveCertificate>& certificate) {
   if (status != SolveStatus::Optimal && status != SolveStatus::Heuristic) {
     return false;  // budget artifacts are not instance answers
   }
   // The insert-side audit, outside the lock: verification cost must not
-  // serialize the worker pool.
+  // serialize the worker pool. A certificate that does not check against
+  // the audited cost is a miscomputed claim — the whole answer is refused,
+  // never cached with the guarantee quietly stripped.
   const VerifyResult vr = verify(engine, trace);
+  const bool certificate_ok =
+      !certificate || certificate_holds(*certificate, vr.total);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!vr.ok()) {
+  if (!vr.ok() || !certificate_ok) {
     ++stats_.audit_failures;
     ++stats_.rejected_inserts;
     return false;
@@ -99,6 +108,7 @@ bool TraceCache::insert(const std::string& fingerprint, const Engine& engine,
   entry.trace = trace;
   entry.status = status;
   entry.solver = solver;
+  entry.certificate = certificate;
   entry.bytes = entry_bytes(entry);
   if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
     ++stats_.rejected_inserts;

@@ -47,6 +47,11 @@ struct CachedAnswer {
   Rational cost;  ///< the replay's audited total
   SolveStatus status = SolveStatus::Heuristic;
   std::string solver;  ///< who originally produced the trace
+  /// The original solve's suboptimality certificate, when it carried one
+  /// (anytime answers). Re-audited on every serve: a cached certificate
+  /// whose inequality no longer checks against the replay cost drops the
+  /// whole entry.
+  std::optional<SolveCertificate> certificate;
 };
 
 class TraceCache {
@@ -74,11 +79,15 @@ class TraceCache {
 
   /// Offer an answer for caching. Audits `trace` under `engine` first and
   /// refuses anything that does not replay legally and completely, plus
-  /// non-ok() statuses and entries larger than the whole budget. True when
-  /// the entry was stored.
+  /// non-ok() statuses and entries larger than the whole budget. A
+  /// certificate, when supplied, must pass certificate_holds() against the
+  /// audited replay cost — a certified-suboptimal answer whose guarantee
+  /// does not check is refused outright rather than cached uncertified.
+  /// True when the entry was stored.
   bool insert(const std::string& fingerprint, const Engine& engine,
               const CanonicalForm& form, const Trace& trace,
-              SolveStatus status, const std::string& solver);
+              SolveStatus status, const std::string& solver,
+              const std::optional<SolveCertificate>& certificate = std::nullopt);
 
   Stats stats() const;
   std::size_t max_bytes() const { return max_bytes_; }
@@ -95,6 +104,7 @@ class TraceCache {
     Trace trace;                ///< in the entry instance's node ids
     SolveStatus status = SolveStatus::Heuristic;
     std::string solver;
+    std::optional<SolveCertificate> certificate;
     std::size_t bytes = 0;
   };
 

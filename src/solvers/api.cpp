@@ -8,6 +8,7 @@
 
 #include "src/gadgets/transforms.hpp"
 #include "src/pebble/verifier.hpp"
+#include "src/solvers/anytime_astar.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
 #include "src/solvers/chain_solver.hpp"
 #include "src/solvers/exact.hpp"
@@ -35,6 +36,13 @@ const char* to_string(SolveStatus status) {
 SolveBudget& SolveBudget::with_wall_clock_ms(std::int64_t ms) {
   deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   return *this;
+}
+
+bool certificate_holds(const SolveCertificate& certificate,
+                       const Rational& audited_cost) {
+  return certificate.cost == audited_cost &&
+         audited_cost <=
+             (Rational(1) + certificate.epsilon) * certificate.lower_bound;
 }
 
 // ---- option helpers ------------------------------------------------------
@@ -364,6 +372,126 @@ class TopoSolver final : public Solver {
   }
 };
 
+// ---- shared option plumbing of the informed searches ---------------------
+// Free helpers rather than ExactSearchSolver members so the anytime adapter
+// below — which shares every option but none of the do_solve flow — can use
+// them too.
+
+/// --opt spill=auto|off|/path: auto spills to a fresh temp directory
+/// whenever a memory budget is set, off restores the hard-stop budget
+/// semantics, a directory path spills under it. The path form must
+/// contain a '/' so typos (spill=on, spill=Auto) fail loudly instead of
+/// silently creating a relative spill directory.
+void parse_spill_option(const SolverOptions& options,
+                        ExactSearchOptions& sopt) {
+  const auto value = so::get(options, "spill");
+  if (!value || *value == "auto") {
+    sopt.spill = SpillMode::Auto;
+  } else if (*value == "off") {
+    sopt.spill = SpillMode::Off;
+  } else if (value->find('/') != std::string_view::npos) {
+    sopt.spill = SpillMode::Path;
+    sopt.spill_path = std::string(*value);
+  } else {
+    throw PreconditionError(
+        "option 'spill': expected auto, off, or a directory path "
+        "(containing '/'); got '" +
+        std::string(*value) + "'");
+  }
+}
+
+PdbMode parse_pdb_mode(const SolverOptions& options) {
+  const auto value = so::get(options, "pdb");
+  if (!value || *value == "auto") return PdbMode::Auto;
+  if (*value == "on") return PdbMode::On;
+  if (*value == "off") return PdbMode::Off;
+  throw PreconditionError("option 'pdb': expected auto, on, or off; got '" +
+                          std::string(*value) + "'");
+}
+
+PdbPartition parse_pdb_partition(const SolverOptions& options) {
+  const auto value = so::get(options, "pdb-partition");
+  if (!value || *value == "cone") return PdbPartition::Cone;
+  if (*value == "mincut") return PdbPartition::MinCut;
+  throw PreconditionError(
+      "option 'pdb-partition': expected cone or mincut; got '" +
+      std::string(*value) + "'");
+}
+
+/// Whether to run a heuristic upfront and seed the incumbent: explicit
+/// incumbent=greedy always, incumbent=auto (the default) exactly past the
+/// fixed-width cap — where speculative expansion hurts most and where
+/// smaller instances must keep their expansion counts bit-for-bit.
+bool want_incumbent_seed(const SolveRequest& request) {
+  const auto value = so::get(request.options, "incumbent");
+  const std::string_view mode = value.value_or("auto");
+  if (mode == "greedy") return true;
+  if (mode == "none") return false;
+  if (mode != "auto") {
+    throw PreconditionError(
+        "option 'incumbent': expected auto, greedy, or none; got '" +
+        std::string(mode) + "'");
+  }
+  return request.engine->dag().node_count() > kExactAstarFixedMaxNodes;
+}
+
+/// Run the plain greedy solver on the same request (verified and bridged
+/// to the requested convention by its own adapter) and turn its trace
+/// into an incumbent seed. nullopt when greedy produces no usable trace.
+std::optional<IncumbentSeed> greedy_incumbent_seed(
+    const SolveRequest& request) {
+  const GreedySolver greedy("greedy", "incumbent seeder", std::nullopt);
+  SolveRequest seed_request;
+  seed_request.engine = request.engine;
+  seed_request.budget = request.budget;  // honors deadline / cancellation
+  SolveResult heuristic;
+  try {
+    heuristic = greedy.run(seed_request);
+  } catch (const std::exception&) {
+    return std::nullopt;  // a failed seeder must not fail the search
+  }
+  if (!heuristic.has_trace()) return std::nullopt;
+  const Rational cost = heuristic.cost;
+  const std::int64_t eps_den = request.engine->model().epsilon().den();
+  // Verified totals are integer multiples of 1/ε.den(), so the scaled
+  // form is exact.
+  RBPEB_ENSURE(eps_den % cost.den() == 0,
+               "verified cost is not a multiple of 1/eps.den()");
+  IncumbentSeed seed;
+  seed.trace = std::move(*heuristic.trace);
+  seed.g_scaled = cost.num() * (eps_den / cost.den());
+  return seed;
+}
+
+/// The options every informed search reads: state budget, and — for the
+/// bigstate searches — memory/disk budgets, spilling, pattern databases,
+/// and incumbent seeding.
+ExactSearchOptions parse_exact_search_options(const SolveRequest& request,
+                                              bool bigstate) {
+  const SolveBudget budget = request.budget;
+  ExactSearchOptions sopt;
+  sopt.max_states =
+      so::get_size(request.options, "max-states", budget.max_states);
+  sopt.should_stop = [budget] { return budget.interrupted(); };
+  if (!bigstate) return sopt;
+  sopt.max_memory_bytes = budget.max_memory_bytes;
+  sopt.max_disk_bytes = budget.max_disk_bytes;
+  parse_spill_option(request.options, sopt);
+  sopt.pdb = parse_pdb_mode(request.options);
+  sopt.pdb_pattern_size = so::get_size(request.options, "pdb-pattern", 0);
+  if (sopt.pdb_pattern_size > PatternDatabase::kMaxHashedPatternSize) {
+    throw PreconditionError(
+        "option 'pdb-pattern': pattern width must be between 1 and " +
+        std::to_string(PatternDatabase::kMaxHashedPatternSize) + "; got " +
+        std::to_string(sopt.pdb_pattern_size));
+  }
+  sopt.pdb_partition = parse_pdb_partition(request.options);
+  if (want_incumbent_seed(request)) {
+    sopt.seed = greedy_incumbent_seed(request);
+  }
+  return sopt;
+}
+
 /// Shared adapter for the exhaustive configuration-graph searches: budget
 /// plumbing, partial stats on exhaustion, and drained-graph handling are
 /// identical; only the search routine, node cap, and (for the parallel
@@ -376,7 +504,8 @@ class ExactSearchSolver : public Solver {
       const SolveRequest* request) const override {
     (void)request;
     if (!bigstate()) return {"max-states"};
-    return {"max-states", "pdb", "pdb-pattern", "incumbent", "spill"};
+    return {"max-states", "pdb", "pdb-pattern", "pdb-partition", "incumbent",
+            "spill"};
   }
 
   std::optional<std::string> why_inapplicable(
@@ -400,27 +529,7 @@ class ExactSearchSolver : public Solver {
                                             ExactSearchStats& stats) const = 0;
 
   SolveResult do_solve(const SolveRequest& request) const override {
-    const SolveBudget budget = request.budget;
-    ExactSearchOptions sopt;
-    sopt.max_states =
-        so::get_size(request.options, "max-states", budget.max_states);
-    sopt.should_stop = [budget] { return budget.interrupted(); };
-    if (bigstate()) {
-      sopt.max_memory_bytes = budget.max_memory_bytes;
-      sopt.max_disk_bytes = budget.max_disk_bytes;
-      parse_spill_option(request.options, sopt);
-      sopt.pdb = parse_pdb_mode(request.options);
-      sopt.pdb_pattern_size = so::get_size(request.options, "pdb-pattern", 0);
-      if (sopt.pdb_pattern_size > PatternDatabase::kMaxPatternSize) {
-        throw PreconditionError(
-            "option 'pdb-pattern': pattern width must be between 1 and " +
-            std::to_string(PatternDatabase::kMaxPatternSize) + "; got " +
-            std::to_string(sopt.pdb_pattern_size));
-      }
-      if (want_incumbent_seed(request)) {
-        sopt.seed = greedy_incumbent_seed(request);
-      }
-    }
+    ExactSearchOptions sopt = parse_exact_search_options(request, bigstate());
     ExactSearchStats search_stats;
     auto solved = search(request, sopt, search_stats);
     const bool failed = !solved.has_value();
@@ -511,84 +620,6 @@ class ExactSearchSolver : public Solver {
     fill_common_stats(result);
     return result;
   }
-
- private:
-  /// --opt spill=auto|off|/path: auto spills to a fresh temp directory
-  /// whenever a memory budget is set, off restores the hard-stop budget
-  /// semantics, a directory path spills under it. The path form must
-  /// contain a '/' so typos (spill=on, spill=Auto) fail loudly instead of
-  /// silently creating a relative spill directory.
-  static void parse_spill_option(const SolverOptions& options,
-                                 ExactSearchOptions& sopt) {
-    const auto value = so::get(options, "spill");
-    if (!value || *value == "auto") {
-      sopt.spill = SpillMode::Auto;
-    } else if (*value == "off") {
-      sopt.spill = SpillMode::Off;
-    } else if (value->find('/') != std::string_view::npos) {
-      sopt.spill = SpillMode::Path;
-      sopt.spill_path = std::string(*value);
-    } else {
-      throw PreconditionError(
-          "option 'spill': expected auto, off, or a directory path "
-          "(containing '/'); got '" +
-          std::string(*value) + "'");
-    }
-  }
-
-  static PdbMode parse_pdb_mode(const SolverOptions& options) {
-    const auto value = so::get(options, "pdb");
-    if (!value || *value == "auto") return PdbMode::Auto;
-    if (*value == "on") return PdbMode::On;
-    if (*value == "off") return PdbMode::Off;
-    throw PreconditionError("option 'pdb': expected auto, on, or off; got '" +
-                            std::string(*value) + "'");
-  }
-
-  /// Whether to run a heuristic upfront and seed the incumbent: explicit
-  /// incumbent=greedy always, incumbent=auto (the default) exactly past the
-  /// fixed-width cap — where speculative expansion hurts most and where
-  /// smaller instances must keep their expansion counts bit-for-bit.
-  bool want_incumbent_seed(const SolveRequest& request) const {
-    const auto value = so::get(request.options, "incumbent");
-    const std::string_view mode = value.value_or("auto");
-    if (mode == "greedy") return true;
-    if (mode == "none") return false;
-    if (mode != "auto") {
-      throw PreconditionError(
-          "option 'incumbent': expected auto, greedy, or none; got '" +
-          std::string(mode) + "'");
-    }
-    return request.engine->dag().node_count() > kExactAstarFixedMaxNodes;
-  }
-
-  /// Run the plain greedy solver on the same request (verified and bridged
-  /// to the requested convention by its own adapter) and turn its trace
-  /// into an incumbent seed. nullopt when greedy produces no usable trace.
-  static std::optional<IncumbentSeed> greedy_incumbent_seed(
-      const SolveRequest& request) {
-    const GreedySolver greedy("greedy", "incumbent seeder", std::nullopt);
-    SolveRequest seed_request;
-    seed_request.engine = request.engine;
-    seed_request.budget = request.budget;  // honors deadline / cancellation
-    SolveResult heuristic;
-    try {
-      heuristic = greedy.run(seed_request);
-    } catch (const std::exception&) {
-      return std::nullopt;  // a failed seeder must not fail the search
-    }
-    if (!heuristic.has_trace()) return std::nullopt;
-    const Rational cost = heuristic.cost;
-    const std::int64_t eps_den = request.engine->model().epsilon().den();
-    // Verified totals are integer multiples of 1/ε.den(), so the scaled
-    // form is exact.
-    RBPEB_ENSURE(eps_den % cost.den() == 0,
-                 "verified cost is not a multiple of 1/eps.den()");
-    IncumbentSeed seed;
-    seed.trace = std::move(*heuristic.trace);
-    seed.g_scaled = cost.num() * (eps_den / cost.den());
-    return seed;
-  }
 };
 
 /// Dijkstra over game configurations: provably optimal, exponential.
@@ -618,7 +649,7 @@ class ExactAstarSolver final : public ExactSearchSolver {
   std::string_view name() const override { return "exact-astar"; }
   std::string_view description() const override {
     return "optimal pebbling via A* with admissible per-state bounds, "
-           "pattern databases past 42 nodes, and a bucket queue (≤ 128 "
+           "pattern databases past 42 nodes, and a bucket queue (≤ 1024 "
            "nodes)";
   }
 
@@ -639,7 +670,7 @@ class HdaAstarSolver final : public ExactSearchSolver {
   std::string_view name() const override { return "hda-astar"; }
   std::string_view description() const override {
     return "parallel optimal pebbling via hash-distributed A* over sharded "
-           "closed tables (opt threads=N, ≤ 128 nodes)";
+           "closed tables (opt threads=N, ≤ 1024 nodes)";
   }
 
   std::vector<std::string_view> option_keys(
@@ -668,6 +699,193 @@ class HdaAstarSolver final : public ExactSearchSolver {
   SolveResult do_solve(const SolveRequest& request) const override {
     SolveResult result = ExactSearchSolver::do_solve(request);
     result.stats["threads"] = std::to_string(resolved_threads(request));
+    return result;
+  }
+};
+
+/// --opt weights=3,2,3/2,1 — the anytime pass schedule as comma-separated
+/// ratios ≥ 1, greediest first.
+std::vector<AnytimeWeight> parse_weight_schedule(std::string_view text) {
+  auto bad = [&](std::string_view token) -> PreconditionError {
+    return PreconditionError(
+        "option 'weights': expected comma-separated ratios >= 1 like "
+        "3,2,3/2,1; got token '" +
+        std::string(token) + "'");
+  };
+  auto parse_int = [&](std::string_view token,
+                       std::string_view piece) -> std::int64_t {
+    std::int64_t out = 0;
+    auto [ptr, ec] =
+        std::from_chars(piece.data(), piece.data() + piece.size(), out);
+    if (ec != std::errc() || ptr != piece.data() + piece.size() || out <= 0) {
+      throw bad(token);
+    }
+    return out;
+  };
+  std::vector<AnytimeWeight> weights;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view token =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    AnytimeWeight w;
+    const std::size_t slash = token.find('/');
+    if (slash == std::string_view::npos) {
+      w.num = parse_int(token, token);
+    } else {
+      w.num = parse_int(token, token.substr(0, slash));
+      w.den = parse_int(token, token.substr(slash + 1));
+    }
+    if (w.num < w.den) throw bad(token);
+    weights.push_back(w);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (weights.empty()) {
+    throw PreconditionError("option 'weights': schedule must not be empty");
+  }
+  return weights;
+}
+
+/// The anytime tier: weighted-A* passes tightening a verified incumbent,
+/// returned with a machine-checkable (1+ε) certificate. Soundness argument
+/// in solvers/anytime_astar.hpp; shares every informed-search option.
+class AnytimeSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "anytime-astar"; }
+  std::string_view description() const override {
+    return "anytime weighted A*: best verified pebbling within budget plus "
+           "a certificate cost ≤ (1+ε)·OPT (opt weights=…, epsilon=X, "
+           "≤ 1024 nodes)";
+  }
+
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"max-states", "pdb", "pdb-pattern", "pdb-partition", "incumbent",
+            "spill", "weights", "epsilon"};
+  }
+
+  std::optional<std::string> why_inapplicable(
+      const SolveRequest& request) const override {
+    const std::size_t n = request.engine->dag().node_count();
+    if (n > kExactAstarMaxNodes) {
+      return "DAG has " + std::to_string(n) +
+             " nodes; anytime-astar supports at most " +
+             std::to_string(kExactAstarMaxNodes);
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    ExactSearchOptions sopt =
+        parse_exact_search_options(request, /*bigstate=*/true);
+    // The anytime contract is "every instance gets an answer": unlike the
+    // exact searches (which seed only past the fixed-width cap to keep
+    // small-instance expansion counts bit-for-bit), incumbent=auto seeds at
+    // every size here, so even a budget too small for any pass to complete
+    // still returns the verified greedy trace with a certificate.
+    if (!sopt.seed &&
+        so::get(request.options, "incumbent").value_or("auto") == "auto") {
+      sopt.seed = greedy_incumbent_seed(request);
+    }
+    AnytimeOptions aopt;
+    aopt.target_epsilon = so::get_double(request.options, "epsilon", 0.0);
+    if (aopt.target_epsilon < 0.0) {
+      throw PreconditionError("option 'epsilon': must be nonnegative; got " +
+                              std::to_string(aopt.target_epsilon));
+    }
+    if (auto schedule = so::get(request.options, "weights")) {
+      aopt.weights = parse_weight_schedule(*schedule);
+    }
+    ExactSearchStats search_stats;
+    auto solved =
+        try_solve_anytime_astar(*request.engine, sopt, aopt, &search_stats);
+    auto fill_common_stats = [&](SolveResult& result) {
+      result.stats["max_states"] = std::to_string(sopt.max_states);
+      result.stats["states_expanded"] =
+          std::to_string(search_stats.states_expanded);
+      result.stats["anytime_passes"] =
+          std::to_string(search_stats.anytime_passes);
+      result.stats["table_bytes"] = std::to_string(search_stats.table_bytes);
+      result.stats["spilled_states"] =
+          std::to_string(search_stats.spilled_states);
+      result.stats["spill_bytes"] = std::to_string(search_stats.spill_bytes);
+      result.stats["spill_peak_bytes"] =
+          std::to_string(search_stats.spill_peak_bytes);
+      result.stats["merge_passes"] =
+          std::to_string(search_stats.merge_passes);
+    };
+    if (!solved) {
+      std::string detail;
+      SolveStatus status = SolveStatus::BudgetExhausted;
+      switch (search_stats.termination) {
+        case ExactTermination::Exhausted:
+          status = SolveStatus::Inapplicable;
+          detail =
+              "configuration graph exhausted without reaching a complete "
+              "state; the instance admits no pebbling under these rules";
+          break;
+        case ExactTermination::StateBudget:
+          detail = "state budget (" + std::to_string(sopt.max_states) +
+                   ") exhausted before any pass found a completion";
+          break;
+        case ExactTermination::MemoryBudget:
+          detail = "memory budget (" + std::to_string(sopt.max_memory_bytes) +
+                   " bytes) exhausted before any pass found a completion";
+          break;
+        default:
+          detail = "deadline or cancellation hit before any pass found a "
+                   "completion";
+      }
+      SolveResult result = fail(status, std::move(detail));
+      if (search_stats.lower_bound_scaled >= 0) {
+        // No trace to certify, but the lower bound the passes proved is
+        // still true — report it for budget tuning.
+        const std::int64_t eps_den = request.engine->model().epsilon().den();
+        result.stats["lower_bound"] =
+            Rational(search_stats.lower_bound_scaled, eps_den).str();
+      }
+      fill_common_stats(result);
+      return result;
+    }
+    const bool optimal = solved->optimal;
+    // The search enforced the engine's convention natively (and a seed trace
+    // was bridged by the greedy adapter), so no bridging — and the Optimal
+    // claim stands when the certificate's ε is zero.
+    SolveResult result = make_result(
+        request, std::move(solved->trace),
+        optimal ? SolveStatus::Optimal : SolveStatus::Heuristic, {},
+        /*bridge_conventions=*/false);
+    // The certificate's incumbent is the scaled g the search proved bounds
+    // on; the audited replay must price the trace identically.
+    RBPEB_ENSURE(result.cost == solved->cost,
+                 "anytime incumbent cost disagrees with the verified trace");
+    if (solved->certified) {
+      result.certificate =
+          SolveCertificate{solved->lower_bound, result.cost, solved->epsilon};
+      result.stats["lower_bound"] = solved->lower_bound.str();
+      result.stats["epsilon"] = solved->epsilon.str();
+      if (!optimal) {
+        result.detail =
+            "budget ended refinement; the trace is certified within (1+" +
+            solved->epsilon.str() + ") of the optimum";
+      }
+    } else {
+      result.stats["certified"] = "false";
+      result.detail =
+          "budget ended refinement before any nonzero lower bound was "
+          "proved; the trace is verified but carries no guarantee";
+    }
+    result.stats["incumbent_source"] =
+        search_stats.seed_won ? "greedy"
+                              : (sopt.seed && search_stats.incumbent_scaled ==
+                                                  sopt.seed->g_scaled
+                                     ? "greedy"
+                                     : "search");
+    fill_common_stats(result);
     return result;
   }
 };
@@ -1056,6 +1274,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(std::make_unique<ExactSolver>());
   registry.add(std::make_unique<ExactAstarSolver>());
   registry.add(std::make_unique<HdaAstarSolver>());
+  registry.add(std::make_unique<AnytimeSolver>());
   registry.add(std::make_unique<PeepholeSolver>(registry));
   registry.add(std::make_unique<HeldKarpSolver>());
   registry.add(std::make_unique<ChainSolver>());

@@ -100,6 +100,31 @@ struct SolveRequest {
   SolveBudget budget;
 };
 
+/// A machine-checkable suboptimality guarantee attached to a solve: the
+/// trace's verified cost is within (1+epsilon) of the optimum, witnessed by
+/// an admissible lower bound. The defining inequality
+///
+///     cost ≤ (1 + epsilon) · lower_bound
+///
+/// holds by construction (epsilon = (cost − lower_bound)/lower_bound, all
+/// exact rationals) and is what every downstream audit re-checks — the serve
+/// layer's trace cache refuses entries that fail it. epsilon == 0 means the
+/// trace is proven optimal. Produced by the anytime tier
+/// (solvers/anytime_astar.hpp); the portfolio carries it through verbatim.
+struct SolveCertificate {
+  Rational lower_bound;  ///< Proved admissible lower bound on the optimum.
+  Rational cost;         ///< The trace's verified cost (equals SolveResult::cost).
+  Rational epsilon;      ///< (cost − lower_bound) / lower_bound.
+};
+
+/// The certificate audit every downstream consumer runs: the recorded cost
+/// must match the independently audited replay cost, and the defining
+/// inequality cost ≤ (1+epsilon)·lower_bound must hold in exact rational
+/// arithmetic. A certificate failing this is corrupt or miscomputed and
+/// must not be served.
+bool certificate_holds(const SolveCertificate& certificate,
+                       const Rational& audited_cost);
+
 /// Outcome of one solver run. The trace, when present, has been replayed
 /// through the Verifier by the API layer; `cost` is the audited total.
 struct SolveResult {
@@ -107,6 +132,10 @@ struct SolveResult {
   SolveStatus status = SolveStatus::Inapplicable;
   std::optional<Trace> trace;
   Rational cost;  ///< Verified model cost of *trace; meaningless without one.
+  /// Suboptimality guarantee, when the solver proves one (anytime-astar;
+  /// portfolio when an anytime member wins). Absent for plain heuristics
+  /// and for exact solves, whose Optimal status already says epsilon = 0.
+  std::optional<SolveCertificate> certificate;
   std::map<std::string, std::string> stats;
   std::chrono::microseconds elapsed{0};
   std::string detail;  ///< Why inapplicable / which budget tripped.
@@ -206,9 +235,9 @@ class SolverRegistry {
 };
 
 /// Register every built-in adapter (greedy ×3 rules, topo, exact,
-/// exact-astar, hda-astar, peephole, held-karp, chain, group-greedy,
-/// local-search, exhaustive-order) into `registry`. Called once by
-/// SolverRegistry::instance(); exposed so tests can build private
+/// exact-astar, hda-astar, anytime-astar, peephole, held-karp, chain,
+/// group-greedy, local-search, exhaustive-order) into `registry`. Called
+/// once by SolverRegistry::instance(); exposed so tests can build private
 /// registries.
 void register_builtin_solvers(SolverRegistry& registry);
 

@@ -306,7 +306,11 @@ class SpillingClosedTable {
   bool grow() {
     const std::size_t new_cap =
         slots_.empty() ? kInitialSlots : slots_.size() * 2;
-    const std::size_t new_total = new_cap * sizeof(Slot) + heap_bytes_ +
+    // The rehash transient counts: the old slot array stays alive alongside
+    // the new one until every occupied slot is re-homed below, so the peak
+    // the budget must cover is old + new, not new alone.
+    const std::size_t new_total = (new_cap + slots_.size()) * sizeof(Slot) +
+                                  heap_bytes_ +
                                   pending_.capacity() * sizeof(Key) +
                                   pending_heap_bytes_ + overhead_bytes_;
     if (!fits(new_total)) {

@@ -47,17 +47,31 @@
 namespace rbpeb {
 
 /// Disjoint node patterns covering the whole DAG, each of size at most
-/// `max_pattern_size` (clamped to PatternDatabase::kMaxPatternSize). Nodes
-/// are assigned in topological order to the pattern holding most of their
-/// direct predecessors, so ancestor cones stay together.
+/// `max_pattern_size` (clamped to PatternDatabase::kMaxHashedPatternSize).
+/// Nodes are assigned in topological order to the pattern holding most of
+/// their direct predecessors, so ancestor cones stay together.
 std::vector<std::vector<NodeId>> partition_into_patterns(
+    const Dag& dag, std::size_t max_pattern_size);
+
+/// Min-cut partitioner: cut a topological order into contiguous segments of
+/// at most `max_pattern_size` nodes, choosing the boundaries that minimize
+/// the total number of DAG edges crossing them (dynamic program over
+/// boundary positions). Fewer crossing edges means fewer dependencies the
+/// abstraction forgets, which is where additive-PDB slack comes from.
+std::vector<std::vector<NodeId>> partition_into_patterns_mincut(
     const Dag& dag, std::size_t max_pattern_size);
 
 class PatternDatabase {
  public:
-  /// Hard cap on pattern width: 8 nodes → 8^8 = 16.7M abstract states per
-  /// table, the largest build that stays sub-second.
+  /// Width cap of the *flat* 8^|P| tables: 8 nodes → 16.7M abstract states
+  /// per table, the largest dense build that stays sub-second. Wider
+  /// patterns switch to open-addressed hashed tables holding only the
+  /// abstract states the backward Dijkstra actually reaches.
   static constexpr std::size_t kMaxPatternSize = 8;
+
+  /// Hard cap on pattern width overall: 16 nodes × 3 bits = 48-bit packed
+  /// projection indices, comfortably inside the 64-bit hashed-table keys.
+  static constexpr std::size_t kMaxHashedPatternSize = 16;
 
   /// Default width: 8^6 = 262144 entries (1 MiB) per pattern.
   static constexpr std::size_t kDefaultPatternSize = 6;
@@ -66,18 +80,40 @@ class PatternDatabase {
   /// projecting onto it is provably dead.
   static constexpr std::int32_t kUnreachable = -1;
 
+  /// Default byte budget for the hashed tables when the caller sets none:
+  /// past it a build truncates (see below) instead of growing without bound.
+  static constexpr std::size_t kDefaultHashedTableBytes =
+      std::size_t{256} << 20;
+
   /// Build the database for `engine`'s instance: partition, then solve each
   /// abstract configuration graph exactly. `max_pattern_size` of 0 means
-  /// kDefaultPatternSize. Read-only (and thread-safe) afterwards.
+  /// kDefaultPatternSize; widths past kMaxPatternSize build hashed tables.
+  /// Read-only (and thread-safe) afterwards.
   ///
   /// `should_stop` is the same cooperative hook the searches poll: an 8-node
   /// pattern builds a 16.7M-entry table, long enough that an un-interruptible
   /// build would pin a cancelled or past-deadline solve to a core. When it
   /// fires mid-build the constructor returns early with build_aborted() set;
   /// the tables are then incomplete and must not be consulted.
+  ///
+  /// `table_byte_budget` caps the hashed tables' total footprint (0 =
+  /// kDefaultHashedTableBytes; rehash transients — old plus new slot arrays
+  /// — are counted while they coexist). A build that hits the cap is
+  /// *truncated*, not failed: every state the Dijkstra settled keeps its
+  /// exact completion cost, and absent entries fall back to the last
+  /// settled distance — a floor every unsettled state's true cost reaches,
+  /// so the sum stays admissible. Truncated patterns no longer prove states
+  /// dead (an absent entry might merely be unexplored). Flat tables ignore
+  /// the budget, preserving the historical ≤8-wide behavior bit-for-bit.
+  ///
+  /// `force_hashed` is a testing hook: build hashed tables even at widths
+  /// the flat tables cover, for differential comparison.
   explicit PatternDatabase(const Engine& engine,
                            std::size_t max_pattern_size = 0,
-                           const StopPredicate& should_stop = {});
+                           const StopPredicate& should_stop = {},
+                           PdbPartition partition = PdbPartition::Cone,
+                           std::size_t table_byte_budget = 0,
+                           bool force_hashed = false);
 
   /// True when should_stop ended the build early — the caller must discard
   /// the database and terminate with ExactTermination::Stopped.
@@ -106,9 +142,22 @@ class PatternDatabase {
         index |= static_cast<std::size_t>(field(pattern.nodes[i]) & 7u)
                  << (3 * i);
       }
-      const std::int32_t d = pattern.completion[index];
-      if (d == kUnreachable) return std::nullopt;
-      total += d;
+      if (!pattern.hashed) {
+        const std::int32_t d = pattern.completion[index];
+        if (d == kUnreachable) return std::nullopt;
+        total += d;
+        continue;
+      }
+      const std::int32_t* d = pattern.table.find_settled(index);
+      if (d != nullptr) {
+        total += *d;
+      } else if (pattern.complete) {
+        // A completed backward Dijkstra enumerated every abstract state
+        // that can reach a goal; an absent projection is provably dead.
+        return std::nullopt;
+      } else {
+        total += pattern.floor;  // truncated build: the settled-distance floor
+      }
     }
     return total;
   }
@@ -124,6 +173,72 @@ class PatternDatabase {
   }
 
  private:
+  /// Open-addressed (linear-probe, power-of-two) map from packed projection
+  /// index to its abstract completion cost, for patterns too wide for a
+  /// dense 8^|P| array. Only the states the backward Dijkstra reaches take
+  /// slots. The settled flag distinguishes final distances from tentative
+  /// ones: after a truncated build only settled entries are exact (a
+  /// tentative distance is an upper bound, which an admissible heuristic
+  /// must not serve).
+  class HashedTable {
+   public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    /// Pointer to the settled distance for `key`, nullptr when the entry is
+    /// absent or still tentative.
+    const std::int32_t* find_settled(std::uint64_t key) const {
+      if (slots_.empty()) return nullptr;
+      const std::size_t mask = slots_.size() - 1;
+      for (std::size_t s = hash(key) & mask;; s = (s + 1) & mask) {
+        const Slot& slot = slots_[s];
+        if (slot.key == kEmptyKey) return nullptr;
+        if (slot.key == key) return slot.settled ? &slot.dist : nullptr;
+      }
+    }
+
+    struct Slot {
+      std::uint64_t key = kEmptyKey;
+      std::int32_t dist = kUnreachable;  ///< kUnreachable marks a fresh slot
+      bool settled = false;
+    };
+
+    /// Slot for `key`, inserting a fresh one (dist == kUnreachable) and
+    /// growing as needed. Returns nullptr when growth would push
+    /// `*total_bytes` past `byte_budget` — the old and the new slot arrays
+    /// coexist during the rehash, and both count while they do.
+    /// `*total_bytes` tracks the whole database's hashed footprint across
+    /// patterns.
+    Slot* find_or_insert(std::uint64_t key, std::size_t* total_bytes,
+                         std::size_t byte_budget);
+
+    /// Lookup without insertion or growth; nullptr when absent.
+    Slot* find(std::uint64_t key) {
+      if (slots_.empty()) return nullptr;
+      const std::size_t mask = slots_.size() - 1;
+      for (std::size_t s = hash(key) & mask;; s = (s + 1) & mask) {
+        Slot& slot = slots_[s];
+        if (slot.key == kEmptyKey) return nullptr;
+        if (slot.key == key) return &slot;
+      }
+    }
+
+    std::size_t bytes() const { return slots_.capacity() * sizeof(Slot); }
+    std::size_t size() const { return size_; }
+
+   private:
+    static std::uint64_t hash(std::uint64_t key) {
+      // SplitMix64 finalizer — the same mix the spill key protocol uses.
+      std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    }
+    bool grow(std::size_t* total_bytes, std::size_t byte_budget);
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+  };
+
   struct Pattern {
     std::vector<NodeId> nodes;
     /// Per position: which earlier/later positions are direct predecessors
@@ -132,15 +247,30 @@ class PatternDatabase {
     std::vector<bool> is_source;  ///< in the whole DAG, per position
     std::vector<std::size_t> sink_positions;  ///< DAG sinks inside P
     /// Optimal abstract completion cost per 3-bit-packed projection index,
-    /// kUnreachable where no completion exists.
+    /// kUnreachable where no completion exists. Empty for hashed patterns.
     std::vector<std::int32_t> completion;
+    /// Wide patterns: sparse table instead of the dense array.
+    bool hashed = false;
+    HashedTable table;
+    /// True when the backward Dijkstra drained — absent entries are then
+    /// provably unreachable (dead). False after a budget truncation.
+    bool complete = true;
+    /// Admissible stand-in for absent entries of a truncated build: the
+    /// last distance the Dijkstra settled (every unsettled state's true
+    /// completion cost is at least it, by nondecreasing settle order).
+    std::int32_t floor = 0;
   };
 
   void build_pattern(const Engine& engine, Pattern& pattern,
                      std::int64_t cost_cap, const StopPredicate& should_stop);
+  void build_pattern_hashed(const Engine& engine, Pattern& pattern,
+                            std::int64_t cost_cap,
+                            const StopPredicate& should_stop,
+                            std::size_t byte_budget);
 
   std::vector<Pattern> patterns_;
   std::size_t table_bytes_ = 0;
+  std::size_t hashed_bytes_ = 0;  ///< hashed share of table_bytes_
   bool aborted_ = false;
 };
 

@@ -65,6 +65,14 @@ struct ExactSearchStats {
   /// erroring) rather than the disk budget — a MemoryBudget termination
   /// then cannot be fixed by raising --budget-disk.
   bool spill_io_error = false;
+  /// Anytime tier (solvers/anytime_astar.hpp): the proved admissible lower
+  /// bound on the optimum in scaled units of 1/ε.den(), and the returned
+  /// incumbent's cost in the same units. -1 when the search does not emit
+  /// a certificate. incumbent == lower_bound proves the trace optimal.
+  std::int64_t lower_bound_scaled = -1;
+  std::int64_t incumbent_scaled = -1;
+  /// Weighted-A* passes the anytime tier completed (drained or budget-cut).
+  std::size_t anytime_passes = 0;
 };
 
 /// Cooperative interruption hook: polled on entry and then every 64
@@ -87,6 +95,13 @@ struct IncumbentSeed {
 /// smaller instances keep their expansion counts bit-for-bit.
 enum class PdbMode { Auto, On, Off };
 
+/// How the pattern database carves the DAG into patterns. Cone is the
+/// original greedy partitioner (joins a node to the pattern holding most of
+/// its direct predecessors); MinCut picks segment boundaries along a
+/// topological order that minimize the number of crossing edges, so fewer
+/// dependencies are abstracted away. CLI: --opt pdb-partition=cone|mincut.
+enum class PdbPartition { Cone, MinCut };
+
 /// Whether a memory-budget hit spills cold closed entries to disk
 /// (solvers/bigstate/ddd.hpp) instead of ending the search. Auto spills to
 /// a fresh temporary directory whenever max_memory_bytes > 0; Off keeps the
@@ -106,7 +121,11 @@ struct ExactSearchOptions {
   std::size_t max_memory_bytes = 0;
   PdbMode pdb = PdbMode::Auto;
   /// Pattern width for PdbMode::On/Auto; 0 = PatternDatabase default.
+  /// Widths past 8 switch the affected patterns to hashed tables
+  /// (solvers/bigstate/pdb.hpp).
   std::size_t pdb_pattern_size = 0;
+  /// Partitioner for PdbMode::On/Auto (see PdbPartition).
+  PdbPartition pdb_partition = PdbPartition::Cone;
   /// External-memory duplicate detection (bigstate/ddd.hpp): when the
   /// closed table hits max_memory_bytes, evict cold (lowest-g) entries to
   /// sorted spill runs instead of terminating, and reconcile fresh states
@@ -126,6 +145,10 @@ struct ExactSearchOptions {
   /// Testing hook: run the variable-width state path even on instances the
   /// fixed-width words cover, to differentially compare the two.
   bool force_var_state = false;
+  /// Testing hook: run the runtime-width MaskVec bound path even on
+  /// instances the fixed-width masks cover (implies variable-width states),
+  /// to differentially compare costs and expansion counts.
+  bool force_mask_vec = false;
 };
 
 /// Solve optimally. Throws PreconditionError if the DAG has more than 21

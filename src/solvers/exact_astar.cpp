@@ -15,8 +15,8 @@
 
 namespace rbpeb {
 
-static_assert(kExactAstarMaxNodes == StateBoundEvaluator::kWideMaskMaxNodes,
-              "the search cap is the wide-mask bound cap");
+static_assert(kExactAstarMaxNodes == StateBoundEvaluator::kVecMaskMaxNodes,
+              "the search cap is the runtime-width bound cap");
 static_assert(kExactAstarFixedMaxNodes == PackedState128::max_nodes(),
               "the fixed-width cap is the __uint128_t packing limit");
 
@@ -57,7 +57,11 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
 
   std::optional<PatternDatabase> pdb;
   if (bigstate_pdb_enabled(opt, n)) {
-    pdb.emplace(engine, opt.pdb_pattern_size, should_stop);
+    // Hashed PDB tables (patterns wider than 8) take at most half of the
+    // memory budget, leaving the rest to the closed table; their builds
+    // truncate admissibly at the cap instead of overshooting.
+    pdb.emplace(engine, opt.pdb_pattern_size, should_stop, opt.pdb_partition,
+                opt.max_memory_bytes != 0 ? opt.max_memory_bytes / 2 : 0);
     if (pdb->build_aborted()) {
       stats.termination = ExactTermination::Stopped;
       return std::nullopt;
@@ -201,15 +205,22 @@ std::optional<ExactResult> try_solve_exact_astar(
     ExactSearchStats* stats) {
   const std::size_t n = engine.dag().node_count();
   RBPEB_REQUIRE(n <= kExactAstarMaxNodes,
-                "solve_exact_astar supports at most 128 nodes");
+                "solve_exact_astar supports at most 1024 nodes");
   ExactSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = {};  // a reused struct must not accumulate across calls
+  const bool force_wide = options.force_var_state || options.force_mask_vec;
   using Masks1 = StateBoundEvaluator::StateMasks;
-  if (!options.force_var_state && n <= PackedState64::max_nodes()) {
+  if (options.force_mask_vec || n > StateBoundEvaluator::kWideMaskMaxNodes) {
+    // Runtime-width masks: the only path past 128 nodes, and the forced
+    // differential-testing path below it.
+    return astar_impl<VarPackedState, StateBoundEvaluator::MaskVec>(
+        engine, options, *stats);
+  }
+  if (!force_wide && n <= PackedState64::max_nodes()) {
     return astar_impl<PackedState64, Masks1>(engine, options, *stats);
   }
-  if (!options.force_var_state && n <= PackedState128::max_nodes()) {
+  if (!force_wide && n <= PackedState128::max_nodes()) {
     return astar_impl<PackedState128, Masks1>(engine, options, *stats);
   }
   // Variable-width states; wide masks cover every n ≤ 128 and price

@@ -12,9 +12,11 @@
 //    generated neighbor. Up to 42 nodes they are single machine words
 //    (packed_state.hpp: 64-bit ≤ 21, __uint128_t ≤ 42); beyond that the
 //    search dispatches to the variable-width VarPackedState
-//    (bigstate/var_state.hpp), which lifts the cap to 128 nodes. The
-//    dispatch is runtime-only: ≤42-node instances keep the fixed-width
-//    fast path bit-for-bit, costs and expansion counts unchanged;
+//    (bigstate/var_state.hpp) over two-word masks up to 128 nodes and
+//    runtime-width MaskVec masks up to kExactAstarMaxNodes. The dispatch
+//    is runtime-only: ≤42-node instances keep the fixed-width fast path
+//    and 43–128-node instances the two-word path bit-for-bit, costs and
+//    expansion counts unchanged;
 //  * the closed table is byte-accounted and spill-capable (bigstate/
 //    ddd.hpp): an ExactSearchOptions::max_memory_bytes cap either turns
 //    into a disk-backed working set (external-memory search with delayed
@@ -52,9 +54,12 @@ namespace rbpeb {
 /// __uint128_t key. Beyond it the variable-width bigstate path runs.
 inline constexpr std::size_t kExactAstarFixedMaxNodes = 42;
 
-/// Node cap of the A* search overall — the two-word wide-mask limit of
-/// StateBoundEvaluator (asserted equal in exact_astar.cpp).
-inline constexpr std::size_t kExactAstarMaxNodes = 128;
+/// Node cap of the A* search overall — the runtime-width mask limit of
+/// StateBoundEvaluator (asserted equal in exact_astar.cpp). Instances of
+/// 43–128 nodes run variable-width states over the two-word WideStateMasks
+/// exactly as before; beyond 128 the same search runs over the
+/// runtime-width MaskVec, so the ≤128 fast paths stay bit-for-bit.
+inline constexpr std::size_t kExactAstarMaxNodes = 1024;
 
 /// Whether a search with these options consults a pattern database: On
 /// always, Auto exactly past the fixed-width cap — so ≤42-node expansion

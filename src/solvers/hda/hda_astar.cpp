@@ -24,8 +24,8 @@
 
 namespace rbpeb {
 
-static_assert(kHdaAstarMaxNodes == StateBoundEvaluator::kWideMaskMaxNodes,
-              "the search cap is the wide-mask bound cap");
+static_assert(kHdaAstarMaxNodes == StateBoundEvaluator::kVecMaskMaxNodes,
+              "the search cap is the runtime-width bound cap");
 
 namespace {
 
@@ -306,7 +306,11 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
 
   std::optional<PatternDatabase> pdb;
   if (bigstate_pdb_enabled(opt, n)) {
-    pdb.emplace(engine, opt.pdb_pattern_size, should_stop);
+    // Hashed PDB tables (patterns wider than 8) take at most half of the
+    // memory budget, leaving the rest to the shard tables; their builds
+    // truncate admissibly at the cap instead of overshooting.
+    pdb.emplace(engine, opt.pdb_pattern_size, should_stop, opt.pdb_partition,
+                opt.max_memory_bytes != 0 ? opt.max_memory_bytes / 2 : 0);
     if (pdb->build_aborted()) return give_up(ExactTermination::Stopped);
   }
 
@@ -444,17 +448,24 @@ std::optional<ExactResult> try_solve_hda_astar(
     const ExactSearchOptions& options, ExactSearchStats* stats) {
   const std::size_t n = engine.dag().node_count();
   RBPEB_REQUIRE(n <= kHdaAstarMaxNodes,
-                "solve_hda_astar supports at most 128 nodes");
+                "solve_hda_astar supports at most 1024 nodes");
   std::size_t workers = hda_resolve_threads(threads);
   if (workers > 1 && serial_instance(engine.dag())) workers = 1;
   ExactSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = {};
+  const bool force_wide = options.force_var_state || options.force_mask_vec;
   using Masks1 = StateBoundEvaluator::StateMasks;
-  if (!options.force_var_state && n <= PackedState64::max_nodes()) {
+  if (options.force_mask_vec || n > StateBoundEvaluator::kWideMaskMaxNodes) {
+    // Runtime-width masks: the only path past 128 nodes, and the forced
+    // differential-testing path below it.
+    return hda_impl<VarPackedState, StateBoundEvaluator::MaskVec>(
+        engine, workers, options, *stats);
+  }
+  if (!force_wide && n <= PackedState64::max_nodes()) {
     return hda_impl<PackedState64, Masks1>(engine, workers, options, *stats);
   }
-  if (!options.force_var_state && n <= PackedState128::max_nodes()) {
+  if (!force_wide && n <= PackedState128::max_nodes()) {
     return hda_impl<PackedState128, Masks1>(engine, workers, options, *stats);
   }
   return hda_impl<VarPackedState, StateBoundEvaluator::WideStateMasks>(

@@ -36,9 +36,10 @@
 
 namespace rbpeb {
 
-/// Node cap of the HDA* search — the wide-mask bound cap, shared with
-/// exact-astar (42-node fixed-width fast path inside).
-inline constexpr std::size_t kHdaAstarMaxNodes = 128;
+/// Node cap of the HDA* search — the runtime-width mask bound cap, shared
+/// with exact-astar (42-node fixed-width and 128-node two-word fast paths
+/// inside, both bit-for-bit unchanged by the runtime-width tier).
+inline constexpr std::size_t kHdaAstarMaxNodes = 1024;
 
 /// Sanity cap on the worker count; a request beyond it is a typo, not a
 /// machine.

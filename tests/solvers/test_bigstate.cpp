@@ -502,7 +502,8 @@ TEST(PatternDatabase, OutOfRangePatternWidthFailsLoudly) {
   Engine engine(dag, Model::oneshot(), 2);
   SolveRequest request;
   request.engine = &engine;
-  request.options["pdb-pattern"] = "12";  // beyond kMaxPatternSize
+  // Widths 9..16 are legal now (hashed tables); 17 is past the hashed cap.
+  request.options["pdb-pattern"] = "17";  // beyond kMaxHashedPatternSize
   EXPECT_THROW(SolverRegistry::instance().at("exact-astar").run(request),
                PreconditionError);
 }

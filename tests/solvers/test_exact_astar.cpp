@@ -82,9 +82,10 @@ TEST(PackedState, WidthCapsMatchTheDocumentedLimits) {
   EXPECT_EQ(PackedState128::max_nodes(), 42u);
   EXPECT_EQ(kExactAstarFixedMaxNodes, 42u);
   // Past the fixed-width words the variable-width bigstate path carries the
-  // search to the wide-mask bound cap.
-  EXPECT_EQ(kExactAstarMaxNodes, 128u);
-  EXPECT_EQ(kExactAstarMaxNodes, StateBoundEvaluator::kWideMaskMaxNodes);
+  // search over two-word masks to 128 nodes and runtime-width masks beyond.
+  EXPECT_EQ(StateBoundEvaluator::kWideMaskMaxNodes, 128u);
+  EXPECT_EQ(kExactAstarMaxNodes, 1024u);
+  EXPECT_EQ(kExactAstarMaxNodes, StateBoundEvaluator::kVecMaskMaxNodes);
 }
 
 // ---- differential harness ------------------------------------------------

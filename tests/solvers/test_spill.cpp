@@ -354,5 +354,52 @@ TEST(SpillAcceptance, BudgetedSearchesMatchUnbudgetedOn46And48Nodes) {
   }
 }
 
+/// Regression: a slot-array rehash keeps the old and the new arrays alive
+/// simultaneously, and that transient must count against the byte budget —
+/// the table used to charge only the new array, overshooting the budget by
+/// half the peak at every growth. A budget that covers the steady state but
+/// not the transient must refuse the insert cleanly (spilling off), never
+/// allocate past the cap.
+TEST(SpillTable, RehashTransientCountsAgainstTheMemoryBudget) {
+  using Table = SpillingClosedTable<PackedState64>;
+  using Relax = Table::Relax;
+  const Move via{MoveType::Load, 0};
+
+  // Measure one slot slab with an unbudgeted table: the first insert
+  // allocates the initial power-of-two array and fixed-width keys carry no
+  // heap bytes, so bytes() is exactly slab_slots * sizeof(Slot).
+  Table probe(16, 0, "", 0);
+  ASSERT_EQ(probe.relax(0, 0, 0, via), Relax::Inserted);
+  const std::size_t slab_bytes = probe.bytes();
+  ASSERT_GT(slab_bytes, 0u);
+
+  // Growth doubles the array when the load factor hits 3/4, so the rehash
+  // peak is (old + new) = 3 slabs. One byte under it must refuse exactly at
+  // the growth insert, with the table still inside its budget.
+  const std::size_t peak_bytes = 3 * slab_bytes;
+  Table tight(16, peak_bytes - 1, "", 0);
+  std::uint64_t key = 0;
+  std::size_t inserted = 0;
+  Relax last = Relax::Inserted;
+  while (inserted < 10'000) {
+    last = tight.relax(++key, 0, 0, via);
+    if (last != Relax::Inserted) break;
+    ++inserted;
+    ASSERT_LE(tight.bytes(), tight.max_bytes());
+  }
+  EXPECT_EQ(last, Relax::OutOfMemory);
+  ASSERT_LE(tight.bytes(), tight.max_bytes());
+  EXPECT_EQ(tight.bytes(), slab_bytes);  // still the first slab, un-grown
+
+  // With the transient covered, the same insert sequence sails through the
+  // growth — the refusal above was the transient accounting, nothing else.
+  Table roomy(16, peak_bytes, "", 0);
+  for (std::uint64_t k = 1; k <= inserted + 1; ++k) {
+    ASSERT_EQ(roomy.relax(k, 0, 0, via), Relax::Inserted) << k;
+  }
+  EXPECT_GT(roomy.bytes(), slab_bytes);  // it grew
+  EXPECT_LE(roomy.bytes(), roomy.max_bytes());
+}
+
 }  // namespace
 }  // namespace rbpeb

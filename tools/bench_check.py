@@ -24,16 +24,28 @@ A separate mode asserts the hda-astar scaling claim on multi-core runners
 (ROADMAP: "CI's multi-core runners are where the scaling claim is
 checked"): on the width-4 workloads, 8 threads must not be slower than 1.
 
+Anytime reports (BENCH_anytime.json) gate the certificate invariants in
+exact rational arithmetic (fractions.Fraction over the "num/den" strings):
+every fresh case must satisfy cost ≤ (1+ε)·lower_bound, the headline
+counters (nodes_proved_optimal, nodes_within_eps) may only rise, a case
+once proved optimal or certified must stay so, per-instance ε may only
+shrink, and proven-optimal costs are byte-identical. `selftest` feeds the
+comparator deliberately corrupted reports and fails unless every injected
+regression is caught.
+
 Usage:
   bench_check.py compare --fresh NEW.json --baseline OLD.json
   bench_check.py scaling BENCH_hda_astar.json [--tolerance 1.0]
+  bench_check.py selftest
 
 Exit status: 0 clean, 1 regression, 2 bad invocation/input.
 """
 
 import argparse
+import copy
 import json
 import sys
+from fractions import Fraction
 
 failures = []
 notes = []
@@ -230,11 +242,64 @@ def compare_serve(fresh, baseline):
         check_cost(f"serve instance {key}", new["cost"], base["cost"])
 
 
+def compare_anytime(fresh, baseline):
+    # The bench audits every trace and certificate before publishing; a
+    # nonzero count means a corrupt certificate shipped.
+    if fresh.get("audit_failures", 0) != 0:
+        fail(f"anytime: audit_failures {fresh['audit_failures']} != 0")
+    # Every run is greedy-seeded, so every case must answer.
+    if fresh.get("answered", 0) != fresh.get("case_count", 0):
+        fail(f"anytime: answered {fresh.get('answered')} != case_count "
+             f"{fresh.get('case_count')} (the tier's whole claim)")
+    check_counter_ge("anytime", "nodes_proved_optimal",
+                     fresh["nodes_proved_optimal"],
+                     baseline["nodes_proved_optimal"])
+    check_counter_ge("anytime", "nodes_within_eps",
+                     fresh["nodes_within_eps"], baseline["nodes_within_eps"])
+    fresh_cases = index_cases(fresh["cases"], "instance", "model")
+    for key, new in fresh_cases.items():
+        # The defining inequality, re-checked in exact rationals — a report
+        # whose numbers do not cohere is corrupt regardless of the baseline.
+        if new.get("certified"):
+            cost = Fraction(new["cost"])
+            lower = Fraction(new["lower_bound"])
+            eps = Fraction(new["epsilon"])
+            if cost > (1 + eps) * lower:
+                fail(f"anytime {key}: certificate violated: cost {new['cost']}"
+                     f" > (1+{new['epsilon']})*{new['lower_bound']}")
+            if new.get("proved_optimal") and eps != 0:
+                fail(f"anytime {key}: proved_optimal with epsilon "
+                     f"{new['epsilon']} != 0")
+    for key, base in index_cases(baseline["cases"],
+                                 "instance", "model").items():
+        where = f"anytime {key}"
+        new = fresh_cases.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        if base.get("proved_optimal") and not new.get("proved_optimal"):
+            fail(f"{where}: no longer proved optimal")
+        if base.get("certified") and not new.get("certified"):
+            fail(f"{where}: no longer certified")
+        if base.get("proved_optimal") and new.get("proved_optimal"):
+            check_cost(where, new["cost"], base["cost"])
+        if base.get("certified") and new.get("certified"):
+            base_eps = Fraction(base["epsilon"])
+            new_eps = Fraction(new["epsilon"])
+            if new_eps > base_eps:
+                fail(f"{where}: epsilon loosened {base['epsilon']} -> "
+                     f"{new['epsilon']}")
+            elif new_eps < base_eps:
+                note(f"{where}: epsilon tightened {base['epsilon']} -> "
+                     f"{new['epsilon']} (consider refreshing the baseline)")
+
+
 COMPARATORS = {
     "exact_astar": compare_exact_astar,
     "hda_astar": compare_hda_astar,
     "bigstate": compare_bigstate,
     "serve": compare_serve,
+    "anytime": compare_anytime,
 }
 
 
@@ -288,6 +353,101 @@ def cmd_scaling(args):
     return report("scaling")
 
 
+def cmd_selftest(args):
+    """Inject known regressions into a synthetic anytime report and require
+    the comparator to catch every one (and to pass the clean pair)."""
+    del args
+    base = {
+        "bench": "anytime",
+        "answered": 2, "case_count": 2, "audit_failures": 0,
+        "nodes_proved_optimal": 12, "nodes_within_eps": 204,
+        "cases": [
+            {"instance": "small", "model": "nodel", "nodes": 12,
+             "cost": "17", "lower_bound": "17", "epsilon": "0",
+             "proved_optimal": True, "certified": True},
+            {"instance": "big", "model": "compcost", "nodes": 192,
+             "cost": "9398/25", "lower_bound": "341/100",
+             "epsilon": "37251/341",
+             "proved_optimal": False, "certified": True},
+        ],
+    }
+
+    def run_case(label, mutate, expect_failure):
+        global failures, notes
+        failures, notes = [], []
+        fresh = copy.deepcopy(base)
+        mutate(fresh)
+        compare_anytime(fresh, base)
+        caught = bool(failures)
+        if caught != expect_failure:
+            verdict = "missed" if expect_failure else "false positive"
+            print(f"selftest {label}: {verdict} "
+                  f"(failures={failures!r})", file=sys.stderr)
+            return False
+        print(f"selftest {label}: ok")
+        return True
+
+    def loosen_epsilon(r):
+        r["cases"][1]["epsilon"] = "38000/341"
+
+    def tighten_epsilon(r):
+        # ε may shrink — with cost fixed that means L rose; keep the report
+        # coherent so only the improvement is visible.
+        r["cases"][1]["epsilon"] = "90"
+        r["cases"][1]["lower_bound"] = "9398/2275"  # cost / (1+90), exactly
+
+    def violate_certificate(r):
+        r["cases"][1]["lower_bound"] = "1/100"  # cost > (1+eps)*lower now
+
+    def drop_optimality(r):
+        r["cases"][0]["proved_optimal"] = False
+        r["cases"][0]["epsilon"] = "1/17"
+        r["nodes_proved_optimal"] = 0
+
+    def optimal_with_nonzero_eps(r):
+        r["cases"][0]["epsilon"] = "1/17"
+
+    def change_proven_cost(r):
+        r["cases"][0]["cost"] = "18"
+        r["cases"][0]["lower_bound"] = "18"
+
+    def shrink_headline(r):
+        r["nodes_within_eps"] = 12
+
+    def lose_a_case(r):
+        r["cases"].pop()
+        r["case_count"] = 1
+        r["answered"] = 1
+        r["nodes_within_eps"] = 12
+
+    def unanswered(r):
+        r["answered"] = 1
+
+    def audit_failed(r):
+        r["audit_failures"] = 1
+
+    ok = True
+    ok &= run_case("clean", lambda r: None, expect_failure=False)
+    ok &= run_case("epsilon-tightens", tighten_epsilon, expect_failure=False)
+    ok &= run_case("epsilon-loosens", loosen_epsilon, expect_failure=True)
+    ok &= run_case("certificate-violated", violate_certificate,
+                   expect_failure=True)
+    ok &= run_case("optimality-lost", drop_optimality, expect_failure=True)
+    ok &= run_case("optimal-nonzero-eps", optimal_with_nonzero_eps,
+                   expect_failure=True)
+    ok &= run_case("proven-cost-changed", change_proven_cost,
+                   expect_failure=True)
+    ok &= run_case("headline-shrank", shrink_headline, expect_failure=True)
+    ok &= run_case("case-disappeared", lose_a_case, expect_failure=True)
+    ok &= run_case("unanswered-case", unanswered, expect_failure=True)
+    ok &= run_case("audit-failure", audit_failed, expect_failure=True)
+    if not ok:
+        print("bench_check selftest: FAILED", file=sys.stderr)
+        return 1
+    print("bench_check selftest: clean")
+    return 0
+
+
 def report(what):
     for n in notes:
         print(f"note: {n}")
@@ -313,6 +473,9 @@ def main():
     scaling.add_argument("--tolerance", type=float, default=1.0,
                          help="8t wall may be up to TOL x 1t wall (default 1.0)")
     scaling.set_defaults(func=cmd_scaling)
+    selftest = sub.add_parser(
+        "selftest", help="verify the anytime comparator catches regressions")
+    selftest.set_defaults(func=cmd_selftest)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

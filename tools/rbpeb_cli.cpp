@@ -241,6 +241,16 @@ int cmd_solve(const std::vector<std::string>& args) {
 
   VerifyResult vr = verify(engine, *best.trace);
   print_audit(engine, vr);
+  if (best.certificate) {
+    // The machine check the certificate promises, run right here on the
+    // audited replay cost — print "VIOLATED" rather than a wrong guarantee.
+    const bool holds = certificate_holds(*best.certificate, vr.total);
+    std::cout << "certificate: cost " << best.certificate->cost.str()
+              << " ≤ (1+" << best.certificate->epsilon.str()
+              << ")·lower_bound " << best.certificate->lower_bound.str()
+              << (holds ? "  [checked]" : "  [VIOLATED]") << '\n';
+    if (!holds) return 1;
+  }
 
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
