@@ -231,6 +231,10 @@ RunResult run_traffic(const std::vector<Instance>& pool, std::size_t clients) {
           ? 1000.0 * static_cast<double>(kRequests) /
                 static_cast<double>(result.wall_ms)
           : 0.0;
+  // The run's metrics snapshot: server counters, cache accounting (always
+  // byte-consistent with TraceCache::Stats), and the server-side latency /
+  // queue-depth distributions. Informational — stdout, not the report.
+  std::cout << server.metrics_snapshot_json() << "\n";
   return result;
 }
 

@@ -1,0 +1,194 @@
+#pragma once
+
+/// Lock-free metrics: named counters, gauges, and log-scale histograms.
+///
+/// Hot-path writes are a single relaxed atomic add (counters stripe across
+/// cache lines so concurrent writers from different threads rarely share a
+/// line); all aggregation — summing stripes, percentile estimation, JSON —
+/// happens on the read side. Registry lookups take a mutex, so callers on
+/// hot paths should resolve a metric once (function-local static reference)
+/// and reuse it.
+///
+/// Naming scheme: dotted lowercase, `subsystem.noun[_unit]` — e.g.
+/// `search.expanded`, `spill.evicted_states`, `serve.latency_us`. Counters
+/// are monotone; gauges carry a current value plus an automatically tracked
+/// high-water mark; histograms bucket values on a log scale (4 sub-buckets
+/// per power of two, ≤25% relative bucket width) and report percentiles as
+/// the lower bound of the containing bucket.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rbpeb::obs {
+
+/// Small dense per-thread index used to pick a counter stripe. Assigned on
+/// first use, stable for the thread's lifetime.
+std::size_t thread_stripe_index() noexcept;
+
+/// Monotone counter. Writers pick a cache-line-padded stripe by thread so
+/// the common case is an uncontended relaxed fetch_add; value() sums the
+/// stripes (monotone, but not a point-in-time snapshot across writers —
+/// fine for live observation).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[thread_stripe_index() & (kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 8;  // power of two
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Signed gauge with an automatically tracked high-water mark. set()/add()
+/// are relaxed; the high-water update is a CAS loop that almost never
+/// retries outside adversarial interleavings.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_max(now);
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark over the gauge's lifetime (since the last reset).
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t candidate) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket log-scale histogram of unsigned values. record() is three
+/// relaxed adds (bucket, count, sum); no allocation, no locks. Buckets:
+/// values 0..3 exactly, then 4 sub-buckets per power of two up to 2^64, so
+/// a percentile estimate is at most ~25% below the true value. percentile()
+/// returns the lower bound of the bucket containing the requested rank.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Lower bound of the bucket holding the q-quantile (q in [0,1]); 0 when
+  /// the histogram is empty. q=0.5 → p50, q=0.99 → p99.
+  std::uint64_t percentile(double q) const noexcept;
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_lower_bound(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Process-wide named-metric registry. Metric objects live for the life of
+/// the registry at stable addresses; a name permanently belongs to the kind
+/// it was first registered as (asking for the same name as a different kind
+/// throws std::logic_error — a naming bug, not a runtime condition).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by all instrumentation sites.
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// One JSON object: counters as integers, gauges as {"value","max"},
+  /// histograms as {"count","sum","p50","p90","p99"}. Keys sorted.
+  std::string snapshot_json() const;
+
+  /// Zero every metric in place. Registered references stay valid — this
+  /// exists so tests (and long-lived benches) can isolate runs without
+  /// invalidating the static references instrumentation sites hold.
+  void reset_all();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Copy `name` into a process-lifetime pool and return a stable
+/// NUL-terminated pointer. Interning the same contents twice returns the
+/// same pointer. Use for trace-span names built at runtime (e.g.
+/// "solve." + solver_name) — trace events store only the pointer.
+const char* intern(std::string_view name);
+
+}  // namespace rbpeb::obs

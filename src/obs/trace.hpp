@@ -1,0 +1,126 @@
+#pragma once
+
+/// Flight recorder: per-thread ring buffers of begin/end/instant events,
+/// drained to Chrome trace-event JSON (open the file in Perfetto or
+/// chrome://tracing).
+///
+/// The disabled path — the default — is one relaxed atomic load per probe:
+/// every emit helper and TraceSpan checks trace_enabled() first and touches
+/// nothing else when the sink is unset. Enabled emits append a fixed-size
+/// event (a name pointer, an optional u64 arg, a steady-clock timestamp) to
+/// the calling thread's ring; when a ring fills, new events are dropped and
+/// counted rather than overwriting the recorded prefix, so begin/end pairs
+/// already in the buffer stay balanced.
+///
+/// Event names must be pointers with process lifetime — string literals or
+/// obs::intern() results. The recorder stores the pointer, not a copy.
+///
+/// Compile with -DRBPEB_OBS_NO_TRACE to turn every probe into a constexpr
+/// no-op (the CI overhead guard builds this variant to prove the
+/// instrumented-but-disabled binary behaves identically).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rbpeb::obs {
+
+/// Events each thread can buffer before drops begin. Exposed for tests.
+inline constexpr std::size_t kTraceRingCapacity = std::size_t{1} << 18;
+
+#ifndef RBPEB_OBS_NO_TRACE
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void emit(const char* name, char phase, const char* arg_name,
+          std::uint64_t arg) noexcept;
+}  // namespace detail
+
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+inline void trace_begin(const char* name) noexcept {
+  if (trace_enabled()) detail::emit(name, 'B', nullptr, 0);
+}
+inline void trace_begin(const char* name, const char* arg_name,
+                        std::uint64_t arg) noexcept {
+  if (trace_enabled()) detail::emit(name, 'B', arg_name, arg);
+}
+inline void trace_end(const char* name) noexcept {
+  if (trace_enabled()) detail::emit(name, 'E', nullptr, 0);
+}
+inline void trace_instant(const char* name) noexcept {
+  if (trace_enabled()) detail::emit(name, 'i', nullptr, 0);
+}
+inline void trace_instant(const char* name, const char* arg_name,
+                          std::uint64_t arg) noexcept {
+  if (trace_enabled()) detail::emit(name, 'i', arg_name, arg);
+}
+
+/// Point the recorder at `path` and start recording. The file is written by
+/// trace_flush(), not incrementally.
+void trace_set_output(std::string path);
+
+/// Stop recording, render everything captured so far to the configured
+/// file, and clear the buffers. Returns false if no sink was set or the
+/// file could not be written.
+bool trace_flush();
+
+/// Render the capture to a JSON string (same format as trace_flush) without
+/// needing a file. Stops recording and clears the buffers. Tests.
+std::string trace_to_json();
+
+/// Stop recording and discard everything, including the sink path.
+void trace_reset();
+
+/// Events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Events refused because a ring was full.
+std::uint64_t trace_dropped();
+
+#else  // RBPEB_OBS_NO_TRACE — every probe compiles to nothing.
+
+constexpr bool trace_enabled() noexcept { return false; }
+constexpr void trace_begin(const char*) noexcept {}
+constexpr void trace_begin(const char*, const char*, std::uint64_t) noexcept {}
+constexpr void trace_end(const char*) noexcept {}
+constexpr void trace_instant(const char*) noexcept {}
+constexpr void trace_instant(const char*, const char*, std::uint64_t) noexcept {
+}
+inline void trace_set_output(std::string) {}
+inline bool trace_flush() { return false; }
+inline std::string trace_to_json() { return "{\"traceEvents\":[]}"; }
+inline void trace_reset() {}
+inline std::size_t trace_event_count() { return 0; }
+inline std::uint64_t trace_dropped() { return 0; }
+
+#endif  // RBPEB_OBS_NO_TRACE
+
+/// RAII begin/end pair. Captures enabledness at construction: a span built
+/// while tracing is off emits nothing even if tracing turns on before it
+/// closes (keeps B/E balanced). Construct with nullptr for an explicit
+/// no-op span.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(trace_enabled() ? name : nullptr) {
+    if (name_ != nullptr) trace_begin(name_);
+  }
+  TraceSpan(const char* name, const char* arg_name, std::uint64_t arg) noexcept
+      : name_(trace_enabled() ? name : nullptr) {
+    if (name_ != nullptr) trace_begin(name_, arg_name, arg);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) trace_end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+};
+
+}  // namespace rbpeb::obs

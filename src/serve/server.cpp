@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/graph/dag_io.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/trace_io.hpp"
 #include "src/serve/canonical.hpp"
 #include "src/solvers/portfolio.hpp"
@@ -92,6 +93,7 @@ std::future<ResponseMessage> Server::submit(RequestMessage request) {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!stopping_ && queue_.size() < options_.max_queue) {
       queue_.push_back(std::move(queued));
+      queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
       queue_cv_.notify_one();
       return future;
     }
@@ -122,6 +124,7 @@ void Server::worker_loop() {
       if (queue_.empty()) return;  // stopping and drained
       queued = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
     }
     ResponseMessage response;
     try {
@@ -134,12 +137,15 @@ void Server::worker_loop() {
     }
     response.id = queued.request.id;
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    latency_us_.record(
+        static_cast<std::uint64_t>(elapsed_us(queued.arrival, Clock::now())));
     queued.promise.set_value(std::move(response));
   }
 }
 
 ResponseMessage Server::handle(const RequestMessage& request,
                                Clock::time_point arrival) {
+  const obs::TraceSpan span("serve.request");
   ResponseMessage response;
   response.id = request.id;
 
@@ -152,6 +158,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
                                        : options_.default_deadline_ms;
   const auto dispatch_time = Clock::now();
   response.queue_us = elapsed_us(arrival, dispatch_time);
+  queue_us_.record(static_cast<std::uint64_t>(response.queue_us));
   if (deadline_ms > 0 &&
       dispatch_time >= arrival + std::chrono::milliseconds(deadline_ms)) {
     stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
@@ -208,8 +215,13 @@ ResponseMessage Server::handle(const RequestMessage& request,
 
   // Fast path: the verified cache. lookup() audits before answering —
   // certificate inequality included for certified entries.
-  if (std::optional<CachedAnswer> cached =
-          cache_.lookup(fingerprint, engine, form)) {
+  std::optional<CachedAnswer> cached_fast;
+  {
+    const obs::TraceSpan lookup_span("serve.lookup");
+    cached_fast = cache_.lookup(fingerprint, engine, form);
+  }
+  if (cached_fast) {
+    std::optional<CachedAnswer>& cached = cached_fast;
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     fill_cached(response, *cached);
     response.cache = "hit";
@@ -236,6 +248,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
   }
   if (!leader) {
     {
+      const obs::TraceSpan wait_span("serve.flight_wait");
       std::unique_lock<std::mutex> lock(flight->mutex);
       flight->cv.wait(lock, [&flight] { return flight->done; });
     }
@@ -276,6 +289,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
       // insert() re-audits the certificate against its own replay cost; a
       // certified answer that fails the inequality is refused, not cached
       // with the guarantee stripped.
+      const obs::TraceSpan insert_span("serve.insert");
       cache_.insert(fingerprint, engine, form,
                     trace_from_text(solved.trace_text), status, solved.solver,
                     certificate);
@@ -330,6 +344,7 @@ ResponseMessage Server::dispatch_solve(
                                   : std::max<std::size_t>(1, pool / active);
 
   stats_.solves.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan solve_span("serve.solve");
   const auto solve_start = Clock::now();
   SolveResult result;
   try {
@@ -349,6 +364,7 @@ ResponseMessage Server::dispatch_solve(
   }
   active_solves_.fetch_sub(1, std::memory_order_relaxed);
   response.solve_us = elapsed_us(solve_start, Clock::now());
+  solve_us_.record(static_cast<std::uint64_t>(response.solve_us));
 
   response.status = status_string(result.status);
   response.solver = result.solver;
@@ -380,7 +396,59 @@ std::vector<std::string> Server::summary() const {
   lines.push_back("cache_evictions: " + std::to_string(cs.evictions));
   lines.push_back("cache_audit_failures: " +
                   std::to_string(cs.audit_failures));
+  // End-to-end latency percentiles from the server's own histogram
+  // (log-bucket lower bounds, ≤25% granularity), not a re-sort of raw
+  // records — the same numbers a live metrics_snapshot_json() reports.
+  lines.push_back("latency_p50_us: " +
+                  std::to_string(latency_us_.percentile(0.50)));
+  lines.push_back("latency_p90_us: " +
+                  std::to_string(latency_us_.percentile(0.90)));
+  lines.push_back("latency_p99_us: " +
+                  std::to_string(latency_us_.percentile(0.99)));
+  const std::uint64_t completed = latency_us_.count();
+  lines.push_back("latency_mean_us: " +
+                  std::to_string(completed == 0 ? 0
+                                                : latency_us_.sum() / completed));
+  lines.push_back("solve_p99_us: " +
+                  std::to_string(solve_us_.percentile(0.99)));
+  lines.push_back("queue_depth_hwm: " + std::to_string(queue_depth_.max()));
   return lines;
+}
+
+std::string Server::metrics_snapshot_json() const {
+  const auto hist = [](const obs::Histogram& h) {
+    return "{\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + std::to_string(h.sum()) +
+           ",\"p50\":" + std::to_string(h.percentile(0.50)) +
+           ",\"p90\":" + std::to_string(h.percentile(0.90)) +
+           ",\"p99\":" + std::to_string(h.percentile(0.99)) + "}";
+  };
+  std::string out = "{\"type\":\"metrics_snapshot\",\"server\":{";
+  bool first = true;
+  for (const auto& [key, value] : stats_.snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + key + "\":" + value;
+  }
+  // Cache counters come from TraceCache::Stats verbatim — one source of
+  // truth, so a snapshot's hits/misses always reconcile with the cache's
+  // own accounting.
+  const TraceCache::Stats cs = cache_.stats();
+  out += "},\"cache\":{\"hits\":" + std::to_string(cs.hits) +
+         ",\"misses\":" + std::to_string(cs.misses) +
+         ",\"audit_failures\":" + std::to_string(cs.audit_failures) +
+         ",\"insertions\":" + std::to_string(cs.insertions) +
+         ",\"rejected_inserts\":" + std::to_string(cs.rejected_inserts) +
+         ",\"evictions\":" + std::to_string(cs.evictions) +
+         ",\"bytes\":" + std::to_string(cs.bytes) +
+         ",\"entries\":" + std::to_string(cs.entries) + "}";
+  out += ",\"latency_us\":" + hist(latency_us_);
+  out += ",\"queue_us\":" + hist(queue_us_);
+  out += ",\"solve_us\":" + hist(solve_us_);
+  out += ",\"queue_depth\":{\"value\":" + std::to_string(queue_depth_.value()) +
+         ",\"max\":" + std::to_string(queue_depth_.max()) + "}";
+  out += "}";
+  return out;
 }
 
 }  // namespace rbpeb::serve

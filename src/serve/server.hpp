@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/trace_cache.hpp"
 #include "src/solvers/api.hpp"
@@ -105,8 +106,17 @@ class Server {
   const ServerStats& stats() const { return stats_; }
   TraceCache::Stats cache_stats() const { return cache_.stats(); }
 
-  /// Human-readable shutdown summary (one "key: value" line each).
+  /// Human-readable shutdown summary (one "key: value" line each),
+  /// including p50/p90/p99 end-to-end latency from the server's histograms
+  /// and the queue-depth high-water mark.
   std::vector<std::string> summary() const;
+
+  /// One-line JSON metrics snapshot ({"type":"metrics_snapshot",...}):
+  /// server counters, cache hit/miss counters read directly from
+  /// TraceCache::Stats, latency/queue/solve histograms, and queue depth.
+  /// Safe to call concurrently with live traffic; rbpeb_serve appends these
+  /// to the --stats sidecar periodically.
+  std::string metrics_snapshot_json() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -151,6 +161,13 @@ class Server {
 
   std::atomic<std::size_t> active_solves_{0};
   std::vector<std::thread> workers_;
+
+  // Server-owned (not in the global registry: benches and tests run several
+  // servers per process, whose percentiles must not bleed together).
+  obs::Histogram latency_us_;  ///< arrival → response, worker-completed
+  obs::Histogram queue_us_;    ///< arrival → worker pickup
+  obs::Histogram solve_us_;    ///< solver dispatch wall time
+  obs::Gauge queue_depth_;     ///< live queue size; max() = high-water
 };
 
 }  // namespace rbpeb::serve

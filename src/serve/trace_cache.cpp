@@ -1,5 +1,7 @@
 #include "src/serve/trace_cache.hpp"
 
+#include "src/obs/trace.hpp"
+
 #include "src/pebble/verifier.hpp"
 #include "src/support/check.hpp"
 
@@ -54,6 +56,7 @@ std::optional<CachedAnswer> TraceCache::lookup(
     // certified-suboptimal entries, without the certificate inequality
     // re-checking against the replay's cost. The cost served is the
     // replay's, so a cached answer can never misreport.
+    const obs::TraceSpan audit_span("serve.audit", "moves", remapped.size());
     const VerifyResult vr = verify(engine, remapped);
     const bool certificate_ok =
         !entry.certificate || certificate_holds(*entry.certificate, vr.total);
@@ -86,7 +89,10 @@ bool TraceCache::insert(const std::string& fingerprint, const Engine& engine,
   // serialize the worker pool. A certificate that does not check against
   // the audited cost is a miscomputed claim — the whole answer is refused,
   // never cached with the guarantee quietly stripped.
-  const VerifyResult vr = verify(engine, trace);
+  const VerifyResult vr = [&] {
+    const obs::TraceSpan audit_span("serve.audit", "moves", trace.size());
+    return verify(engine, trace);
+  }();
   const bool certificate_ok =
       !certificate || certificate_holds(*certificate, vr.total);
   const std::lock_guard<std::mutex> lock(mutex_);

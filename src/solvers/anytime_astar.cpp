@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/bigstate/ddd.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
@@ -31,6 +33,9 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
   const std::size_t n = dag.node_count();
   const std::int64_t eps_den = model.epsilon().den();
   const StopPredicate& should_stop = opt.should_stop;
+  const obs::TraceSpan search_span("anytime.search", "nodes", n);
+  obs::Counter& expanded_counter =
+      obs::MetricsRegistry::instance().counter("search.expanded");
 
   const std::int64_t ceiling = universal_search_ceiling_scaled(dag, model);
 
@@ -110,6 +115,7 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
         std::max(stats.spill_peak_bytes, table.spill_peak_bytes());
     stats.merge_passes += table.merge_passes();
     stats.spill_io_error = stats.spill_io_error || table.spill_io_error();
+    stats.table_headroom_stop = stats.table_headroom_stop || table.headroom_stop();
   };
   auto epsilon_target_met = [&] {
     return have_trace && L > 0 && C > L &&
@@ -136,6 +142,7 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
     if (expanded >= opt.max_states) break;
 
     const AnytimeWeight w = schedule[pass];
+    const obs::TraceSpan pass_span("anytime.pass", "pass", pass);
     // Fresh table and queue per pass: the previous pass's footprint is
     // released before this one is charged against the memory budget.
     Table table(n, opt.max_memory_bytes, spill_dir ? spill_dir->path() : "",
@@ -218,6 +225,12 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
           // A cancelled pass proves nothing beyond its predecessors.
           harvest(table);
           return finish(ExactTermination::Stopped);
+        }
+        if (expanded != 0) {
+          expanded_counter.add(64);
+          if ((expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
+            obs::trace_instant("anytime.checkpoint", "expanded", expanded);
+          }
         }
       }
       ++expanded;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/gadgets/transforms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/anytime_astar.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
@@ -204,6 +206,16 @@ void Solver::validate_options(const SolveRequest& request) const {
 SolveResult Solver::run(const SolveRequest& request) const {
   RBPEB_REQUIRE(request.engine != nullptr, "SolveRequest.engine is required");
   validate_options(request);
+  // Span names must outlive the trace buffers; adapter names are
+  // runtime strings, so intern them (only when tracing is live — the
+  // disabled path stays one relaxed load).
+  const obs::TraceSpan span(
+      obs::trace_enabled()
+          ? obs::intern(std::string("solve.") + std::string(name()))
+          : nullptr,
+      "nodes", request.engine->dag().node_count());
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("solve.runs").add();
   const auto start = std::chrono::steady_clock::now();
   SolveResult result;
   if (auto reason = why_inapplicable(request)) {
@@ -217,6 +229,12 @@ SolveResult Solver::run(const SolveRequest& request) const {
   result.solver = std::string(name());
   result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
+  registry
+      .counter(std::string("solve.status.") +
+               std::string(to_string(result.status)))
+      .add();
+  registry.histogram("solve.elapsed_us")
+      .record(static_cast<std::uint64_t>(result.elapsed.count()));
   return result;
 }
 
@@ -543,6 +561,9 @@ class ExactSearchSolver : public Solver {
       result.stats["spill_peak_bytes"] =
           std::to_string(search_stats.spill_peak_bytes);
       result.stats["merge_passes"] = std::to_string(search_stats.merge_passes);
+      if (search_stats.table_headroom_stop) {
+        result.stats["table_headroom_stop"] = "true";
+      }
       // On failure a seeded trace is what the caller gets back, so that is
       // its provenance; a failed search proved nothing.
       result.stats["incumbent_source"] =
@@ -570,6 +591,16 @@ class ExactSearchSolver : public Solver {
         case ExactTermination::MemoryBudget:
           detail = "memory budget (" + std::to_string(sopt.max_memory_bytes) +
                    " bytes) exhausted before an optimum was proven";
+          if (search_stats.table_headroom_stop) {
+            // The table itself fit; the copy peak of its next doubling did
+            // not. Without this line the stop is indistinguishable from a
+            // genuinely too-small budget.
+            detail +=
+                "; stopped by the rehash transient: the grown table would "
+                "fit the budget but old+new slabs during the copy do not "
+                "(table_headroom_stop) — slightly more --budget-memory "
+                "would let the search continue";
+          }
           if (sopt.spill == SpillMode::Off) {
             detail += "; spilling to disk was disabled (spill=off)";
           } else if (sopt.max_disk_bytes != 0 &&
@@ -817,6 +848,9 @@ class AnytimeSolver final : public Solver {
           std::to_string(search_stats.spill_peak_bytes);
       result.stats["merge_passes"] =
           std::to_string(search_stats.merge_passes);
+      if (search_stats.table_headroom_stop) {
+        result.stats["table_headroom_stop"] = "true";
+      }
     };
     if (!solved) {
       std::string detail;
@@ -835,6 +869,12 @@ class AnytimeSolver final : public Solver {
         case ExactTermination::MemoryBudget:
           detail = "memory budget (" + std::to_string(sopt.max_memory_bytes) +
                    " bytes) exhausted before any pass found a completion";
+          if (search_stats.table_headroom_stop) {
+            detail +=
+                "; stopped by the rehash transient: the grown table would "
+                "fit the budget but old+new slabs during the copy do not "
+                "(table_headroom_stop)";
+          }
           break;
         default:
           detail = "deadline or cancellation hit before any pass found a "

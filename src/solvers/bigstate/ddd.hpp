@@ -45,6 +45,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/move.hpp"
 #include "src/solvers/bigstate/spill.hpp"
 #include "src/solvers/exact.hpp"
@@ -244,6 +246,13 @@ class SpillingClosedTable {
     return runs_ && runs_->last_failure() == bigstate::SpillFailure::Io;
   }
 
+  /// True once the table refused to grow because the budget could not cover
+  /// the rehash *transient* (old + new slot slab while re-homing) even
+  /// though the grown table's steady-state footprint would have fit — the
+  /// search stopped one doubling early. Sticky; surfaced by the searches as
+  /// `table_headroom_stop` so the ROADMAP residual cap is observable.
+  bool headroom_stop() const { return headroom_stop_; }
+
  private:
   struct Slot {
     Key key{};
@@ -300,7 +309,16 @@ class SpillingClosedTable {
   bool ensure_capacity() {
     if (!slots_.empty() && (size_ + 1) * 4 < slots_.size() * 3) return true;
     if (grow()) return true;
-    return make_room();
+    if (make_room()) return true;
+    if (grow_refused_for_headroom_ && !headroom_stop_) {
+      // The capacity refusal that ends the search was a transient-only one:
+      // the grown table would have fit, the copy peak would not. Record it
+      // so the BudgetExhausted the caller is about to report can say so.
+      headroom_stop_ = true;
+      obs::trace_instant("table.headroom_stop", "table_bytes", bytes());
+      obs::MetricsRegistry::instance().counter("table.headroom_stop").add();
+    }
+    return false;
   }
 
   bool grow() {
@@ -313,7 +331,15 @@ class SpillingClosedTable {
                                   heap_bytes_ +
                                   pending_.capacity() * sizeof(Key) +
                                   pending_heap_bytes_ + overhead_bytes_;
+    grow_refused_for_headroom_ = false;
     if (!fits(new_total)) {
+      // Would the grown table have fit at steady state (new slab only, old
+      // one freed)? Then this refusal is purely the rehash transient.
+      const std::size_t steady_total =
+          new_cap * sizeof(Slot) + heap_bytes_ +
+          pending_.capacity() * sizeof(Key) + pending_heap_bytes_ +
+          overhead_bytes_;
+      grow_refused_for_headroom_ = fits(steady_total);
       // The first slab is the minimum working set a spilling table needs
       // to make progress; below it the budget is best-effort.
       if (!(spilling() && slots_.empty())) return false;
@@ -356,6 +382,8 @@ class SpillingClosedTable {
   void reconcile() {
     if (pending_.empty()) return;
     if (runs_ && !runs_->empty()) {
+      const obs::TraceSpan merge_span("spill.merge", "pending",
+                                      pending_.size());
       const std::size_t kb = layout_.key_bytes;
       std::vector<std::uint32_t> order(pending_.size());
       std::iota(order.begin(), order.end(), 0u);
@@ -425,6 +453,7 @@ class SpillingClosedTable {
   bool make_room() {
     if (!spilling() || size_ == 0) return false;
     reconcile();
+    const obs::TraceSpan evict_span("spill.evict", "entries", size_);
     std::vector<std::uint32_t> occupied;
     occupied.reserve(size_);
     for (std::uint32_t i = 0; i < slots_.size(); ++i) {
@@ -449,6 +478,11 @@ class SpillingClosedTable {
     }
     bigstate::sort_spill_records(layout_, records.data(), evict_count);
     if (!runs_->append_run(records.data(), evict_count)) return false;
+    {
+      auto& registry = obs::MetricsRegistry::instance();
+      registry.counter("spill.evict_passes").add();
+      registry.counter("spill.evicted_states").add(evict_count);
+    }
     // Rebuild the slot array without the victims (same capacity: the point
     // was shedding entries and their heap keys, not shrinking the slab).
     for (std::size_t v = 0; v < evict_count; ++v) {
@@ -473,6 +507,8 @@ class SpillingClosedTable {
   std::size_t node_count_ = 0;
   std::size_t max_bytes_ = 0;
   std::size_t overhead_bytes_ = 0;
+  bool grow_refused_for_headroom_ = false;  ///< last grow() refusal kind
+  bool headroom_stop_ = false;              ///< see headroom_stop()
   bigstate::SpillLayout layout_;
   std::optional<bigstate::SpillRunSet> runs_;
   std::vector<Slot> slots_;

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/graph/dag_algorithms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/bucket_queue.hpp"
 #include "src/support/check.hpp"
@@ -198,9 +200,12 @@ PatternDatabase::PatternDatabase(const Engine& engine,
       universal_search_ceiling_scaled(dag, engine.model());
   const std::size_t byte_budget =
       table_byte_budget == 0 ? kDefaultHashedTableBytes : table_byte_budget;
+  const obs::TraceSpan build_span("pdb.build", "patterns", node_sets.size());
   patterns_.resize(node_sets.size());
   for (std::size_t p = 0; p < node_sets.size(); ++p) {
     if (aborted_) break;
+    const obs::TraceSpan pattern_span("pdb.pattern", "width",
+                                      node_sets[p].size());
     Pattern& pattern = patterns_[p];
     pattern.nodes = std::move(node_sets[p]);
     const std::size_t width = pattern.nodes.size();
@@ -226,6 +231,9 @@ PatternDatabase::PatternDatabase(const Engine& engine,
     }
   }
   table_bytes_ += hashed_bytes_;
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("pdb.builds").add();
+  registry.gauge("pdb.table_bytes").set(static_cast<std::int64_t>(table_bytes_));
 }
 
 void PatternDatabase::build_pattern(const Engine& engine, Pattern& pattern,

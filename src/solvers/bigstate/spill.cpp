@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/check.hpp"
 
 namespace rbpeb::bigstate {
@@ -246,6 +248,8 @@ bool SpillRunSet::append_run(const std::uint8_t* records, std::size_t count) {
 bool SpillRunSet::compact() {
   if (runs_.size() < 2) return true;
   ++merge_passes_;
+  const obs::TraceSpan span("spill.compact", "runs", runs_.size());
+  obs::MetricsRegistry::instance().counter("spill.compactions").add();
   const std::size_t rb = layout_.record_bytes();
   std::vector<RunReader> readers;
   readers.reserve(runs_.size());

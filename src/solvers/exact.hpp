@@ -65,6 +65,13 @@ struct ExactSearchStats {
   /// erroring) rather than the disk budget — a MemoryBudget termination
   /// then cannot be fixed by raising --budget-disk.
   bool spill_io_error = false;
+  /// True when the closed table stopped one doubling early: the budget had
+  /// headroom for the grown table's steady state but not for the rehash
+  /// transient (old + new slab while copying). Surfaced in the CLI
+  /// BudgetExhausted detail — a slightly larger --budget-memory (or
+  /// spilling) would have let the search continue. OR of shards for
+  /// hda-astar.
+  bool table_headroom_stop = false;
   /// Anytime tier (solvers/anytime_astar.hpp): the proved admissible lower
   /// bound on the optimum in scaled units of 1/ε.den(), and the returned
   /// incumbent's cost in the same units. -1 when the search does not emit

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/bigstate/ddd.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
@@ -32,6 +34,9 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   const std::size_t n = dag.node_count();
   const std::int64_t eps_den = model.epsilon().den();
   const StopPredicate& should_stop = opt.should_stop;
+  const obs::TraceSpan search_span("astar.search", "nodes", n);
+  obs::Counter& expanded_counter =
+      obs::MetricsRegistry::instance().counter("search.expanded");
 
   // Anything priced beyond the universal ceiling is dropped — no optimal
   // pebbling lives there — which also caps the bucket count. A seeded
@@ -81,6 +86,7 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
     stats.spill_peak_bytes = table.spill_peak_bytes();
     stats.merge_passes = table.merge_passes();
     stats.spill_io_error = table.spill_io_error();
+    stats.table_headroom_stop = table.headroom_stop();
   };
   auto give_up = [&](ExactTermination why) {
     stats.termination = why;
@@ -167,6 +173,15 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
       table.set_overhead_bytes(pdb_bytes + queue.bytes());
       if (should_stop && should_stop()) {
         return give_up(ExactTermination::Stopped);
+      }
+      if (expanded != 0) {
+        expanded_counter.add(64);
+        // Trace instants every 16 checkpoints: enough to see frontier
+        // progress in the timeline without swamping the ring on multi-
+        // million-state searches.
+        if ((expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
+          obs::trace_instant("astar.checkpoint", "expanded", expanded);
+        }
       }
     }
     ++expanded;

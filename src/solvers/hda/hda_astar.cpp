@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/graph/dag_algorithms.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/bigstate/pdb.hpp"
 #include "src/solvers/bigstate/var_state.hpp"
@@ -96,6 +98,13 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
   Shard<Packed>& self = ctx.shard(wid);
   using Table = typename Shard<Packed>::Table;
 
+  // Per-worker span: each worker is its own thread, so its events land on
+  // their own trace track — per-shard mailbox/eviction activity reads
+  // directly off the timeline.
+  const obs::TraceSpan worker_span("hda.worker", "shard", wid);
+  obs::Counter& expanded_counter =
+      obs::MetricsRegistry::instance().counter("search.expanded");
+
   StateBoundEvaluator bound(engine);
   if (pdb != nullptr) bound.attach_pdb(pdb);  // read-only, shared by workers
   // The shared PDB tables and this worker's bucket arrays are budgeted
@@ -165,6 +174,7 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
       ledger.credit -= static_cast<std::int64_t>(inbox.size());
       ledger.black = true;
       idle_spins = 0;
+      obs::trace_instant("hda.mailbox_drain", "messages", inbox.size());
       for (const StateMsg<Packed>& m : inbox) accept(m);
     }
 
@@ -218,6 +228,12 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
       if (should_stop && should_stop()) {
         ctx.abort_with(ExactTermination::Stopped);
         break;
+      }
+      if (local_expanded != 0) {
+        expanded_counter.add(64);
+        if ((local_expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
+          obs::trace_instant("hda.checkpoint", "expanded", local_expanded);
+        }
       }
     }
     const std::size_t ticket =
@@ -282,6 +298,7 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
     stats.spill_peak_bytes = 0;
     stats.merge_passes = 0;
     stats.spill_io_error = false;
+    stats.table_headroom_stop = false;
     for (const auto& shard : ctx.shards) {
       stats.table_bytes += shard->table.bytes();
       stats.spilled_states += shard->table.spilled_states();
@@ -289,6 +306,7 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
       stats.spill_peak_bytes += shard->table.spill_peak_bytes();
       stats.merge_passes += shard->table.merge_passes();
       stats.spill_io_error |= shard->table.spill_io_error();
+      stats.table_headroom_stop |= shard->table.headroom_stop();
     }
   };
   auto give_up = [&](ExactTermination why) {
@@ -374,6 +392,7 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
     home.queue.push(*start_h, {start.key(), 0});
   }
 
+  const obs::TraceSpan search_span("hda.search", "workers", workers);
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/obs/trace.hpp"
 #include "src/solvers/hda/hda_astar.hpp"
 #include "src/support/check.hpp"
 
@@ -64,6 +65,7 @@ PortfolioResult solve_portfolio(const SolveRequest& request,
                                 const PortfolioOptions& options,
                                 const SolverRegistry& registry) {
   RBPEB_REQUIRE(request.engine != nullptr, "SolveRequest.engine is required");
+  const obs::TraceSpan span("portfolio.race");
 
   std::vector<const Solver*> solvers;
   if (options.solvers.empty()) {

@@ -1,0 +1,181 @@
+// Metrics registry: striped counters, gauges, and log-scale histograms must
+// stay exact under concurrency (TSan covers the data-race half; the sums
+// here cover the lost-update half), and the registry must hand back the same
+// object for the same name while rejecting cross-kind collisions.
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rbpeb::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndHighWater) {
+  Gauge gauge;
+  gauge.set(5);
+  gauge.add(3);
+  EXPECT_EQ(gauge.value(), 8);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -2);
+  // max() is a high-water mark: it never follows the value back down.
+  EXPECT_EQ(gauge.max(), 8);
+  gauge.set(100);
+  EXPECT_EQ(gauge.max(), 100);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.max(), 0);
+}
+
+TEST(Gauge, HighWaterAcrossThreads) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (std::int64_t v = 0; v < 1000; ++v) gauge.set(t * 1000 + v);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.max(), (kThreads - 1) * 1000 + 999);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip) {
+  // Every value maps to a bucket whose lower bound is at most the value and
+  // whose successor's lower bound exceeds it — the ≤25% granularity claim.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 5ull, 7ull, 8ull,
+                          12ull, 100ull, 1000ull, 65535ull, 1ull << 40}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_LE(Histogram::bucket_lower_bound(idx), v) << v;
+    // Indices 4..7 are a gap in the scheme (octave 2 starts at index 8), so
+    // the successor for the bound check is the next index that actually
+    // raises the lower bound.
+    std::size_t next = idx + 1;
+    while (next < Histogram::kBuckets &&
+           Histogram::bucket_lower_bound(next) <=
+               Histogram::bucket_lower_bound(idx)) {
+      ++next;
+    }
+    if (next < Histogram::kBuckets) {
+      EXPECT_GT(Histogram::bucket_lower_bound(next), v) << v;
+    }
+  }
+  // Exact small values get their own buckets.
+  EXPECT_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(0)), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(1)), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(3)), 3u);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepCountAndSum) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.record(i % 1000);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  // Each thread contributes 50 full cycles of 0..999.
+  const std::uint64_t cycle_sum = 999 * 1000 / 2;
+  EXPECT_EQ(histogram.sum(), kThreads * (kPerThread / 1000) * cycle_sum);
+}
+
+TEST(Histogram, PercentileReturnsContainingBucketFloor) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 100; ++v) histogram.record(v);
+  // p50 of 1..100 lands in the bucket holding 50-51; the reported floor is
+  // at most the true percentile and within one octave quarter below it.
+  const std::uint64_t p50 = histogram.percentile(0.5);
+  EXPECT_LE(p50, 51u);
+  EXPECT_GE(p50, 48u);
+  const std::uint64_t p99 = histogram.percentile(0.99);
+  EXPECT_LE(p99, 100u);
+  EXPECT_GE(p99, 96u);
+  // Degenerate ranks clamp instead of indexing out of range.
+  EXPECT_LE(histogram.percentile(0.0), 1u);
+  EXPECT_LE(histogram.percentile(1.0), 100u);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.percentile(0.5), 0u);
+}
+
+TEST(MetricsRegistry, SameNameSameObject) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset_all();
+  Counter& a = registry.counter("test.registry.counter");
+  Counter& b = registry.counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.registry.kind_clash");
+  EXPECT_THROW(registry.gauge("test.registry.kind_clash"), std::logic_error);
+  EXPECT_THROW(registry.histogram("test.registry.kind_clash"),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotJsonCarriesAllKinds) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.snapshot.counter").add(3);
+  registry.gauge("test.snapshot.gauge").set(-4);
+  registry.histogram("test.snapshot.histogram").record(16);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"test.snapshot.counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.gauge\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.histogram\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistry, ResetAllKeepsReferencesValid) {
+  auto& registry = MetricsRegistry::instance();
+  Counter& counter = registry.counter("test.reset.counter");
+  counter.add(42);
+  registry.reset_all();
+  // reset_all zeroes values but never invalidates handed-out references.
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(1);
+  EXPECT_EQ(registry.counter("test.reset.counter").value(), 1u);
+}
+
+TEST(Intern, StableAndDeduplicated) {
+  const char* a = intern("test.intern.name");
+  const char* b = intern(std::string("test.intern.") + "name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "test.intern.name");
+}
+
+}  // namespace
+}  // namespace rbpeb::obs

@@ -1,0 +1,139 @@
+// Flight recorder: no events when no sink is set, balanced begin/end pairs
+// in the drained JSON, counted (not crashed) drops past ring capacity, and
+// TSan-clean concurrent emission.
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rbpeb::obs {
+namespace {
+
+#ifndef RBPEB_OBS_NO_TRACE
+
+class TraceTest : public ::testing::Test {
+ protected:
+  // Each test starts from a disabled, empty recorder; the sink path is a
+  // throwaway name — no test here calls trace_flush, so nothing is written.
+  void SetUp() override { trace_reset(); }
+  void TearDown() override { trace_reset(); }
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceTest, NoEventsWhenDisabled) {
+  EXPECT_FALSE(trace_enabled());
+  trace_begin("off.span");
+  trace_instant("off.instant", "k", 1);
+  trace_end("off.span");
+  EXPECT_EQ(trace_event_count(), 0u);
+  const std::string json = trace_to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\""), 0u);
+}
+
+TEST_F(TraceTest, BalancedBeginEndPairsInJson) {
+  trace_set_output("unused_trace_sink.json");
+  ASSERT_TRUE(trace_enabled());
+  {
+    const TraceSpan outer("test.outer", "arg", 1);
+    const TraceSpan inner("test.inner");
+    trace_instant("test.instant", "v", 42);
+  }
+  const std::string json = trace_to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("test.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWraparoundCountsDropsWithoutCrashing) {
+  trace_set_output("unused_trace_sink.json");
+  constexpr std::size_t kOverflow = 1000;
+  for (std::size_t i = 0; i < kTraceRingCapacity + kOverflow; ++i) {
+    trace_instant("test.flood", "i", i);
+  }
+  EXPECT_EQ(trace_event_count(), kTraceRingCapacity);
+  EXPECT_EQ(trace_dropped(), kOverflow);
+  const std::string json = trace_to_json();
+  EXPECT_NE(json.find("\"dropped\":1000"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersEachGetOwnTrack) {
+  trace_set_output("unused_trace_sink.json");
+  constexpr int kThreads = 4;
+  constexpr std::size_t kEventsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kEventsPerThread; ++i) {
+        const TraceSpan span("test.worker", "i", i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(trace_event_count(), kThreads * kEventsPerThread * 2);
+  EXPECT_EQ(trace_dropped(), 0u);
+  const std::string json = trace_to_json();
+  // Each thread drains onto its own tid track.
+  std::size_t distinct_tids = 0;
+  for (int tid = 1; tid <= kThreads + 1; ++tid) {
+    if (json.find("\"tid\":" + std::to_string(tid) + ",") !=
+        std::string::npos) {
+      ++distinct_tids;
+    }
+  }
+  EXPECT_GE(distinct_tids, static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, SpanWithNullNameIsNoOp) {
+  trace_set_output("unused_trace_sink.json");
+  {
+    const TraceSpan span(nullptr, "arg", 7);
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndDisables) {
+  trace_set_output("unused_trace_sink.json");
+  trace_instant("test.pre_reset");
+  EXPECT_EQ(trace_event_count(), 1u);
+  trace_reset();
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+#else  // RBPEB_OBS_NO_TRACE
+
+TEST(TraceCompiledOut, EverythingIsANoOp) {
+  trace_set_output("unused_trace_sink.json");
+  EXPECT_FALSE(trace_enabled());
+  trace_begin("gone");
+  trace_end("gone");
+  trace_instant("gone", "k", 1);
+  { const TraceSpan span("gone", "k", 2); }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped(), 0u);
+  EXPECT_EQ(trace_to_json(), std::string("{\"traceEvents\":[]}"));
+}
+
+#endif  // RBPEB_OBS_NO_TRACE
+
+}  // namespace
+}  // namespace rbpeb::obs

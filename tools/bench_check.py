@@ -33,9 +33,18 @@ shrink, and proven-optimal costs are byte-identical. `selftest` feeds the
 comparator deliberately corrupted reports and fails unless every injected
 regression is caught.
 
+The `overhead` mode guards the flight recorder's compiled-in-but-disabled
+cost: it compares a report from the normal build (tracing compiled in,
+sink unset) against one from the -DRBPEB_OBS_NO_TRACE build of the same
+bench. Every deterministic field — costs, expansion counts, solved flags —
+must be byte-identical; wall-clock fields (keys containing ms/us/wall/
+throughput) only gate on ratio, within --wall-tolerance; hardware and
+timestamp fields are ignored.
+
 Usage:
   bench_check.py compare --fresh NEW.json --baseline OLD.json
   bench_check.py scaling BENCH_hda_astar.json [--tolerance 1.0]
+  bench_check.py overhead --traced A.json --notrace B.json [--wall-tolerance 1.5]
   bench_check.py selftest
 
 Exit status: 0 clean, 1 regression, 2 bad invocation/input.
@@ -353,6 +362,66 @@ def cmd_scaling(args):
     return report("scaling")
 
 
+WALL_KEY_MARKERS = ("ms", "us", "wall", "throughput", "elapsed")
+IGNORED_KEY_MARKERS = ("hardware", "timestamp", "date", "host")
+
+
+def overhead_key_kind(key):
+    lower = key.lower()
+    parts = lower.replace("-", "_").split("_")
+    if any(marker in parts for marker in IGNORED_KEY_MARKERS):
+        return "ignored"
+    if any(marker in parts for marker in WALL_KEY_MARKERS):
+        return "wall"
+    return "exact"
+
+
+def compare_overhead(traced, notrace, tolerance, path="$"):
+    """Recursive structural compare. Timing leaves gate on ratio; everything
+    else must be identical — the disabled recorder may cost nanoseconds, but
+    it must not change what the search *does*."""
+    if isinstance(traced, dict) and isinstance(notrace, dict):
+        for key in sorted(set(traced) | set(notrace)):
+            where = f"{path}.{key}"
+            if overhead_key_kind(key) == "ignored":
+                continue
+            if key not in traced or key not in notrace:
+                fail(f"{where}: present in only one report")
+                continue
+            if overhead_key_kind(key) == "wall":
+                a, b = traced[key], notrace[key]
+                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                    # Symmetric ratio gate; the +1 floors the denominators so
+                    # sub-millisecond noise on tiny cases cannot trip it.
+                    if (a + 1) > (b + 1) * tolerance or \
+                       (b + 1) > (a + 1) * tolerance:
+                        fail(f"{where}: wall diverged traced={a} notrace={b} "
+                             f"(x{tolerance:.2f} tolerance)")
+                    else:
+                        note(f"{where}: wall traced={a} notrace={b} — ok")
+                    continue
+            compare_overhead(traced[key], notrace[key], tolerance, where)
+    elif isinstance(traced, list) and isinstance(notrace, list):
+        if len(traced) != len(notrace):
+            fail(f"{path}: list length {len(traced)} != {len(notrace)}")
+            return
+        for i, (a, b) in enumerate(zip(traced, notrace)):
+            compare_overhead(a, b, tolerance, f"{path}[{i}]")
+    else:
+        if traced != notrace:
+            fail(f"{path}: {traced!r} != {notrace!r} (must be byte-identical "
+                 "with tracing compiled in but disabled)")
+
+
+def cmd_overhead(args):
+    with open(args.traced) as f:
+        traced = json.load(f)
+    with open(args.notrace) as f:
+        notrace = json.load(f)
+    compare_overhead(traced, notrace, args.wall_tolerance)
+    return report("overhead")
+
+
 def cmd_selftest(args):
     """Inject known regressions into a synthetic anytime report and require
     the comparator to catch every one (and to pass the clean pair)."""
@@ -473,6 +542,17 @@ def main():
     scaling.add_argument("--tolerance", type=float, default=1.0,
                          help="8t wall may be up to TOL x 1t wall (default 1.0)")
     scaling.set_defaults(func=cmd_scaling)
+    overhead = sub.add_parser(
+        "overhead",
+        help="traced-but-disabled vs no-trace build of the same bench")
+    overhead.add_argument("--traced", required=True,
+                          help="report from the normal build (sink unset)")
+    overhead.add_argument("--notrace", required=True,
+                          help="report from the -DRBPEB_OBS_NO_TRACE build")
+    overhead.add_argument(
+        "--wall-tolerance", type=float, default=1.5,
+        help="max ratio between wall-clock fields (default 1.5)")
+    overhead.set_defaults(func=cmd_overhead)
     selftest = sub.add_parser(
         "selftest", help="verify the anytime comparator catches regressions")
     selftest.set_defaults(func=cmd_selftest)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/graph/dag_io.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/trace_io.hpp"
 #include "src/pebble/verifier.hpp"
@@ -51,6 +52,7 @@ using namespace rbpeb;
       "            [--budget-memory N[k|m|g]] [--budget-disk N[k|m|g]]\n"
       "            [--jobs N]\n"
       "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
+      "            [--trace-out F]   (flight-recorder profile, Chrome JSON)\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
       "            [--sources-blue] [--sinks-blue]\n"
       "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
@@ -159,7 +161,7 @@ int cmd_solve(const std::vector<std::string>& args) {
   std::size_t r = std::stoul(args[1]);
   CommonFlags flags;
   std::string solver_name = "greedy";
-  std::string trace_out, dot_out;
+  std::string trace_out, dot_out, flight_out;
   SolverOptions options;
   SolveBudget budget;
   std::size_t jobs = 0;
@@ -186,10 +188,31 @@ int cmd_solve(const std::vector<std::string>& args) {
       budget.max_disk_bytes = parse_byte_count(args[++i]);
     else if (args[i] == "--jobs" && i + 1 < args.size())
       jobs = std::stoul(args[++i]);
+    else if (args[i] == "--trace-out" && i + 1 < args.size())
+      flight_out = args[++i];
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
     else if (args[i] == "--dot" && i + 1 < args.size()) dot_out = args[++i];
     else usage();
   }
+
+  // Flight recorder: everything from here — PDB builds, search loops,
+  // spill passes — lands in the trace; the guard renders it on every exit
+  // path, failure included (a budget-exhausted profile is the useful one).
+  struct FlightRecorderGuard {
+    std::string path;
+    ~FlightRecorderGuard() {
+      if (path.empty()) return;
+      const std::size_t events = obs::trace_event_count();
+      const std::uint64_t dropped = obs::trace_dropped();
+      if (obs::trace_flush()) {
+        std::cout << "flight trace written to " << path << " (" << events
+                  << " events, " << dropped << " dropped)\n";
+      } else {
+        std::cerr << "failed to write flight trace to " << path << '\n';
+      }
+    }
+  } flight_guard{flight_out};
+  if (!flight_out.empty()) obs::trace_set_output(flight_out);
 
   std::cout << "DAG: " << dag.node_count() << " nodes, " << dag.edge_count()
             << " edges, Δ = " << dag.max_indegree() << " (min R = "

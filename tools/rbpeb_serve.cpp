@@ -4,7 +4,8 @@
 //   rbpeb_serve [--input F] [--output F] [--stats F]
 //               [--cache-bytes N[k|m|g]] [--queue N] [--workers N]
 //               [--threads N] [--deadline-ms N] [--solver NAME|portfolio]
-//               [--budget-states N] [--quiet]
+//               [--budget-states N] [--snapshot-every N] [--trace-out F]
+//               [--quiet]
 //
 // Reads one JSON request per line (stdin by default, or --input F — a file
 // works as a replayable request queue; a named pipe / `nc -lU | rbpeb_serve`
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/server.hpp"
 #include "src/support/check.hpp"
@@ -40,7 +42,10 @@ using namespace rbpeb::serve;
       "              [--cache-bytes N[k|m|g]] [--queue N] [--workers N]\n"
       "              [--threads N] [--deadline-ms N]\n"
       "              [--solver NAME|portfolio] [--budget-states N]\n"
-      "              [--quiet]\n"
+      "              [--snapshot-every N] [--trace-out F] [--quiet]\n"
+      "--snapshot-every N appends a metrics_snapshot JSONL line to --stats\n"
+      "every N responses (default 64; 0 disables); --trace-out F writes a\n"
+      "Chrome trace-event profile of the run (open in Perfetto)\n"
       "reads JSONL requests (see src/serve/protocol.hpp), writes JSONL\n"
       "responses in input order; EOF drains the queue and prints a summary\n";
   std::exit(2);
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
   std::string stats_path;
+  std::string flight_out;
+  std::size_t snapshot_every = 64;
   bool quiet = false;
   ServerOptions options;
   options.default_deadline_ms = 0;
@@ -135,6 +142,10 @@ int main(int argc, char** argv) {
       options.default_solver = next();
     } else if (arg == "--budget-states") {
       options.default_states = parse_count(next());
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = parse_count(next());
+    } else if (arg == "--trace-out") {
+      flight_out = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -171,6 +182,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!flight_out.empty()) obs::trace_set_output(flight_out);
   Server server(options);
 
   // Pipelined batch replay: keep up to max_queue requests in flight, write
@@ -179,11 +191,20 @@ int main(int argc, char** argv) {
   // from tripping the server's admission rejection.
   std::deque<std::future<ResponseMessage>> pending;
   std::uint64_t malformed = 0;
+  std::uint64_t drained = 0;
   const auto drain_one = [&] {
     ResponseMessage response = pending.front().get();
     pending.pop_front();
     output << response.to_json() << "\n";
-    if (stats_file.is_open()) stats_file << stats_line(response) << "\n";
+    if (stats_file.is_open()) {
+      stats_file << stats_line(response) << "\n";
+      // Periodic live metrics: one snapshot line every N responses, hit/miss
+      // counters sourced from TraceCache::Stats so the sidecar always
+      // reconciles with the cache's own accounting.
+      if (snapshot_every != 0 && ++drained % snapshot_every == 0) {
+        stats_file << server.metrics_snapshot_json() << "\n";
+      }
+    }
   };
 
   std::string line;
@@ -209,6 +230,11 @@ int main(int argc, char** argv) {
     if (pending.size() >= options.max_queue) drain_one();
   }
   while (!pending.empty()) drain_one();
+  // Final snapshot: the totals line the bench and smoke hold against the
+  // shutdown summary.
+  if (stats_file.is_open() && snapshot_every != 0) {
+    stats_file << server.metrics_snapshot_json() << "\n";
+  }
   output.flush();
   if (stats_file.is_open()) stats_file.flush();
 
@@ -219,6 +245,16 @@ int main(int argc, char** argv) {
     }
     if (malformed != 0) {
       std::cerr << "  malformed_lines: " << malformed << "\n";
+    }
+  }
+  if (!flight_out.empty()) {
+    const std::size_t events = obs::trace_event_count();
+    const std::uint64_t dropped = obs::trace_dropped();
+    if (obs::trace_flush()) {
+      std::cerr << "flight trace written to " << flight_out << " (" << events
+                << " events, " << dropped << " dropped)\n";
+    } else {
+      std::cerr << "failed to write flight trace to " << flight_out << "\n";
     }
   }
   return 0;

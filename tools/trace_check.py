@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder trace (Chrome trace-event JSON).
+
+Checks, in order:
+  1. The file parses as JSON and has a ``traceEvents`` list.
+  2. Every event carries a string ``name``, a ``ph`` in {B, E, i, I}, a
+     numeric ``ts``, and a ``tid``.
+  3. Per (pid, tid) track, begin/end events nest properly: every E closes
+     the innermost open B of the same name. Spans left open at end-of-trace
+     are an error unless the recorder reported drops (``metadata.dropped``
+     > 0) — drop-newest can lose E events for spans that were genuinely
+     open when the ring filled, but can never produce a *mismatched* E.
+  4. Each ``--require NAME`` appears as an event name at least once.
+
+Exit status 0 on success, 1 on any failure, with a per-check summary.
+
+Usage:
+  trace_check.py TRACE.json [--require NAME]...
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+
+VALID_PHASES = {"B", "E", "i", "I"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="event name that must appear at least once (repeatable)",
+    )
+    args = parser.parse_args()
+
+    errors: list[str] = []
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"trace_check: FAIL: cannot load {args.trace}: {exc}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("trace_check: FAIL: no traceEvents list")
+        return 1
+
+    metadata = doc.get("metadata", {})
+    dropped = metadata.get("dropped", 0)
+    if not isinstance(dropped, int) or dropped < 0:
+        errors.append(f"metadata.dropped is not a non-negative int: {dropped!r}")
+        dropped = 0
+
+    names_seen: set[str] = set()
+    # (pid, tid) -> stack of open span names.
+    stacks: dict[tuple, list[str]] = collections.defaultdict(list)
+
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        ts = event.get("ts")
+        tid = event.get("tid")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+            continue
+        if phase not in VALID_PHASES:
+            errors.append(f"{where} ({name}): bad ph {phase!r}")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where} ({name}): non-numeric ts {ts!r}")
+        if tid is None:
+            errors.append(f"{where} ({name}): missing tid")
+        names_seen.add(name)
+        track = (event.get("pid"), tid)
+        stack = stacks[track]
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                errors.append(f"{where}: E '{name}' with no open span on tid {tid}")
+            elif stack[-1] != name:
+                errors.append(
+                    f"{where}: E '{name}' does not match innermost open "
+                    f"span '{stack[-1]}' on tid {tid}"
+                )
+            else:
+                stack.pop()
+
+    open_spans = [
+        f"tid {tid}: {' > '.join(stack)}"
+        for (_, tid), stack in sorted(stacks.items(), key=lambda kv: str(kv[0]))
+        if stack
+    ]
+    if open_spans and dropped == 0:
+        errors.append(
+            "unclosed spans at end of trace with no drops reported: "
+            + "; ".join(open_spans)
+        )
+
+    for required in args.require:
+        if required not in names_seen:
+            errors.append(f"required event '{required}' never appears")
+
+    declared = metadata.get("events")
+    if isinstance(declared, int) and declared != len(events):
+        errors.append(
+            f"metadata.events={declared} but traceEvents holds {len(events)}"
+        )
+
+    if errors:
+        for error in errors:
+            print(f"trace_check: FAIL: {error}")
+        print(
+            f"trace_check: {len(errors)} error(s) in {len(events)} events "
+            f"({len(names_seen)} distinct names, {dropped} dropped)"
+        )
+        return 1
+
+    note = f", {dropped} dropped (unclosed spans tolerated)" if dropped else ""
+    print(
+        f"trace_check: OK: {len(events)} events, {len(names_seen)} distinct "
+        f"names, {len(args.require)} required names present{note}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
