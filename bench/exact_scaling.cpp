@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/introspect.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/exact.hpp"
 #include "src/solvers/exact_astar.hpp"
@@ -51,12 +52,26 @@ struct RunOutcome {
   std::size_t expanded = 0;
 };
 
+// --progress attaches a sink-less sampler to every A* run: the full
+// sampling + attribution path executes, nothing is consumed. bench_check.py
+// overhead holds this report byte-identical (minus walls) to the plain one —
+// the probes must observe the search, never steer it.
+bool g_with_progress = false;
+
 RunOutcome run_search(bool astar, const Engine& engine,
                       std::size_t max_states) {
   ExactSearchStats stats;
-  std::optional<ExactResult> result =
-      astar ? try_solve_exact_astar(engine, max_states, {}, &stats)
-            : try_solve_exact(engine, max_states, {}, &stats);
+  std::optional<ExactResult> result;
+  if (astar && g_with_progress) {
+    obs::SearchProgressSampler sampler({.min_interval_us = 0});
+    ExactSearchOptions options;
+    options.max_states = max_states;
+    options.progress = &sampler;
+    result = try_solve_exact_astar(engine, options, &stats);
+  } else {
+    result = astar ? try_solve_exact_astar(engine, max_states, {}, &stats)
+                   : try_solve_exact(engine, max_states, {}, &stats);
+  }
   RunOutcome out;
   out.solved = result.has_value();
   out.cost = out.solved ? result->cost.str() : "-";
@@ -69,8 +84,15 @@ std::string json_str(const std::string& s) { return "\"" + s + "\""; }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_exact_astar.json";
+  std::string out_path = "BENCH_exact_astar.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--progress") {
+      g_with_progress = true;
+    } else {
+      out_path = arg;
+    }
+  }
   constexpr std::size_t kSuiteBudget = 3'000'000;
   constexpr std::size_t kLargeBudget = 4'000'000;
 

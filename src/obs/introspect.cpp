@@ -1,0 +1,212 @@
+#include "src/obs/introspect.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/pebble/bounds.hpp"
+#include "src/pebble/cost.hpp"
+#include "src/pebble/engine.hpp"
+#include "src/pebble/model.hpp"
+#include "src/pebble/state.hpp"
+#include "src/pebble/trace.hpp"
+
+namespace rbpeb::obs {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string ProgressSnapshot::to_json() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"seq\":" + std::to_string(seq);
+  out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
+  out += ",\"expanded\":" + std::to_string(expanded);
+  out += ",\"expansions_per_sec\":" +
+         std::to_string(static_cast<std::int64_t>(expansions_per_sec));
+  out += ",\"f_floor_scaled\":" + std::to_string(f_floor_scaled);
+  out += ",\"incumbent_scaled\":" + std::to_string(incumbent_scaled);
+  out += ",\"bound_gap_scaled\":" + std::to_string(bound_gap_scaled);
+  // Fixed-point so the record stays locale-proof: progress in per-myriad.
+  out += ",\"progress_pct\":" +
+         std::to_string(static_cast<std::int64_t>(progress * 10000) / 100) +
+         "." +
+         std::to_string(static_cast<std::int64_t>(progress * 10000) % 100 /
+                        10) +
+         std::to_string(static_cast<std::int64_t>(progress * 10000) % 10);
+  out += ",\"eta_us\":" + std::to_string(eta_us);
+  out += ",\"open_states\":" + std::to_string(open_states);
+  out += ",\"open_f_min\":" + std::to_string(open_f_min);
+  out += ",\"open_f_max\":" + std::to_string(open_f_max);
+  out += ",\"open_g_min\":" + std::to_string(open_g_min);
+  out += ",\"open_g_max\":" + std::to_string(open_g_max);
+  out += ",\"dup_skipped\":" + std::to_string(dup_skipped);
+  out += ",\"dead_prunes\":" + std::to_string(dead_prunes);
+  out += ",\"attr_counting\":" + std::to_string(attr_counting);
+  out += ",\"attr_pdb\":" + std::to_string(attr_pdb);
+  out += ",\"spilled_states\":" + std::to_string(spilled_states);
+  out += ",\"spill_bytes\":" + std::to_string(spill_bytes);
+  out += ",\"merge_passes\":" + std::to_string(merge_passes);
+  out += "}";
+  return out;
+}
+
+SearchProgressSampler::SearchProgressSampler(Options options)
+    : options_(std::move(options)),
+      start_us_(steady_now_us()),
+      last_publish_us_(start_us_ - options_.min_interval_us) {
+  if (options_.keep_last == 0) options_.keep_last = 1;
+}
+
+bool SearchProgressSampler::due() const {
+  if (options_.min_interval_us <= 0) return true;
+  return steady_now_us() - last_publish_us_ >= options_.min_interval_us;
+}
+
+void SearchProgressSampler::observe(const ProgressObservation& observation) {
+  const std::int64_t now_us = steady_now_us();
+  ProgressSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.seq = next_seq_++;
+    snap.elapsed_us = now_us - start_us_;
+
+    snap.expanded = observation.expanded;
+    const std::int64_t window_us = snap.elapsed_us - last_elapsed_us_;
+    const std::uint64_t window_expanded =
+        observation.expanded >= last_expanded_
+            ? observation.expanded - last_expanded_
+            : 0;
+    if (window_us > 0) {
+      snap.expansions_per_sec = static_cast<double>(window_expanded) * 1e6 /
+                                static_cast<double>(window_us);
+    }
+    last_expanded_ = observation.expanded;
+    last_elapsed_us_ = snap.elapsed_us;
+
+    // Monotone fold: the floor only rises, the incumbent only falls.
+    if (observation.frontier_f_scaled >= 0) {
+      f_floor_scaled_ = std::max(f_floor_scaled_,
+                                 observation.frontier_f_scaled);
+    }
+    if (observation.incumbent_scaled >= 0 &&
+        (incumbent_scaled_ < 0 ||
+         observation.incumbent_scaled < incumbent_scaled_)) {
+      incumbent_scaled_ = observation.incumbent_scaled;
+    }
+    snap.f_floor_scaled = f_floor_scaled_;
+    snap.incumbent_scaled = incumbent_scaled_;
+    if (incumbent_scaled_ >= 0 && f_floor_scaled_ >= 0) {
+      snap.bound_gap_scaled =
+          std::max<std::int64_t>(0, incumbent_scaled_ - f_floor_scaled_);
+      if (first_gap_scaled_ < 0) first_gap_scaled_ = snap.bound_gap_scaled;
+      if (first_gap_scaled_ > 0) {
+        snap.progress = 1.0 - static_cast<double>(snap.bound_gap_scaled) /
+                                  static_cast<double>(first_gap_scaled_);
+      } else {
+        snap.progress = 1.0;  // opened already proved-tight
+      }
+      snap.progress = std::clamp(snap.progress, 0.0, 1.0);
+      if (snap.progress > 0.0 && snap.progress < 1.0) {
+        snap.eta_us = static_cast<std::int64_t>(
+            static_cast<double>(snap.elapsed_us) * (1.0 - snap.progress) /
+            snap.progress);
+      } else if (snap.progress >= 1.0) {
+        snap.eta_us = 0;
+      }
+    }
+
+    snap.open_states = observation.open_states;
+    snap.open_f_min = observation.open_f_min;
+    snap.open_f_max = observation.open_f_max;
+    snap.open_g_min = observation.open_g_min;
+    snap.open_g_max = observation.open_g_max;
+    snap.dup_skipped = observation.dup_skipped;
+    snap.dead_prunes = observation.dead_prunes;
+    snap.attr_counting = observation.attr_counting;
+    snap.attr_pdb = observation.attr_pdb;
+    snap.spilled_states = observation.spilled_states;
+    snap.spill_bytes = observation.spill_bytes;
+    snap.merge_passes = observation.merge_passes;
+
+    ring_.push_back(snap);
+    while (ring_.size() > options_.keep_last) ring_.pop_front();
+    last_publish_us_ = now_us;
+  }
+  if (options_.sink) options_.sink(snap);
+}
+
+std::vector<ProgressSnapshot> SearchProgressSampler::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<ProgressSnapshot>(ring_.begin(), ring_.end());
+}
+
+bool SearchProgressSampler::has_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !ring_.empty();
+}
+
+ProgressSnapshot SearchProgressSampler::last_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.empty() ? ProgressSnapshot{} : ring_.back();
+}
+
+HeuristicErrorReport measure_heuristic_error(const Engine& engine,
+                                             const Trace& trace) {
+  HeuristicErrorReport report;
+  const Model& model = engine.model();
+
+  // True remaining cost at prefix i = total − cost-so-far, in scaled units.
+  std::vector<std::int64_t> prefix_cost;
+  prefix_cost.reserve(trace.size() + 1);
+  std::int64_t running = 0;
+  prefix_cost.push_back(running);
+  for (const Move& move : trace) {
+    running += scaled_move_cost(model, move.type);
+    prefix_cost.push_back(running);
+  }
+  const std::int64_t total = running;
+
+  StateBoundEvaluator bound(engine);
+  GameState state = engine.initial_state();
+  Cost cost;
+  std::int64_t error_sum = 0;
+  std::int64_t h_sum = 0;
+  std::int64_t remaining_sum = 0;
+  for (std::size_t i = 0; i <= trace.size(); ++i) {
+    const std::int64_t remaining = total - prefix_cost[i];
+    const std::optional<std::int64_t> h = bound.lower_bound_scaled(state);
+    ++report.states;
+    if (!h) {
+      // A legal completing trace passes through no dead state; a dead
+      // verdict here is a bound bug, not a trace property.
+      report.admissible = false;
+    } else {
+      if (*h > remaining) report.admissible = false;
+      const std::int64_t err = remaining - *h;
+      report.max_error_scaled = std::max(report.max_error_scaled, err);
+      error_sum += err;
+      h_sum += *h;
+      remaining_sum += remaining;
+    }
+    if (i < trace.size()) engine.apply(state, trace[i], cost);
+  }
+  if (report.states > 0) {
+    report.mean_error_scaled =
+        static_cast<double>(error_sum) / static_cast<double>(report.states);
+  }
+  if (remaining_sum > 0) {
+    report.tightness =
+        static_cast<double>(h_sum) / static_cast<double>(remaining_sum);
+  }
+  return report;
+}
+
+}  // namespace rbpeb::obs

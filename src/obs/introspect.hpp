@@ -1,0 +1,180 @@
+#pragma once
+
+/// Search introspection: live progress estimation and heuristic-quality
+/// telemetry for the exact searches.
+///
+/// The search loops already pause every 64 expansions to refresh budgets and
+/// poll the stop predicate, and drop a trace instant every 1024; the
+/// SearchProgressSampler piggybacks on that 1024-expansion cadence. When a
+/// sampler is attached (ExactSearchOptions::progress / SolveRequest::
+/// progress), the loop builds an Observation — frontier f, incumbent,
+/// open-list shape, duplicate/dead/spill counters, bound-source attribution
+/// — and hands it over; the sampler rate-limits by wall clock, derives
+/// velocity / bound-gap / ETA, keeps a short history ring for the
+/// post-mortem black box, and forwards each snapshot to an optional sink
+/// (the CLI's JSONL stream, the server's per-request stats sidecar).
+///
+/// Nothing here feeds back into the search: a sampler observes, it never
+/// steers, so an attached-but-idle sampler leaves costs and expansion
+/// counts byte-identical to a run without one (pinned by the differential
+/// test in tests/obs/test_introspect.cpp and the CI overhead gate).
+///
+/// Monotonicity is enforced by construction, not assumed from the search:
+/// the heuristic is admissible but not consistent, so the popped f can
+/// fluctuate — the sampler folds it into a running max (`f_floor`), the
+/// incumbent only ever decreases, and the published bound gap
+/// (incumbent − f_floor, clamped at 0) is therefore non-increasing within
+/// a search.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rbpeb {
+class Engine;
+class Trace;
+}  // namespace rbpeb
+
+namespace rbpeb::obs {
+
+/// One periodic observation of a running search, as published to sinks and
+/// kept in the post-mortem ring. Scaled costs are in units of 1/ε.den(),
+/// matching the search's own arithmetic; -1 means "not known yet".
+struct ProgressSnapshot {
+  std::uint64_t seq = 0;        ///< snapshot index within this search
+  std::int64_t elapsed_us = 0;  ///< since the sampler was armed
+
+  std::uint64_t expanded = 0;          ///< total expansions so far
+  double expansions_per_sec = 0.0;     ///< velocity over the trailing window
+
+  /// Bound gap (the progress signal): f_floor is the running max of sampled
+  /// frontier f — a certified lower bound on the optimal cost — and
+  /// incumbent is the best complete state's g. gap = incumbent − f_floor,
+  /// clamped at 0; monotone non-increasing by construction.
+  std::int64_t f_floor_scaled = -1;
+  std::int64_t incumbent_scaled = -1;
+  std::int64_t bound_gap_scaled = -1;  ///< -1 until an incumbent exists
+
+  /// Bound-gap-based completion estimate in [0,1] (1 − gap/first_gap once
+  /// an incumbent exists) and the ETA it implies at current velocity.
+  double progress = 0.0;
+  std::int64_t eta_us = -1;
+
+  /// Open-list shape at the checkpoint.
+  std::uint64_t open_states = 0;
+  std::int64_t open_f_min = -1;
+  std::int64_t open_f_max = -1;
+  std::int64_t open_g_min = -1;
+  std::int64_t open_g_max = -1;
+
+  /// Cumulative search-health counters.
+  std::uint64_t dup_skipped = 0;   ///< pops skipped as stale/already expanded
+  std::uint64_t dead_prunes = 0;   ///< generated states proved dead
+  std::uint64_t attr_counting = 0; ///< expansions whose bound came from the
+                                   ///< counting bounds
+  std::uint64_t attr_pdb = 0;      ///< … and from the PDB sum
+
+  /// Cumulative spill I/O (0 when the search never spilled).
+  std::uint64_t spilled_states = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t merge_passes = 0;
+
+  /// One JSON object (no trailing newline) — the JSONL progress record.
+  std::string to_json() const;
+};
+
+/// What a search loop hands the sampler at a checkpoint. The loop fills the
+/// cheap fields every time; open-list shape is only computed when the
+/// sampler said it was due (SearchProgressSampler::due()).
+struct ProgressObservation {
+  std::uint64_t expanded = 0;
+  std::int64_t frontier_f_scaled = -1;
+  std::int64_t incumbent_scaled = -1;  ///< -1: no complete state seen yet
+  std::uint64_t open_states = 0;
+  std::int64_t open_f_min = -1;
+  std::int64_t open_f_max = -1;
+  std::int64_t open_g_min = -1;
+  std::int64_t open_g_max = -1;
+  std::uint64_t dup_skipped = 0;
+  std::uint64_t dead_prunes = 0;
+  std::uint64_t attr_counting = 0;
+  std::uint64_t attr_pdb = 0;
+  std::uint64_t spilled_states = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t merge_passes = 0;
+};
+
+/// Periodic progress sampler. One per solve; the hda search designates
+/// worker 0 as the single observer, so observe() is effectively
+/// single-threaded — the internal mutex only guards late history() /
+/// final_snapshot() readers against a still-running search.
+class SearchProgressSampler {
+ public:
+  using Sink = std::function<void(const ProgressSnapshot&)>;
+
+  struct Options {
+    /// Minimum wall-clock µs between published snapshots (0 = publish at
+    /// every checkpoint the search offers).
+    std::int64_t min_interval_us = 0;
+    /// Snapshots retained for the post-mortem black box.
+    std::size_t keep_last = 64;
+    /// Optional streaming sink, called synchronously from observe().
+    Sink sink;
+  };
+
+  explicit SearchProgressSampler(Options options);
+
+  /// True when enough wall time has passed that the next observe() will
+  /// publish — the loop checks this before paying for open-list stats.
+  bool due() const;
+
+  /// Fold one checkpoint observation into a snapshot and publish it (ring +
+  /// sink). Call only when due() — observe() publishes unconditionally.
+  void observe(const ProgressObservation& observation);
+
+  /// The retained tail of published snapshots, oldest first.
+  std::vector<ProgressSnapshot> history() const;
+
+  /// The most recent snapshot, if any was published.
+  bool has_snapshots() const;
+  ProgressSnapshot last_snapshot() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::deque<ProgressSnapshot> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t start_us_;        // steady-clock mark when armed
+  std::int64_t last_publish_us_; // steady-clock mark of the last snapshot
+  std::uint64_t last_expanded_ = 0;
+  std::int64_t last_elapsed_us_ = 0;
+  std::int64_t f_floor_scaled_ = -1;
+  std::int64_t incumbent_scaled_ = -1;
+  std::int64_t first_gap_scaled_ = -1;
+};
+
+/// Observed heuristic error along a returned optimal trace: replay the
+/// trace, and at every prefix state compare the counting-bounds h (no PDB —
+/// the search's PDB is gone by reporting time; documented as counting-only)
+/// against the true remaining cost. h ≤ remaining everywhere is the
+/// admissibility invariant; the gap is the measured heuristic error.
+struct HeuristicErrorReport {
+  std::uint64_t states = 0;       ///< prefix states evaluated
+  bool admissible = true;         ///< h ≤ true remaining at every prefix
+  std::int64_t max_error_scaled = 0;  ///< max (remaining − h)
+  double mean_error_scaled = 0.0;     ///< mean (remaining − h)
+  /// mean h / mean remaining — 1.0 would be a perfect heuristic.
+  double tightness = 1.0;
+};
+
+/// Measure the counting-bound h-error along `trace` (which must be a legal
+/// completion under `engine`; states where the bound proves deadness —
+/// impossible along a legal trace — count as error 0 and flip
+/// `admissible`).
+HeuristicErrorReport measure_heuristic_error(const Engine& engine,
+                                             const Trace& trace);
+
+}  // namespace rbpeb::obs

@@ -52,7 +52,20 @@ std::uint64_t Histogram::percentile(double q) const noexcept {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += local[i];
-    if (seen > rank) return bucket_lower_bound(i);
+    if (seen > rank) {
+      // Linear interpolation within the containing bucket: treat its
+      // local[i] samples as evenly spread over [lo, lo+width) and report
+      // the midpoint of the rank's slice. Exact buckets (width 1, values
+      // 0..3) truncate back to lo, so small integers stay exact.
+      const std::uint64_t lo = bucket_lower_bound(i);
+      const std::uint64_t width =
+          i < 8 ? 1 : std::uint64_t{1} << (i / 4 - 2);
+      const std::uint64_t rank_in_bucket = rank - (seen - local[i]);
+      const double offset = static_cast<double>(width) *
+                            (static_cast<double>(rank_in_bucket) + 0.5) /
+                            static_cast<double>(local[i]);
+      return lo + static_cast<std::uint64_t>(offset);
+    }
   }
   return bucket_lower_bound(kBuckets - 1);
 }

@@ -13,8 +13,8 @@
 /// `search.expanded`, `spill.evicted_states`, `serve.latency_us`. Counters
 /// are monotone; gauges carry a current value plus an automatically tracked
 /// high-water mark; histograms bucket values on a log scale (4 sub-buckets
-/// per power of two, ≤25% relative bucket width) and report percentiles as
-/// the lower bound of the containing bucket.
+/// per power of two, ≤25% relative bucket width) and report percentiles by
+/// linear interpolation within the containing bucket.
 
 #include <array>
 #include <atomic>
@@ -111,8 +111,8 @@ class Gauge {
 /// Fixed-bucket log-scale histogram of unsigned values. record() is three
 /// relaxed adds (bucket, count, sum); no allocation, no locks. Buckets:
 /// values 0..3 exactly, then 4 sub-buckets per power of two up to 2^64, so
-/// a percentile estimate is at most ~25% below the true value. percentile()
-/// returns the lower bound of the bucket containing the requested rank.
+/// a percentile estimate is within ~25% of the true value. percentile()
+/// interpolates linearly within the bucket containing the requested rank.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 256;
@@ -134,8 +134,9 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
-  /// Lower bound of the bucket holding the q-quantile (q in [0,1]); 0 when
-  /// the histogram is empty. q=0.5 → p50, q=0.99 → p99.
+  /// q-quantile estimate (q in [0,1]), linearly interpolated within the
+  /// bucket holding the requested rank; 0 when the histogram is empty.
+  /// q=0.5 → p50, q=0.99 → p99.
   std::uint64_t percentile(double q) const noexcept;
 
   void reset() noexcept {

@@ -1,0 +1,52 @@
+#pragma once
+
+/// Post-mortem black box: when a solve ends without an optimal answer
+/// (budget exhausted, stopped, deadline shed), dump enough state to diagnose
+/// *why* without re-running — the tail of the progress snapshots, a final
+/// metrics snapshot, the newest flight-recorder events, and a
+/// machine-readable `limiting_resource` verdict naming the binding budget.
+///
+/// The verdict string is not re-derived here: the solver layer computes it
+/// at the same site that builds the user-facing BudgetExhausted detail
+/// (SolveResult.stats["limiting_resource"]), so the black box and the CLI
+/// message agree by construction. tools/postmortem_check.py validates the
+/// layout and that agreement in CI.
+///
+/// Layout under the target directory (created if missing):
+///   verdict.json     — limiting_resource, termination, detail, solver,
+///                      the solver's stats map, and the sibling file names
+///   progress.jsonl   — retained ProgressSnapshot records, oldest first
+///   metrics.json     — MetricsRegistry::snapshot_json() at dump time
+///   trace_tail.json  — newest flight-recorder events (non-destructive:
+///                      a later --trace-out flush still sees everything)
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/introspect.hpp"
+
+namespace rbpeb::obs {
+
+/// Everything the dump needs, gathered by the caller (CLI or server).
+struct PostmortemReport {
+  /// The binding budget: "states", "memory", "table-headroom", "disk", or
+  /// "deadline". Copied from SolveResult.stats["limiting_resource"].
+  std::string limiting_resource;
+  std::string termination;  ///< e.g. "budget_exhausted", "rejected"
+  std::string detail;       ///< the user-facing detail string, verbatim
+  std::string solver;
+  std::map<std::string, std::string> stats;  ///< the solver's stats map
+  std::vector<ProgressSnapshot> progress;    ///< oldest first
+  std::size_t trace_tail_events = 4096;      ///< cap for trace_tail.json
+};
+
+/// Write the black box into `dir` (created, parents included, if missing).
+/// Returns the path of the verdict file, or an empty string when the
+/// directory or any file could not be written — a post-mortem must never
+/// turn a budget failure into a crash.
+std::string write_postmortem(const std::string& dir,
+                             const PostmortemReport& report);
+
+}  // namespace rbpeb::obs

@@ -2,11 +2,13 @@
 
 #include "src/obs/trace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace rbpeb::obs {
@@ -22,8 +24,11 @@ struct Event {
   const char* arg_name;  // nullptr when the event carries no arg
   std::uint64_t arg;
   std::uint64_t ts_ns;  // steady-clock nanoseconds since the epoch mark
+  std::uint64_t ctx;    // correlation id (args.ctx); 0 = unset
   char phase;           // 'B', 'E', or 'i'
 };
+
+thread_local std::uint64_t t_trace_ctx = 0;
 
 /// One per thread that has emitted while tracing was on. The owning thread
 /// appends under `mutex`; drains copy under the same mutex, so a live
@@ -145,10 +150,16 @@ std::string render_json(const Capture& cap) {
       out += buf;
       out += ",\"pid\":1,\"tid\":" + std::to_string(tid);
       if (e.phase == 'i') out += ",\"s\":\"t\"";
-      if (e.arg_name != nullptr) {
-        out += ",\"args\":{\"";
-        append_escaped(out, e.arg_name);
-        out += "\":" + std::to_string(e.arg) + "}";
+      if (e.arg_name != nullptr || e.ctx != 0) {
+        out += ",\"args\":{";
+        if (e.arg_name != nullptr) {
+          out += "\"";
+          append_escaped(out, e.arg_name);
+          out += "\":" + std::to_string(e.arg);
+          if (e.ctx != 0) out += ",";
+        }
+        if (e.ctx != 0) out += "\"ctx\":" + std::to_string(e.ctx);
+        out += "}";
       }
       out += "}";
     }
@@ -190,10 +201,14 @@ void emit(const char* name, char phase, const char* arg_name,
     ++ring.dropped;
     return;
   }
-  ring.events.push_back(Event{name, arg_name, arg, ts, phase});
+  ring.events.push_back(Event{name, arg_name, arg, ts, t_trace_ctx, phase});
 }
 
 }  // namespace detail
+
+void trace_set_context(std::uint64_t ctx) noexcept { t_trace_ctx = ctx; }
+
+std::uint64_t trace_context() noexcept { return t_trace_ctx; }
 
 void trace_set_output(std::string path) {
   Recorder& r = recorder();
@@ -222,6 +237,35 @@ bool trace_flush() {
 }
 
 std::string trace_to_json() { return render_json(stop_and_take()); }
+
+std::string trace_tail_json(std::size_t max_events) {
+  // Non-destructive: capture_all() copies the rings without clearing them,
+  // so a later trace_flush() still renders the full recording.
+  Capture cap = capture_all();
+  std::vector<std::pair<std::uint64_t, Event>> flat;
+  flat.reserve(cap.events);
+  for (const auto& [tid, events] : cap.per_thread) {
+    for (const Event& e : events) flat.emplace_back(tid, e);
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.ts_ns < b.second.ts_ns;
+                   });
+  if (flat.size() > max_events) {
+    flat.erase(flat.begin(),
+               flat.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  Capture tail;
+  tail.dropped = cap.dropped;
+  tail.events = flat.size();
+  for (const auto& [tid, e] : flat) {
+    if (tail.per_thread.empty() || tail.per_thread.back().first != tid) {
+      tail.per_thread.emplace_back(tid, std::vector<Event>{});
+    }
+    tail.per_thread.back().second.push_back(e);
+  }
+  return render_json(tail);
+}
 
 void trace_reset() {
   Recorder& r = recorder();

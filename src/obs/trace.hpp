@@ -37,6 +37,13 @@ void emit(const char* name, char phase, const char* arg_name,
           std::uint64_t arg) noexcept;
 }  // namespace detail
 
+/// Thread-local correlation id stamped into every event this thread emits
+/// (rendered as args.ctx; 0 = unset, not rendered). The server sets it to
+/// the request's sequence number around dispatch so solver spans correlate
+/// with the originating request end-to-end.
+void trace_set_context(std::uint64_t ctx) noexcept;
+std::uint64_t trace_context() noexcept;
+
 inline bool trace_enabled() noexcept {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
@@ -72,6 +79,12 @@ bool trace_flush();
 /// needing a file. Stops recording and clears the buffers. Tests.
 std::string trace_to_json();
 
+/// Render the newest `max_events` events (across all threads, by timestamp)
+/// without stopping the recorder or clearing anything — the post-mortem
+/// black box calls this while a later trace_flush() still owns the full
+/// capture. Returns the same Chrome trace-event JSON shape.
+std::string trace_tail_json(std::size_t max_events);
+
 /// Stop recording and discard everything, including the sink path.
 void trace_reset();
 
@@ -93,9 +106,14 @@ constexpr void trace_instant(const char*, const char*, std::uint64_t) noexcept {
 inline void trace_set_output(std::string) {}
 inline bool trace_flush() { return false; }
 inline std::string trace_to_json() { return "{\"traceEvents\":[]}"; }
+inline std::string trace_tail_json(std::size_t) {
+  return "{\"traceEvents\":[]}";
+}
 inline void trace_reset() {}
 inline std::size_t trace_event_count() { return 0; }
 inline std::uint64_t trace_dropped() { return 0; }
+constexpr void trace_set_context(std::uint64_t) noexcept {}
+constexpr std::uint64_t trace_context() noexcept { return 0; }
 
 #endif  // RBPEB_OBS_NO_TRACE
 
@@ -121,6 +139,23 @@ class TraceSpan {
 
  private:
   const char* name_;
+};
+
+/// RAII trace-context scope: stamps `ctx` on every event this thread emits
+/// for the scope's lifetime, restoring the previous context on exit. Safe
+/// (and free) when tracing is disabled or compiled out.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t ctx) noexcept
+      : previous_(trace_context()) {
+    trace_set_context(ctx);
+  }
+  ~ScopedTraceContext() { trace_set_context(previous_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
 };
 
 }  // namespace rbpeb::obs

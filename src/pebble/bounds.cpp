@@ -154,6 +154,7 @@ std::optional<std::int64_t> StateBoundEvaluator::pdb_floor(
 
 std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
     const StateMasks& state) {
+  last_source_ = BoundSource::Counting;
   const Model& model = engine_->model();
   const PebblingConvention& conv = engine_->convention();
   const std::uint64_t pebbled = state.pebbled();
@@ -234,14 +235,21 @@ std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
       if ((state.computed & bit) != 0) f |= 4u;
       return f;
     });
-    if (!floor) return std::nullopt;  // some projection cannot complete
-    total = std::max(total, *floor);
+    if (!floor) {
+      last_source_ = BoundSource::Pdb;  // a projection proved the state dead
+      return std::nullopt;
+    }
+    if (*floor > total) {
+      total = *floor;
+      last_source_ = BoundSource::Pdb;
+    }
   }
   return total;
 }
 
 std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
     const WideStateMasks& state) {
+  last_source_ = BoundSource::Counting;
   const Model& model = engine_->model();
   const PebblingConvention& conv = engine_->convention();
   constexpr std::size_t kWords = WideStateMasks::kWords;
@@ -342,14 +350,21 @@ std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
       if ((state.computed[w] & bit) != 0) f |= 4u;
       return f;
     });
-    if (!floor) return std::nullopt;  // some projection cannot complete
-    total = std::max(total, *floor);
+    if (!floor) {
+      last_source_ = BoundSource::Pdb;  // a projection proved the state dead
+      return std::nullopt;
+    }
+    if (*floor > total) {
+      total = *floor;
+      last_source_ = BoundSource::Pdb;
+    }
   }
   return total;
 }
 
 std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
     const MaskVec& state) {
+  last_source_ = BoundSource::Counting;
   const Model& model = engine_->model();
   const PebblingConvention& conv = engine_->convention();
   const std::size_t W = maskv_words_;
@@ -460,8 +475,14 @@ std::optional<std::int64_t> StateBoundEvaluator::lower_bound_scaled(
       if ((state.computed()[w] & bit) != 0) f |= 4u;
       return f;
     });
-    if (!floor) return std::nullopt;  // some projection cannot complete
-    total = std::max(total, *floor);
+    if (!floor) {
+      last_source_ = BoundSource::Pdb;  // a projection proved the state dead
+      return std::nullopt;
+    }
+    if (*floor > total) {
+      total = *floor;
+      last_source_ = BoundSource::Pdb;
+    }
   }
   return total;
 }

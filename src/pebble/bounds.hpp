@@ -111,6 +111,14 @@ class StateBoundEvaluator {
 
   explicit StateBoundEvaluator(const Engine& engine);
 
+  /// Which component supplied the most recent bound: the counting bounds or
+  /// the pattern-database sum. Set by every lower_bound_scaled call (Pdb
+  /// when the PDB strictly improved on the counting bound, or proved the
+  /// state dead); introspection reads it to attribute each expansion's
+  /// bound to its source. Cheap plain member — one store per evaluation.
+  enum class BoundSource { Counting, Pdb };
+  BoundSource last_source() const { return last_source_; }
+
   /// One configuration as node-indexed bitmasks (bit v = node v), the form
   /// the fast path consumes. A search computes a parent's masks once per
   /// expansion and derives each neighbor's in O(1) via apply().
@@ -388,6 +396,7 @@ class StateBoundEvaluator {
     const Model& model = engine_->model();
     const PebblingConvention& conv = engine_->convention();
     const std::size_t n = dag.node_count();
+    last_source_ = BoundSource::Counting;  // no PDB covers the generic path
     mark_.assign(n, 0);
     stack_.clear();
 
@@ -473,6 +482,7 @@ class StateBoundEvaluator {
   std::int64_t eps_num_;
   std::int64_t eps_den_;
   const PatternDatabase* pdb_ = nullptr;
+  BoundSource last_source_ = BoundSource::Counting;
 
   // Structural caches for the mask path (empty beyond kMaskMaxNodes nodes).
   std::vector<std::uint64_t> pred_mask_;  ///< predecessors of v

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/graph/dag_io.hpp"
+#include "src/obs/postmortem.hpp"
 #include "src/obs/trace.hpp"
 #include "src/pebble/trace_io.hpp"
 #include "src/serve/canonical.hpp"
@@ -145,6 +146,12 @@ void Server::worker_loop() {
 
 ResponseMessage Server::handle(const RequestMessage& request,
                                Clock::time_point arrival) {
+  // Tag every span this request produces — lookup, flight wait, solver
+  // internals — with its server-wide sequence number, so a flight recording
+  // of a busy server can be filtered back to one originating request.
+  const std::uint64_t req_seq =
+      1 + request_seq_.fetch_add(1, std::memory_order_relaxed);
+  const obs::ScopedTraceContext trace_ctx(req_seq);
   const obs::TraceSpan span("serve.request");
   ResponseMessage response;
   response.id = request.id;
@@ -164,6 +171,10 @@ ResponseMessage Server::handle(const RequestMessage& request,
     stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
     response.status = "rejected";
     response.detail = "deadline expired while queued";
+    // A shed is a deadline-limited non-answer: it gets the same black box a
+    // budget-exhausted solve does, minus the progress ring it never had.
+    write_request_postmortem(request, req_seq, nullptr, "deadline", "rejected",
+                             response.detail, "", {});
     return response;
   }
 
@@ -261,7 +272,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
     }
     // Leader failed or the answer was already evicted: solve it ourselves,
     // as a fresh leaderless dispatch (no flight — the herd has passed).
-    return dispatch_solve(request, engine, arrival);
+    return dispatch_solve(request, engine, arrival, req_seq);
   }
 
   // The leader MUST land the flight even when the solve throws, or its
@@ -281,7 +292,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
   ResponseMessage solved;
   try {
     std::optional<SolveCertificate> certificate;
-    solved = dispatch_solve(request, engine, arrival, &certificate);
+    solved = dispatch_solve(request, engine, arrival, req_seq, &certificate);
     if (solved.status == "optimal" || solved.status == "heuristic") {
       const SolveStatus status = solved.status == "optimal"
                                      ? SolveStatus::Optimal
@@ -304,7 +315,7 @@ ResponseMessage Server::handle(const RequestMessage& request,
 
 ResponseMessage Server::dispatch_solve(
     const RequestMessage& request, const Engine& engine,
-    Clock::time_point arrival,
+    Clock::time_point arrival, std::uint64_t req_seq,
     std::optional<SolveCertificate>* certificate_out) {
   ResponseMessage response;
   response.id = request.id;
@@ -313,6 +324,27 @@ ResponseMessage Server::dispatch_solve(
   SolveRequest solve_request;
   solve_request.engine = &engine;
   solve_request.options = request.options;
+
+  // Per-request progress: with an event sink, each published snapshot
+  // becomes one JSONL event for the stats sidecar, tagged with the
+  // originating request id. With only a post-mortem directory the sampler
+  // runs silently — the black box still gets a snapshot tail.
+  std::optional<obs::SearchProgressSampler> sampler;
+  if (options_.event_sink || !options_.postmortem_dir.empty()) {
+    obs::SearchProgressSampler::Options popt;
+    popt.min_interval_us = options_.progress_interval_ms * 1000;
+    if (options_.event_sink) {
+      popt.sink = [this, &request,
+                   req_seq](const obs::ProgressSnapshot& snapshot) {
+        options_.event_sink("{\"type\": \"progress\", \"id\": " +
+                            json_quote(request.id) +
+                            ", \"seq\": " + std::to_string(req_seq) +
+                            ", \"snapshot\": " + snapshot.to_json() + "}");
+      };
+    }
+    sampler.emplace(popt);
+    solve_request.progress = &*sampler;
+  }
   solve_request.budget.max_states = request.budget_states != 0
                                         ? request.budget_states
                                         : options_.default_states;
@@ -382,7 +414,43 @@ ResponseMessage Server::dispatch_solve(
   if (result.ok()) {
     stats_.solved_ok.fetch_add(1, std::memory_order_relaxed);
   }
+  if (result.status == SolveStatus::BudgetExhausted) {
+    const auto verdict = response.stats.find("limiting_resource");
+    write_request_postmortem(
+        request, req_seq, sampler ? &*sampler : nullptr,
+        verdict != response.stats.end() ? verdict->second : "unknown",
+        status_string(result.status), result.detail, result.solver,
+        response.stats);
+  }
   return response;
+}
+
+void Server::write_request_postmortem(
+    const RequestMessage& request, std::uint64_t req_seq,
+    const obs::SearchProgressSampler* sampler, std::string limiting_resource,
+    std::string termination, std::string detail, std::string solver,
+    std::map<std::string, std::string> stats) {
+  if (options_.postmortem_dir.empty()) return;
+  obs::PostmortemReport report;
+  report.limiting_resource = std::move(limiting_resource);
+  report.termination = std::move(termination);
+  report.detail = std::move(detail);
+  report.solver = std::move(solver);
+  report.stats = std::move(stats);
+  // The request id is caller-supplied text; the sequence number names the
+  // directory so an id with path characters cannot escape postmortem_dir.
+  report.stats["request_id"] = request.id;
+  if (sampler != nullptr) report.progress = sampler->history();
+  const std::string dir =
+      options_.postmortem_dir + "/req-" + std::to_string(req_seq);
+  const std::string path = obs::write_postmortem(dir, report);
+  if (!path.empty() && options_.event_sink) {
+    options_.event_sink("{\"type\": \"postmortem\", \"id\": " +
+                        json_quote(request.id) +
+                        ", \"seq\": " + std::to_string(req_seq) +
+                        ", \"verdict\": " + json_quote(report.limiting_resource) +
+                        ", \"path\": " + json_quote(path) + "}");
+  }
 }
 
 std::vector<std::string> Server::summary() const {
@@ -397,8 +465,9 @@ std::vector<std::string> Server::summary() const {
   lines.push_back("cache_audit_failures: " +
                   std::to_string(cs.audit_failures));
   // End-to-end latency percentiles from the server's own histogram
-  // (log-bucket lower bounds, ≤25% granularity), not a re-sort of raw
-  // records — the same numbers a live metrics_snapshot_json() reports.
+  // (log buckets, rank interpolated linearly within the containing bucket),
+  // not a re-sort of raw records — the same numbers a live
+  // metrics_snapshot_json() reports.
   lines.push_back("latency_p50_us: " +
                   std::to_string(latency_us_.percentile(0.50)));
   lines.push_back("latency_p90_us: " +

@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -45,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/introspect.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/trace_cache.hpp"
@@ -69,6 +71,19 @@ struct ServerOptions {
   std::size_t default_states = 2'000'000;
   /// Registry to resolve solvers against; nullptr = the global instance.
   const SolverRegistry* registry = nullptr;
+  /// Per-request observability event sink: when set, each dispatched solve
+  /// runs with a progress sampler and every published snapshot becomes one
+  /// JSON line ({"type":"progress","id":…,"snapshot":{…}}) handed to this
+  /// callback — rbpeb_serve appends them to the --stats sidecar. Called from
+  /// worker threads; the callback must be thread-safe.
+  std::function<void(const std::string&)> event_sink;
+  /// Minimum wall-clock ms between progress events per request.
+  std::int64_t progress_interval_ms = 250;
+  /// When non-empty, any request ending without an optimality proof —
+  /// budget-exhausted solve or a deadline shed in the queue — dumps a
+  /// post-mortem black box (obs/postmortem.hpp) under
+  /// <postmortem_dir>/req-<seq>/.
+  std::string postmortem_dir;
 };
 
 /// Aggregate counters, summarized on shutdown and exported per bench run.
@@ -141,10 +156,22 @@ class Server {
   /// certificate (nullopt if the answer carried none) — the leader passes
   /// it through to the cache insert so the structured Rationals survive
   /// rather than being re-parsed from the response strings.
+  /// `req_seq` is the server-wide request sequence number — the trace
+  /// context every span of this request is tagged with, and the name of its
+  /// post-mortem directory (req-<seq>).
   ResponseMessage dispatch_solve(
       const RequestMessage& request, const Engine& engine,
-      Clock::time_point arrival,
+      Clock::time_point arrival, std::uint64_t req_seq,
       std::optional<SolveCertificate>* certificate_out = nullptr);
+  /// Dump the black box for a request that ended without an optimality
+  /// proof. No-op when options_.postmortem_dir is empty.
+  void write_request_postmortem(const RequestMessage& request,
+                                std::uint64_t req_seq,
+                                const obs::SearchProgressSampler* sampler,
+                                std::string limiting_resource,
+                                std::string termination, std::string detail,
+                                std::string solver,
+                                std::map<std::string, std::string> stats);
 
   const ServerOptions options_;
   const SolverRegistry& registry_;
@@ -160,6 +187,7 @@ class Server {
   std::map<std::string, std::shared_ptr<Flight>> flights_;
 
   std::atomic<std::size_t> active_solves_{0};
+  std::atomic<std::uint64_t> request_seq_{0};  ///< trace/postmortem tag
   std::vector<std::thread> workers_;
 
   // Server-owned (not in the global registry: benches and tests run several

@@ -188,7 +188,10 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
         harvest(table);
         return finish(ExactTermination::MemoryBudget);
       }
-      if (pop == Table::Pop::Skip) continue;
+      if (pop == Table::Pop::Skip) {
+        ++stats.dup_skipped;
+        continue;
+      }
       const std::int64_t g = item.g;
       const Packed current = Packed::from_key(item.key, n);
       GameState state = current.to_state(n);
@@ -231,6 +234,46 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
           if ((expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
             obs::trace_instant("anytime.checkpoint", "expanded", expanded);
           }
+          // Progress sampling rides the same 1024-expansion cadence as the
+          // exact loops. The frontier here is L, the proved certificate
+          // bound — a weighted pass pops out of unweighted-f order, so the
+          // popped priority is NOT a frontier min; L is what the anytime
+          // tier actually certifies and it only moves at pass boundaries.
+          if ((expanded & 0x3FFu) == 0 && opt.progress != nullptr &&
+              opt.progress->due()) {
+            obs::ProgressObservation ob;
+            ob.expanded = expanded;
+            ob.frontier_f_scaled = L;
+            ob.incumbent_scaled = have_trace ? C : -1;
+            ob.open_states = queue.size();
+            queue.for_each([&](std::int64_t priority, const QueueItem& qi) {
+              (void)priority;  // weighted — summarize the unweighted f
+              if (ob.open_f_min < 0 || qi.f < ob.open_f_min)
+                ob.open_f_min = qi.f;
+              ob.open_f_max = std::max(ob.open_f_max, qi.f);
+              if (ob.open_g_min < 0 || qi.g < ob.open_g_min)
+                ob.open_g_min = qi.g;
+              ob.open_g_max = std::max(ob.open_g_max, qi.g);
+            });
+            ob.dup_skipped = stats.dup_skipped;
+            ob.dead_prunes = stats.dead_prunes;
+            ob.attr_counting = stats.attr_counting;
+            ob.attr_pdb = stats.attr_pdb;
+            ob.spilled_states = stats.spilled_states + table.spilled_states();
+            ob.spill_bytes = stats.spill_bytes + table.spill_bytes();
+            ob.merge_passes = stats.merge_passes + table.merge_passes();
+            opt.progress->observe(ob);
+          }
+        }
+      }
+      if (opt.progress != nullptr) {
+        // Bound-source attribution (see exact_astar.cpp): one extra pure
+        // bound evaluation per expansion, only while someone is watching.
+        (void)bound.lower_bound_scaled(masks);
+        if (bound.last_source() == StateBoundEvaluator::BoundSource::Pdb) {
+          ++stats.attr_pdb;
+        } else {
+          ++stats.attr_counting;
         }
       }
       ++expanded;
@@ -252,7 +295,10 @@ std::optional<AnytimeResult> anytime_impl(const Engine& engine,
           Masks next_masks = masks;
           next_masks.apply(move);
           std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
-          if (!h) continue;                 // provably dead: prune
+          if (!h) {
+            ++stats.dead_prunes;  // provably dead: prune
+            continue;
+          }
           const std::int64_t next_f = next_g + *h;
           if (next_f >= C) continue;        // unweighted prune — sound
           queue.push(weighted(next_g, *h), {next.key(), next_g, next_f});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -491,6 +492,7 @@ ExactSearchOptions parse_exact_search_options(const SolveRequest& request,
   sopt.max_states =
       so::get_size(request.options, "max-states", budget.max_states);
   sopt.should_stop = [budget] { return budget.interrupted(); };
+  sopt.progress = request.progress;
   if (!bigstate) return sopt;
   sopt.max_memory_bytes = budget.max_memory_bytes;
   sopt.max_disk_bytes = budget.max_disk_bytes;
@@ -508,6 +510,63 @@ ExactSearchOptions parse_exact_search_options(const SolveRequest& request,
     sopt.seed = greedy_incumbent_seed(request);
   }
   return sopt;
+}
+
+/// The single source of truth for which budget dimension actually ended a
+/// BudgetExhausted solve. Stored in result.stats["limiting_resource"] at the
+/// same site that builds the human-readable detail string, so the two agree
+/// by construction — the post-mortem black box (obs/postmortem.hpp) copies
+/// this verdict verbatim and tools/postmortem_check.py cross-checks it
+/// against the CLI's stderr detail.
+///
+///   states          — the expansion budget (max_states) ran out
+///   table-headroom  — the table's steady state fit the memory budget but
+///                     the rehash transient (old+new slabs) did not
+///   memory          — the memory budget tripped with spilling disabled
+///   disk            — spilling was on but could not grow the runs (disk
+///                     budget exhausted, or the filesystem refused writes)
+///   deadline        — the wall clock or a cancellation ended the run
+std::string limiting_resource_for(ExactTermination termination,
+                                  const ExactSearchOptions& sopt,
+                                  const ExactSearchStats& stats) {
+  switch (termination) {
+    case ExactTermination::StateBudget:
+      return "states";
+    case ExactTermination::MemoryBudget:
+      if (stats.table_headroom_stop) return "table-headroom";
+      if (sopt.spill == SpillMode::Off) return "memory";
+      return "disk";
+    default:
+      return "deadline";
+  }
+}
+
+/// Introspection stats every informed-search adapter reports the same way:
+/// the always-counted pop/prune tallies, plus — only when a progress sampler
+/// rode along — the per-expansion bound-source attribution and the observed
+/// heuristic error along the returned trace.
+void fill_introspection_stats(SolveResult& result,
+                              const ExactSearchStats& search_stats,
+                              bool attributed) {
+  result.stats["dup_skipped"] = std::to_string(search_stats.dup_skipped);
+  result.stats["dead_prunes"] = std::to_string(search_stats.dead_prunes);
+  if (!attributed) return;
+  result.stats["attr_counting"] = std::to_string(search_stats.attr_counting);
+  result.stats["attr_pdb"] = std::to_string(search_stats.attr_pdb);
+}
+
+/// Replay the returned trace against the counting bounds and report how
+/// tight they ran (obs::measure_heuristic_error). Only when a sampler is
+/// attached — the replay is pure but costs a bound evaluation per move.
+void fill_heuristic_error_stats(SolveResult& result, const Engine& engine) {
+  if (!result.has_trace()) return;
+  const obs::HeuristicErrorReport report =
+      obs::measure_heuristic_error(engine, *result.trace);
+  result.stats["h_error_max"] = std::to_string(report.max_error_scaled);
+  result.stats["h_admissible"] = report.admissible ? "true" : "false";
+  char tightness[32];
+  std::snprintf(tightness, sizeof tightness, "%.4f", report.tightness);
+  result.stats["h_tightness"] = tightness;
 }
 
 /// Shared adapter for the exhaustive configuration-graph searches: budget
@@ -640,6 +699,12 @@ class ExactSearchSolver : public Solver {
       result.stats["states_expanded"] =
           std::to_string(search_stats.states_expanded);
       fill_common_stats(result);
+      fill_introspection_stats(result, search_stats,
+                               request.progress != nullptr);
+      if (status == SolveStatus::BudgetExhausted) {
+        result.stats["limiting_resource"] =
+            limiting_resource_for(search_stats.termination, sopt, search_stats);
+      }
       return result;
     }
     // The engine itself enforces the convention here — no bridging needed,
@@ -649,6 +714,10 @@ class ExactSearchSolver : public Solver {
         {{"states_expanded", std::to_string(solved->states_expanded)}},
         /*bridge_conventions=*/false);
     fill_common_stats(result);
+    fill_introspection_stats(result, search_stats, request.progress != nullptr);
+    if (request.progress != nullptr) {
+      fill_heuristic_error_stats(result, *request.engine);
+    }
     return result;
   }
 };
@@ -889,6 +958,12 @@ class AnytimeSolver final : public Solver {
             Rational(search_stats.lower_bound_scaled, eps_den).str();
       }
       fill_common_stats(result);
+      fill_introspection_stats(result, search_stats,
+                               request.progress != nullptr);
+      if (status == SolveStatus::BudgetExhausted) {
+        result.stats["limiting_resource"] =
+            limiting_resource_for(search_stats.termination, sopt, search_stats);
+      }
       return result;
     }
     const bool optimal = solved->optimal;
@@ -926,6 +1001,12 @@ class AnytimeSolver final : public Solver {
                                      ? "greedy"
                                      : "search");
     fill_common_stats(result);
+    fill_introspection_stats(result, search_stats, request.progress != nullptr);
+    // h-error is measured against the *optimal* remaining cost, so it is
+    // only meaningful when the trace is proven optimal.
+    if (request.progress != nullptr && optimal) {
+      fill_heuristic_error_stats(result, *request.engine);
+    }
     return result;
   }
 };

@@ -28,6 +28,10 @@
 
 namespace rbpeb {
 
+namespace obs {
+class SearchProgressSampler;
+}  // namespace obs
+
 /// How a solve ended.
 enum class SolveStatus {
   Optimal,          ///< Trace is provably optimal for the request.
@@ -98,6 +102,12 @@ struct SolveRequest {
   const TradeoffChain* chain = nullptr;
   SolverOptions options;
   SolveBudget budget;
+  /// Optional progress sampler (obs/introspect.hpp). The informed searches
+  /// (exact-astar, hda-astar, anytime-astar) poll it at their 1024-expansion
+  /// checkpoints; other solvers ignore it. Non-owning; must outlive the
+  /// solve. Null (the default) keeps every solver byte-identical to an
+  /// un-instrumented run.
+  obs::SearchProgressSampler* progress = nullptr;
 };
 
 /// A machine-checkable suboptimality guarantee attached to a solve: the

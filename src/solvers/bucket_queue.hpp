@@ -38,6 +38,21 @@ class BucketQueue {
 
   bool empty() const { return size_ == 0; }
 
+  std::size_t size() const { return size_; }
+
+  /// Visit every queued item as (priority, item), bucket order (ascending
+  /// priority). O(bucket count + size); the progress sampler uses it at its
+  /// wall-clock-limited cadence to summarize the open list's f/g shape —
+  /// never on the per-expansion path.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t f = 0; f < buckets_.size(); ++f) {
+      for (const Item& item : buckets_[f]) {
+        fn(static_cast<std::int64_t>(f), item);
+      }
+    }
+  }
+
   /// Current heap footprint: the bucket spine plus every bucket's capacity.
   /// O(bucket count) — the searches sample it at their poll checkpoints to
   /// charge the queue against the memory budget, not per push.

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/introspect.hpp"
 #include "src/pebble/engine.hpp"
 #include "src/pebble/trace.hpp"
 #include "src/pebble/verifier.hpp"
@@ -80,6 +81,17 @@ struct ExactSearchStats {
   std::int64_t incumbent_scaled = -1;
   /// Weighted-A* passes the anytime tier completed (drained or budget-cut).
   std::size_t anytime_passes = 0;
+  /// Bound-source attribution (filled only when a progress sampler is
+  /// attached — the per-expansion re-evaluation it needs is skipped
+  /// otherwise so un-instrumented runs stay byte-identical). Invariant:
+  /// attr_counting + attr_pdb == states_expanded.
+  std::size_t attr_counting = 0;  ///< expansions whose bound was the
+                                  ///< counting bounds
+  std::size_t attr_pdb = 0;       ///< … whose bound was the PDB sum
+  /// Pops skipped as stale/already-expanded (always counted; free) and
+  /// generated states the bound proved dead.
+  std::size_t dup_skipped = 0;
+  std::size_t dead_prunes = 0;
 };
 
 /// Cooperative interruption hook: polled on entry and then every 64
@@ -156,6 +168,12 @@ struct ExactSearchOptions {
   /// instances the fixed-width masks cover (implies variable-width states),
   /// to differentially compare costs and expansion counts.
   bool force_mask_vec = false;
+  /// Optional progress sampler (obs/introspect.hpp), polled at the
+  /// 1024-expansion trace-checkpoint cadence. Non-owning; must outlive the
+  /// search. When null (the default) every sampling/attribution probe is
+  /// skipped, keeping costs and expansion counts byte-identical to
+  /// un-instrumented runs.
+  obs::SearchProgressSampler* progress = nullptr;
 };
 
 /// Solve optimally. Throws PreconditionError if the DAG has more than 21

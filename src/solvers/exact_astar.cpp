@@ -1,5 +1,6 @@
 #include "src/solvers/exact_astar.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -127,14 +128,16 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
   std::size_t& expanded = stats.states_expanded;
   while (!queue.empty()) {
     auto [f, item] = queue.pop();
-    (void)f;
     // Expansion gate: stale-g check plus the delayed duplicate check
     // against any spill runs — each (key, g) expands at most once.
     const auto pop = table.begin_expansion(item.key, item.g);
     if (pop == Table::Pop::OutOfMemory) {
       return give_up(ExactTermination::MemoryBudget);
     }
-    if (pop == Table::Pop::Skip) continue;
+    if (pop == Table::Pop::Skip) {
+      ++stats.dup_skipped;
+      continue;
+    }
     const std::int64_t g = item.g;
     const Packed current = Packed::from_key(item.key, n);
     // One O(n) unpack per expansion; neighbors below are derived in O(1) —
@@ -182,6 +185,43 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
         if ((expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
           obs::trace_instant("astar.checkpoint", "expanded", expanded);
         }
+        // Progress sampling rides the same 1024-expansion cadence; the
+        // wall-clock rate limit (due()) keeps the O(open-list) summary off
+        // fast solves' critical path.
+        if ((expanded & 0x3FFu) == 0 && opt.progress != nullptr &&
+            opt.progress->due()) {
+          obs::ProgressObservation ob;
+          ob.expanded = expanded;
+          ob.frontier_f_scaled = f;  // popped min-f: a certified lower bound
+          ob.incumbent_scaled = opt.seed ? incumbent : -1;
+          ob.open_states = queue.size();
+          queue.for_each([&](std::int64_t fq, const QueueItem& qi) {
+            if (ob.open_f_min < 0 || fq < ob.open_f_min) ob.open_f_min = fq;
+            ob.open_f_max = std::max(ob.open_f_max, fq);
+            if (ob.open_g_min < 0 || qi.g < ob.open_g_min) ob.open_g_min = qi.g;
+            ob.open_g_max = std::max(ob.open_g_max, qi.g);
+          });
+          ob.dup_skipped = stats.dup_skipped;
+          ob.dead_prunes = stats.dead_prunes;
+          ob.attr_counting = stats.attr_counting;
+          ob.attr_pdb = stats.attr_pdb;
+          ob.spilled_states = table.spilled_states();
+          ob.spill_bytes = table.spill_bytes();
+          ob.merge_passes = table.merge_passes();
+          opt.progress->observe(ob);
+        }
+      }
+    }
+    if (opt.progress != nullptr) {
+      // Bound-source attribution: one extra (pure, deterministic) bound
+      // evaluation per expansion, done only when someone is watching so
+      // un-instrumented searches stay byte-identical. An expanded state is
+      // never dead — it priced under the incumbent when generated.
+      (void)bound.lower_bound_scaled(masks);
+      if (bound.last_source() == StateBoundEvaluator::BoundSource::Pdb) {
+        ++stats.attr_pdb;
+      } else {
+        ++stats.attr_counting;
       }
     }
     ++expanded;
@@ -202,7 +242,10 @@ std::optional<ExactResult> astar_impl(const Engine& engine,
         Masks next_masks = masks;
         next_masks.apply(move);
         std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
-        if (!h) continue;          // provably dead: prune
+        if (!h) {
+          ++stats.dead_prunes;  // provably dead: prune
+          continue;
+        }
         const std::int64_t next_f = next_g + *h;
         if (next_f >= incumbent) continue;  // no winner lives beyond it
         queue.push(next_f, {next.key(), next_g});

@@ -74,6 +74,15 @@ struct SearchContext {
   /// so the state budget lands on the same count at any thread count.
   std::atomic<std::size_t> expanded{0};
 
+  /// Introspection aggregates. Workers accumulate thread-locally and fold
+  /// in at their 64-expansion checkpoints and on exit (relaxed adds off the
+  /// hot path), so after the join they are exact; mid-search reads by the
+  /// sampling worker are the documented approximation.
+  std::atomic<std::size_t> dup_skipped{0};
+  std::atomic<std::size_t> dead_prunes{0};
+  std::atomic<std::size_t> attr_counting{0};
+  std::atomic<std::size_t> attr_pdb{0};
+
   std::atomic<bool> abort{false};
   std::atomic<int> abort_why{-1};
   std::mutex error_mutex;
@@ -87,10 +96,18 @@ struct SearchContext {
   }
 };
 
+/// `sampler` (may be null) drives the progress/attribution probes; worker 0
+/// is the designated snapshot writer — its own shard's open list and spill
+/// counters stand in for the whole search (the only shard it may touch
+/// without racing), while expansion count and incumbent are global.
+/// `no_incumbent` is the context's sentinel (ceiling + 1): any incumbent
+/// below it is a real completion (or the verified seed) worth reporting.
 template <typename Packed, typename Masks>
 void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
                 const PatternDatabase* pdb, std::size_t wid,
-                std::size_t max_states, const StopPredicate& should_stop) {
+                std::size_t max_states, const StopPredicate& should_stop,
+                obs::SearchProgressSampler* sampler,
+                std::int64_t no_incumbent) {
   const Dag& dag = engine.dag();
   const Model& model = engine.model();
   const std::size_t n = dag.node_count();
@@ -117,6 +134,22 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
   std::vector<StateMsg<Packed>> inbox;
   std::size_t local_expanded = 0;
   std::size_t idle_spins = 0;
+  std::size_t local_dup = 0, local_dead = 0;
+  std::size_t local_attr_counting = 0, local_attr_pdb = 0;
+  auto flush_introspection = [&] {
+    if (local_dup != 0) ctx.dup_skipped.fetch_add(local_dup,
+                                                  std::memory_order_relaxed);
+    if (local_dead != 0) ctx.dead_prunes.fetch_add(local_dead,
+                                                   std::memory_order_relaxed);
+    if (local_attr_counting != 0) {
+      ctx.attr_counting.fetch_add(local_attr_counting,
+                                  std::memory_order_relaxed);
+    }
+    if (local_attr_pdb != 0) {
+      ctx.attr_pdb.fetch_add(local_attr_pdb, std::memory_order_relaxed);
+    }
+    local_dup = local_dead = local_attr_counting = local_attr_pdb = 0;
+  };
 
   // Relax one priced state into this shard's table/queue. Messages losing to
   // an equal-or-better path, or priced at or above the incumbent, die here.
@@ -204,7 +237,10 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
       ctx.abort_with(ExactTermination::MemoryBudget);
       break;
     }
-    if (pop_verdict == Table::Pop::Skip) continue;
+    if (pop_verdict == Table::Pop::Skip) {
+      ++local_dup;
+      continue;
+    }
     if (f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
     const std::int64_t g = item.g;
     const Packed current = Packed::from_key(item.key, n);
@@ -225,6 +261,7 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
     // checkpoint refreshes the queue's share of the memory budget.
     if ((local_expanded & 0x3Fu) == 0) {
       self.table.set_overhead_bytes(pdb_share + self.queue.bytes());
+      flush_introspection();
       if (should_stop && should_stop()) {
         ctx.abort_with(ExactTermination::Stopped);
         break;
@@ -233,6 +270,35 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
         expanded_counter.add(64);
         if ((local_expanded & 0x3FFu) == 0 && obs::trace_enabled()) {
           obs::trace_instant("hda.checkpoint", "expanded", local_expanded);
+        }
+        // Worker 0 is the single snapshot writer: global expansion count
+        // and incumbent, own-shard open list and spill counters (the only
+        // shard it may read without racing — the documented approximation).
+        if ((local_expanded & 0x3FFu) == 0 && wid == 0 && sampler != nullptr &&
+            sampler->due()) {
+          obs::ProgressObservation ob;
+          ob.expanded = ctx.expanded.load(std::memory_order_relaxed);
+          ob.frontier_f_scaled = f;
+          const std::int64_t inc =
+              ctx.incumbent.load(std::memory_order_relaxed);
+          ob.incumbent_scaled = inc < no_incumbent ? inc : -1;
+          ob.open_states = self.queue.size();
+          using OpenItem = typename Shard<Packed>::OpenItem;
+          self.queue.for_each([&](std::int64_t fq, const OpenItem& qi) {
+            if (ob.open_f_min < 0 || fq < ob.open_f_min) ob.open_f_min = fq;
+            ob.open_f_max = std::max(ob.open_f_max, fq);
+            if (ob.open_g_min < 0 || qi.g < ob.open_g_min) ob.open_g_min = qi.g;
+            ob.open_g_max = std::max(ob.open_g_max, qi.g);
+          });
+          ob.dup_skipped = ctx.dup_skipped.load(std::memory_order_relaxed);
+          ob.dead_prunes = ctx.dead_prunes.load(std::memory_order_relaxed);
+          ob.attr_counting =
+              ctx.attr_counting.load(std::memory_order_relaxed);
+          ob.attr_pdb = ctx.attr_pdb.load(std::memory_order_relaxed);
+          ob.spilled_states = self.table.spilled_states();
+          ob.spill_bytes = self.table.spill_bytes();
+          ob.merge_passes = self.table.merge_passes();
+          sampler->observe(ob);
         }
       }
     }
@@ -246,6 +312,17 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
     ++local_expanded;
 
     const Masks masks = Masks::from(current, n);
+    if (sampler != nullptr) {
+      // Bound-source attribution: one extra (pure, deterministic) bound
+      // evaluation per expansion, only when someone is watching, so
+      // un-instrumented searches stay byte-identical.
+      (void)bound.lower_bound_scaled(masks);
+      if (bound.last_source() == StateBoundEvaluator::BoundSource::Pdb) {
+        ++local_attr_pdb;
+      } else {
+        ++local_attr_counting;
+      }
+    }
     for (std::size_t v = 0; v < n; ++v) {
       const NodeId node = static_cast<NodeId>(v);
       for (MoveType type : {MoveType::Load, MoveType::Store, MoveType::Compute,
@@ -257,13 +334,17 @@ void hda_worker(const Engine& engine, SearchContext<Packed>& ctx,
         Masks next_masks = masks;
         next_masks.apply(move);
         std::optional<std::int64_t> h = bound.lower_bound_scaled(next_masks);
-        if (!h) continue;  // provably dead: prune
+        if (!h) {
+          ++local_dead;  // provably dead: prune
+          continue;
+        }
         const std::int64_t next_f = next_g + *h;
         if (next_f >= ctx.incumbent.load(std::memory_order_relaxed)) continue;
         route({next.key(), item.key, next_g, next_f, move});
       }
     }
   }
+  flush_introspection();
 }
 
 /// HDA* pays per-state routing latency; on an instance whose search frontier
@@ -393,13 +474,18 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   }
 
   const obs::TraceSpan search_span("hda.search", "workers", workers);
+  // Worker threads are fresh: hand them the spawner's trace context so their
+  // spans keep the originating request id.
+  const std::uint64_t trace_ctx = obs::trace_context();
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      const obs::ScopedTraceContext ctx_scope(trace_ctx);
       try {
         hda_worker<Packed, Masks>(engine, ctx, pdb ? &*pdb : nullptr, w,
-                                  opt.max_states, should_stop);
+                                  opt.max_states, should_stop, opt.progress,
+                                  ceiling + 1);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(ctx.error_mutex);
@@ -412,6 +498,10 @@ std::optional<ExactResult> hda_impl(const Engine& engine, std::size_t workers,
   for (std::thread& t : threads) t.join();
 
   stats.states_expanded = ctx.expanded.load(std::memory_order_relaxed);
+  stats.dup_skipped = ctx.dup_skipped.load(std::memory_order_relaxed);
+  stats.dead_prunes = ctx.dead_prunes.load(std::memory_order_relaxed);
+  stats.attr_counting = ctx.attr_counting.load(std::memory_order_relaxed);
+  stats.attr_pdb = ctx.attr_pdb.load(std::memory_order_relaxed);
   fill_spill_stats(ctx);
   if (ctx.error) std::rethrow_exception(ctx.error);
   if (ctx.abort.load(std::memory_order_acquire)) {

@@ -108,23 +108,43 @@ TEST(Histogram, ConcurrentRecordsKeepCountAndSum) {
   EXPECT_EQ(histogram.sum(), kThreads * (kPerThread / 1000) * cycle_sum);
 }
 
-TEST(Histogram, PercentileReturnsContainingBucketFloor) {
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
   Histogram histogram;
   for (std::uint64_t v = 1; v <= 100; ++v) histogram.record(v);
-  // p50 of 1..100 lands in the bucket holding 50-51; the reported floor is
-  // at most the true percentile and within one octave quarter below it.
-  const std::uint64_t p50 = histogram.percentile(0.5);
-  EXPECT_LE(p50, 51u);
-  EXPECT_GE(p50, 48u);
-  const std::uint64_t p99 = histogram.percentile(0.99);
-  EXPECT_LE(p99, 100u);
-  EXPECT_GE(p99, 96u);
+  // Uniform 1..100: the old containing-bucket floor reported p50=48 (bucket
+  // [48,56) floor); within-bucket linear interpolation recovers the true
+  // order statistics where the samples fill their bucket densely.
+  EXPECT_EQ(histogram.percentile(0.5), 51u);
+  EXPECT_EQ(histogram.percentile(0.9), 91u);
+  // p99 rank 99 (value 100) sits in the sparse tail bucket [96,112) with 5
+  // samples; interpolation spreads them over the whole bucket, so the
+  // estimate can overshoot the max by less than one bucket width (≤25%).
+  EXPECT_EQ(histogram.percentile(0.99), 110u);
   // Degenerate ranks clamp instead of indexing out of range.
   EXPECT_LE(histogram.percentile(0.0), 1u);
-  EXPECT_LE(histogram.percentile(1.0), 100u);
+  EXPECT_LT(histogram.percentile(1.0), 112u);
   histogram.reset();
   EXPECT_EQ(histogram.count(), 0u);
   EXPECT_EQ(histogram.percentile(0.5), 0u);
+}
+
+TEST(Histogram, PercentileConstantDistributionBeatsBucketFloor) {
+  // 100 samples of exactly 1000 land in bucket [896,1024). The floor rule
+  // reported 896 for every percentile (-10.4% bias); interpolation puts the
+  // whole distribution near the bucket's middle.
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record(1000);
+  EXPECT_EQ(histogram.percentile(0.5), 960u);
+  // All percentiles stay inside the containing bucket.
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_GE(histogram.percentile(q), 896u) << q;
+    EXPECT_LT(histogram.percentile(q), 1024u) << q;
+  }
+  // Small exact values (width-1 buckets) are reported exactly.
+  Histogram small;
+  for (int i = 0; i < 10; ++i) small.record(2);
+  EXPECT_EQ(small.percentile(0.5), 2u);
+  EXPECT_EQ(small.percentile(0.99), 2u);
 }
 
 TEST(MetricsRegistry, SameNameSameObject) {

@@ -119,6 +119,39 @@ TEST_F(TraceTest, ResetClearsEventsAndDisables) {
   EXPECT_EQ(trace_dropped(), 0u);
 }
 
+TEST_F(TraceTest, ScopedContextStampsEventsAndRestoresOnExit) {
+  trace_set_output("unused_trace_sink.json");
+  trace_instant("test.before");  // ctx 0: no args.ctx rendered
+  {
+    const ScopedTraceContext ctx(42);
+    trace_instant("test.tagged");
+    {
+      const ScopedTraceContext inner(7);
+      trace_instant("test.inner");
+    }
+    trace_instant("test.tagged_again");  // back to 42 after inner unwinds
+  }
+  trace_instant("test.after");  // back to 0
+  const std::string json = trace_to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ctx\":42"), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ctx\":7"), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ctx\":0"), 0u);  // 0 renders nothing
+}
+
+TEST_F(TraceTest, TailIsNonDestructiveAndCapsEventCount) {
+  trace_set_output("unused_trace_sink.json");
+  for (int i = 0; i < 10; ++i) trace_instant("test.event", "i", i);
+  const std::string tail = trace_tail_json(3);
+  // The last three events, newest data preserved...
+  EXPECT_EQ(count_occurrences(tail, "test.event"), 3u);
+  EXPECT_NE(tail.find("\"i\":9"), std::string::npos);
+  EXPECT_EQ(tail.find("\"i\":0"), std::string::npos);
+  // ...and the ring untouched: a full drain still sees all ten.
+  EXPECT_EQ(trace_event_count(), 10u);
+  const std::string full = trace_to_json();
+  EXPECT_EQ(count_occurrences(full, "test.event"), 10u);
+}
+
 #else  // RBPEB_OBS_NO_TRACE
 
 TEST(TraceCompiledOut, EverythingIsANoOp) {
@@ -131,6 +164,7 @@ TEST(TraceCompiledOut, EverythingIsANoOp) {
   EXPECT_EQ(trace_event_count(), 0u);
   EXPECT_EQ(trace_dropped(), 0u);
   EXPECT_EQ(trace_to_json(), std::string("{\"traceEvents\":[]}"));
+  EXPECT_EQ(trace_tail_json(8), std::string("{\"traceEvents\":[]}"));
 }
 
 #endif  // RBPEB_OBS_NO_TRACE

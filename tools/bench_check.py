@@ -376,10 +376,13 @@ def overhead_key_kind(key):
     return "exact"
 
 
-def compare_overhead(traced, notrace, tolerance, path="$"):
+def compare_overhead(traced, notrace, tolerance, path="$",
+                     labels=("traced", "notrace")):
     """Recursive structural compare. Timing leaves gate on ratio; everything
-    else must be identical — the disabled recorder may cost nanoseconds, but
-    it must not change what the search *does*."""
+    else must be identical — instrumentation (the disabled recorder, or an
+    attached progress sampler) may cost nanoseconds, but it must not change
+    what the search *does*."""
+    la, lb = labels
     if isinstance(traced, dict) and isinstance(notrace, dict):
         for key in sorted(set(traced) | set(notrace)):
             where = f"{path}.{key}"
@@ -395,22 +398,23 @@ def compare_overhead(traced, notrace, tolerance, path="$"):
                     # sub-millisecond noise on tiny cases cannot trip it.
                     if (a + 1) > (b + 1) * tolerance or \
                        (b + 1) > (a + 1) * tolerance:
-                        fail(f"{where}: wall diverged traced={a} notrace={b} "
+                        fail(f"{where}: wall diverged {la}={a} {lb}={b} "
                              f"(x{tolerance:.2f} tolerance)")
                     else:
-                        note(f"{where}: wall traced={a} notrace={b} — ok")
+                        note(f"{where}: wall {la}={a} {lb}={b} — ok")
                     continue
-            compare_overhead(traced[key], notrace[key], tolerance, where)
+            compare_overhead(traced[key], notrace[key], tolerance, where,
+                             labels)
     elif isinstance(traced, list) and isinstance(notrace, list):
         if len(traced) != len(notrace):
             fail(f"{path}: list length {len(traced)} != {len(notrace)}")
             return
         for i, (a, b) in enumerate(zip(traced, notrace)):
-            compare_overhead(a, b, tolerance, f"{path}[{i}]")
+            compare_overhead(a, b, tolerance, f"{path}[{i}]", labels)
     else:
         if traced != notrace:
-            fail(f"{path}: {traced!r} != {notrace!r} (must be byte-identical "
-                 "with tracing compiled in but disabled)")
+            fail(f"{path}: {la}={traced!r} != {lb}={notrace!r} (deterministic "
+                 "fields must be byte-identical under instrumentation)")
 
 
 def cmd_overhead(args):
@@ -419,6 +423,15 @@ def cmd_overhead(args):
     with open(args.notrace) as f:
         notrace = json.load(f)
     compare_overhead(traced, notrace, args.wall_tolerance)
+    # Third leg: the same bench with a progress sampler attached to every
+    # search (exact_scaling --progress). The sampler's attribution probes run
+    # on every expansion — everything but walls must still match the plain
+    # instrumented run.
+    if getattr(args, "progress", None):
+        with open(args.progress) as f:
+            progress = json.load(f)
+        compare_overhead(traced, progress, args.wall_tolerance,
+                         labels=("plain", "progress"))
     return report("overhead")
 
 
@@ -549,6 +562,10 @@ def main():
                           help="report from the normal build (sink unset)")
     overhead.add_argument("--notrace", required=True,
                           help="report from the -DRBPEB_OBS_NO_TRACE build")
+    overhead.add_argument(
+        "--progress",
+        help="report from the progress-sampled run (exact_scaling "
+             "--progress); deterministic fields must match --traced")
     overhead.add_argument(
         "--wall-tolerance", type=float, default=1.5,
         help="max ratio between wall-clock fields (default 1.5)")

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate a post-mortem black box written by --postmortem-dir.
+
+Checks, in order:
+  1. The directory holds all four artifacts: ``verdict.json``,
+     ``progress.jsonl``, ``metrics.json``, ``trace_tail.json``.
+  2. ``verdict.json`` parses and carries the full schema: a
+     ``limiting_resource`` from the known vocabulary (states / memory /
+     table-headroom / disk / deadline / unknown), string ``termination`` and
+     ``detail``, a ``stats`` object, an integer ``snapshots`` count, and a
+     ``files`` map naming the sibling artifacts.
+  3. Every ``progress.jsonl`` line parses, the line count equals
+     ``snapshots``, and per line: ``seq`` strictly increases,
+     ``f_floor_scaled`` is monotone non-decreasing, ``bound_gap_scaled`` is
+     monotone non-increasing whenever an incumbent exists, and
+     ``attr_counting + attr_pdb <= expanded``.
+  4. ``metrics.json`` and ``trace_tail.json`` parse as JSON;
+     ``trace_tail.json`` has a ``traceEvents`` list.
+  5. ``--expect-resource R`` (if given) matches the verdict, and
+     ``--cli-stderr F`` (if given) points at a captured stderr whose
+     BudgetExhausted detail line agrees with the verdict's ``detail`` —
+     the cross-check that the black box and the CLI name the same killer.
+
+Exit status 0 on success, 1 on any failure, with a per-check summary.
+
+Usage:
+  postmortem_check.py DIR [--expect-resource R] [--cli-stderr F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+KNOWN_RESOURCES = {
+    "states", "memory", "table-headroom", "disk", "deadline", "unknown",
+}
+ARTIFACTS = ("verdict.json", "progress.jsonl", "metrics.json",
+             "trace_tail.json")
+
+
+def check_progress(path: str, expected_count, errors: list[str]) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError as exc:
+        errors.append(f"cannot read progress.jsonl: {exc}")
+        return
+    if isinstance(expected_count, int) and len(lines) != expected_count:
+        errors.append(
+            f"progress.jsonl has {len(lines)} lines but verdict says "
+            f"snapshots={expected_count}"
+        )
+    prev_seq = None
+    prev_floor = None
+    prev_gap = None
+    for index, line in enumerate(lines):
+        where = f"progress line #{index}"
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not JSON: {exc}")
+            continue
+        seq = snap.get("seq")
+        floor = snap.get("f_floor_scaled")
+        gap = snap.get("bound_gap_scaled")
+        incumbent = snap.get("incumbent_scaled", -1)
+        if not isinstance(seq, int):
+            errors.append(f"{where}: missing integer seq")
+            continue
+        if prev_seq is not None and seq <= prev_seq:
+            errors.append(f"{where}: seq {seq} does not increase past "
+                          f"{prev_seq}")
+        prev_seq = seq
+        if isinstance(floor, int):
+            if prev_floor is not None and floor < prev_floor:
+                errors.append(
+                    f"{where}: f_floor_scaled regressed {prev_floor} -> "
+                    f"{floor} (bound must be monotone)"
+                )
+            prev_floor = floor
+        else:
+            errors.append(f"{where}: missing integer f_floor_scaled")
+        # The gap is only defined once an incumbent exists; from then on it
+        # must never widen (floor only rises, incumbent only drops).
+        if isinstance(incumbent, int) and incumbent >= 0:
+            if not isinstance(gap, int):
+                errors.append(f"{where}: incumbent set but no integer "
+                              "bound_gap_scaled")
+            else:
+                if prev_gap is not None and gap > prev_gap:
+                    errors.append(
+                        f"{where}: bound_gap_scaled widened {prev_gap} -> "
+                        f"{gap}"
+                    )
+                prev_gap = gap
+        attr = snap.get("attr_counting", 0) + snap.get("attr_pdb", 0)
+        expanded = snap.get("expanded", 0)
+        if attr > expanded:
+            errors.append(
+                f"{where}: attribution {attr} exceeds expansions {expanded}"
+            )
+
+
+def check_cli_stderr(path: str, detail: str, errors: list[str]) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            stderr_text = handle.read()
+    except OSError as exc:
+        errors.append(f"cannot read --cli-stderr {path}: {exc}")
+        return
+    if not detail:
+        errors.append("verdict.detail is empty; nothing to match against "
+                      "the CLI stderr")
+        return
+    if detail not in stderr_text:
+        errors.append(
+            f"verdict.detail {detail!r} does not appear in the CLI stderr "
+            f"capture {path} — black box and CLI disagree"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dir", help="post-mortem directory (--postmortem-dir)")
+    parser.add_argument(
+        "--expect-resource",
+        metavar="R",
+        help="limiting_resource the verdict must name",
+    )
+    parser.add_argument(
+        "--cli-stderr",
+        metavar="F",
+        help="captured CLI stderr; its BudgetExhausted detail must contain "
+             "the verdict's detail string",
+    )
+    args = parser.parse_args()
+
+    errors: list[str] = []
+
+    for artifact in ARTIFACTS:
+        if not os.path.isfile(os.path.join(args.dir, artifact)):
+            errors.append(f"missing artifact {artifact}")
+    if errors:
+        for error in errors:
+            print(f"postmortem_check: FAIL: {error}")
+        return 1
+
+    try:
+        with open(os.path.join(args.dir, "verdict.json"), encoding="utf-8") \
+                as handle:
+            verdict = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"postmortem_check: FAIL: cannot load verdict.json: {exc}")
+        return 1
+
+    resource = verdict.get("limiting_resource")
+    if resource not in KNOWN_RESOURCES:
+        errors.append(f"limiting_resource {resource!r} not in "
+                      f"{sorted(KNOWN_RESOURCES)}")
+    for key in ("termination", "detail", "solver"):
+        if not isinstance(verdict.get(key), str):
+            errors.append(f"verdict.{key} missing or not a string")
+    if not isinstance(verdict.get("stats"), dict):
+        errors.append("verdict.stats missing or not an object")
+    snapshots = verdict.get("snapshots")
+    if not isinstance(snapshots, int) or snapshots < 0:
+        errors.append(f"verdict.snapshots is not a non-negative int: "
+                      f"{snapshots!r}")
+        snapshots = None
+    files = verdict.get("files")
+    if not isinstance(files, dict):
+        errors.append("verdict.files missing or not an object")
+    else:
+        for role, name in (("progress", "progress.jsonl"),
+                           ("metrics", "metrics.json"),
+                           ("trace_tail", "trace_tail.json")):
+            if files.get(role) != name:
+                errors.append(f"verdict.files.{role} is {files.get(role)!r}, "
+                              f"expected {name!r}")
+
+    check_progress(os.path.join(args.dir, "progress.jsonl"), snapshots,
+                   errors)
+
+    for name, want_events in (("metrics.json", False),
+                              ("trace_tail.json", True)):
+        try:
+            with open(os.path.join(args.dir, name), encoding="utf-8") \
+                    as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{name} does not parse: {exc}")
+            continue
+        if want_events and not isinstance(doc.get("traceEvents"), list):
+            errors.append(f"{name}: no traceEvents list")
+
+    if args.expect_resource and resource != args.expect_resource:
+        errors.append(
+            f"limiting_resource is {resource!r}, expected "
+            f"{args.expect_resource!r}"
+        )
+    if args.cli_stderr:
+        check_cli_stderr(args.cli_stderr, verdict.get("detail", ""), errors)
+
+    if errors:
+        for error in errors:
+            print(f"postmortem_check: FAIL: {error}")
+        print(f"postmortem_check: {len(errors)} error(s) in {args.dir}")
+        return 1
+
+    print(
+        f"postmortem_check: OK: {args.dir} — limiting_resource={resource}, "
+        f"{snapshots} snapshot(s), all four artifacts valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

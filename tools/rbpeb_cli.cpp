@@ -25,6 +25,9 @@
 #include <vector>
 
 #include "src/graph/dag_io.hpp"
+#include "src/obs/introspect.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/postmortem.hpp"
 #include "src/obs/trace.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/trace_io.hpp"
@@ -53,6 +56,14 @@ using namespace rbpeb;
       "            [--jobs N]\n"
       "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
       "            [--trace-out F]   (flight-recorder profile, Chrome JSON)\n"
+      "            [--progress[=F|stderr]] [--progress-every-ms N]\n"
+      "                              (stream JSONL search-progress snapshots;\n"
+      "                               default sink stderr, default 500 ms)\n"
+      "            [--postmortem-dir D]  (on budget exhaustion, dump a black\n"
+      "                               box: verdict.json + progress/metrics/\n"
+      "                               trace tail)\n"
+      "            [--metrics-out F]  (metrics registry JSON at exit, every\n"
+      "                               exit path)\n"
       "  rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]\n"
       "            [--sources-blue] [--sinks-blue]\n"
       "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
@@ -162,6 +173,9 @@ int cmd_solve(const std::vector<std::string>& args) {
   CommonFlags flags;
   std::string solver_name = "greedy";
   std::string trace_out, dot_out, flight_out;
+  std::string progress_dest;  // empty = off; "stderr" or a file path
+  std::int64_t progress_every_ms = 500;
+  std::string postmortem_dir, metrics_out;
   SolverOptions options;
   SolveBudget budget;
   std::size_t jobs = 0;
@@ -190,6 +204,16 @@ int cmd_solve(const std::vector<std::string>& args) {
       jobs = std::stoul(args[++i]);
     else if (args[i] == "--trace-out" && i + 1 < args.size())
       flight_out = args[++i];
+    else if (args[i] == "--progress")
+      progress_dest = "stderr";
+    else if (args[i].rfind("--progress=", 0) == 0)
+      progress_dest = args[i].substr(std::string("--progress=").size());
+    else if (args[i] == "--progress-every-ms" && i + 1 < args.size())
+      progress_every_ms = std::stol(args[++i]);
+    else if (args[i] == "--postmortem-dir" && i + 1 < args.size())
+      postmortem_dir = args[++i];
+    else if (args[i] == "--metrics-out" && i + 1 < args.size())
+      metrics_out = args[++i];
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
     else if (args[i] == "--dot" && i + 1 < args.size()) dot_out = args[++i];
     else usage();
@@ -214,6 +238,54 @@ int cmd_solve(const std::vector<std::string>& args) {
   } flight_guard{flight_out};
   if (!flight_out.empty()) obs::trace_set_output(flight_out);
 
+  // Metrics dump: same RAII shape as the flight recorder — the registry
+  // snapshot lands on disk on every exit path, and the failure exits are
+  // exactly the ones worth diagnosing.
+  struct MetricsDumpGuard {
+    std::string path;
+    ~MetricsDumpGuard() {
+      if (path.empty()) return;
+      std::ofstream out(path, std::ios::trunc);
+      if (out) {
+        out << obs::MetricsRegistry::instance().snapshot_json() << '\n';
+        std::cout << "metrics written to " << path << '\n';
+      } else {
+        std::cerr << "failed to write metrics to " << path << '\n';
+      }
+    }
+  } metrics_guard{metrics_out};
+
+  // Progress sampler: streams JSONL snapshots when --progress asked for
+  // them; armed silently (no sink) when only --postmortem-dir is set so the
+  // black box still gets a snapshot tail.
+  std::ofstream progress_file;
+  std::ostream* progress_stream = nullptr;
+  if (!progress_dest.empty()) {
+    if (progress_dest == "stderr") {
+      progress_stream = &std::cerr;
+    } else {
+      progress_file.open(progress_dest, std::ios::trunc);
+      if (!progress_file) {
+        std::cerr << "cannot write progress stream to " << progress_dest
+                  << '\n';
+        return 1;
+      }
+      progress_stream = &progress_file;
+    }
+  }
+  std::optional<obs::SearchProgressSampler> sampler;
+  if (progress_stream != nullptr || !postmortem_dir.empty()) {
+    obs::SearchProgressSampler::Options popt;
+    popt.min_interval_us = progress_every_ms * 1000;
+    if (progress_stream != nullptr) {
+      popt.sink = [progress_stream](const obs::ProgressSnapshot& snap) {
+        *progress_stream << snap.to_json() << '\n';
+        progress_stream->flush();
+      };
+    }
+    sampler.emplace(popt);
+  }
+
   std::cout << "DAG: " << dag.node_count() << " nodes, " << dag.edge_count()
             << " edges, Δ = " << dag.max_indegree() << " (min R = "
             << min_red_pebbles(dag) << ")\n";
@@ -222,6 +294,30 @@ int cmd_solve(const std::vector<std::string>& args) {
   request.engine = &engine;
   request.options = std::move(options);
   request.budget = budget;
+  if (sampler) request.progress = &*sampler;
+
+  // The black box: written whenever a budget ends the solve without an
+  // optimality proof. Its limiting_resource verdict is copied from the
+  // result stats — the same value the detail string below is derived from,
+  // so the two always agree (tools/postmortem_check.py cross-checks).
+  auto write_blackbox = [&](const SolveResult& result) {
+    if (postmortem_dir.empty()) return;
+    obs::PostmortemReport report;
+    const auto verdict = result.stats.find("limiting_resource");
+    report.limiting_resource =
+        verdict != result.stats.end() ? verdict->second : "unknown";
+    report.termination = to_string(result.status);
+    report.detail = result.detail;
+    report.solver = result.solver;
+    report.stats = result.stats;
+    if (sampler) report.progress = sampler->history();
+    const std::string path = obs::write_postmortem(postmortem_dir, report);
+    if (!path.empty()) {
+      std::cerr << "post-mortem written to " << path << '\n';
+    } else {
+      std::cerr << "failed to write post-mortem to " << postmortem_dir << '\n';
+    }
+  };
 
   const SolverRegistry& registry = SolverRegistry::instance();
   SolveResult best;
@@ -251,6 +347,16 @@ int cmd_solve(const std::vector<std::string>& args) {
     std::cout << "model:      " << flags.model.name() << ", solver: "
               << best.solver << ", status: " << to_string(best.status)
               << " (" << format_elapsed(best.elapsed) << ")\n";
+    if (best.status == SolveStatus::BudgetExhausted) {
+      write_blackbox(best);
+      // Printed even when a heuristic incumbent trace is returned — this is
+      // the detail line postmortem_check.py cross-checks the verdict against.
+      std::cerr << "budget-exhausted: " << best.detail << '\n';
+      const auto limiting = best.stats.find("limiting_resource");
+      if (limiting != best.stats.end()) {
+        std::cerr << "limiting resource: " << limiting->second << '\n';
+      }
+    }
     if (!best.has_trace()) {
       std::cerr << "no trace: " << best.detail << '\n';
       // Partial progress (states_expanded, max_states, …) still tells the

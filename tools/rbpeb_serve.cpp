@@ -5,7 +5,7 @@
 //               [--cache-bytes N[k|m|g]] [--queue N] [--workers N]
 //               [--threads N] [--deadline-ms N] [--solver NAME|portfolio]
 //               [--budget-states N] [--snapshot-every N] [--trace-out F]
-//               [--quiet]
+//               [--progress-every-ms N] [--postmortem-dir D] [--quiet]
 //
 // Reads one JSON request per line (stdin by default, or --input F — a file
 // works as a replayable request queue; a named pipe / `nc -lU | rbpeb_serve`
@@ -22,6 +22,7 @@
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,10 +43,15 @@ using namespace rbpeb::serve;
       "              [--cache-bytes N[k|m|g]] [--queue N] [--workers N]\n"
       "              [--threads N] [--deadline-ms N]\n"
       "              [--solver NAME|portfolio] [--budget-states N]\n"
-      "              [--snapshot-every N] [--trace-out F] [--quiet]\n"
+      "              [--snapshot-every N] [--trace-out F]\n"
+      "              [--progress-every-ms N] [--postmortem-dir D] [--quiet]\n"
       "--snapshot-every N appends a metrics_snapshot JSONL line to --stats\n"
       "every N responses (default 64; 0 disables); --trace-out F writes a\n"
-      "Chrome trace-event profile of the run (open in Perfetto)\n"
+      "Chrome trace-event profile of the run (open in Perfetto), every span\n"
+      "tagged with its originating request's sequence number (args.ctx);\n"
+      "with --stats, per-request progress events stream into the sidecar\n"
+      "(--progress-every-ms, default 250); --postmortem-dir D dumps a black\n"
+      "box under D/req-<seq>/ for every request a budget or deadline ended\n"
       "reads JSONL requests (see src/serve/protocol.hpp), writes JSONL\n"
       "responses in input order; EOF drains the queue and prints a summary\n";
   std::exit(2);
@@ -146,6 +152,11 @@ int main(int argc, char** argv) {
       snapshot_every = parse_count(next());
     } else if (arg == "--trace-out") {
       flight_out = next();
+    } else if (arg == "--progress-every-ms") {
+      options.progress_interval_ms =
+          static_cast<std::int64_t>(parse_count(next()));
+    } else if (arg == "--postmortem-dir") {
+      options.postmortem_dir = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -182,6 +193,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The sidecar is shared between the drain loop (response/snapshot lines,
+  // main thread) and the server's progress/postmortem events (worker
+  // threads); one mutex keeps the JSONL lines whole.
+  std::mutex stats_mutex;
+  if (stats_file.is_open()) {
+    options.event_sink = [&stats_file, &stats_mutex](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      stats_file << line << "\n";
+    };
+  }
+
   if (!flight_out.empty()) obs::trace_set_output(flight_out);
   Server server(options);
 
@@ -197,6 +219,7 @@ int main(int argc, char** argv) {
     pending.pop_front();
     output << response.to_json() << "\n";
     if (stats_file.is_open()) {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
       stats_file << stats_line(response) << "\n";
       // Periodic live metrics: one snapshot line every N responses, hit/miss
       // counters sourced from TraceCache::Stats so the sidecar always
