@@ -18,22 +18,25 @@
 #include <string>
 #include <vector>
 
+#include "src/instances/spec.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/anytime_astar.hpp"
 #include "src/solvers/greedy.hpp"
 #include "src/support/check.hpp"
 #include "src/support/table.hpp"
-#include "src/workloads/chain.hpp"
-#include "src/workloads/random_layered.hpp"
-#include "src/workloads/stencil.hpp"
-#include "src/workloads/tree_reduction.hpp"
 
 namespace {
 
 using namespace rbpeb;
 
 std::string json_str(const std::string& s) { return "\"" + s + "\""; }
+
+/// Suite instances arrive through the InstanceSpec grammar — every row is
+/// reproducible with `rbpeb_cli solve --instance <spec>`.
+Dag dag_of(const std::string& spec) {
+  return instances::resolve_instance(spec).dag;
+}
 
 IncumbentSeed greedy_seed(const Engine& engine) {
   Trace trace = solve_greedy(engine);
@@ -57,25 +60,22 @@ int main(int argc, char** argv) {
   std::vector<Case> suite;
   // Small enough to prove optimal within budget: the tier must collapse to
   // an exact search (ε = 0) when the budget reaches.
-  Dag layered12 = make_random_layered_dag(
-      {.layers = 4, .width = 3, .indegree = 2, .seed = 61});
+  Dag layered12 = dag_of("layered:layers=4,width=3,indegree=2,seed=61");
   for (const Model& model : all_models()) {
     suite.push_back({"layered4x3", layered12, model, 500'000});
   }
-  suite.push_back({"chain48", make_chain_dag(48), Model::oneshot(), 200'000});
-  suite.push_back({"stencil2x14", make_stencil1d_dag(2, 14).dag,
+  suite.push_back({"chain48", dag_of("chain:n=48"), Model::oneshot(),
+                   200'000});
+  suite.push_back({"stencil2x14", dag_of("stencil:width=2,steps=14"),
                    Model::nodel(), 200'000});
   // The tier's reason to exist: instances no exact search here finishes.
-  Dag layered96 = make_random_layered_dag(
-      {.layers = 16, .width = 6, .indegree = 2, .seed = 71});
+  Dag layered96 = dag_of("layered:layers=16,width=6,indegree=2,seed=71");
   suite.push_back({"layered16x6", layered96, Model::compcost(), 60'000});
   suite.push_back({"layered16x6", layered96, Model::nodel(), 60'000});
-  Dag layered192 = make_random_layered_dag(
-      {.layers = 24, .width = 8, .indegree = 2, .seed = 64});
+  Dag layered192 = dag_of("layered:layers=24,width=8,indegree=2,seed=64");
   suite.push_back({"layered24x8", layered192, Model::compcost(), 40'000});
   suite.push_back({"layered24x8", layered192, Model::nodel(), 40'000});
-  Dag layered256 = make_random_layered_dag(
-      {.layers = 32, .width = 8, .indegree = 2, .seed = 72});
+  Dag layered256 = dag_of("layered:layers=32,width=8,indegree=2,seed=72");
   suite.push_back({"layered32x8", layered256, Model::nodel(), 40'000});
 
   Table table("Anytime tier: certified answers at every size");

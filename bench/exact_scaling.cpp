@@ -16,20 +16,23 @@
 #include <string>
 #include <vector>
 
+#include "src/instances/spec.hpp"
 #include "src/obs/introspect.hpp"
 #include "src/pebble/bounds.hpp"
 #include "src/solvers/exact.hpp"
 #include "src/solvers/exact_astar.hpp"
 #include "src/support/table.hpp"
-#include "src/workloads/chain.hpp"
-#include "src/workloads/pyramid.hpp"
-#include "src/workloads/random_layered.hpp"
-#include "src/workloads/stencil.hpp"
-#include "src/workloads/tree_reduction.hpp"
 
 namespace {
 
 using namespace rbpeb;
+
+/// The whole suite arrives through the InstanceSpec grammar — the same
+/// strings `rbpeb_cli solve --instance` accepts, so any bench row can be
+/// reproduced from a shell one-liner.
+Dag dag_of(const std::string& spec) {
+  return instances::resolve_instance(spec).dag;
+}
 
 struct Instance {
   std::string name;
@@ -97,15 +100,15 @@ int main(int argc, char** argv) {
   constexpr std::size_t kLargeBudget = 4'000'000;
 
   std::vector<Instance> suite;
-  suite.push_back({"chain16", make_chain_dag(16), {}});
-  suite.push_back({"pyramid4", make_pyramid_dag(4).dag, {}});      // 10 nodes
-  suite.push_back({"tree8", make_tree_reduction_dag(8).dag,        // 15 nodes
+  suite.push_back({"chain16", dag_of("chain:n=16"), {}});
+  suite.push_back({"pyramid4", dag_of("pyramid:base=4"), {}});     // 10 nodes
+  suite.push_back({"tree8", dag_of("tree:leaves=8"),               // 15 nodes
                    {"oneshot", "nodel"}});
-  suite.push_back({"stencil3x4", make_stencil1d_dag(3, 4).dag, {}});  // 15
-  for (std::uint64_t seed : {1, 2, 3}) {
+  suite.push_back({"stencil3x4", dag_of("stencil:width=3,steps=4"), {}});
+  for (int seed : {1, 2, 3}) {
     suite.push_back({"layered3x3_s" + std::to_string(seed),
-                     make_random_layered_dag({.layers = 3, .width = 3,
-                                              .indegree = 2, .seed = seed}),
+                     dag_of("layered:layers=3,width=3,indegree=2,seed=" +
+                            std::to_string(seed)),
                      {}});
   }
 
@@ -170,18 +173,16 @@ int main(int argc, char** argv) {
     Model model;
   };
   std::vector<LargeCase> large;
-  large.push_back({"chain30", make_chain_dag(30), Model::oneshot()});
-  large.push_back({"chain30", make_chain_dag(30), Model::compcost()});
-  large.push_back({"layered13x2", make_random_layered_dag(
-                                      {.layers = 13, .width = 2,
-                                       .indegree = 2, .seed = 3}),
-                   Model::nodel()});
-  large.push_back({"layered13x2", make_random_layered_dag(
-                                      {.layers = 13, .width = 2,
-                                       .indegree = 2, .seed = 3}),
-                   Model::oneshot()});
-  large.push_back({"stencil3x8", make_stencil1d_dag(3, 8).dag,
-                   Model::oneshot()});
+  large.push_back({"chain30", dag_of("chain:n=30"), Model::oneshot()});
+  large.push_back({"chain30", dag_of("chain:n=30"), Model::compcost()});
+  large.push_back(
+      {"layered13x2", dag_of("layered:layers=13,width=2,indegree=2,seed=3"),
+       Model::nodel()});
+  large.push_back(
+      {"layered13x2", dag_of("layered:layers=13,width=2,indegree=2,seed=3"),
+       Model::oneshot()});
+  large.push_back(
+      {"stencil3x8", dag_of("stencil:width=3,steps=8"), Model::oneshot()});
 
   Table large_table("Beyond the 21-node Dijkstra cap (A* only, budget " +
                     std::to_string(kLargeBudget) + " states)");

@@ -34,12 +34,9 @@
 #include <vector>
 
 #include "src/graph/dag_io.hpp"
+#include "src/instances/spec.hpp"
 #include "src/serve/server.hpp"
 #include "src/support/rng.hpp"
-#include "src/workloads/chain.hpp"
-#include "src/workloads/fft.hpp"
-#include "src/workloads/stencil.hpp"
-#include "src/workloads/tree_reduction.hpp"
 
 namespace {
 
@@ -65,23 +62,27 @@ struct Instance {
 /// without evicting, keeping the hit count deterministic.
 std::vector<Instance> make_pool() {
   std::vector<Instance> pool;
-  const auto add = [&pool](std::string name, const Dag& dag, std::size_t r,
-                           std::string solver) {
-    pool.push_back({std::move(name), to_text(dag), r, std::move(solver)});
+  // The pool arrives through the InstanceSpec grammar — the same strings the
+  // CLI and the corpus manifest use, so a bench instance can be regenerated
+  // with `rbpeb_cli gen <spec>`.
+  const auto add = [&pool](std::string name, const std::string& spec,
+                           std::size_t r, std::string solver) {
+    pool.push_back({std::move(name),
+                    to_text(instances::resolve_instance(spec).dag), r,
+                    std::move(solver)});
   };
-  add("tree4@portfolio", make_tree_reduction_dag(4).dag, 3, "portfolio");
-  add("fft4@portfolio", make_fft_dag(4).dag, 3, "portfolio");
-  add("stencil4x3@portfolio", make_stencil1d_dag(4, 3).dag, 4, "portfolio");
-  add("chain6@exact", make_chain_dag(6), 2, "exact");
-  add("chain10@exact", make_chain_dag(10), 2, "exact");
-  add("chain14@greedy", make_chain_dag(14), 3, "greedy");
-  add("fft4r4@exact-astar", make_fft_dag(4).dag, 4, "exact-astar");
-  add("tree16@peephole", make_tree_reduction_dag(16).dag, 4, "peephole");
-  add("tree8r3@greedy", make_tree_reduction_dag(8).dag, 3, "greedy");
-  add("tree8r4@greedy", make_tree_reduction_dag(8).dag, 4, "greedy");
-  add("stencil5x2@greedy", make_stencil1d_dag(5, 2).dag, 4, "greedy");
-  add("tree16@fewest-blue", make_tree_reduction_dag(16).dag, 4,
-      "greedy-fewest-blue");
+  add("tree4@portfolio", "tree:leaves=4", 3, "portfolio");
+  add("fft4@portfolio", "fft:size=4", 3, "portfolio");
+  add("stencil4x3@portfolio", "stencil:width=4,steps=3", 4, "portfolio");
+  add("chain6@exact", "chain:n=6", 2, "exact");
+  add("chain10@exact", "chain:n=10", 2, "exact");
+  add("chain14@greedy", "chain:n=14", 3, "greedy");
+  add("fft4r4@exact-astar", "fft:size=4", 4, "exact-astar");
+  add("tree16@peephole", "tree:leaves=16", 4, "peephole");
+  add("tree8r3@greedy", "tree:leaves=8", 3, "greedy");
+  add("tree8r4@greedy", "tree:leaves=8", 4, "greedy");
+  add("stencil5x2@greedy", "stencil:width=5,steps=2", 4, "greedy");
+  add("tree16@fewest-blue", "tree:leaves=16", 4, "greedy-fewest-blue");
   return pool;
 }
 

@@ -1,6 +1,7 @@
 #include "src/graph/dag.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/support/check.hpp"
 
@@ -8,16 +9,134 @@ namespace rbpeb {
 
 const std::string Dag::kEmptyLabel;
 
+void Dag::anchor_owned() {
+  in_off_ = {in_offsets_.data(), in_offsets_.size()};
+  in_tgt_ = {in_targets_.data(), in_targets_.size()};
+  out_off_ = {out_offsets_.data(), out_offsets_.size()};
+  out_tgt_ = {out_targets_.data(), out_targets_.size()};
+}
+
+void Dag::derive_structure() {
+  sources_.clear();
+  sinks_.clear();
+  max_indegree_ = 0;
+  const std::size_t n = node_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t d = in_off_[v + 1] - in_off_[v];
+    max_indegree_ = std::max(max_indegree_, d);
+    if (d == 0) sources_.push_back(static_cast<NodeId>(v));
+    if (out_off_[v + 1] == out_off_[v]) {
+      sinks_.push_back(static_cast<NodeId>(v));
+    }
+  }
+}
+
+Dag::Dag(const Dag& other)
+    : in_offsets_(other.in_offsets_),
+      in_targets_(other.in_targets_),
+      out_offsets_(other.out_offsets_),
+      out_targets_(other.out_targets_),
+      backing_(other.backing_),
+      sources_(other.sources_),
+      sinks_(other.sinks_),
+      labels_(other.labels_),
+      max_indegree_(other.max_indegree_) {
+  if (backing_ != nullptr) {
+    // Adopted adjacency is shared, not copied: the spans stay valid because
+    // the copy holds the same custodian.
+    in_off_ = other.in_off_;
+    in_tgt_ = other.in_tgt_;
+    out_off_ = other.out_off_;
+    out_tgt_ = other.out_tgt_;
+  } else {
+    anchor_owned();
+  }
+}
+
+Dag& Dag::operator=(const Dag& other) {
+  if (this == &other) return *this;
+  Dag tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+Dag::Dag(Dag&& other) noexcept
+    : in_offsets_(std::move(other.in_offsets_)),
+      in_targets_(std::move(other.in_targets_)),
+      out_offsets_(std::move(other.out_offsets_)),
+      out_targets_(std::move(other.out_targets_)),
+      backing_(std::move(other.backing_)),
+      sources_(std::move(other.sources_)),
+      sinks_(std::move(other.sinks_)),
+      labels_(std::move(other.labels_)),
+      max_indegree_(other.max_indegree_) {
+  if (backing_ != nullptr) {
+    in_off_ = other.in_off_;
+    in_tgt_ = other.in_tgt_;
+    out_off_ = other.out_off_;
+    out_tgt_ = other.out_tgt_;
+  } else {
+    anchor_owned();
+  }
+  other.in_off_ = {};
+  other.in_tgt_ = {};
+  other.out_off_ = {};
+  other.out_tgt_ = {};
+  other.max_indegree_ = 0;
+}
+
+Dag& Dag::operator=(Dag&& other) noexcept {
+  if (this == &other) return *this;
+  in_offsets_ = std::move(other.in_offsets_);
+  in_targets_ = std::move(other.in_targets_);
+  out_offsets_ = std::move(other.out_offsets_);
+  out_targets_ = std::move(other.out_targets_);
+  backing_ = std::move(other.backing_);
+  sources_ = std::move(other.sources_);
+  sinks_ = std::move(other.sinks_);
+  labels_ = std::move(other.labels_);
+  max_indegree_ = other.max_indegree_;
+  if (backing_ != nullptr) {
+    in_off_ = other.in_off_;
+    in_tgt_ = other.in_tgt_;
+    out_off_ = other.out_off_;
+    out_tgt_ = other.out_tgt_;
+  } else {
+    anchor_owned();
+  }
+  other.in_off_ = {};
+  other.in_tgt_ = {};
+  other.out_off_ = {};
+  other.out_tgt_ = {};
+  other.max_indegree_ = 0;
+  return *this;
+}
+
+Dag Dag::adopt_csr(std::size_t node_count, std::size_t edge_count,
+                   const std::uint32_t* in_offsets, const NodeId* in_targets,
+                   const std::uint32_t* out_offsets, const NodeId* out_targets,
+                   std::shared_ptr<const void> backing) {
+  RBPEB_REQUIRE(node_count <= kMaxDagNodes, "node count exceeds NodeId range");
+  RBPEB_REQUIRE(backing != nullptr,
+                "adopted CSR needs a custodian for its memory");
+  Dag dag;
+  dag.backing_ = std::move(backing);
+  dag.in_off_ = {in_offsets, node_count + 1};
+  dag.in_tgt_ = {in_targets, edge_count};
+  dag.out_off_ = {out_offsets, node_count + 1};
+  dag.out_tgt_ = {out_targets, edge_count};
+  dag.derive_structure();
+  return dag;
+}
+
 std::span<const NodeId> Dag::predecessors(NodeId v) const {
   RBPEB_REQUIRE(contains(v), "node id out of range");
-  return {in_targets_.data() + in_offsets_[v],
-          in_targets_.data() + in_offsets_[v + 1]};
+  return in_tgt_.subspan(in_off_[v], in_off_[v + 1] - in_off_[v]);
 }
 
 std::span<const NodeId> Dag::successors(NodeId v) const {
   RBPEB_REQUIRE(contains(v), "node id out of range");
-  return {out_targets_.data() + out_offsets_[v],
-          out_targets_.data() + out_offsets_[v + 1]};
+  return out_tgt_.subspan(out_off_[v], out_off_[v + 1] - out_off_[v]);
 }
 
 bool Dag::has_edge(NodeId u, NodeId v) const {

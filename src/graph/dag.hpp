@@ -5,9 +5,18 @@
 // computation consumes (paper, Section 1). `Dag` stores both edge directions
 // in compressed sparse row form so that pebbling engines can iterate
 // predecessors and successors without allocation.
+//
+// The CSR arrays are served through spans that normally point at vectors the
+// Dag owns (the DagBuilder path). A Dag can instead *adopt* an externally
+// validated CSR — e.g. the arrays of an mmap-ed .rbg instance file
+// (src/instances/binary_format.hpp) — in which case the spans point straight
+// into the external memory and a shared custodian keeps it alive for the
+// Dag's lifetime. Either way the accessor surface is identical, so the whole
+// solver stack runs on mapped instances without copying the adjacency.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,19 +29,51 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+/// Largest node count a Dag may have: every id must be a valid NodeId and
+/// kInvalidNode must stay free as a sentinel.
+inline constexpr std::uint64_t kMaxDagNodes = 0xFFFFFFFEull;
+
 class DagBuilder;
 
 /// An immutable directed acyclic graph. Construct via DagBuilder, which
-/// verifies acyclicity; every Dag instance is guaranteed acyclic.
+/// verifies acyclicity, or adopt a pre-validated external CSR via
+/// Dag::adopt_csr; every Dag instance is guaranteed acyclic.
 class Dag {
  public:
   Dag() = default;
 
+  // The accessor spans alias either this object's own vectors or the shared
+  // backing, so copies and moves must re-anchor them (see dag.cpp).
+  Dag(const Dag& other);
+  Dag& operator=(const Dag& other);
+  Dag(Dag&& other) noexcept;
+  Dag& operator=(Dag&& other) noexcept;
+
+  /// Adopt an externally owned CSR (both directions) without copying it.
+  /// `backing` keeps the memory alive; the four arrays must stay valid and
+  /// unchanged for as long as `backing` is held. The caller is responsible
+  /// for having validated the arrays (offsets monotone and consistent,
+  /// targets in range, both directions describing the same acyclic edge
+  /// set) — the instance loader does exactly that before calling this.
+  /// Sources, sinks, and Δ are derived here in O(node_count).
+  static Dag adopt_csr(std::size_t node_count, std::size_t edge_count,
+                       const std::uint32_t* in_offsets,
+                       const NodeId* in_targets,
+                       const std::uint32_t* out_offsets,
+                       const NodeId* out_targets,
+                       std::shared_ptr<const void> backing);
+
+  /// True when the adjacency lives in adopted external memory (an mmap-ed
+  /// instance file) rather than vectors this Dag owns.
+  bool adjacency_external() const { return backing_ != nullptr; }
+
   /// Number of nodes.
-  std::size_t node_count() const { return in_offsets_.empty() ? 0 : in_offsets_.size() - 1; }
+  std::size_t node_count() const {
+    return in_off_.empty() ? 0 : in_off_.size() - 1;
+  }
 
   /// Number of edges.
-  std::size_t edge_count() const { return in_targets_.size(); }
+  std::size_t edge_count() const { return in_tgt_.size(); }
 
   /// Direct predecessors (inputs) of `v`, in insertion order.
   std::span<const NodeId> predecessors(NodeId v) const;
@@ -73,12 +114,27 @@ class Dag {
  private:
   friend class DagBuilder;
 
-  // CSR storage: predecessors of v are in_targets_[in_offsets_[v] ..
+  /// Point the accessor spans at the owned vectors (builder / copy path).
+  void anchor_owned();
+  /// Derive sources_, sinks_, max_indegree_ from the anchored offsets.
+  void derive_structure();
+
+  // Owned CSR storage: empty when the adjacency was adopted from external
+  // memory. Predecessors of v are in_targets_[in_offsets_[v] ..
   // in_offsets_[v+1]); symmetrically for successors.
   std::vector<std::uint32_t> in_offsets_;
   std::vector<NodeId> in_targets_;
   std::vector<std::uint32_t> out_offsets_;
   std::vector<NodeId> out_targets_;
+
+  // What the accessors serve: views into the owned vectors above, or into
+  // `backing_` for an adopted CSR.
+  std::span<const std::uint32_t> in_off_;
+  std::span<const NodeId> in_tgt_;
+  std::span<const std::uint32_t> out_off_;
+  std::span<const NodeId> out_tgt_;
+  std::shared_ptr<const void> backing_;
+
   std::vector<NodeId> sources_;
   std::vector<NodeId> sinks_;
   std::vector<std::string> labels_;

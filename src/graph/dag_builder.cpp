@@ -17,6 +17,8 @@ std::uint64_t edge_key(NodeId from, NodeId to) {
 }  // namespace
 
 NodeId DagBuilder::add_nodes(std::size_t count) {
+  RBPEB_REQUIRE(labels_.size() + count <= kMaxDagNodes,
+                "node count exceeds NodeId range");
   NodeId first = static_cast<NodeId>(labels_.size());
   labels_.resize(labels_.size() + count);
   return first;
@@ -79,6 +81,7 @@ Dag DagBuilder::build() {
     }
   }
   edges_.clear();
+  dag.anchor_owned();
 
   // Kahn's algorithm both validates acyclicity and finds sources.
   std::vector<std::uint32_t> indeg(n);
@@ -102,15 +105,7 @@ Dag DagBuilder::build() {
   }
   RBPEB_REQUIRE(processed == n, "graph contains a cycle; not a DAG");
 
-  dag.max_indegree_ = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    std::size_t d = dag.in_offsets_[v + 1] - dag.in_offsets_[v];
-    dag.max_indegree_ = std::max(dag.max_indegree_, d);
-    if (d == 0) dag.sources_.push_back(static_cast<NodeId>(v));
-    if (dag.out_offsets_[v + 1] == dag.out_offsets_[v]) {
-      dag.sinks_.push_back(static_cast<NodeId>(v));
-    }
-  }
+  dag.derive_structure();
   return dag;
 }
 

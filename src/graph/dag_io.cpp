@@ -1,6 +1,9 @@
 #include "src/graph/dag_io.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <sstream>
+#include <unordered_set>
 
 #include "src/graph/dag_builder.hpp"
 #include "src/support/check.hpp"
@@ -37,18 +40,142 @@ std::string to_text(const Dag& dag) {
   return os.str();
 }
 
-Dag from_text(const std::string& text) {
-  std::istringstream is(text);
-  std::size_t n = 0;
-  RBPEB_REQUIRE(static_cast<bool>(is >> n), "missing node count");
+namespace {
+
+// One linear pass over the input; `pos` is the byte offset every
+// diagnostic reports.
+class TextScanner {
+ public:
+  explicit TextScanner(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(std::size_t offset, const std::string& what) const {
+    std::size_t line = 1, line_start = 0;
+    for (std::size_t i = 0; i < offset && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+    }
+    std::ostringstream os;
+    os << "DAG text: byte " << offset << " (line " << line << ", column "
+       << (offset - line_start + 1) << "): " << what;
+    throw PreconditionError(os.str());
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  std::size_t pos() const { return pos_; }
+
+  // Advance past spaces, tabs, and carriage returns on the current line.
+  void skip_inline_space() {
+    while (!at_end() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  // Advance to the start of the next significant token: inline space,
+  // newlines, blank lines, and `#` comments are all skipped.
+  void skip_insignificant() {
+    for (;;) {
+      skip_inline_space();
+      if (at_end()) return;
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++pos_;
+      } else if (c == '#') {
+        while (!at_end() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  // After a token: only inline space, a comment, a newline, or EOF may
+  // follow on this line.
+  void expect_line_end(const char* context) {
+    skip_inline_space();
+    if (at_end()) return;
+    char c = text_[pos_];
+    if (c == '#') {
+      while (!at_end() && text_[pos_] != '\n') ++pos_;
+      return;
+    }
+    if (c != '\n') fail(pos_, std::string("unexpected text after ") + context);
+  }
+
+  // Parse one unsigned decimal integer at the cursor, at most `max`.
+  std::uint64_t parse_number(const char* what, std::uint64_t max) {
+    if (at_end() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail(pos_, std::string("expected ") + what);
+    }
+    std::uint64_t value = 0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [next, ec] = std::from_chars(begin, end, value);
+    if (ec == std::errc::result_out_of_range ||
+        (ec == std::errc{} && value > max)) {
+      fail(pos_, std::string(what) + " overflows the supported range");
+    }
+    RBPEB_ENSURE(ec == std::errc{}, "from_chars failed on a digit");
+    pos_ += static_cast<std::size_t>(next - begin);
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Dag from_text(std::string_view text) {
+  TextScanner scan(text);
+
+  scan.skip_insignificant();
+  if (scan.at_end()) scan.fail(scan.pos(), "missing node count");
+  std::size_t count_at = scan.pos();
+  std::uint64_t n = scan.parse_number("node count", kMaxDagNodes);
+  scan.expect_line_end("node count");
+
+  // Plausibility bound: allocation happens before edges are parsed, so an
+  // 11-byte input must not be able to declare 4 billion nodes. Small sparse
+  // instances pass via the unconditional floor; anything larger must carry
+  // enough bytes to plausibly describe itself (real instances list edges at
+  // several bytes each — past the floor, use the mmap-able .rbg container).
+  constexpr std::uint64_t kTextNodeFloor = 1u << 20;
+  if (n > kTextNodeFloor && n > 4 * static_cast<std::uint64_t>(text.size())) {
+    scan.fail(count_at, "node count " + std::to_string(n) +
+                            " is implausible for a " +
+                            std::to_string(text.size()) + "-byte input");
+  }
+
   DagBuilder builder;
-  builder.add_nodes(n);
-  std::uint64_t u = 0, v = 0;
-  while (is >> u >> v) {
-    RBPEB_REQUIRE(u < n && v < n, "edge endpoint out of range");
+  builder.add_nodes(static_cast<std::size_t>(n));
+
+  std::unordered_set<std::uint64_t> seen_edges;
+  for (;;) {
+    scan.skip_insignificant();
+    if (scan.at_end()) break;
+    std::size_t edge_at = scan.pos();
+    std::uint64_t u = scan.parse_number("edge source", kMaxDagNodes);
+    std::size_t gap_at = scan.pos();
+    scan.skip_inline_space();
+    if (scan.pos() == gap_at) {
+      scan.fail(gap_at, "expected space between edge endpoints");
+    }
+    std::uint64_t v = scan.parse_number("edge target", kMaxDagNodes);
+    scan.expect_line_end("edge");
+
+    if (u >= n || v >= n) {
+      scan.fail(edge_at, "edge endpoint out of range (node count " +
+                             std::to_string(n) + ")");
+    }
+    if (u == v) scan.fail(edge_at, "self-loop is not a DAG edge");
+    if (!seen_edges.insert((u << 32) | v).second) {
+      scan.fail(edge_at, "duplicate edge");
+    }
     builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  RBPEB_REQUIRE(is.eof(), "trailing garbage in DAG text");
   return builder.build();
 }
 

@@ -1,7 +1,16 @@
-// DAG serialization: Graphviz DOT export and a simple line-based text format.
+// DAG serialization: Graphviz DOT export and the rbpeb line-based text
+// format.
+//
+// The text format is the project's untrusted-input surface (instance files,
+// serve requests), so from_text is a strict streaming parser: every
+// rejection names the byte offset (plus line and column) of the offending
+// input, `#` comments and blank lines are tolerated anywhere, and nothing
+// may follow the edge list — trailing garbage is an error, not a silent
+// truncation.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "src/graph/dag.hpp"
 
@@ -16,8 +25,12 @@ std::string to_dot(const Dag& dag, const std::string& graph_name = "dag");
 /// Labels are not round-tripped (they are debugging aids only).
 std::string to_text(const Dag& dag);
 
-/// Parse the rbpeb text format. Throws PreconditionError on malformed input
-/// or if the described graph has a cycle.
-Dag from_text(const std::string& text);
+/// Parse the rbpeb text format. Grammar, per line: a `#` comment or blank
+/// line (skipped), the node count (first significant line), or an edge
+/// "<from> <to>". CRLF endings are accepted. Throws PreconditionError — with
+/// the byte offset, line, and column of the problem — on any malformed
+/// input: missing or overflowing numbers, out-of-range endpoints,
+/// self-loops, duplicate edges, trailing garbage; and on a cyclic edge list.
+Dag from_text(std::string_view text);
 
 }  // namespace rbpeb

@@ -1,0 +1,260 @@
+#include "src/instances/binary_format.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace rbpeb::instances {
+
+static_assert(std::endian::native == std::endian::little,
+              ".rbg i/o assumes a little-endian host");
+
+namespace {
+
+[[noreturn]] void rbg_fail(const std::string& what) {
+  throw PreconditionError("rbg: " + what);
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// One direction of the stored CSR, viewed in place.
+struct CsrView {
+  const std::uint32_t* offsets;  // n + 1
+  const std::uint32_t* targets;  // e
+};
+
+// Structural checks that apply to each direction independently.
+void check_csr(const CsrView& csr, std::uint64_t n, std::uint64_t e,
+               const char* name, std::vector<std::uint32_t>& stamp) {
+  if (csr.offsets[0] != 0) rbg_fail(std::string(name) + "_offsets[0] != 0");
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (csr.offsets[v] > csr.offsets[v + 1]) {
+      rbg_fail(std::string(name) + "_offsets not monotone at node " +
+               std::to_string(v));
+    }
+  }
+  if (csr.offsets[n] != e) {
+    rbg_fail(std::string(name) + "_offsets[n] != edge_count");
+  }
+  stamp.assign(n, kInvalidNode);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint32_t i = csr.offsets[v]; i < csr.offsets[v + 1]; ++i) {
+      std::uint32_t t = csr.targets[i];
+      if (t >= n) {
+        rbg_fail(std::string(name) + "_targets: node " + std::to_string(t) +
+                 " out of range at edge slot " + std::to_string(i));
+      }
+      if (t == v) rbg_fail("self-loop at node " + std::to_string(v));
+      if (stamp[t] == v) {
+        rbg_fail("duplicate edge in " + std::string(name) +
+                 " adjacency of node " + std::to_string(v));
+      }
+      stamp[t] = static_cast<std::uint32_t>(v);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t rbg_image_bytes(std::uint64_t node_count,
+                              std::uint64_t edge_count) {
+  return kRbgHeaderBytes + 4 * (2 * (node_count + 1) + 2 * edge_count);
+}
+
+std::string to_rbg_bytes(const Dag& dag) {
+  const std::uint64_t n = dag.node_count();
+  const std::uint64_t e = dag.edge_count();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rbg_image_bytes(n, e)));
+  out.append(kRbgMagic.data(), kRbgMagic.size());
+  append_u32(out, kRbgVersion);
+  append_u32(out, 0);  // flags
+  append_u64(out, n);
+  append_u64(out, e);
+
+  auto append_csr = [&](auto neighbors) {
+    std::uint32_t offset = 0;
+    append_u32(out, 0);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      offset += static_cast<std::uint32_t>(
+          neighbors(static_cast<NodeId>(v)).size());
+      append_u32(out, offset);
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+      for (NodeId t : neighbors(static_cast<NodeId>(v))) append_u32(out, t);
+    }
+  };
+  append_csr([&](NodeId v) { return dag.predecessors(v); });
+  append_csr([&](NodeId v) { return dag.successors(v); });
+  RBPEB_ENSURE(out.size() == rbg_image_bytes(n, e),
+               "rbg serialization size mismatch");
+  return out;
+}
+
+void write_rbg_file(const Dag& dag, const std::string& path) {
+  std::string bytes = to_rbg_bytes(dag);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    RBPEB_REQUIRE(os.good(), "cannot open " + tmp + " for writing");
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    RBPEB_REQUIRE(os.good(), "short write to " + tmp);
+  }
+  RBPEB_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename " + tmp + " to " + path);
+}
+
+bool looks_like_rbg(std::span<const std::byte> bytes) {
+  return bytes.size() >= kRbgMagic.size() &&
+         std::memcmp(bytes.data(), kRbgMagic.data(), kRbgMagic.size()) == 0;
+}
+
+Dag from_rbg_buffer(std::span<const std::byte> bytes,
+                    std::shared_ptr<const void> backing) {
+  if (bytes.size() < kRbgHeaderBytes) rbg_fail("truncated header");
+  if (!looks_like_rbg(bytes)) rbg_fail("bad magic");
+  if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(std::uint32_t)
+      != 0) {
+    rbg_fail("image buffer is not 4-byte aligned");
+  }
+  const std::uint32_t version = read_u32(bytes.data() + 8);
+  if (version != kRbgVersion) {
+    rbg_fail("unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t flags = read_u32(bytes.data() + 12);
+  if (flags != 0) rbg_fail("unknown flags " + std::to_string(flags));
+  const std::uint64_t n = read_u64(bytes.data() + 16);
+  const std::uint64_t e = read_u64(bytes.data() + 24);
+  if (n > kMaxDagNodes) rbg_fail("node count exceeds NodeId range");
+  if (e > 0xFFFFFFFFull) rbg_fail("edge count exceeds 32-bit offsets");
+  if (bytes.size() != rbg_image_bytes(n, e)) {
+    rbg_fail("file size " + std::to_string(bytes.size()) +
+             " does not match header (expected " +
+             std::to_string(rbg_image_bytes(n, e)) + ")");
+  }
+
+  const auto* words =
+      reinterpret_cast<const std::uint32_t*>(bytes.data() + kRbgHeaderBytes);
+  CsrView in{words, words + (n + 1)};
+  CsrView out{words + (n + 1) + e, words + 2 * (n + 1) + e};
+
+  std::vector<std::uint32_t> stamp;
+  check_csr(in, n, e, "in", stamp);
+  check_csr(out, n, e, "out", stamp);
+
+  // Cross-consistency: rebuild the predecessor lists from the out-CSR by
+  // counting sort and require set equality per node. Both directions are
+  // duplicate-free by now, so equal length + containment ⇒ equality.
+  {
+    std::vector<std::uint32_t> pos(n + 1, 0);
+    for (std::uint64_t i = 0; i < e; ++i) ++pos[out.targets[i] + 1];
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (pos[v + 1] != in.offsets[v + 1] - in.offsets[v]) {
+        rbg_fail("in/out degree mismatch at node " + std::to_string(v));
+      }
+      pos[v + 1] += pos[v];
+    }
+    std::vector<std::uint32_t> rebuilt(e);
+    for (std::uint64_t u = 0; u < n; ++u) {
+      for (std::uint32_t i = out.offsets[u]; i < out.offsets[u + 1]; ++i) {
+        rebuilt[pos[out.targets[i]]++] = static_cast<std::uint32_t>(u);
+      }
+    }
+    stamp.assign(n, kInvalidNode);
+    std::uint64_t slot = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      std::uint32_t deg = in.offsets[v + 1] - in.offsets[v];
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        stamp[rebuilt[slot + i]] = static_cast<std::uint32_t>(v);
+      }
+      for (std::uint32_t i = in.offsets[v]; i < in.offsets[v + 1]; ++i) {
+        if (stamp[in.targets[i]] != v) {
+          rbg_fail("in/out adjacency disagree at node " + std::to_string(v));
+        }
+      }
+      slot += deg;
+    }
+  }
+
+  // Acyclicity (Kahn over the stored out-CSR).
+  {
+    std::vector<std::uint32_t> indeg(n);
+    std::vector<NodeId> frontier;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      indeg[v] = in.offsets[v + 1] - in.offsets[v];
+      if (indeg[v] == 0) frontier.push_back(static_cast<NodeId>(v));
+    }
+    std::uint64_t processed = 0;
+    while (!frontier.empty()) {
+      NodeId v = frontier.back();
+      frontier.pop_back();
+      ++processed;
+      for (std::uint32_t i = out.offsets[v]; i < out.offsets[v + 1]; ++i) {
+        if (--indeg[out.targets[i]] == 0) {
+          frontier.push_back(static_cast<NodeId>(out.targets[i]));
+        }
+      }
+    }
+    if (processed != n) rbg_fail("edge list contains a cycle; not a DAG");
+  }
+
+  return Dag::adopt_csr(static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(e), in.offsets, in.targets,
+                        out.offsets, out.targets, std::move(backing));
+}
+
+MappedInstance load_rbg_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  RBPEB_REQUIRE(fd >= 0,
+                "cannot open " + path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    rbg_fail("cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < kRbgHeaderBytes) {
+    ::close(fd);
+    rbg_fail("truncated header");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  RBPEB_REQUIRE(base != MAP_FAILED,
+                "mmap of " + path + " failed: " + std::strerror(errno));
+  std::shared_ptr<const void> mapping(
+      base, [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
+  const auto* data = static_cast<const std::byte*>(base);
+  Dag dag = from_rbg_buffer({data, size}, mapping);
+  return MappedInstance{std::move(dag), data, size};
+}
+
+}  // namespace rbpeb::instances

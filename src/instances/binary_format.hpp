@@ -1,0 +1,75 @@
+// The .rbg binary instance format: a versioned, mmap-able container for one
+// computation DAG.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size          field
+//   0       8             magic "rbpebdag"
+//   8       u32           version (currently 1)
+//   12      u32           flags (must be 0; reserved)
+//   16      u64           node_count  (n)
+//   24      u64           edge_count  (e)
+//   32      (n+1) × u32   in_offsets   — CSR offsets, predecessors
+//   …       e × u32       in_targets
+//   …       (n+1) × u32   out_offsets  — CSR offsets, successors
+//   …       e × u32       out_targets
+//
+// The adjacency is stored exactly as the Dag holds it (insertion order), so
+// a text → binary → text round trip is byte-identical and solver behaviour
+// cannot drift with the storage format. The loader validates the whole image
+// — magic, version, exact file size, offset monotonicity, target ranges,
+// self-loops, per-node duplicates, in/out cross-consistency, acyclicity —
+// using only transient O(n + e) scratch, then adopts the mapped CSR arrays
+// in place: the Dag it returns serves predecessors/successors straight out
+// of the file mapping, no copy of the edge arrays is ever made.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb::instances {
+
+inline constexpr std::array<char, 8> kRbgMagic = {'r', 'b', 'p', 'e',
+                                                  'b', 'd', 'a', 'g'};
+inline constexpr std::uint32_t kRbgVersion = 1;
+inline constexpr std::size_t kRbgHeaderBytes = 32;
+
+/// Exact byte size of the .rbg image for a DAG of the given shape.
+std::uint64_t rbg_image_bytes(std::uint64_t node_count,
+                              std::uint64_t edge_count);
+
+/// Serialize `dag` into .rbg bytes. Labels are not stored (they are
+/// debugging aids, exactly as in the text format).
+std::string to_rbg_bytes(const Dag& dag);
+
+/// Serialize `dag` and write it to `path` atomically-ish (temp + rename).
+void write_rbg_file(const Dag& dag, const std::string& path);
+
+/// Validate an in-memory .rbg image and adopt its CSR without copying.
+/// `backing` must keep `bytes` alive and unchanged; the returned Dag holds
+/// it. `bytes.data()` must be 4-byte aligned (any mmap or heap buffer is).
+/// Throws PreconditionError naming the defect on any malformed image.
+Dag from_rbg_buffer(std::span<const std::byte> bytes,
+                    std::shared_ptr<const void> backing);
+
+/// An instance served straight from a file mapping.
+struct MappedInstance {
+  Dag dag;                ///< Adjacency points into the mapping.
+  const std::byte* data;  ///< Mapping base (diagnostics, tests).
+  std::size_t size;       ///< Mapping length in bytes.
+};
+
+/// mmap `path`, validate, and adopt the CSR in place (see file comment).
+/// The mapping lives for as long as any copy of the returned Dag does.
+MappedInstance load_rbg_file(const std::string& path);
+
+/// True when `bytes` starts with the .rbg magic (format sniffing).
+bool looks_like_rbg(std::span<const std::byte> bytes);
+
+}  // namespace rbpeb::instances

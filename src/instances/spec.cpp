@@ -1,0 +1,455 @@
+#include "src/instances/spec.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "src/gadgets/tradeoff_chain.hpp"
+#include "src/graph/dag_builder.hpp"
+#include "src/graph/dag_io.hpp"
+#include "src/graph/generators.hpp"
+#include "src/instances/binary_format.hpp"
+#include "src/pebble/model.hpp"
+#include "src/reductions/greedy_grid.hpp"
+#include "src/reductions/hampath.hpp"
+#include "src/reductions/vertexcover.hpp"
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+#include "src/workloads/chain.hpp"
+#include "src/workloads/fft.hpp"
+#include "src/workloads/lu.hpp"
+#include "src/workloads/matmul.hpp"
+#include "src/workloads/pyramid.hpp"
+#include "src/workloads/random_layered.hpp"
+#include "src/workloads/stencil.hpp"
+#include "src/workloads/tree_reduction.hpp"
+
+namespace rbpeb::instances {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fully resolved generator parameters (defaults filled in).
+using Params = std::map<std::string, std::string, std::less<>>;
+
+std::uint64_t param_u64(const Params& params, std::string_view key) {
+  const std::string& raw = params.at(std::string(key));
+  std::uint64_t value = 0;
+  auto [next, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  RBPEB_REQUIRE(ec == std::errc{} && next == raw.data() + raw.size(),
+                "instance parameter " + std::string(key) + "=" + raw +
+                    " is not an unsigned integer");
+  return value;
+}
+
+double param_double(const Params& params, std::string_view key) {
+  const std::string& raw = params.at(std::string(key));
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(raw, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  RBPEB_REQUIRE(used == raw.size(), "instance parameter " + std::string(key) +
+                                        "=" + raw + " is not a number");
+  return value;
+}
+
+Model param_model(const Params& params, std::string_view key) {
+  const std::string& raw = params.at(std::string(key));
+  auto model = Model::from_name(raw);
+  RBPEB_REQUIRE(model.has_value(),
+                "instance parameter " + std::string(key) + "=" + raw +
+                    " is not a cost model name");
+  return *model;
+}
+
+/// W independent chains of `depth` nodes, all feeding one sink: a
+/// pathological-width instance (Δ equals the width at the sink).
+Dag make_wide_dag(std::size_t width, std::size_t depth) {
+  RBPEB_REQUIRE(width >= 1 && depth >= 1, "wide: width and depth must be >= 1");
+  DagBuilder builder;
+  NodeId first = builder.add_nodes(width * depth);
+  NodeId sink = builder.add_node();
+  for (std::size_t c = 0; c < width; ++c) {
+    NodeId base = first + static_cast<NodeId>(c * depth);
+    for (std::size_t i = 1; i < depth; ++i) {
+      builder.add_edge(base + static_cast<NodeId>(i - 1),
+                       base + static_cast<NodeId>(i));
+    }
+    builder.add_edge(base + static_cast<NodeId>(depth - 1), sink);
+  }
+  return builder.build();
+}
+
+/// A spine chain whose every node also consumes `fan` dedicated sources:
+/// skewed fan-in (a few Δ = fan+1 hubs, everything else degree ≤ 1).
+Dag make_skew_dag(std::size_t spine, std::size_t fan) {
+  RBPEB_REQUIRE(spine >= 1, "skew: spine must be >= 1");
+  DagBuilder builder;
+  NodeId prev = kInvalidNode;
+  for (std::size_t i = 0; i < spine; ++i) {
+    NodeId leaves = builder.add_nodes(fan);
+    NodeId hub = builder.add_node();
+    for (std::size_t j = 0; j < fan; ++j) {
+      builder.add_edge(leaves + static_cast<NodeId>(j), hub);
+    }
+    if (prev != kInvalidNode) builder.add_edge(prev, hub);
+    prev = hub;
+  }
+  return builder.build();
+}
+
+struct GeneratorDef {
+  const char* name;
+  const char* description;
+  /// key → default value; the accepted-parameter list.
+  std::vector<std::pair<const char*, const char*>> params;
+  std::function<ResolvedInstance(const Params&)> build;
+};
+
+const std::vector<GeneratorDef>& generator_registry() {
+  static const std::vector<GeneratorDef> defs = {
+      {"chain", "a path of n nodes", {{"n", "16"}},
+       [](const Params& p) {
+         return ResolvedInstance{make_chain_dag(param_u64(p, "n")), "", 0, 0};
+       }},
+      {"pyramid", "2D pyramid with the given base width", {{"base", "4"}},
+       [](const Params& p) {
+         return ResolvedInstance{make_pyramid_dag(param_u64(p, "base")).dag,
+                                 "", 0, 0};
+       }},
+      {"tree", "binary tree reduction over `leaves` inputs",
+       {{"leaves", "8"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_tree_reduction_dag(param_u64(p, "leaves")).dag, "", 0, 0};
+       }},
+      {"fft", "FFT butterfly on `size` points (power of two)",
+       {{"size", "8"}},
+       [](const Params& p) {
+         return ResolvedInstance{make_fft_dag(param_u64(p, "size")).dag, "",
+                                 0, 0};
+       }},
+      {"matmul", "naive n×n matrix multiplication", {{"n", "2"}},
+       [](const Params& p) {
+         return ResolvedInstance{make_matmul_dag(param_u64(p, "n")).dag, "",
+                                 0, 0};
+       }},
+      {"lu", "LU decomposition of an n×n matrix", {{"n", "3"}},
+       [](const Params& p) {
+         return ResolvedInstance{make_lu_dag(param_u64(p, "n")).dag, "", 0,
+                                 0};
+       }},
+      {"stencil", "1D 3-point stencil, width × steps",
+       {{"width", "4"}, {"steps", "4"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_stencil1d_dag(param_u64(p, "width"), param_u64(p, "steps"))
+                 .dag,
+             "", 0, 0};
+       }},
+      {"stencil2d", "2D 5-point stencil, width × height × steps",
+       {{"width", "3"}, {"height", "3"}, {"steps", "2"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_stencil2d_dag(param_u64(p, "width"), param_u64(p, "height"),
+                                param_u64(p, "steps"))
+                 .dag,
+             "", 0, 0};
+       }},
+      {"layered", "random layered DAG (layers × width, fixed indegree)",
+       {{"layers", "4"}, {"width", "8"}, {"indegree", "2"}, {"seed", "1"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_random_layered_dag({.layers = param_u64(p, "layers"),
+                                      .width = param_u64(p, "width"),
+                                      .indegree = param_u64(p, "indegree"),
+                                      .seed = param_u64(p, "seed")}),
+             "", 0, 0};
+       }},
+      {"wide", "pathological width: `width` chains of `depth` into one sink",
+       {{"width", "64"}, {"depth", "1"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_wide_dag(param_u64(p, "width"), param_u64(p, "depth")), "",
+             0, 0};
+       }},
+      {"skew", "skewed fan-in: spine of hubs, each consuming `fan` sources",
+       {{"spine", "8"}, {"fan", "4"}},
+       [](const Params& p) {
+         return ResolvedInstance{
+             make_skew_dag(param_u64(p, "spine"), param_u64(p, "fan")), "", 0,
+             0};
+       }},
+      {"hampath",
+       "Hamiltonian-path reduction gadget over a random graph (paper §4)",
+       {{"n", "5"}, {"p", "0.6"}, {"seed", "1"}, {"model", "oneshot"}},
+       [](const Params& p) {
+         Rng rng(param_u64(p, "seed"));
+         Graph g = random_graph_with_ham_path(param_u64(p, "n"),
+                                              param_double(p, "p"), rng);
+         auto red = make_hampath_reduction(g, param_model(p, "model"));
+         return ResolvedInstance{red.instance.dag, "", 0,
+                                 red.instance.red_limit};
+       }},
+      {"hampath-cd",
+       "constant-indegree Hamiltonian-path gadget (CD layers, Appendix B.1)",
+       {{"n", "5"}, {"p", "0.6"}, {"seed", "1"}, {"layers", "3"}},
+       [](const Params& p) {
+         Rng rng(param_u64(p, "seed"));
+         Graph g = random_graph_with_ham_path(param_u64(p, "n"),
+                                              param_double(p, "p"), rng);
+         auto red = make_hampath_reduction_cd(g, param_u64(p, "layers"));
+         return ResolvedInstance{red.instance.dag, "", 0,
+                                 red.instance.red_limit};
+       }},
+      {"vertexcover",
+       "vertex-cover reduction gadget over a random graph (paper §5)",
+       {{"n", "4"}, {"p", "0.5"}, {"seed", "1"}, {"k", "8"}},
+       [](const Params& p) {
+         Rng rng(param_u64(p, "seed"));
+         Graph g =
+             random_graph(param_u64(p, "n"), param_double(p, "p"), rng);
+         auto red = make_vertexcover_reduction(g, param_u64(p, "k"));
+         return ResolvedInstance{red.instance.dag, "", 0,
+                                 red.instance.red_limit};
+       }},
+      {"grid", "greedy-misguidance grid (paper §6)",
+       {{"ell", "3"}, {"k", "16"}, {"intersection", "2"}, {"protect", "0"}},
+       [](const Params& p) {
+         auto grid = make_greedy_grid({
+             .ell = static_cast<std::size_t>(param_u64(p, "ell")),
+             .k_common = static_cast<std::size_t>(param_u64(p, "k")),
+             .intersection =
+                 static_cast<std::size_t>(param_u64(p, "intersection")),
+             .protect_commons = param_u64(p, "protect") != 0,
+         });
+         return ResolvedInstance{grid.instance.dag, "", 0,
+                                 grid.instance.red_limit};
+       }},
+      {"tradeoff", "Figure 3 tradeoff chain (d control nodes × length)",
+       {{"d", "3"}, {"length", "8"}, {"h2c", "0"}},
+       [](const Params& p) {
+         TradeoffChainSpec spec{
+             .d = static_cast<std::size_t>(param_u64(p, "d")),
+             .length = static_cast<std::size_t>(param_u64(p, "length")),
+             .h2c_red_limit = {}};
+         if (std::uint64_t r = param_u64(p, "h2c"); r != 0) {
+           spec.h2c_red_limit = static_cast<std::size_t>(r);
+         }
+         auto chain = make_tradeoff_chain(spec);
+         return ResolvedInstance{chain.instance.dag, "", 0,
+                                 chain.instance.red_limit};
+       }},
+  };
+  return defs;
+}
+
+const GeneratorDef* find_generator(std::string_view name) {
+  for (const GeneratorDef& def : generator_registry()) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+std::string known_generators() {
+  std::string out;
+  for (const GeneratorDef& def : generator_registry()) {
+    if (!out.empty()) out += ", ";
+    out += def.name;
+  }
+  return out;
+}
+
+bool is_file_scheme(std::string_view head) {
+  return head == "file" || head == "text" || head == "rbg";
+}
+
+/// Resolve the on-disk location of a file spec under the access policy.
+fs::path confine_path(const InstanceSpec& spec,
+                      const InstanceSourceOptions& options) {
+  RBPEB_REQUIRE(options.allow_files,
+                "file instances are not allowed here (no instance root is "
+                "configured)");
+  fs::path requested(spec.path);
+  if (options.root.empty()) return requested;
+
+  RBPEB_REQUIRE(requested.is_relative(),
+                "instance path must be relative to the instance root");
+  for (const auto& part : requested) {
+    RBPEB_REQUIRE(part != "..",
+                  "instance path must not contain a '..' component");
+  }
+  std::error_code ec;
+  fs::path root = fs::weakly_canonical(fs::path(options.root), ec);
+  RBPEB_REQUIRE(!ec, "cannot canonicalize instance root " + options.root);
+  fs::path full = fs::weakly_canonical(root / requested, ec);
+  RBPEB_REQUIRE(!ec, "cannot canonicalize instance path " + spec.path);
+  std::string root_str = root.string();
+  std::string full_str = full.string();
+  RBPEB_REQUIRE(
+      full_str.size() > root_str.size() &&
+          full_str.compare(0, root_str.size(), root_str) == 0 &&
+          full_str[root_str.size()] == '/',
+      "instance path escapes the instance root");
+  return full;
+}
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  RBPEB_REQUIRE(is.good(), "cannot open instance file " + path.string());
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+ResolvedInstance resolve_file(const InstanceSpec& spec,
+                              const InstanceSourceOptions& options) {
+  fs::path path = confine_path(spec, options);
+  std::string format = spec.format;
+  if (format == "auto") {
+    std::ifstream is(path, std::ios::binary);
+    RBPEB_REQUIRE(is.good(), "cannot open instance file " + path.string());
+    char head[8] = {};
+    is.read(head, sizeof(head));
+    std::span<const std::byte> sniff{
+        reinterpret_cast<const std::byte*>(head),
+        static_cast<std::size_t>(is.gcount())};
+    format = looks_like_rbg(sniff) ? "rbg" : "text";
+  }
+  ResolvedInstance resolved;
+  if (format == "rbg") {
+    MappedInstance mapped = load_rbg_file(path.string());
+    resolved.dag = std::move(mapped.dag);
+    resolved.mapped_bytes = mapped.size;
+  } else {
+    resolved.dag = from_text(read_file_bytes(path));
+  }
+  resolved.name = spec.canonical;
+  return resolved;
+}
+
+}  // namespace
+
+InstanceSpec InstanceSpec::parse(std::string_view spec) {
+  RBPEB_REQUIRE(!spec.empty(), "empty instance spec");
+  std::size_t colon = spec.find(':');
+  std::string_view head =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+
+  InstanceSpec parsed;
+  if (is_file_scheme(head)) {
+    RBPEB_REQUIRE(!rest.empty(),
+                  std::string(head) + ": spec needs a path, e.g. " +
+                      std::string(head) + ":corpus/instances/foo.txt");
+    parsed.kind = InstanceKind::File;
+    parsed.path = std::string(rest);
+    parsed.format = head == "file" ? "auto" : std::string(head);
+    parsed.canonical = std::string(head) + ":" + parsed.path;
+    return parsed;
+  }
+
+  const GeneratorDef* def = find_generator(head);
+  RBPEB_REQUIRE(def != nullptr, "unknown instance generator '" +
+                                    std::string(head) + "'; known: " +
+                                    known_generators());
+  parsed.kind = InstanceKind::Generator;
+  parsed.generator = std::string(head);
+
+  auto accepted = [&](std::string_view key) {
+    for (const auto& [k, v] : def->params) {
+      if (key == k) return true;
+    }
+    return false;
+  };
+  auto accepted_keys = [&]() {
+    std::string out;
+    for (const auto& [k, v] : def->params) {
+      if (!out.empty()) out += ", ";
+      out += k;
+    }
+    return out;
+  };
+
+  while (!rest.empty()) {
+    std::size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    std::size_t eq = item.find('=');
+    RBPEB_REQUIRE(eq != std::string_view::npos && eq > 0 &&
+                      eq + 1 < item.size(),
+                  "malformed instance parameter '" + std::string(item) +
+                      "' (want k=v)");
+    std::string key(item.substr(0, eq));
+    RBPEB_REQUIRE(accepted(key), "generator '" + parsed.generator +
+                                     "' does not accept parameter '" + key +
+                                     "'; accepted: " + accepted_keys());
+    bool inserted =
+        parsed.params.emplace(key, std::string(item.substr(eq + 1))).second;
+    RBPEB_REQUIRE(inserted, "duplicate instance parameter '" + key + "'");
+  }
+
+  // Fill defaults, then spell every parameter into the canonical string.
+  for (const auto& [k, v] : def->params) {
+    parsed.params.emplace(k, v);
+  }
+  std::string canon = parsed.generator;
+  char sep = ':';
+  for (const auto& [k, v] : parsed.params) {
+    canon += sep;
+    canon += k;
+    canon += '=';
+    canon += v;
+    sep = ',';
+  }
+  parsed.canonical = std::move(canon);
+  return parsed;
+}
+
+ResolvedInstance resolve_instance(const InstanceSpec& spec,
+                                  const InstanceSourceOptions& options) {
+  if (spec.kind == InstanceKind::File) return resolve_file(spec, options);
+  const GeneratorDef* def = find_generator(spec.generator);
+  RBPEB_ENSURE(def != nullptr, "parsed spec names an unknown generator");
+  ResolvedInstance resolved = def->build(spec.params);
+  resolved.name = spec.canonical;
+  return resolved;
+}
+
+ResolvedInstance resolve_instance(std::string_view spec,
+                                  const InstanceSourceOptions& options) {
+  return resolve_instance(InstanceSpec::parse(spec), options);
+}
+
+std::string spec_grammar_help() {
+  std::ostringstream os;
+  os << "instance spec grammar:\n"
+     << "  <generator>[:k=v[,k=v...]]   generated instance\n"
+     << "  file:<path>                  instance file (format sniffed)\n"
+     << "  text:<path> | rbg:<path>     instance file (format forced)\n"
+     << "generators:\n";
+  for (const GeneratorDef& def : generator_registry()) {
+    os << "  " << def.name;
+    char sep = ':';
+    for (const auto& [k, v] : def.params) {
+      os << sep << k << '=' << v;
+      sep = ',';
+    }
+    os << "  — " << def.description << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rbpeb::instances

@@ -1,0 +1,89 @@
+// One instance-specification language for the whole platform.
+//
+// Before this layer, "which DAG do we solve" was spelled three different
+// ways: rbpeb_cli took a file path plus a `gen` subcommand, the serve
+// protocol took inline DAG text, and every bench driver hand-wired its own
+// generator calls. An InstanceSpec is the single grammar all of them parse:
+//
+//   <generator>[:k=v[,k=v…]]      e.g.  layered:layers=4,width=8,seed=7
+//   file:<path>                   format sniffed from the file's magic
+//   text:<path> | rbg:<path>      format forced
+//
+// parse() validates the shape (unknown generators and unknown or malformed
+// parameters are rejected loudly, naming what is accepted), and
+// resolve_instance() turns a spec into a Dag — generated, parsed from text,
+// or served zero-copy from an mmap-ed .rbg. File access is policy-gated:
+// the CLI resolves paths freely, while the serve tier passes a confinement
+// root that jails every request-supplied path (relative only, no "..",
+// symlink-escape checked).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/graph/dag.hpp"
+
+namespace rbpeb::instances {
+
+/// Where an instance comes from.
+enum class InstanceKind {
+  Generator,  ///< Built by a named workload / gadget generator.
+  File,       ///< Loaded from an instance file (text or .rbg).
+};
+
+struct InstanceSpec {
+  InstanceKind kind = InstanceKind::Generator;
+
+  // Generator specs.
+  std::string generator;
+  std::map<std::string, std::string, std::less<>> params;
+
+  // File specs.
+  std::string path;
+  std::string format;  ///< "auto" | "text" | "rbg".
+
+  /// Normalized spec string: every parameter (defaults included) spelled
+  /// out, sorted by key — equal canonical strings mean equal instances.
+  std::string canonical;
+
+  /// Parse a spec string. Throws PreconditionError (listing the accepted
+  /// generators or parameter keys) on anything malformed.
+  static InstanceSpec parse(std::string_view spec);
+};
+
+/// File-access policy for resolve_instance.
+struct InstanceSourceOptions {
+  /// When false, file specs are rejected outright (a serve deployment with
+  /// no --instance-root).
+  bool allow_files = true;
+  /// When non-empty, file paths must be relative, contain no ".."
+  /// component, and resolve (symlinks followed) to a location inside this
+  /// directory. Empty means unconfined (the CLI's own command line).
+  std::string root;
+};
+
+/// A resolved instance, ready to solve.
+struct ResolvedInstance {
+  Dag dag;
+  std::string name;  ///< The spec's canonical string.
+  /// Bytes served via mmap (0 unless the spec resolved to an .rbg file;
+  /// the Dag then reads its adjacency straight from the mapping).
+  std::size_t mapped_bytes = 0;
+  /// The red-pebble budget the instance was constructed for, when the
+  /// generator defines one (the reduction gadgets); 0 otherwise.
+  std::size_t natural_red_limit = 0;
+};
+
+ResolvedInstance resolve_instance(const InstanceSpec& spec,
+                                  const InstanceSourceOptions& options = {});
+
+/// Convenience: parse + resolve in one call.
+ResolvedInstance resolve_instance(std::string_view spec,
+                                  const InstanceSourceOptions& options = {});
+
+/// One line per known generator: "name  params(defaults)  description".
+std::string spec_grammar_help();
+
+}  // namespace rbpeb::instances

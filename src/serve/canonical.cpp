@@ -126,22 +126,24 @@ CanonicalForm canonicalize(const Dag& dag) {
   // to (conjectured) automorphism — smallest original id keeps it
   // deterministic, and a wrong conjecture costs an audit-fail miss in the
   // cache, never a wrong answer.
-  while (distinct_count(colors) < n) {
-    std::uint64_t class_color = 0;
-    NodeId pick = kInvalidNode;
-    std::vector<std::size_t> members;  // of the smallest-colored split class
+  // Each round sorts (color, id) pairs and splits at the first duplicated
+  // color — the smallest duplicated color value, smallest id inside it —
+  // so a round costs O(n log n), which is what lets the serve tier
+  // fingerprint 10⁵-node file instances.
+  std::vector<std::pair<std::uint64_t, NodeId>> sorted(n);
+  for (;;) {
     for (std::size_t v = 0; v < n; ++v) {
-      std::size_t same = 0;
-      for (std::size_t u = 0; u < n; ++u) same += (colors[u] == colors[v]);
-      if (same < 2) continue;
-      if (pick == kInvalidNode || colors[v] < class_color ||
-          (colors[v] == class_color && v < pick)) {
-        class_color = colors[v];
-        pick = static_cast<NodeId>(v);
+      sorted[v] = {colors[v], static_cast<NodeId>(v)};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    NodeId pick = kInvalidNode;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (sorted[i].first == sorted[i + 1].first) {
+        pick = sorted[i].second;
+        break;
       }
     }
-    RBPEB_ENSURE(pick != kInvalidNode,
-                 "canonicalize: no splittable class despite duplicate colors");
+    if (pick == kInvalidNode) break;  // every color already unique
     colors[pick] = combine(colors[pick], 0xA24BAED4963EE407ULL);
     refine_to_stability(dag, colors);
   }

@@ -280,9 +280,10 @@ RequestMessage parse_request(const std::string& line) {
                 "request: expected a JSON object");
   // Unknown keys fail loudly — the same rule solver options follow, so a
   // typo like "buget" cannot silently run defaults.
-  static const char* kKnown[] = {"id",           "dag",     "r",
-                                 "model",        "solver",  "options",
-                                 "sources_blue", "sinks_blue", "budget"};
+  static const char* kKnown[] = {"id",           "dag",        "dag_file",
+                                 "dag_format",   "r",          "model",
+                                 "solver",       "options",    "sources_blue",
+                                 "sinks_blue",   "budget"};
   for (const auto& [key, value] : doc.object) {
     bool known = false;
     for (const char* k : kKnown) known |= (key == k);
@@ -292,8 +293,22 @@ RequestMessage parse_request(const std::string& line) {
   RequestMessage request;
   if (const Json* id = doc.find("id")) request.id = id->as_string("id");
   const Json* dag = doc.find("dag");
-  RBPEB_REQUIRE(dag != nullptr, "request: missing required field 'dag'");
-  request.dag_text = dag->as_string("dag");
+  const Json* dag_file = doc.find("dag_file");
+  RBPEB_REQUIRE(dag != nullptr || dag_file != nullptr,
+                "request: missing required field 'dag' (or 'dag_file')");
+  RBPEB_REQUIRE(dag == nullptr || dag_file == nullptr,
+                "request: 'dag' and 'dag_file' are mutually exclusive");
+  if (dag != nullptr) request.dag_text = dag->as_string("dag");
+  if (dag_file != nullptr) request.dag_file = dag_file->as_string("dag_file");
+  if (const Json* format = doc.find("dag_format")) {
+    RBPEB_REQUIRE(dag_file != nullptr,
+                  "request: 'dag_format' needs 'dag_file'");
+    request.dag_format = format->as_string("dag_format");
+    RBPEB_REQUIRE(request.dag_format == "auto" ||
+                      request.dag_format == "text" ||
+                      request.dag_format == "rbg",
+                  "request: 'dag_format' must be auto, text, or rbg");
+  }
   const Json* r = doc.find("r");
   RBPEB_REQUIRE(r != nullptr, "request: missing required field 'r'");
   request.red_limit = static_cast<std::size_t>(r->as_u64("r"));

@@ -16,7 +16,11 @@
 //    "options": {"rule": "lru"},
 //    "budget": {"states": 200000, "ms": 500, "threads": 2,
 //               "memory": 67108864, "disk": 268435456}}
-// Only "dag" and "r" are required; everything else has server defaults.
+// Only "r" plus exactly one of "dag" (inline text) or "dag_file" (a path
+// under the server's --instance-root, optionally with "dag_format":
+// "auto"|"text"|"rbg") are required; everything else has server defaults.
+// The answer — and its cache fingerprint — is identical whichever way the
+// same instance arrives.
 //
 // Response line (see ResponseMessage): id, status, audited cost and trace,
 // the cache verdict, per-request timing, and the solver's stats map.
@@ -66,6 +70,11 @@ std::string json_quote(const std::string& text);
 struct RequestMessage {
   std::string id;
   std::string dag_text;
+  /// Instance file alternative to inline "dag": a path resolved under the
+  /// server's --instance-root jail (requests are rejected when no root is
+  /// configured). Exactly one of dag_text / dag_file is set.
+  std::string dag_file;
+  std::string dag_format;  ///< "auto" (default), "text", or "rbg".
   std::size_t red_limit = 0;
   std::string model = "oneshot";
   bool sources_blue = false;

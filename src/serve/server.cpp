@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/graph/dag_io.hpp"
+#include "src/instances/spec.hpp"
 #include "src/obs/postmortem.hpp"
 #include "src/obs/trace.hpp"
 #include "src/pebble/trace_io.hpp"
@@ -189,6 +190,22 @@ ResponseMessage Server::handle(const RequestMessage& request,
   }
   Dag dag = [&] {
     try {
+      if (!request.dag_file.empty()) {
+        // File-backed instances go through the InstanceSource jail: only
+        // paths inside options_.instance_root resolve, and an empty root
+        // rejects them all. An .rbg file is served zero-copy off its
+        // mapping, which the Dag keeps alive for the solve.
+        instances::InstanceSpec spec;
+        spec.kind = instances::InstanceKind::File;
+        spec.path = request.dag_file;
+        spec.format =
+            request.dag_format.empty() ? "auto" : request.dag_format;
+        spec.canonical = spec.format + ":" + spec.path;
+        instances::InstanceSourceOptions access;
+        access.allow_files = !options_.instance_root.empty();
+        access.root = options_.instance_root;
+        return instances::resolve_instance(spec, access).dag;
+      }
       return from_text(request.dag_text);
     } catch (const std::exception& e) {
       throw PreconditionError(std::string("bad dag: ") + e.what());

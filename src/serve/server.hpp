@@ -84,6 +84,11 @@ struct ServerOptions {
   /// post-mortem black box (obs/postmortem.hpp) under
   /// <postmortem_dir>/req-<seq>/.
   std::string postmortem_dir;
+  /// Confinement root for requests that name a "dag_file": paths must be
+  /// relative, ".."-free, and resolve (symlinks followed) inside this
+  /// directory. Empty (the default) rejects every dag_file request — file
+  /// access is strictly opt-in. CLI: rbpeb_serve --instance-root DIR.
+  std::string instance_root;
 };
 
 /// Aggregate counters, summarized on shutdown and exported per bench run.

@@ -9,6 +9,7 @@
 
 #include "src/gadgets/transforms.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/pebble/bounds.hpp"
 #include "src/obs/trace.hpp"
 #include "src/pebble/verifier.hpp"
 #include "src/solvers/anytime_astar.hpp"
@@ -358,6 +359,69 @@ class GreedySolver final : public Solver {
   std::string name_;
   std::string description_;
   std::optional<GreedyRule> fixed_rule_;
+};
+
+/// The node greedy wrapped with the O(1) whole-instance admissible bound
+/// (pebble/bounds.hpp): a size-independent certified tier. The exact and
+/// anytime searches stop at 1024 nodes; this adapter attaches a
+/// machine-checkable SolveCertificate to a greedy trace at *any* size —
+/// absent in the models whose whole-instance bound is 0 (base, oneshot),
+/// and sharp enough to prove optimality outright when the trace meets the
+/// bound. This is what lets the corpus gate demand a certified or proven
+/// answer on 10⁵-node file instances.
+class CertifiedGreedySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "certified-greedy"; }
+  std::string_view description() const override {
+    return "node greedy + whole-instance admissible bound: certificate at "
+           "any instance size (opt rule=…, eviction=…, seed=N)";
+  }
+
+  std::vector<std::string_view> option_keys(
+      const SolveRequest* request) const override {
+    (void)request;
+    return {"rule", "eviction", "eager-delete", "seed"};
+  }
+
+ protected:
+  SolveResult do_solve(const SolveRequest& request) const override {
+    GreedyOptions options;
+    if (auto rule = so::get(request.options, "rule")) {
+      options.rule = parse_rule(*rule);
+    }
+    if (auto ev = so::get(request.options, "eviction")) {
+      options.eviction = parse_eviction(*ev);
+    }
+    options.eager_delete_dead = so::get_bool(request.options, "eager-delete",
+                                             options.eager_delete_dead);
+    options.seed = so::get_u64(request.options, "seed", options.seed);
+
+    Engine relaxed = default_convention_view(*request.engine);
+    Trace trace = solve_greedy(relaxed, options);
+    SolveResult result =
+        make_result(request, std::move(trace), SolveStatus::Heuristic,
+                    {{"rule", to_string(options.rule)},
+                     {"eviction", to_string(options.eviction)}});
+    if (!result.ok() || !result.has_trace()) return result;
+
+    const Engine& engine = *request.engine;
+    const Rational bound =
+        cost_lower_bound(engine.dag(), engine.model(), engine.red_limit());
+    result.stats["lower_bound"] = bound.str();
+    if (result.cost == bound) {
+      result.status = SolveStatus::Optimal;
+      result.certificate =
+          SolveCertificate{bound, result.cost, Rational(0, 1)};
+    } else if (Rational(0, 1) < bound) {
+      // ε = (cost − bound) / bound, exactly; certificate_holds re-checks
+      // the defining inequality downstream.
+      const Rational gap = result.cost - bound;
+      result.certificate = SolveCertificate{
+          bound, result.cost,
+          Rational(gap.num() * bound.den(), gap.den() * bound.num())};
+    }
+    return result;
+  }
 };
 
 /// The Section 3 fixed-topological-order baseline.
@@ -1391,6 +1455,7 @@ void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(std::make_unique<GreedySolver>(
       "greedy-red-ratio", "Section 8 node greedy, red-ratio rule",
       GreedyRule::RedRatio));
+  registry.add(std::make_unique<CertifiedGreedySolver>());
   registry.add(std::make_unique<TopoSolver>());
   registry.add(std::make_unique<ExactSolver>());
   registry.add(std::make_unique<ExactAstarSolver>());

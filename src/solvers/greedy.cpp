@@ -137,12 +137,16 @@ class GreedyRun {
   /// Evict red pebbles (never the protected ones) until `slots` are free.
   void make_room(std::size_t slots, const std::span<const NodeId> protect) {
     if (state_.red_count() + slots <= engine_.red_limit()) return;
-    // Gather candidates once; protected nodes are stamped out.
-    std::vector<bool> protected_node(n_, false);
-    for (NodeId p : protect) protected_node[p] = true;
+    // Gather candidates once. `protect` is one node's predecessor list
+    // (≤ Δ entries), so a linear membership scan beats the O(n) stamp
+    // vector this used to allocate on every eviction — that allocation was
+    // quadratic over a whole solve and dominated 10⁵-node instances.
+    auto is_protected = [&protect](NodeId r) {
+      return std::find(protect.begin(), protect.end(), r) != protect.end();
+    };
     std::vector<NodeId> dead, live;
     for (NodeId r : state_.red_nodes()) {
-      if (protected_node[r]) continue;
+      if (is_protected(r)) continue;
       if (remaining_uses_[r] == 0 && !is_sink_[r]) dead.push_back(r);
       else live.push_back(r);
     }

@@ -29,6 +29,18 @@ TEST(DagIo, FromTextRejectsBadInput) {
   EXPECT_THROW(from_text("2\n0 1\n1 0\n"), PreconditionError);  // cycle
 }
 
+// A tiny input must not be able to declare a node count whose builder
+// allocation dwarfs the input (fuzzer-found: "4000000000\n" allocated
+// gigabytes before any validation). Counts under the floor stay legal even
+// when the file is all header.
+TEST(DagIo, FromTextRejectsImplausibleNodeCounts) {
+  EXPECT_THROW(from_text("4000000000\n"), PreconditionError);
+  EXPECT_THROW(from_text("10000000\n0 1\n"), PreconditionError);
+  Dag sparse = from_text("1000000\n12 999999\n");
+  EXPECT_EQ(sparse.node_count(), 1000000u);
+  EXPECT_EQ(sparse.edge_count(), 1u);
+}
+
 TEST(DagIo, DotContainsNodesAndEdges) {
   DagBuilder b;
   NodeId x = b.add_node("in");

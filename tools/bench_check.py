@@ -303,12 +303,64 @@ def compare_anytime(fresh, baseline):
                      f"{new['epsilon']} (consider refreshing the baseline)")
 
 
+def compare_corpus(fresh, baseline):
+    # The sweep audits every trace before publishing; nonzero means a solver
+    # returned a trace whose replay disagreed with its claimed cost.
+    if fresh.get("audit_failures", 0) != 0:
+        fail(f"corpus: audit_failures {fresh['audit_failures']} != 0")
+    for counter in ("solved", "certified", "proven"):
+        check_counter_ge("corpus", counter,
+                         fresh.get(counter, 0), baseline.get(counter, 0))
+    fresh_cases = index_cases(fresh["cases"], "file", "model", "solver")
+    for key, new in fresh_cases.items():
+        # Certificate coherence in exact rationals, baseline-independent.
+        if new.get("certified"):
+            cost = Fraction(new["cost"])
+            lower = Fraction(new["lower_bound"])
+            eps = Fraction(new["epsilon"])
+            if cost > (1 + eps) * lower:
+                fail(f"corpus {key}: certificate violated: cost {new['cost']}"
+                     f" > (1+{new['epsilon']})*{new['lower_bound']}")
+    for key, base in index_cases(baseline["cases"],
+                                 "file", "model", "solver").items():
+        where = f"corpus {key}"
+        new = fresh_cases.get(key)
+        if new is None:
+            fail(f"{where}: case disappeared from the fresh report")
+            continue
+        if base.get("solved") and not new.get("solved"):
+            fail(f"{where}: no longer solves")
+        if base.get("solved") and new.get("solved"):
+            check_cost(where, new["cost"], base["cost"])
+        if base.get("certified") and not new.get("certified"):
+            fail(f"{where}: no longer certified")
+        if base.get("proved_optimal") and not new.get("proved_optimal"):
+            fail(f"{where}: no longer proved optimal")
+    # Parse rejections are the adversarial half of the gate: a malformed
+    # file that starts parsing is an ingestion regression even if nothing
+    # downstream notices.
+    fresh_rejected = index_cases(fresh.get("rejected", []), "file")
+    for key, base in index_cases(baseline.get("rejected", []),
+                                 "file").items():
+        where = f"corpus malformed {key[0]}"
+        new = fresh_rejected.get(key)
+        if new is None:
+            fail(f"{where}: disappeared from the fresh report")
+            continue
+        if base.get("rejected") and not new.get("rejected"):
+            fail(f"{where}: malformed file is now ACCEPTED by the parser")
+    for key, new in fresh_rejected.items():
+        if not new.get("rejected"):
+            fail(f"corpus malformed {key[0]}: accepted in the fresh report")
+
+
 COMPARATORS = {
     "exact_astar": compare_exact_astar,
     "hda_astar": compare_hda_astar,
     "bigstate": compare_bigstate,
     "serve": compare_serve,
     "anytime": compare_anytime,
+    "corpus": compare_corpus,
 }
 
 
@@ -436,8 +488,9 @@ def cmd_overhead(args):
 
 
 def cmd_selftest(args):
-    """Inject known regressions into a synthetic anytime report and require
-    the comparator to catch every one (and to pass the clean pair)."""
+    """Inject known regressions into synthetic anytime and corpus reports
+    and require the comparators to catch every one (and to pass the clean
+    pairs)."""
     del args
     base = {
         "bench": "anytime",
@@ -454,12 +507,33 @@ def cmd_selftest(args):
         ],
     }
 
-    def run_case(label, mutate, expect_failure):
+    corpus_base = {
+        "bench": "corpus",
+        "audit_failures": 0, "solved": 2, "certified": 1, "proven": 1,
+        "cases": [
+            {"file": "a.txt", "model": "oneshot", "solver": "exact-astar",
+             "solved": True, "cost": "6", "certified": False,
+             "proved_optimal": True},
+            {"file": "b.rbg", "model": "nodel", "solver": "certified-greedy",
+             "solved": True, "cost": "47", "certified": True,
+             "proved_optimal": False,
+             "epsilon": "26/21", "lower_bound": "21"},
+        ],
+        "rejected": [
+            {"file": "junk.txt", "rejected": True},
+            {"file": "truncated.rbg", "rejected": True},
+        ],
+    }
+
+    def run_case(label, mutate, expect_failure, comparator=compare_anytime,
+                 report_base=None):
         global failures, notes
         failures, notes = [], []
-        fresh = copy.deepcopy(base)
+        if report_base is None:
+            report_base = base
+        fresh = copy.deepcopy(report_base)
         mutate(fresh)
-        compare_anytime(fresh, base)
+        comparator(fresh, report_base)
         caught = bool(failures)
         if caught != expect_failure:
             verdict = "missed" if expect_failure else "false positive"
@@ -523,6 +597,52 @@ def cmd_selftest(args):
     ok &= run_case("case-disappeared", lose_a_case, expect_failure=True)
     ok &= run_case("unanswered-case", unanswered, expect_failure=True)
     ok &= run_case("audit-failure", audit_failed, expect_failure=True)
+
+    # ---- corpus comparator injections ----------------------------------
+    def corpus_case(label, mutate, expect_failure):
+        return run_case(f"corpus-{label}", mutate, expect_failure,
+                        comparator=compare_corpus, report_base=corpus_base)
+
+    def corpus_accept_malformed(r):
+        r["rejected"][0]["rejected"] = False
+
+    def corpus_cost_changed(r):
+        r["cases"][0]["cost"] = "7"
+
+    def corpus_solve_lost(r):
+        r["cases"][0]["solved"] = False
+        r["cases"][0]["cost"] = "-"
+        r["cases"][0]["proved_optimal"] = False
+        r["solved"] = 1
+        r["proven"] = 0
+
+    def corpus_certificate_lost(r):
+        r["cases"][1]["certified"] = False
+        r["certified"] = 0
+
+    def corpus_certificate_violated(r):
+        r["cases"][1]["lower_bound"] = "1"  # 47 > (1+26/21)*1
+
+    def corpus_rejection_missing(r):
+        r["rejected"].pop(0)
+
+    def corpus_audit_failed(r):
+        r["audit_failures"] = 3
+
+    ok &= corpus_case("clean", lambda r: None, expect_failure=False)
+    ok &= corpus_case("malformed-accepted", corpus_accept_malformed,
+                      expect_failure=True)
+    ok &= corpus_case("cost-changed", corpus_cost_changed,
+                      expect_failure=True)
+    ok &= corpus_case("solve-lost", corpus_solve_lost, expect_failure=True)
+    ok &= corpus_case("certificate-lost", corpus_certificate_lost,
+                      expect_failure=True)
+    ok &= corpus_case("certificate-violated", corpus_certificate_violated,
+                      expect_failure=True)
+    ok &= corpus_case("rejection-missing", corpus_rejection_missing,
+                      expect_failure=True)
+    ok &= corpus_case("audit-failure", corpus_audit_failed,
+                      expect_failure=True)
     if not ok:
         print("bench_check selftest: FAILED", file=sys.stderr)
         return 1

@@ -2,21 +2,27 @@
 //
 // Usage:
 //   rbpeb_cli list-solvers
-//   rbpeb_cli solve <dag-file> <R>
+//   rbpeb_cli solve <dag-file>|--instance SPEC <R>
 //       [--model base|oneshot|nodel|compcost] [--solver NAME|portfolio]
 //       [--opt key=value]... [--budget-states N] [--budget-iterations N]
 //       [--budget-ms N] [--budget-threads N] [--budget-memory N[k|m|g]]
 //       [--budget-disk N[k|m|g]] [--jobs N] [--sources-blue] [--sinks-blue]
-//       [--trace <out-file>] [--dot <out-file>]
+//       [--trace <out-file>] [--dot <out-file>] [--fingerprint]
 //   rbpeb_cli verify <dag-file> <R> <trace-file> [--model M]
 //       [--sources-blue] [--sinks-blue]
 //   rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> | tree <leaves>
+//   rbpeb_cli gen <instance-spec>
 //
 // Solvers are resolved through the SolverRegistry, so `--solver` accepts
 // anything `list-solvers` prints; `portfolio` races them all and keeps the
-// best verified trace. DAG files use the rbpeb text format (first line:
-// node count; then one "from to" edge per line). `gen` writes such a file
-// to stdout.
+// best verified trace. Instances arrive through the one InstanceSpec
+// grammar (src/instances/spec.hpp): a bare <dag-file> path is shorthand
+// for `file:<path>` and magic-sniffs text vs. the mmap-able .rbg binary,
+// while `--instance SPEC` additionally accepts generator specs like
+// `layered:layers=50,width=2048,seed=71`. `gen` writes the text form of
+// any spec to stdout. `--fingerprint` prints the same canonical instance
+// fingerprint rbpeb-serve keys its trace cache with, so a CLI answer can
+// be matched against a served one.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "src/graph/dag_io.hpp"
+#include "src/instances/spec.hpp"
 #include "src/obs/introspect.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/postmortem.hpp"
@@ -32,6 +39,7 @@
 #include "src/pebble/bounds.hpp"
 #include "src/pebble/trace_io.hpp"
 #include "src/pebble/verifier.hpp"
+#include "src/serve/canonical.hpp"
 #include "src/solvers/api.hpp"
 #include "src/solvers/portfolio.hpp"
 #include "src/support/check.hpp"
@@ -49,12 +57,14 @@ using namespace rbpeb;
   std::cerr <<
       "usage:\n"
       "  rbpeb_cli list-solvers\n"
-      "  rbpeb_cli solve <dag-file> <R> [--model M] [--solver S|portfolio]\n"
+      "  rbpeb_cli solve <dag-file>|--instance SPEC <R>\n"
+      "            [--model M] [--solver S|portfolio]\n"
       "            [--opt k=v]... [--budget-states N] [--budget-iterations N]\n"
       "            [--budget-ms N] [--budget-threads N]\n"
       "            [--budget-memory N[k|m|g]] [--budget-disk N[k|m|g]]\n"
       "            [--jobs N]\n"
       "            [--sources-blue] [--sinks-blue] [--trace F] [--dot F]\n"
+      "            [--fingerprint]   (print the serve-compatible cache key)\n"
       "            [--trace-out F]   (flight-recorder profile, Chrome JSON)\n"
       "            [--progress[=F|stderr]] [--progress-every-ms N]\n"
       "                              (stream JSONL search-progress snapshots;\n"
@@ -68,7 +78,9 @@ using namespace rbpeb;
       "            [--sources-blue] [--sinks-blue]\n"
       "  rbpeb_cli gen matmul <n> | fft <size> | stencil <w> <t> |"
       " tree <leaves>\n"
-      "models: base oneshot nodel compcost; solvers: see list-solvers\n";
+      "  rbpeb_cli gen <instance-spec>\n"
+      "models: base oneshot nodel compcost; solvers: see list-solvers\n\n"
+      << rbpeb::instances::spec_grammar_help();
   std::exit(2);
 }
 
@@ -168,18 +180,34 @@ int cmd_list_solvers() {
 
 int cmd_solve(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
-  Dag dag = from_text(read_file(args[0]));
-  std::size_t r = std::stoul(args[1]);
+  // Two spellings of the same ingestion path: a bare path is shorthand for
+  // the `file:` spec (magic-sniffed text or .rbg), `--instance` takes the
+  // full grammar including generators.
+  std::string spec_text;
+  std::size_t flag_start = 0;
+  if (args[0] == "--instance") {
+    if (args.size() < 3) usage();
+    spec_text = args[1];
+    flag_start = 2;
+  } else {
+    spec_text = "file:" + args[0];
+    flag_start = 1;
+  }
+  instances::ResolvedInstance instance =
+      instances::resolve_instance(spec_text);
+  Dag dag = std::move(instance.dag);
+  std::size_t r = std::stoul(args[flag_start]);
   CommonFlags flags;
   std::string solver_name = "greedy";
   std::string trace_out, dot_out, flight_out;
   std::string progress_dest;  // empty = off; "stderr" or a file path
   std::int64_t progress_every_ms = 500;
   std::string postmortem_dir, metrics_out;
+  bool print_fingerprint = false;
   SolverOptions options;
   SolveBudget budget;
   std::size_t jobs = 0;
-  for (std::size_t i = 2; i < args.size(); ++i) {
+  for (std::size_t i = flag_start + 1; i < args.size(); ++i) {
     if (parse_common_flag(args, i, flags)) continue;
     else if (args[i] == "--solver" && i + 1 < args.size()) solver_name = args[++i];
     else if (args[i] == "--opt" && i + 1 < args.size()) {
@@ -216,6 +244,7 @@ int cmd_solve(const std::vector<std::string>& args) {
       metrics_out = args[++i];
     else if (args[i] == "--trace" && i + 1 < args.size()) trace_out = args[++i];
     else if (args[i] == "--dot" && i + 1 < args.size()) dot_out = args[++i];
+    else if (args[i] == "--fingerprint") print_fingerprint = true;
     else usage();
   }
 
@@ -286,9 +315,26 @@ int cmd_solve(const std::vector<std::string>& args) {
     sampler.emplace(popt);
   }
 
+  std::cout << "instance:   " << instance.name << '\n';
   std::cout << "DAG: " << dag.node_count() << " nodes, " << dag.edge_count()
             << " edges, Δ = " << dag.max_indegree() << " (min R = "
             << min_red_pebbles(dag) << ")\n";
+  if (instance.mapped_bytes != 0) {
+    std::cout << "mapped:     " << instance.mapped_bytes
+              << " bytes (zero-copy .rbg)\n";
+  }
+  if (print_fingerprint) {
+    // The exact key rbpeb-serve would compute for this request: same
+    // canonical form, model, convention, R, solver name, and options — so a
+    // CLI run and a served dag_file request for the same instance print the
+    // same value.
+    const serve::CanonicalForm form = serve::canonicalize(dag);
+    std::cout << "fingerprint: "
+              << serve::instance_fingerprint(form, flags.model,
+                                             flags.convention, r, solver_name,
+                                             options)
+              << '\n';
+  }
   Engine engine(dag, flags.model, r, flags.convention);
   SolveRequest request;
   request.engine = &engine;
@@ -396,7 +442,8 @@ int cmd_solve(const std::vector<std::string>& args) {
 
 int cmd_verify(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
-  Dag dag = from_text(read_file(args[0]));
+  // Same ingestion path as solve: text or .rbg, sniffed by magic.
+  Dag dag = instances::resolve_instance("file:" + args[0]).dag;
   std::size_t r = std::stoul(args[1]);
   Trace trace = trace_from_text(read_file(args[2]));
   CommonFlags flags;
@@ -421,6 +468,10 @@ int cmd_gen(const std::vector<std::string>& args) {
         make_stencil1d_dag(std::stoul(args[1]), std::stoul(args[2])).dag);
   } else if (kind == "tree" && args.size() == 2) {
     std::cout << to_text(make_tree_reduction_dag(std::stoul(args[1])).dag);
+  } else if (args.size() == 1) {
+    // Anything else is tried as an InstanceSpec, so every generator in the
+    // registry — not just the four legacy spellings — can emit a text file.
+    std::cout << to_text(instances::resolve_instance(kind).dag);
   } else {
     usage();
   }

@@ -1,0 +1,129 @@
+// rbpeb_convert — instance-format converter for the rbpeb platform.
+//
+//   rbpeb_convert <input> <output> [--to text|rbg|dot]
+//   rbpeb_convert --spec SPEC <output> [--to text|rbg|dot]
+//   rbpeb_convert --info <input>
+//
+// <input> is an instance file (text or .rbg, sniffed by magic); --spec
+// builds the instance from an InstanceSpec string instead, which is how the
+// committed corpus files are (re)generated. The output format comes from
+// --to, or failing that from the output extension (.rbg, .dot, else text).
+// --info validates an instance and prints its shape without converting.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/graph/dag_io.hpp"
+#include "src/instances/binary_format.hpp"
+#include "src/instances/spec.hpp"
+#include "src/support/check.hpp"
+
+namespace {
+
+using namespace rbpeb;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  rbpeb_convert <input> <output> [--to text|rbg|dot]\n"
+      << "  rbpeb_convert --spec SPEC <output> [--to text|rbg|dot]\n"
+      << "  rbpeb_convert --info <input>\n\n"
+      << instances::spec_grammar_help();
+  return 2;
+}
+
+std::string format_from_extension(const std::string& path) {
+  std::string ext = std::filesystem::path(path).extension().string();
+  if (ext == ".rbg") return "rbg";
+  if (ext == ".dot") return "dot";
+  return "text";
+}
+
+void write_text_file(const std::string& path, const std::string& contents) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  RBPEB_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os << contents;
+  RBPEB_REQUIRE(os.good(), "short write to " + path);
+}
+
+int run(const std::vector<std::string>& args) {
+  bool info = false;
+  std::string spec;
+  std::string to;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--info") {
+      info = true;
+    } else if (args[i] == "--spec" && i + 1 < args.size()) {
+      spec = args[++i];
+    } else if (args[i] == "--to" && i + 1 < args.size()) {
+      to = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "unknown flag " << args[i] << "\n";
+      return usage();
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+
+  instances::ResolvedInstance instance;
+  std::size_t next_positional = 0;
+  if (!spec.empty()) {
+    instance = instances::resolve_instance(spec);
+  } else {
+    if (positional.empty()) return usage();
+    instance =
+        instances::resolve_instance("file:" + positional[next_positional++]);
+  }
+
+  if (info) {
+    const Dag& dag = instance.dag;
+    std::cout << "instance: " << instance.name << "\n"
+              << "nodes: " << dag.node_count() << "\n"
+              << "edges: " << dag.edge_count() << "\n"
+              << "sources: " << dag.sources().size() << "\n"
+              << "sinks: " << dag.sinks().size() << "\n"
+              << "max_indegree: " << dag.max_indegree() << "\n"
+              << "mapped_bytes: " << instance.mapped_bytes << "\n";
+    if (instance.natural_red_limit != 0) {
+      std::cout << "natural_red_limit: " << instance.natural_red_limit
+                << "\n";
+    }
+    return 0;
+  }
+
+  if (next_positional >= positional.size()) return usage();
+  const std::string& output = positional[next_positional++];
+  if (next_positional != positional.size()) return usage();
+  if (to.empty()) to = format_from_extension(output);
+
+  if (to == "rbg") {
+    instances::write_rbg_file(instance.dag, output);
+  } else if (to == "text") {
+    write_text_file(output, to_text(instance.dag));
+  } else if (to == "dot") {
+    write_text_file(output, to_dot(instance.dag));
+  } else {
+    std::cerr << "unknown output format '" << to << "'\n";
+    return usage();
+  }
+  std::cout << output << ": " << instance.dag.node_count() << " nodes, "
+            << instance.dag.edge_count() << " edges (" << to << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    return run(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

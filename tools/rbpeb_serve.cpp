@@ -5,7 +5,8 @@
 //               [--cache-bytes N[k|m|g]] [--queue N] [--workers N]
 //               [--threads N] [--deadline-ms N] [--solver NAME|portfolio]
 //               [--budget-states N] [--snapshot-every N] [--trace-out F]
-//               [--progress-every-ms N] [--postmortem-dir D] [--quiet]
+//               [--progress-every-ms N] [--postmortem-dir D]
+//               [--instance-root D] [--quiet]
 //
 // Reads one JSON request per line (stdin by default, or --input F — a file
 // works as a replayable request queue; a named pipe / `nc -lU | rbpeb_serve`
@@ -44,7 +45,10 @@ using namespace rbpeb::serve;
       "              [--threads N] [--deadline-ms N]\n"
       "              [--solver NAME|portfolio] [--budget-states N]\n"
       "              [--snapshot-every N] [--trace-out F]\n"
-      "              [--progress-every-ms N] [--postmortem-dir D] [--quiet]\n"
+      "              [--progress-every-ms N] [--postmortem-dir D]\n"
+      "              [--instance-root D] [--quiet]\n"
+      "--instance-root D lets requests name a \"dag_file\" resolved inside D\n"
+      "(text or .rbg; without it every dag_file request is rejected);\n"
       "--snapshot-every N appends a metrics_snapshot JSONL line to --stats\n"
       "every N responses (default 64; 0 disables); --trace-out F writes a\n"
       "Chrome trace-event profile of the run (open in Perfetto), every span\n"
@@ -157,6 +161,8 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(parse_count(next()));
     } else if (arg == "--postmortem-dir") {
       options.postmortem_dir = next();
+    } else if (arg == "--instance-root") {
+      options.instance_root = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
